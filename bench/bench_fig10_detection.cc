@@ -1,0 +1,114 @@
+// Reproduces Figure 10: distribution of the number of privacy-sensitive
+// dataflows detected per application, Turnstile vs QueryDL (the CodeQL
+// stand-in), against the manual ground truth — plus §6.1's bucket breakdown.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/analysis/analyzer.h"
+#include "src/baseline/querydl.h"
+#include "src/corpus/corpus.h"
+#include "src/lang/parser.h"
+
+namespace turnstile {
+namespace {
+
+int Main() {
+  struct AppOutcome {
+    std::string name;
+    CorpusBucket bucket;
+    int ground_truth = 0;
+    int turnstile = 0;
+    int querydl = 0;
+  };
+  std::vector<AppOutcome> outcomes;
+
+  for (const CorpusApp& app : Corpus()) {
+    auto program = ParseProgram(app.source, app.name + ".js");
+    if (!program.ok()) {
+      std::fprintf(stderr, "FATAL: %s parse: %s\n", app.name.c_str(),
+                   program.status().ToString().c_str());
+      return 1;
+    }
+    auto turnstile_result = AnalyzeProgram(*program);
+    auto querydl_result = QueryDlAnalyze(*program);
+    if (!turnstile_result.ok() || !querydl_result.ok()) {
+      std::fprintf(stderr, "FATAL: %s analysis failed\n", app.name.c_str());
+      return 1;
+    }
+    outcomes.push_back({app.name, app.bucket, app.ground_truth_paths,
+                        static_cast<int>(turnstile_result->paths.size()),
+                        static_cast<int>(querydl_result->paths.size())});
+  }
+
+  std::printf("Figure 10: privacy-sensitive dataflows detected per application\n\n");
+  std::printf("%-22s %-15s %6s %10s %8s\n", "application", "bucket", "manual", "turnstile",
+              "querydl");
+  int gt = 0;
+  int t_total = 0;
+  int q_total = 0;
+  for (const AppOutcome& o : outcomes) {
+    std::printf("%-22s %-15s %6d %10d %8d\n", o.name.c_str(), CorpusBucketName(o.bucket),
+                o.ground_truth, o.turnstile, o.querydl);
+    gt += o.ground_truth;
+    t_total += o.turnstile;
+    q_total += o.querydl;
+  }
+
+  // Distribution (the figure's shape): how many apps had k detected paths.
+  std::map<int, int> t_hist;
+  std::map<int, int> q_hist;
+  std::map<int, int> g_hist;
+  for (const AppOutcome& o : outcomes) {
+    ++t_hist[o.turnstile];
+    ++q_hist[o.querydl];
+    ++g_hist[o.ground_truth];
+  }
+  std::printf("\nDistribution (apps with k paths):  k: manual turnstile querydl\n");
+  for (int k = 0; k <= 8; ++k) {
+    std::printf("  %d: %6d %9d %7d\n", k, g_hist[k], t_hist[k], q_hist[k]);
+  }
+
+  // Bucket summary, the §6.1 narrative.
+  int t_pos = 0;
+  int q_pos = 0;
+  int t_only = 0;
+  int q_only = 0;
+  int both = 0;
+  int neither = 0;
+  int neither_with_paths = 0;
+  for (const AppOutcome& o : outcomes) {
+    bool t = o.turnstile > 0;
+    bool q = o.querydl > 0;
+    t_pos += t;
+    q_pos += q;
+    t_only += t && !q;
+    q_only += q && !t;
+    both += t && q;
+    if (!t && !q) {
+      ++neither;
+      neither_with_paths += o.ground_truth > 0;
+    }
+  }
+
+  std::printf("\nTotals:   manual ground truth: %d paths across 61 apps\n", gt);
+  std::printf("          Turnstile: %d paths (%.0f%% of ground truth), positive in %d apps\n",
+              t_total, 100.0 * t_total / gt, t_pos);
+  std::printf("          QueryDL:   %d paths (%.0f%% of ground truth), positive in %d apps\n",
+              q_total, 100.0 * q_total / gt, q_pos);
+  std::printf("          Turnstile finds %.1fx as many paths as QueryDL\n",
+              static_cast<double>(t_total) / q_total);
+  std::printf("Buckets:  Turnstile-only apps: %d | both: %d | QueryDL-only: %d | neither: %d "
+              "(of which %d have real paths, %d have none)\n",
+              t_only, both, q_only, neither, neither_with_paths,
+              neither - neither_with_paths);
+  std::printf("\nPaper reference: 285 manual paths; Turnstile 190 (3.7x CodeQL's 52); 27 "
+              "Turnstile-positive apps;\n                 22 Turnstile-only; 32 neither "
+              "(26 with paths, 6 without); 2 apps where CodeQL did better.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace turnstile
+
+int main() { return turnstile::Main(); }

@@ -1,0 +1,58 @@
+// Reproduces Figure 12: per-application relative run-times (selective vs
+// exhaustive) at 30 Hz and 250 Hz — including the paper's call-outs: modbus
+// and nlp.js at 30 Hz; amazon-echo, dialogflow and watson at 250 Hz.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace turnstile {
+namespace {
+
+int Main() {
+  int messages = BenchMessageCount();
+  std::printf("Figure 12: per-application relative run-times at 30 Hz and 250 Hz "
+              "(%d messages per run)\n\n",
+              messages);
+  std::vector<OverheadMeasurement> measurements = MeasureAllOverheads(messages);
+
+  std::printf("%-18s | %10s %10s | %10s %10s\n", "", "30 Hz", "", "250 Hz", "");
+  std::printf("%-18s | %10s %10s | %10s %10s\n", "application", "selective", "exhaustive",
+              "selective", "exhaustive");
+  std::printf("-------------------+-----------------------+----------------------\n");
+  for (const OverheadMeasurement& m : measurements) {
+    double s30 = RelativeRuntime(m.selective, m.original, 30);
+    double e30 = RelativeRuntime(m.exhaustive, m.original, 30);
+    double s250 = RelativeRuntime(m.selective, m.original, 250);
+    double e250 = RelativeRuntime(m.exhaustive, m.original, 250);
+    std::printf("%-18s | %10.4f %10.4f | %10.4f %10.4f\n", m.app.c_str(), s30, e30, s250,
+                e250);
+  }
+
+  std::printf("\nCall-outs (paper values in brackets):\n");
+  for (const char* name : {"modbus", "nlp.js"}) {
+    for (const OverheadMeasurement& m : measurements) {
+      if (m.app == name) {
+        std::printf("  %-12s at 30 Hz:  selective %+.1f%% vs exhaustive %+.1f%%\n", name,
+                    100 * (RelativeRuntime(m.selective, m.original, 30) - 1),
+                    100 * (RelativeRuntime(m.exhaustive, m.original, 30) - 1));
+      }
+    }
+  }
+  std::printf("  [paper: modbus 15.8%% selective; nlp.js 0.4%% selective at 30 Hz]\n");
+  for (const char* name : {"amazon-echo", "dialogflow", "watson", "nlp.js"}) {
+    for (const OverheadMeasurement& m : measurements) {
+      if (m.app == name) {
+        std::printf("  %-12s at 250 Hz: selective %+.1f%% vs exhaustive %+.1f%%\n", name,
+                    100 * (RelativeRuntime(m.selective, m.original, 250) - 1),
+                    100 * (RelativeRuntime(m.exhaustive, m.original, 250) - 1));
+      }
+    }
+  }
+  std::printf("  [paper: nlp.js 980.2%% exhaustive vs 2.5%% selective at 250 Hz]\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace turnstile
+
+int main() { return turnstile::Main(); }

@@ -1,0 +1,216 @@
+// Microbenchmarks for the MiniScript runtime substrate (google-benchmark):
+// baseline interpreter throughput that the §6.2 overhead numbers are
+// relative to.
+#include <benchmark/benchmark.h>
+
+#include "src/flow/engine.h"
+#include "src/flow/workload.h"
+#include "src/interp/interp.h"
+#include "src/lang/parser.h"
+
+namespace turnstile {
+namespace {
+
+// Runs `source`, then repeatedly calls the global function `tick()`.
+struct TickFixture {
+  Interpreter interp;
+  FunctionPtr tick;
+
+  explicit TickFixture(const char* source) {
+    auto program = ParseProgram(source);
+    if (!program.ok() || !interp.RunProgram(*program).ok()) {
+      std::abort();
+    }
+    Value* fn = interp.global_env()->Lookup("tick");
+    if (fn == nullptr || !fn->IsFunction()) {
+      std::abort();
+    }
+    tick = fn->AsFunction();
+  }
+
+  void Run(benchmark::State& state) {
+    for (auto _ : state) {
+      auto result = interp.CallFunction(tick, Value::Undefined(), {});
+      benchmark::DoNotOptimize(result.ok());
+    }
+  }
+};
+
+void BM_ArithmeticLoop(benchmark::State& state) {
+  TickFixture f(R"(
+    function tick() {
+      let acc = 0;
+      for (let i = 0; i < 100; i++) {
+        acc = (acc * 31 + i) % 65521;
+      }
+      return acc;
+    }
+  )");
+  f.Run(state);
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ArithmeticLoop);
+
+void BM_StringConcat(benchmark::State& state) {
+  TickFixture f(R"(
+    function tick() {
+      let s = "";
+      for (let i = 0; i < 50; i++) {
+        s = s + "x" + i;
+      }
+      return s.length;
+    }
+  )");
+  f.Run(state);
+}
+BENCHMARK(BM_StringConcat);
+
+void BM_PropertyAccess(benchmark::State& state) {
+  TickFixture f(R"(
+    let state = { a: { b: { c: 1 } }, n: 0 };
+    function tick() {
+      for (let i = 0; i < 100; i++) {
+        state.n = state.n + state.a.b.c;
+      }
+      return state.n;
+    }
+  )");
+  f.Run(state);
+}
+BENCHMARK(BM_PropertyAccess);
+
+void BM_FunctionCalls(benchmark::State& state) {
+  TickFixture f(R"(
+    function add(a, b) { return a + b; }
+    function tick() {
+      let acc = 0;
+      for (let i = 0; i < 100; i++) {
+        acc = add(acc, i);
+      }
+      return acc;
+    }
+  )");
+  f.Run(state);
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FunctionCalls);
+
+void BM_ClosureCalls(benchmark::State& state) {
+  TickFixture f(R"(
+    function makeAdder(k) { return x => x + k; }
+    let add7 = makeAdder(7);
+    function tick() {
+      let acc = 0;
+      for (let i = 0; i < 100; i++) {
+        acc = add7(acc);
+      }
+      return acc;
+    }
+  )");
+  f.Run(state);
+}
+BENCHMARK(BM_ClosureCalls);
+
+void BM_MethodDispatch(benchmark::State& state) {
+  TickFixture f(R"(
+    class Counter {
+      constructor() { this.n = 0; }
+      bump(k) { this.n = this.n + k; return this.n; }
+    }
+    let counter = new Counter();
+    function tick() {
+      for (let i = 0; i < 100; i++) {
+        counter.bump(1);
+      }
+      return counter.n;
+    }
+  )");
+  f.Run(state);
+}
+BENCHMARK(BM_MethodDispatch);
+
+void BM_JsonParseNative(benchmark::State& state) {
+  TickFixture f(R"(
+    let blob = "{";
+    for (let i = 0; i < 200; i++) {
+      blob += '"k' + i + '":' + i + ",";
+    }
+    blob += '"end":0}';
+    function tick() {
+      return Object.keys(JSON.parse(blob)).length;
+    }
+  )");
+  f.Run(state);
+}
+BENCHMARK(BM_JsonParseNative);
+
+void BM_EventDispatch(benchmark::State& state) {
+  Interpreter interp;
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    let count = 0;
+    socket.on("data", d => { count = count + 1; });
+  )");
+  if (!program.ok() || !interp.RunProgram(*program).ok() || !interp.RunEventLoop().ok()) {
+    std::abort();
+  }
+  ObjectPtr socket = interp.io_world().emitters["net.socket"].front();
+  for (auto _ : state) {
+    interp.EmitEvent(socket, "data", {Value("payload")});
+    if (!interp.RunEventLoop().ok()) {
+      std::abort();
+    }
+  }
+}
+BENCHMARK(BM_EventDispatch);
+
+void BM_FlowMessageRouting(benchmark::State& state) {
+  Interpreter interp;
+  FlowEngine engine(&interp);
+  Status status = engine.LoadModule(R"(
+    module.exports = function(RED) {
+      function RelayNode(config) {
+        RED.nodes.createNode(this, config);
+        let node = this;
+        node.on("input", msg => { node.send(msg); });
+      }
+      RED.nodes.registerType("relay", RelayNode);
+    };
+  )", "relay.js");
+  auto flow = Json::Parse(R"([
+    { "id": "a", "type": "relay", "wires": ["b"] },
+    { "id": "b", "type": "relay", "wires": ["c"] },
+    { "id": "c", "type": "relay", "wires": [] }
+  ])");
+  if (!status.ok() || !flow.ok() || !engine.InstantiateFlow(*flow).ok()) {
+    std::abort();
+  }
+  ObjectPtr msg = MakeObject();
+  msg->Set("payload", Value("x"));
+  for (auto _ : state) {
+    if (!engine.InjectInput("a", Value(msg)).ok() || !interp.RunEventLoop().ok()) {
+      std::abort();
+    }
+  }
+}
+BENCHMARK(BM_FlowMessageRouting);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  auto tmpl = Json::Parse(R"({ "payload": "$frame", "topic": "$topic", "seq": "$seq" })");
+  if (!tmpl.ok()) {
+    std::abort();
+  }
+  Rng rng(1);
+  int seq = 0;
+  for (auto _ : state) {
+    Value msg = GenerateMessage(*tmpl, &rng, seq++);
+    benchmark::DoNotOptimize(msg.IsObject());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace
+}  // namespace turnstile
+
+BENCHMARK_MAIN();

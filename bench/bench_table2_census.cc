@@ -1,0 +1,85 @@
+// Reproduces Table 2: "Number of publicly available repositories on Github
+// found for popular IoT frameworks."
+//
+// The paper crawled GitHub with framework-characteristic code signatures
+// (e.g. "RED.nodes.createNode" for Node-RED). We reproduce the *measurement
+// procedure* — the signature scanner — over a deterministic synthetic
+// repository population calibrated to the paper's totals (DESIGN.md §1).
+#include <cstdio>
+#include <map>
+
+#include "src/corpus/corpus.h"
+#include "src/support/strings.h"
+
+namespace turnstile {
+namespace {
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+struct Row {
+  int search_results = 0;
+  int repositories = 0;
+};
+
+int Main() {
+  std::vector<CensusRepo> population = GenerateCensusPopulation(0xEu);
+
+  // The signatures the scanner searches for (the same ones DetectFramework
+  // uses; re-derived here so the bench measures, not trusts, the generator).
+  const std::pair<const char*, const char*> kSignatures[] = {
+      {"Node-RED", "RED.nodes.createNode"},
+      {"Azure IoT", "Client.fromConnectionString"},
+      {"HomeBridge", "homebridge.registerAccessory"},
+      {"OpenHAB", "openhab.rules.JSRule"},
+      {"SmartThings", "new SmartApp"},
+      {"AWS Greengrass", "greengrasssdk.client"},
+  };
+
+  std::map<std::string, Row> rows;
+  int total_repos = 0;
+  for (const CensusRepo& repo : population) {
+    std::string detected = DetectFramework(repo.main_source_excerpt);
+    if (detected.empty()) {
+      continue;
+    }
+    Row& row = rows[detected];
+    ++row.repositories;
+    ++total_repos;
+    for (const auto& [framework, signature] : kSignatures) {
+      if (framework == detected) {
+        row.search_results += CountOccurrences(repo.main_source_excerpt, signature);
+      }
+    }
+  }
+
+  std::printf("Table 2: repositories found per IoT framework (signature scan over %zu "
+              "synthetic repositories)\n\n",
+              population.size());
+  std::printf("%-16s %14s %22s\n", "Framework", "Search Results", "Number of Repositories");
+  std::printf("%-16s %14s %22s\n", "---------", "--------------", "----------------------");
+  const char* kOrder[] = {"Node-RED",    "Azure IoT",   "HomeBridge",
+                          "OpenHAB",     "SmartThings", "AWS Greengrass"};
+  for (const char* framework : kOrder) {
+    const Row& row = rows[framework];
+    std::printf("%-16s %14d %15d (%.1f%%)\n", framework, row.search_results,
+                row.repositories, 100.0 * row.repositories / total_repos);
+  }
+  std::printf("%-16s %14s %15d\n\n", "Total", "", total_repos);
+  std::printf("Paper reference: Node-RED 2676/677 (58.9%%), Azure IoT 727/357 (31.1%%), "
+              "HomeBridge 171/57 (5.0%%),\n                 OpenHAB 70/14 (1.2%%), "
+              "SmartThings 42/29 (2.5%%), AWS Greengrass 27/15 (1.3%%)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace turnstile
+
+int main() { return turnstile::Main(); }

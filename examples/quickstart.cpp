@@ -1,0 +1,109 @@
+// Quickstart: the Turnstile pipeline on a 20-line application.
+//
+//   1. write an IFC policy (labellers + rules),
+//   2. statically analyze the app for privacy-sensitive dataflows,
+//   3. selectively instrument those paths,
+//   4. run the instrumented app with the inlined DIFT tracker enforcing the
+//      policy.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/analysis/analyzer.h"
+#include "src/dift/tracker.h"
+#include "src/instrument/instrumentor.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+using namespace turnstile;
+
+// A tiny camera app: frames from a socket are archived to disk.
+constexpr const char* kApp = R"(
+  let net = require("net");
+  let fs = require("fs");
+  let camera = net.connect(554, "front-door.cam");
+  camera.on("data", frame => {
+    let stamped = "cam1:" + frame;
+    fs.writeFileSync("/archive/latest.bin", stamped);
+  });
+)";
+
+// Policy: frames containing an employee may be archived; visitor frames may
+// not (there is no visitor -> archive rule).
+constexpr const char* kPolicy = R"json({
+  "labellers": {
+    "FrameContent": { "$fn": "f => (f.includes(\"employee\") ? \"employee\" : \"visitor\")" },
+    "Archive": { "$const": "archive" }
+  },
+  "rules": ["employee -> archive"],
+  "injections": [{ "object": "frame", "labeller": "FrameContent" }]
+})json";
+
+int main() {
+  // 1. Parse the application and the policy.
+  auto program = ParseProgram(kApp, "camera.js");
+  auto policy_result = Policy::FromJsonText(kPolicy);
+  if (!program.ok() || !policy_result.ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  std::shared_ptr<Policy> policy(std::move(policy_result).value().release());
+
+  // 2. Static analysis: find privacy-sensitive dataflows.
+  auto analysis = AnalyzeProgram(*program);
+  if (!analysis.ok()) {
+    return 1;
+  }
+  std::printf("== dataflow analysis ==\n");
+  for (const DataflowPath& path : analysis->paths) {
+    std::printf("  %s (line %d)  -->  %s (line %d)\n", path.source_description.c_str(),
+                path.source_loc.line, path.sink_description.c_str(), path.sink_loc.line);
+  }
+
+  // 3. Selective instrumentation.
+  auto instrumented =
+      InstrumentProgram(*program, *policy, InstrumentMode::kSelective, &*analysis);
+  if (!instrumented.ok()) {
+    return 1;
+  }
+  std::printf("\n== instrumented source ==\n%s\n",
+              PrintProgram(instrumented->program).c_str());
+
+  // 4. Run with the inlined DIFT tracker. The archive sink is labelled via a
+  //    labeller applied programmatically here (a flow harness would normally
+  //    do this through the policy's injections).
+  Interpreter interp;
+  DiftTracker tracker(&interp, policy);
+  tracker.Install();
+  if (!interp.RunProgram(instrumented->program).ok() || !interp.RunEventLoop().ok()) {
+    return 1;
+  }
+  // Label the fs module as the archive sink.
+  Value* fs_module = interp.global_env()->Lookup("fs");
+  if (fs_module != nullptr) {
+    auto labelled = tracker.Label(*fs_module, "Archive");
+    if (!labelled.ok()) {
+      return 1;
+    }
+  }
+
+  // Stream two frames: an employee frame (allowed) and a visitor frame
+  // (blocked by the missing visitor -> archive rule).
+  auto& sockets = interp.io_world().emitters["net.socket"];
+  interp.EmitEvent(sockets[0], "data", {Value("employee:alice|pixels...")});
+  interp.EmitEvent(sockets[0], "data", {Value("visitor:unknown|pixels...")});
+  if (!interp.RunEventLoop().ok()) {
+    return 1;
+  }
+
+  std::printf("== run-time result ==\n");
+  for (const IoRecord& record : interp.io_world().records) {
+    std::printf("  archived: %s\n", record.payload.c_str());
+  }
+  for (const Violation& violation : tracker.violations()) {
+    std::printf("  BLOCKED: %s data labelled %s cannot flow into %s\n",
+                violation.sink.c_str(), violation.data_labels.c_str(),
+                violation.receiver_labels.c_str());
+  }
+  return 0;
+}

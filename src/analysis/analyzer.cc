@@ -1,0 +1,705 @@
+#include "src/analysis/analyzer.h"
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+namespace turnstile {
+
+namespace {
+
+// A taint seed: where the analysis starts tracking.
+struct SourceSeed {
+  int graph_node = -1;
+  int report_ast = -1;
+  std::string description;
+};
+
+// A sink call with the argument nodes that must not receive tainted data.
+struct SinkSite {
+  int call_ast = -1;
+  std::vector<int> data_arg_nodes;  // graph node ids
+  std::string description;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, const Catalog& catalog)
+      : resolved_(ResolveScopes(program)), catalog_(catalog) {
+    int n = resolved_.total_nodes();
+    edges_.resize(static_cast<size_t>(n));
+    redges_.resize(static_cast<size_t>(n));
+    funcs_.resize(static_cast<size_t>(n));
+    instance_classes_.resize(static_cast<size_t>(n));
+    tags_.resize(static_cast<size_t>(n));
+  }
+
+  int InternTag(const std::string& tag) {
+    auto [it, inserted] = tag_ids_.try_emplace(tag, static_cast<int>(tag_names_.size()));
+    if (inserted) {
+      tag_names_.push_back(tag);
+    }
+    return it->second;
+  }
+
+  Result<AnalysisResult> Run() {
+    BuildGenericEdges();
+    SeedFunctionValues();
+    // Combined points-to / type-inference / call-resolution fixpoint.
+    int rounds = 0;
+    bool changed = true;
+    while (changed && rounds < 64) {
+      ++rounds;
+      PropagateSets();
+      changed = ScanCallSites();
+    }
+    AnalysisResult result;
+    result.stats.fixpoint_rounds = rounds;
+    result.stats.graph_nodes = resolved_.total_nodes();
+    result.stats.graph_edges = edge_count_;
+    result.stats.sources_found = static_cast<int>(sources_.size());
+    result.stats.sinks_found = static_cast<int>(sinks_.size());
+    RunTaint(&result);
+    return result;
+  }
+
+ private:
+  // --- graph helpers ---------------------------------------------------------
+
+  bool AddEdge(int u, int v) {
+    if (u < 0 || v < 0 || u == v) {
+      return false;
+    }
+    auto [it, inserted] = edges_[static_cast<size_t>(u)].insert(v);
+    (void)it;
+    if (inserted) {
+      redges_[static_cast<size_t>(v)].insert(u);
+      ++edge_count_;
+    }
+    return inserted;
+  }
+
+  // Member/index *read* edges carry taint and function values, but not type
+  // tags: reading node.transport must not make the transport look like the
+  // node itself.
+  bool AddReadEdge(int u, int v) {
+    bool inserted = AddEdge(u, v);
+    if (u >= 0 && v >= 0) {
+      no_tag_edges_.insert((static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+                           static_cast<uint32_t>(v));
+    }
+    return inserted;
+  }
+
+  bool IsTagEdge(int u, int v) const {
+    return no_tag_edges_.count((static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+                               static_cast<uint32_t>(v)) == 0;
+  }
+
+  const NodePtr& Ast(int id) const { return resolved_.ast_by_id[static_cast<size_t>(id)]; }
+
+  // Binding node an identifier use resolves to, or -1.
+  int UseBinding(const NodePtr& node) const {
+    auto it = resolved_.use_to_binding.find(node->id);
+    return it == resolved_.use_to_binding.end() ? -1 : it->second;
+  }
+
+  // Graph node representing the *value* flowing out of an expression. For
+  // identifiers this is the use node itself (which the binding feeds).
+  int ValueNode(const NodePtr& node) const { return node->id; }
+
+  // The binding node written by assigning through a member/index chain:
+  // follows children[0] to the base identifier/this. -1 when anonymous.
+  int RootBindingOfTarget(const NodePtr& target) const {
+    NodePtr base = target;
+    while (base->kind == NodeKind::kMemberExpr || base->kind == NodeKind::kIndexExpr ||
+           base->kind == NodeKind::kCallExpr) {
+      base = base->children[0];
+    }
+    if (base->kind == NodeKind::kIdentifier || base->kind == NodeKind::kThisExpr) {
+      return UseBinding(base);
+    }
+    return base->id;
+  }
+
+  // --- generic intraprocedural edges ------------------------------------------
+
+  void BuildGenericEdges() {
+    WalkForEdges(resolved_.program->root, /*fn_index=*/-1);
+    // Identifier/this uses: binding feeds every use site.
+    for (const auto& [use_ast, binding] : resolved_.use_to_binding) {
+      AddEdge(binding, use_ast);
+    }
+  }
+
+  void WalkForEdges(const NodePtr& node, int fn_index) {
+    // Recurse first so children exist in the call-site list before parents.
+    int child_fn = fn_index;
+    if (node->IsFunctionLike()) {
+      auto it = resolved_.function_by_ast.find(node->id);
+      if (it != resolved_.function_by_ast.end()) {
+        child_fn = it->second;
+      }
+    }
+    for (const NodePtr& child : node->children) {
+      WalkForEdges(child, child_fn);
+    }
+
+    switch (node->kind) {
+      case NodeKind::kVarDecl:
+        for (const NodePtr& declarator : node->children) {
+          if (!declarator->children.empty()) {
+            auto it = resolved_.decl_binding_by_ast.find(declarator->id);
+            if (it != resolved_.decl_binding_by_ast.end()) {
+              AddEdge(ValueNode(declarator->children[0]), it->second);
+            }
+          }
+        }
+        return;
+      case NodeKind::kAssignExpr: {
+        const NodePtr& target = node->children[0];
+        const NodePtr& value = node->children[1];
+        AddEdge(ValueNode(value), node->id);
+        if (target->kind == NodeKind::kIdentifier) {
+          int binding = UseBinding(target);
+          AddEdge(ValueNode(value), binding);
+          if (node->str != "=") {
+            AddEdge(binding, node->id);  // compound read …
+            AddEdge(node->id, binding);  // … and the derived result flows back
+          }
+        } else {
+          // Field-insensitive write: the whole container becomes tainted.
+          int root = RootBindingOfTarget(target);
+          AddEdge(ValueNode(value), root);
+          if (node->str != "=") {
+            AddEdge(root, node->id);
+            AddEdge(node->id, root);
+          }
+        }
+        return;
+      }
+      case NodeKind::kBinaryExpr:
+      case NodeKind::kLogicalExpr:
+        AddEdge(ValueNode(node->children[0]), node->id);
+        AddEdge(ValueNode(node->children[1]), node->id);
+        return;
+      case NodeKind::kUnaryExpr:
+      case NodeKind::kUpdateExpr:
+      case NodeKind::kAwaitExpr:
+      case NodeKind::kSpreadElement:
+        AddEdge(ValueNode(node->children[0]), node->id);
+        return;
+      case NodeKind::kConditionalExpr:
+        AddEdge(ValueNode(node->children[1]), node->id);
+        AddEdge(ValueNode(node->children[2]), node->id);
+        return;
+      case NodeKind::kSequenceExpr:
+        AddEdge(ValueNode(node->children.back()), node->id);
+        return;
+      case NodeKind::kArrayLit:
+        for (const NodePtr& element : node->children) {
+          AddEdge(ValueNode(element), node->id);
+        }
+        return;
+      case NodeKind::kObjectLit:
+        for (const NodePtr& prop : node->children) {
+          const NodePtr& value = prop->num != 0 ? prop->children[1] : prop->children[0];
+          AddEdge(ValueNode(value), node->id);
+        }
+        return;
+      case NodeKind::kMemberExpr:
+      case NodeKind::kIndexExpr:
+        // Field-insensitive read (taint + function values, not type tags).
+        AddReadEdge(ValueNode(node->children[0]), node->id);
+        return;
+      case NodeKind::kForOfStmt: {
+        auto it = resolved_.decl_binding_by_ast.find(node->children[0]->id);
+        if (it != resolved_.decl_binding_by_ast.end()) {
+          AddEdge(ValueNode(node->children[1]), it->second);
+        }
+        return;
+      }
+      case NodeKind::kReturnStmt: {
+        if (!node->children.empty() && fn_index >= 0) {
+          AddEdge(ValueNode(node->children[0]),
+                  resolved_.functions[static_cast<size_t>(fn_index)].return_binding);
+        }
+        return;
+      }
+      case NodeKind::kArrowFunction: {
+        // Expression body is an implicit return.
+        auto it = resolved_.function_by_ast.find(node->id);
+        if (it != resolved_.function_by_ast.end() &&
+            node->children[1]->kind != NodeKind::kBlockStmt) {
+          AddEdge(ValueNode(node->children[1]),
+                  resolved_.functions[static_cast<size_t>(it->second)].return_binding);
+        }
+        return;
+      }
+      case NodeKind::kCallExpr:
+      case NodeKind::kNewExpr:
+        call_sites_.push_back(node->id);
+        return;
+      case NodeKind::kFunctionDecl: {
+        auto it = resolved_.decl_binding_by_ast.find(node->id);
+        if (it != resolved_.decl_binding_by_ast.end()) {
+          AddEdge(node->id, it->second);
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  void SeedFunctionValues() {
+    for (size_t fi = 0; fi < resolved_.functions.size(); ++fi) {
+      int ast_id = resolved_.functions[fi].ast_id;
+      funcs_[static_cast<size_t>(ast_id)].insert(static_cast<int>(fi));
+    }
+    for (size_t ci = 0; ci < resolved_.classes.size(); ++ci) {
+      auto it = resolved_.decl_binding_by_ast.find(resolved_.classes[ci].ast_id);
+      if (it != resolved_.decl_binding_by_ast.end()) {
+        class_of_binding_[it->second] = static_cast<int>(ci);
+      }
+    }
+  }
+
+  // Propagates funcs/instance/tag sets along edges to a local fixpoint,
+  // worklist-driven (near-linear in practice — the specialization that makes
+  // Turnstile fast).
+  void PropagateSets() {
+    std::deque<int> worklist;
+    std::vector<bool> queued(static_cast<size_t>(resolved_.total_nodes()), false);
+    for (int u = 0; u < resolved_.total_nodes(); ++u) {
+      if (!funcs_[static_cast<size_t>(u)].empty() ||
+          !instance_classes_[static_cast<size_t>(u)].empty() ||
+          !tags_[static_cast<size_t>(u)].empty()) {
+        worklist.push_back(u);
+        queued[static_cast<size_t>(u)] = true;
+      }
+    }
+    while (!worklist.empty()) {
+      int u = worklist.front();
+      worklist.pop_front();
+      queued[static_cast<size_t>(u)] = false;
+      for (int v : edges_[static_cast<size_t>(u)]) {
+        bool v_changed = false;
+        for (int f : funcs_[static_cast<size_t>(u)]) {
+          v_changed |= funcs_[static_cast<size_t>(v)].insert(f).second;
+        }
+        for (int c : instance_classes_[static_cast<size_t>(u)]) {
+          v_changed |= instance_classes_[static_cast<size_t>(v)].insert(c).second;
+        }
+        if (IsTagEdge(u, v)) {
+          for (int t : tags_[static_cast<size_t>(u)]) {
+            v_changed |= tags_[static_cast<size_t>(v)].insert(t).second;
+          }
+        }
+        if (v_changed && !queued[static_cast<size_t>(v)]) {
+          queued[static_cast<size_t>(v)] = true;
+          worklist.push_back(v);
+        }
+      }
+    }
+  }
+
+  bool AddTag(int node, const std::string& tag) {
+    if (node < 0) {
+      return false;
+    }
+    return tags_[static_cast<size_t>(node)].insert(InternTag(tag)).second;
+  }
+
+  bool AddSourceSeed(int graph_node, int report_ast, const std::string& description) {
+    if (graph_node < 0) {
+      return false;
+    }
+    for (const SourceSeed& seed : sources_) {
+      if (seed.graph_node == graph_node) {
+        return false;
+      }
+    }
+    sources_.push_back({graph_node, report_ast, description});
+    return true;
+  }
+
+  bool AddSink(int call_ast, std::vector<int> data_args, const std::string& description) {
+    for (const SinkSite& sink : sinks_) {
+      if (sink.call_ast == call_ast) {
+        return false;
+      }
+    }
+    sinks_.push_back({call_ast, std::move(data_args), description});
+    return true;
+  }
+
+  // Argument nodes of a call/new (children[1..]).
+  std::vector<int> ArgNodes(const NodePtr& call) const {
+    std::vector<int> out;
+    for (size_t i = 1; i < call->children.size(); ++i) {
+      out.push_back(call->children[i]->id);
+    }
+    return out;
+  }
+
+  // The `.on("event", ...)` event string, or "".
+  std::string EventName(const NodePtr& call) const {
+    if (call->children.size() > 1 && call->children[1]->kind == NodeKind::kStringLit) {
+      return call->children[1]->str;
+    }
+    return "";
+  }
+
+  // Resolves the index of the callback argument (-1 rule = last arg).
+  int CallbackArgIndex(const NodePtr& call, int rule_index) const {
+    int arg_count = static_cast<int>(call->children.size()) - 1;
+    if (arg_count == 0) {
+      return -1;
+    }
+    if (rule_index < 0) {
+      return arg_count - 1;
+    }
+    return rule_index < arg_count ? rule_index : -1;
+  }
+
+  // One scan over all call sites; applies catalog rules and resolves calls.
+  // Returns true when anything (edge/tag/seed/sink) was added.
+  bool ScanCallSites() {
+    bool changed = false;
+    for (int call_ast : call_sites_) {
+      const NodePtr& call = Ast(call_ast);
+      const NodePtr& callee = call->children[0];
+
+      // require("x") — the type seed.
+      if (callee->kind == NodeKind::kIdentifier && callee->str == "require" &&
+          UseBinding(callee) < 0 && call->children.size() > 1 &&
+          call->children[1]->kind == NodeKind::kStringLit) {
+        changed |= AddTag(call_ast, "module:" + call->children[1]->str);
+        continue;
+      }
+
+      std::string property;
+      int receiver_node = -1;
+      if (callee->kind == NodeKind::kMemberExpr) {
+        property = callee->str;
+        receiver_node = callee->children[0]->id;
+      } else if (callee->kind == NodeKind::kIndexExpr) {
+        // Dynamic property call foo[x](y): over-approximation handles the
+        // function set; catalog rules need a static name and don't apply.
+        receiver_node = callee->children[0]->id;
+      }
+
+      // RED.nodes.createNode(this, config): tags `this` of the enclosing
+      // function as a Node-RED node.
+      if (property == "createNode" && callee->children[0]->kind == NodeKind::kMemberExpr &&
+          callee->children[0]->str == "nodes" && call->children.size() > 1) {
+        int binding = UseBinding(call->children[1]);
+        if (binding < 0) {
+          binding = call->children[1]->id;
+        }
+        changed |= AddTag(binding, "rednode");
+      }
+      // RED.nodes.registerType("name", Ctor): the constructor's `this` is a
+      // Node-RED node.
+      if (property == "registerType" && callee->children[0]->kind == NodeKind::kMemberExpr &&
+          callee->children[0]->str == "nodes" && call->children.size() > 2) {
+        for (int fi : funcs_[static_cast<size_t>(call->children[2]->id)]) {
+          int this_binding = resolved_.functions[static_cast<size_t>(fi)].this_binding;
+          changed |= AddTag(this_binding, "rednode");
+        }
+      }
+
+      // Collect receiver tags (for member calls) or callee tags (direct).
+      std::vector<std::string> receiver_tags;
+      if (receiver_node >= 0) {
+        for (int tag_id : tags_[static_cast<size_t>(receiver_node)]) {
+          receiver_tags.push_back(tag_names_[static_cast<size_t>(tag_id)]);
+        }
+      } else {
+        // Direct call: rules with empty property match callee tags.
+        for (int tag_id : tags_[static_cast<size_t>(callee->id)]) {
+          const CallTypeRule* rule =
+              catalog_.FindCallType(tag_names_[static_cast<size_t>(tag_id)], "");
+          if (rule != nullptr) {
+            changed |= AddTag(call_ast, rule->result_tag);
+          }
+        }
+      }
+
+      bool catalog_handled = false;
+      std::string event = property == "on" || property == "once" ? EventName(call) : "";
+      for (const std::string& tag : receiver_tags) {
+        if (const CallTypeRule* rule = catalog_.FindCallType(tag, property)) {
+          changed |= AddTag(call_ast, rule->result_tag);
+          catalog_handled = true;
+        }
+        if (const CallbackSourceRule* rule =
+                catalog_.FindCallbackSource(tag, property, event)) {
+          catalog_handled = true;
+          int cb_index = CallbackArgIndex(call, rule->callback_arg);
+          if (cb_index >= 0) {
+            int cb_node = call->children[static_cast<size_t>(cb_index) + 1]->id;
+            for (int fi : funcs_[static_cast<size_t>(cb_node)]) {
+              const FunctionScopeInfo& fn = resolved_.functions[static_cast<size_t>(fi)];
+              if (rule->taint_param >= 0 &&
+                  rule->taint_param < static_cast<int>(fn.param_bindings.size())) {
+                changed |= AddSourceSeed(
+                    fn.param_bindings[static_cast<size_t>(rule->taint_param)], call_ast,
+                    rule->description);
+              }
+              if (rule->tag_param >= 0 &&
+                  rule->tag_param < static_cast<int>(fn.param_bindings.size())) {
+                changed |= AddTag(fn.param_bindings[static_cast<size_t>(rule->tag_param)],
+                                  rule->param_tag);
+              }
+            }
+          }
+        }
+        if (const ReturnSourceRule* rule = catalog_.FindReturnSource(tag, property)) {
+          changed |= AddSourceSeed(call_ast, call_ast, rule->description);
+          catalog_handled = true;
+        }
+        if (const SinkRule* rule = catalog_.FindSink(tag, property)) {
+          std::vector<int> data_args;
+          if (rule->data_args.size() == 1 && rule->data_args[0] == -1) {
+            data_args = ArgNodes(call);
+          } else {
+            for (int index : rule->data_args) {
+              if (index >= 0 && index + 1 < static_cast<int>(call->children.size())) {
+                data_args.push_back(call->children[static_cast<size_t>(index) + 1]->id);
+              }
+            }
+          }
+          changed |= AddSink(call_ast, std::move(data_args), rule->description);
+          catalog_handled = true;
+        }
+      }
+
+      // Promise pass-through: x.then(cb) forwards x's taint into cb's first
+      // parameter (await is handled by a generic edge).
+      if (property == "then" || property == "catch") {
+        int cb_index = CallbackArgIndex(call, 0);
+        if (cb_index >= 0) {
+          int cb_node = call->children[static_cast<size_t>(cb_index) + 1]->id;
+          for (int fi : funcs_[static_cast<size_t>(cb_node)]) {
+            const FunctionScopeInfo& fn = resolved_.functions[static_cast<size_t>(fi)];
+            if (!fn.param_bindings.empty()) {
+              changed |= AddEdge(receiver_node, fn.param_bindings[0]);
+            }
+            // The .then() result carries the handler's return value.
+            changed |= AddEdge(fn.return_binding, call_ast);
+          }
+        }
+        catalog_handled = true;
+      }
+
+      // Resolve user-defined callees: identifiers, properties, dynamic
+      // bracket calls — all through the propagated function-value sets.
+      bool resolved_user_fn = false;
+      const std::set<int>& callee_funcs = funcs_[static_cast<size_t>(callee->id)];
+      for (int fi : callee_funcs) {
+        resolved_user_fn = true;
+        changed |= ConnectCall(call, resolved_.functions[static_cast<size_t>(fi)],
+                               receiver_node);
+      }
+
+      // Class instantiation and method resolution. Turnstile resolves methods
+      // on a class's OWN method table only — inherited (prototype-chain)
+      // methods are its documented blind spot.
+      if (call->kind == NodeKind::kNewExpr) {
+        int callee_binding = UseBinding(callee);
+        auto cls = class_of_binding_.find(callee_binding);
+        if (cls != class_of_binding_.end()) {
+          changed |= instance_classes_[static_cast<size_t>(call_ast)]
+                         .insert(cls->second)
+                         .second;
+          const ClassScopeInfo& info = resolved_.classes[static_cast<size_t>(cls->second)];
+          auto ctor = info.methods.find("constructor");
+          if (ctor != info.methods.end()) {
+            changed |= ConnectCall(call, resolved_.functions[static_cast<size_t>(ctor->second)],
+                                   call_ast);
+          }
+          resolved_user_fn = true;
+        }
+      }
+      if (receiver_node >= 0 && !property.empty()) {
+        for (int ci : instance_classes_[static_cast<size_t>(receiver_node)]) {
+          const ClassScopeInfo& info = resolved_.classes[static_cast<size_t>(ci)];
+          auto method = info.methods.find(property);  // own methods only
+          if (method != info.methods.end()) {
+            changed |= ConnectCall(call,
+                                   resolved_.functions[static_cast<size_t>(method->second)],
+                                   receiver_node);
+            resolved_user_fn = true;
+          }
+        }
+      }
+
+      // Unresolved library call: conservatively let data flow through it
+      // (e.g. JSON.stringify(tainted) is tainted). Event registrations are
+      // control-flow, not dataflow, so they are excluded.
+      if (!resolved_user_fn && !catalog_handled && property != "on" && property != "once" &&
+          property != "subscribe" && property != "listen" && property != "push") {
+        for (int arg : ArgNodes(call)) {
+          changed |= AddEdge(arg, call_ast);
+        }
+        if (receiver_node >= 0) {
+          changed |= AddEdge(receiver_node, call_ast);
+        }
+      }
+      // `.push(x)` mutates the receiver container.
+      if (property == "push") {
+        int root = RootBindingOfTarget(callee->children[0]);
+        for (int arg : ArgNodes(call)) {
+          changed |= AddEdge(arg, root >= 0 ? root : receiver_node);
+        }
+      }
+    }
+    return changed;
+  }
+
+  // Adds arg→param, return→call, receiver→this edges for a resolved call.
+  bool ConnectCall(const NodePtr& call, const FunctionScopeInfo& fn, int receiver_node) {
+    bool changed = false;
+    int arg_count = static_cast<int>(call->children.size()) - 1;
+    for (int i = 0; i < arg_count; ++i) {
+      const NodePtr& arg = call->children[static_cast<size_t>(i) + 1];
+      if (arg->kind == NodeKind::kSpreadElement) {
+        // Spread: conservatively feed every parameter.
+        for (int param : fn.param_bindings) {
+          changed |= AddEdge(arg->children[0]->id, param);
+        }
+        continue;
+      }
+      if (i < static_cast<int>(fn.param_bindings.size())) {
+        changed |= AddEdge(arg->id, fn.param_bindings[static_cast<size_t>(i)]);
+      } else if (!fn.param_bindings.empty() &&
+                 fn.node->children[0]->children.back()->kind == NodeKind::kRestParam) {
+        changed |= AddEdge(arg->id, fn.param_bindings.back());
+      }
+    }
+    changed |= AddEdge(fn.return_binding, call->id);
+    if (receiver_node >= 0 && fn.this_binding >= 0) {
+      changed |= AddEdge(receiver_node, fn.this_binding);
+    }
+    return changed;
+  }
+
+  // --- taint propagation -----------------------------------------------------
+
+  void RunTaint(AnalysisResult* result) {
+    const int n = resolved_.total_nodes();
+    std::set<std::pair<int, int>> reported;  // (source report ast, sink ast)
+    for (size_t si = 0; si < sources_.size(); ++si) {
+      const SourceSeed& seed = sources_[si];
+      // Forward BFS with predecessors.
+      std::vector<int> pred(static_cast<size_t>(n), -2);
+      std::deque<int> frontier;
+      pred[static_cast<size_t>(seed.graph_node)] = -1;
+      frontier.push_back(seed.graph_node);
+      while (!frontier.empty()) {
+        int u = frontier.front();
+        frontier.pop_front();
+        for (int v : edges_[static_cast<size_t>(u)]) {
+          if (pred[static_cast<size_t>(v)] == -2) {
+            pred[static_cast<size_t>(v)] = u;
+            frontier.push_back(v);
+          }
+        }
+      }
+      bool reaches_sink = false;
+      std::vector<int> reached_sink_args;
+      for (const SinkSite& sink : sinks_) {
+        for (int arg : sink.data_arg_nodes) {
+          if (arg >= 0 && pred[static_cast<size_t>(arg)] != -2) {
+            reaches_sink = true;
+            reached_sink_args.push_back(arg);
+            if (reported.insert({seed.report_ast, sink.call_ast}).second) {
+              DataflowPath path;
+              path.source_ast = seed.report_ast;
+              path.sink_ast = sink.call_ast;
+              path.source_description = seed.description;
+              path.sink_description = sink.description;
+              if (seed.report_ast >= 0 && seed.report_ast < resolved_.ast_count) {
+                path.source_loc = Ast(seed.report_ast)->loc;
+              }
+              path.sink_loc = Ast(sink.call_ast)->loc;
+              // Witness chain: predecessor walk from the sink argument.
+              std::vector<int> chain;
+              for (int node = arg; node >= 0; node = pred[static_cast<size_t>(node)]) {
+                if (node < resolved_.ast_count) {
+                  chain.push_back(node);
+                }
+              }
+              path.via_ast_nodes.assign(chain.rbegin(), chain.rend());
+              path.via_ast_nodes.push_back(sink.call_ast);
+              result->paths.push_back(std::move(path));
+            }
+          }
+        }
+      }
+      if (!reaches_sink) {
+        continue;
+      }
+      // Sensitive node set: forward-reachable ∩ backward-reachable-from-sinks.
+      std::vector<bool> back(static_cast<size_t>(n), false);
+      std::deque<int> back_frontier;
+      for (int arg : reached_sink_args) {
+        if (!back[static_cast<size_t>(arg)]) {
+          back[static_cast<size_t>(arg)] = true;
+          back_frontier.push_back(arg);
+        }
+      }
+      while (!back_frontier.empty()) {
+        int u = back_frontier.front();
+        back_frontier.pop_front();
+        for (int v : redges_[static_cast<size_t>(u)]) {
+          if (!back[static_cast<size_t>(v)] && pred[static_cast<size_t>(v)] != -2) {
+            back[static_cast<size_t>(v)] = true;
+            back_frontier.push_back(v);
+          }
+        }
+      }
+      for (int node = 0; node < resolved_.ast_count; ++node) {
+        if (pred[static_cast<size_t>(node)] != -2 && back[static_cast<size_t>(node)]) {
+          result->sensitive_ast_nodes.insert(node);
+        }
+      }
+      if (seed.report_ast >= 0) {
+        result->sensitive_ast_nodes.insert(seed.report_ast);
+      }
+    }
+    for (const DataflowPath& path : result->paths) {
+      result->sensitive_ast_nodes.insert(path.sink_ast);
+    }
+  }
+
+  ResolvedProgram resolved_;
+  const Catalog& catalog_;
+  std::vector<std::set<int>> edges_;
+  std::vector<std::set<int>> redges_;
+  int edge_count_ = 0;
+  std::vector<std::set<int>> funcs_;
+  std::vector<std::set<int>> instance_classes_;
+  std::vector<std::set<int>> tags_;  // interned tag ids
+  std::unordered_map<std::string, int> tag_ids_;
+  std::vector<std::string> tag_names_;
+  std::map<int, int> class_of_binding_;
+  std::unordered_set<uint64_t> no_tag_edges_;
+  std::vector<int> call_sites_;
+  std::vector<SourceSeed> sources_;
+  std::vector<SinkSite> sinks_;
+};
+
+}  // namespace
+
+Result<AnalysisResult> AnalyzeProgram(const Program& program, const Catalog& catalog) {
+  return Analyzer(program, catalog).Run();
+}
+
+Result<AnalysisResult> AnalyzeProgram(const Program& program) {
+  return AnalyzeProgram(program, DefaultCatalog());
+}
+
+}  // namespace turnstile

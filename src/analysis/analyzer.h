@@ -1,0 +1,69 @@
+// The Turnstile Dataflow Analyzer (§4.2): a specialized static taint analysis
+// that identifies potentially privacy-sensitive code paths between I/O
+// sources and sinks.
+//
+// Architecture (matching the paper's description):
+//   - works directly on the AST (no intermediate representation),
+//   - resolves identifiers with full scope information,
+//   - runs a combined points-to / type-inference fixpoint so that function
+//     values reaching call sites are resolved even through variables, object
+//     properties and dynamic (bracket) calls — the "sound over-approximation"
+//     and "type-sensitive interprocedural analysis" of §4.5/§6.1,
+//   - seeds taint from the I/O catalog (all POSIX-style interfaces plus the
+//     Express-like and Node-RED-like framework APIs),
+//   - reports explicit-flow paths only (no implicit flows, §4.6).
+//
+// Known blind spots, reproduced deliberately because the paper reports them:
+//   - method calls resolved through class inheritance (the prototype chain)
+//     are NOT followed — §6.1's two CodeQL-favoring apps,
+//   - framework-injected globals (e.g. `RED.httpNode`) are not modeled —
+//     §6.1's 26 apps missed by both tools.
+#ifndef TURNSTILE_SRC_ANALYSIS_ANALYZER_H_
+#define TURNSTILE_SRC_ANALYSIS_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/catalog.h"
+#include "src/analysis/scope.h"
+#include "src/lang/ast.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+// One detected privacy-sensitive dataflow.
+struct DataflowPath {
+  int source_ast = -1;              // AST id of the source expression
+  int sink_ast = -1;                // AST id of the sink call
+  std::string source_description;
+  std::string sink_description;
+  SourceLocation source_loc;
+  SourceLocation sink_loc;
+  std::vector<int> via_ast_nodes;   // one witness chain, source-to-sink order
+};
+
+struct AnalysisStats {
+  int graph_nodes = 0;
+  int graph_edges = 0;
+  int fixpoint_rounds = 0;
+  int sources_found = 0;
+  int sinks_found = 0;
+};
+
+struct AnalysisResult {
+  std::vector<DataflowPath> paths;     // distinct (source, sink) pairs
+  // Every AST node tainted by a source that reaches at least one sink, plus
+  // the sink calls themselves — the node set the selective instrumentor
+  // manages (§4.3).
+  std::set<int> sensitive_ast_nodes;
+  AnalysisStats stats;
+};
+
+// Runs the Turnstile analysis with the default catalog.
+Result<AnalysisResult> AnalyzeProgram(const Program& program);
+Result<AnalysisResult> AnalyzeProgram(const Program& program, const Catalog& catalog);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_ANALYSIS_ANALYZER_H_

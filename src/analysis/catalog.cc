@@ -1,0 +1,135 @@
+#include "src/analysis/catalog.h"
+
+namespace turnstile {
+
+const CallTypeRule* Catalog::FindCallType(const std::string& receiver_tag,
+                                          const std::string& property) const {
+  for (const CallTypeRule& rule : call_types) {
+    if (rule.receiver_tag == receiver_tag && rule.property == property) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+const CallbackSourceRule* Catalog::FindCallbackSource(const std::string& receiver_tag,
+                                                      const std::string& property,
+                                                      const std::string& event) const {
+  for (const CallbackSourceRule& rule : callback_sources) {
+    if (rule.receiver_tag == receiver_tag && rule.property == property &&
+        (rule.event.empty() || rule.event == event)) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+const ReturnSourceRule* Catalog::FindReturnSource(const std::string& receiver_tag,
+                                                  const std::string& property) const {
+  for (const ReturnSourceRule& rule : return_sources) {
+    if (rule.receiver_tag == receiver_tag && rule.property == property) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+const SinkRule* Catalog::FindSink(const std::string& receiver_tag,
+                                  const std::string& property) const {
+  for (const SinkRule& rule : sinks) {
+    if (rule.receiver_tag == receiver_tag && rule.property == property) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+const Catalog& DefaultCatalog() {
+  static const Catalog* kCatalog = [] {
+    auto* c = new Catalog();
+
+    // ---- object-producing calls (type propagation rules) -------------------
+    c->call_types = {
+        {"module:net", "connect", "net.socket"},
+        {"module:net", "createServer", "net.server"},
+        {"module:fs", "createReadStream", "fs.readStream"},
+        {"module:fs", "createWriteStream", "fs.writeStream"},
+        {"module:http", "request", "http.request"},
+        {"module:http", "get", "http.request"},
+        {"module:http", "createServer", "http.server"},
+        {"module:https", "request", "http.request"},
+        {"module:https", "get", "http.request"},
+        {"module:mqtt", "connect", "mqtt.client"},
+        {"module:nodemailer", "createTransport", "smtp.transport"},
+        {"module:sqlite3", "Database", "sqlite.db"},  // `new sqlite.Database(...)`
+        {"module:express", "", "express.app"},        // calling the module itself
+    };
+
+    // ---- sources ------------------------------------------------------------
+    c->callback_sources = {
+        // net: socket.on("data", chunk => ...)
+        {"net.socket", "on", "data", -1, 0, -1, "", "net socket data"},
+        {"net.socket", "on", "connect", -1, -1, -1, "", ""},  // no taint
+        // net server: connection handler receives a socket (registered either
+        // via createServer(cb) or server.on("connection", cb)).
+        {"net.server", "on", "connection", -1, -1, 0, "net.socket", "incoming socket"},
+        {"module:net", "createServer", "", -1, -1, 0, "net.socket", "incoming socket"},
+        // fs: readFile(path, (err, data)), readStream.on("data", cb)
+        {"module:fs", "readFile", "", -1, 1, -1, "", "fs.readFile data"},
+        {"fs.readStream", "on", "data", -1, 0, -1, "", "fs read stream chunk"},
+        // http: get/request callbacks receive a response emitter.
+        {"module:http", "get", "", -1, -1, 0, "http.response", "http response"},
+        {"module:http", "request", "", -1, -1, 0, "http.response", "http response"},
+        {"module:https", "get", "", -1, -1, 0, "http.response", "http response"},
+        {"http.response", "on", "data", -1, 0, -1, "", "http body chunk"},
+        // http server: request handler receives (req, res).
+        {"http.server", "on", "request", -1, 0, 1, "http.serverResponse", "http request"},
+        {"module:http", "createServer", "", -1, 0, 1, "http.serverResponse", "http request"},
+        // mqtt: client.on("message", (topic, payload) => ...)
+        {"mqtt.client", "on", "message", -1, 1, -1, "", "mqtt message"},
+        // sqlite reads: db.get(sql, (err, row))
+        {"sqlite.db", "get", "", -1, 1, -1, "", "sqlite row"},
+        {"sqlite.db", "all", "", -1, 1, -1, "", "sqlite rows"},
+        // Express-like: app.get(path, (req, res)), app.post, app.use.
+        {"express.app", "get", "", -1, 0, 1, "express.res", "express request"},
+        {"express.app", "post", "", -1, 0, 1, "express.res", "express request"},
+        {"express.app", "put", "", -1, 0, 1, "express.res", "express request"},
+        {"express.app", "use", "", -1, 0, 1, "express.res", "express middleware"},
+        // Node-RED: node.on("input", msg => ...) — the canonical IoT source.
+        {"rednode", "on", "input", -1, 0, -1, "", "Node-RED input message"},
+        // Deepstack SaaS: results arrive via promise .then (handled generically
+        // by the analyzers); the initial recognition result is a source.
+        {"module:deepstack", "faceRecognition", "", -1, -1, -1, "", ""},
+    };
+
+    c->return_sources = {
+        {"module:fs", "readFileSync", "fs.readFileSync content"},
+        {"module:deepstack", "faceRecognition", "face recognition result"},
+    };
+
+    // ---- sinks ---------------------------------------------------------------
+    c->sinks = {
+        {"net.socket", "write", {0}, "socket write"},
+        {"net.socket", "end", {0}, "socket end"},
+        {"module:fs", "writeFile", {1}, "fs.writeFile"},
+        {"module:fs", "writeFileSync", {1}, "fs.writeFileSync"},
+        {"module:fs", "appendFile", {1}, "fs.appendFile"},
+        {"fs.writeStream", "write", {0}, "write stream"},
+        {"http.request", "write", {0}, "http request body"},
+        {"http.request", "end", {0}, "http request end"},
+        {"http.serverResponse", "end", {0}, "http response body"},
+        {"http.serverResponse", "write", {0}, "http response body"},
+        {"mqtt.client", "publish", {0, 1}, "mqtt publish"},
+        {"smtp.transport", "sendMail", {0}, "email send"},
+        {"sqlite.db", "run", {0, 1}, "sqlite write"},
+        {"express.res", "send", {0}, "express response"},
+        {"express.res", "json", {0}, "express response"},
+        {"express.res", "end", {0}, "express response"},
+        {"rednode", "send", {0}, "Node-RED send"},
+    };
+    return c;
+  }();
+  return *kCatalog;
+}
+
+}  // namespace turnstile

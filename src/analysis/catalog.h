@@ -1,0 +1,87 @@
+// Taint source/sink catalog: the "domain knowledge of commonly used
+// JavaScript libraries" the paper's Dataflow Analyzer encodes (§4.2).
+//
+// The catalog models all POSIX-style I/O interfaces as seen through the
+// simulated modules (fs/net/http/mqtt/nodemailer/sqlite3/deepstack), plus the
+// Express-like and Node-RED-like framework interfaces the paper's CodeQL
+// query also covered (Fig. 9: IOSource/ExpressSource/NodeRedSource).
+//
+// Both analyzers share this catalog; they differ in propagation power, not in
+// the list of recognized interfaces — mirroring the evaluation setup, where
+// the custom CodeQL query used the same selection criteria as Turnstile.
+#ifndef TURNSTILE_SRC_ANALYSIS_CATALOG_H_
+#define TURNSTILE_SRC_ANALYSIS_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace turnstile {
+
+// Result-type rule: calling `property` on a receiver with `receiver_tag`
+// yields a value with `result_tag`. Example: ("module:net", "connect") ->
+// "net.socket".
+struct CallTypeRule {
+  std::string receiver_tag;
+  std::string property;
+  std::string result_tag;
+};
+
+// Source rule bound to a callback parameter. `event` restricts `.on(event,
+// cb)`-style registrations ("" = not event-based). `callback_arg` is the
+// index of the callback argument (-1 = last argument). `param_index` is the
+// tainted parameter of that callback. `param_tag`, when set, also assigns a
+// type tag to a (possibly different) parameter — e.g. http.createServer's
+// response object.
+struct CallbackSourceRule {
+  std::string receiver_tag;
+  std::string property;
+  std::string event;       // "" when the call is not `.on(event, cb)`
+  int callback_arg = -1;   // -1 = last
+  int taint_param = 0;     // parameter index that becomes a taint source
+  int tag_param = -1;      // optional parameter receiving `param_tag`
+  std::string param_tag;
+  const char* description = "";
+};
+
+// Source rule for direct return values (e.g. fs.readFileSync).
+struct ReturnSourceRule {
+  std::string receiver_tag;
+  std::string property;
+  const char* description = "";
+};
+
+// Sink rule: data arguments of `receiver.property(...)` leave the
+// application. `data_args` lists tainted-checked argument indices
+// (-1 = all arguments).
+struct SinkRule {
+  std::string receiver_tag;
+  std::string property;
+  std::vector<int> data_args;
+  const char* description = "";
+};
+
+// The complete catalog.
+struct Catalog {
+  std::vector<CallTypeRule> call_types;
+  std::vector<CallbackSourceRule> callback_sources;
+  std::vector<ReturnSourceRule> return_sources;
+  std::vector<SinkRule> sinks;
+
+  const CallTypeRule* FindCallType(const std::string& receiver_tag,
+                                   const std::string& property) const;
+  const CallbackSourceRule* FindCallbackSource(const std::string& receiver_tag,
+                                               const std::string& property,
+                                               const std::string& event) const;
+  const ReturnSourceRule* FindReturnSource(const std::string& receiver_tag,
+                                           const std::string& property) const;
+  const SinkRule* FindSink(const std::string& receiver_tag, const std::string& property) const;
+};
+
+// The default catalog covering core I/O, Express-like, and Node-RED-like
+// interfaces.
+const Catalog& DefaultCatalog();
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_ANALYSIS_CATALOG_H_

@@ -1,0 +1,69 @@
+// Scope/symbol resolution for MiniScript programs: binds every identifier use
+// to its declaration, enumerates function-like nodes with their parameter
+// bindings, `this` pseudo-bindings and return collectors, and records class
+// declarations for method resolution.
+//
+// The resolved structures define the node space of the value-flow graph used
+// by the Turnstile Dataflow Analyzer: graph node ids are
+//   [0, ast_count)                     — AST nodes (by Node::id)
+//   [ast_count, ast_count + bindings)  — variable bindings, `this` bindings,
+//                                        and per-function return collectors
+#ifndef TURNSTILE_SRC_ANALYSIS_SCOPE_H_
+#define TURNSTILE_SRC_ANALYSIS_SCOPE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+struct BindingInfo {
+  std::string name;   // variable name, or "<this>", "<return>"
+  int decl_ast = -1;  // AST node that introduced it (-1 for synthesized)
+};
+
+struct FunctionScopeInfo {
+  int ast_id = -1;                  // the function-like node
+  NodePtr node;
+  std::vector<int> param_bindings;  // graph node ids, in parameter order
+  int this_binding = -1;            // graph node id (-1 for arrows)
+  int return_binding = -1;          // graph node id collecting return values
+  int enclosing_function = -1;      // index into functions (-1 = top level)
+};
+
+struct ClassScopeInfo {
+  std::string name;
+  int ast_id = -1;
+  std::string super_name;                          // "" when no extends
+  std::unordered_map<std::string, int> methods;    // method name -> function index
+};
+
+struct ResolvedProgram {
+  const Program* program = nullptr;
+  int ast_count = 0;
+  std::vector<NodePtr> ast_by_id;                  // indexed by Node::id
+  std::vector<BindingInfo> bindings;
+  // Identifier/ThisExpr AST id -> binding graph node id (absent = unresolved,
+  // e.g. builtin globals like `console` or framework-injected names).
+  std::unordered_map<int, int> use_to_binding;
+  std::vector<FunctionScopeInfo> functions;
+  std::unordered_map<int, int> function_by_ast;    // fn ast id -> function index
+  std::vector<ClassScopeInfo> classes;
+  std::unordered_map<std::string, int> class_by_name;
+  // Binding graph node id of each declared function name / class name.
+  std::unordered_map<int, int> decl_binding_by_ast;  // decl ast id -> binding id
+
+  int total_nodes() const { return ast_count + static_cast<int>(bindings.size()); }
+  int BindingNode(int binding_index) const { return ast_count + binding_index; }
+};
+
+// Resolves scopes over a parsed program. Never fails on valid parses; unbound
+// identifiers simply have no entry in use_to_binding.
+ResolvedProgram ResolveScopes(const Program& program);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_ANALYSIS_SCOPE_H_

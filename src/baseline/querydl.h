@@ -1,0 +1,54 @@
+// QueryDL — the reproduction's stand-in for CodeQL (§6.1).
+//
+// CodeQL is a general-purpose, polyglot analysis engine: it compiles the
+// program into a relational intermediate representation and evaluates Datalog
+// queries by materializing flow relations. QueryDL mirrors that architecture:
+//
+//   1. lowers every function to a three-address IR (temps + variable slots),
+//   2. builds a global value-flow graph over IR slots,
+//   3. materializes the full transitive closure of the flow relation
+//      (bitset semi-naive evaluation — the honest source of its slowness),
+//   4. answers source→sink queries from the closure.
+//
+// Its *catalog* is the same as Turnstile's (the paper's custom CodeQL query
+// defined equivalent IOSource/ExpressSource/NodeRedSource classes); what
+// differs is propagation power:
+//   - calls are resolved only when the callee is syntactically direct
+//     (function declarations, single-assignment function consts, object
+//     literal methods, class methods),
+//   - type tags do not propagate through function parameters or returns,
+//   - no promise (.then) step, no dynamic (bracket) calls,
+//   + method lookup follows the full class inheritance chain — the
+//     prototype-chain strength the paper reports CodeQL having over
+//     Turnstile.
+#ifndef TURNSTILE_SRC_BASELINE_QUERYDL_H_
+#define TURNSTILE_SRC_BASELINE_QUERYDL_H_
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/catalog.h"
+#include "src/lang/ast.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+struct QueryDlStats {
+  int ir_instructions = 0;
+  int flow_slots = 0;
+  int flow_edges = 0;
+  uint64_t closure_word_ops = 0;  // bitset word operations spent on closure
+  int sources_found = 0;
+  int sinks_found = 0;
+};
+
+struct QueryDlResult {
+  std::vector<DataflowPath> paths;
+  QueryDlStats stats;
+};
+
+// Runs the QueryDL taint analysis with the default catalog.
+Result<QueryDlResult> QueryDlAnalyze(const Program& program);
+Result<QueryDlResult> QueryDlAnalyze(const Program& program, const Catalog& catalog);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_BASELINE_QUERYDL_H_

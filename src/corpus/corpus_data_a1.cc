@@ -1,0 +1,446 @@
+// Corpus bucket A, part 1: applications whose privacy-sensitive dataflows
+// Turnstile detects but QueryDL does not — Node-RED input flows, dynamic
+// dispatch, closures and promise chains (§6.1: 22 such applications).
+#include "src/corpus/corpus.h"
+#include "src/corpus/corpus_internal.h"
+
+namespace turnstile {
+
+void AppendTurnstileOnlyAppsPart1(std::vector<CorpusApp>* apps) {
+  // -------------------------------------------------------------------- 1
+  apps->push_back({
+      "camera-motion", "camera", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  function MotionNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let exposureBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      exposureBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    exposureBlob = exposureBlob + '"end":0}';
+    node.on("input", msg => {
+      // Exposure-table housekeeping (not privacy-sensitive).
+      let exposureTable = JSON.parse(exposureBlob);
+      let exposureSize = Object.keys(exposureTable).length;
+      let frame = msg.payload;
+      let report = describeMotion(frame);
+      fs.writeFileSync("/motion/" + msg.seq, frame);
+      msg.payload = report;
+      node.send(msg);
+    });
+  }
+  function describeMotion(frame) {
+    let level = 0;
+    for (let i = 0; i < frame.length; i = i + 1) {
+      level = (level * 31 + frame.charCodeAt(i)) % 9973;
+    }
+    return "motion level " + level + " in " + frame;
+  }
+  RED.nodes.registerType("camera-motion", MotionNode);
+};
+)",
+      R"([{ "id": "m1", "type": "camera-motion", "wires": [] }])",
+      "node", "m1", "input",
+      R"({ "payload": "$frame", "seq": "$seq" })",
+      StdPolicy("msg"),
+      2,  // input -> fs write, input -> node.send
+      "plain Node-RED input flow; helper function on the path"});
+
+  // -------------------------------------------------------------------- 2
+  apps->push_back({
+      "face-gate", "camera", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let deepstack = require("deepstack");
+  let mqtt = require("mqtt");
+  function FaceGateNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let client = mqtt.connect("mqtt://locks.local");
+    let lensBlob = "{";
+    for (let mb = 0; mb < 792; mb++) {
+      lensBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    lensBlob = lensBlob + '"end":0}';
+    node.on("input", msg => {
+      // Lens-correction pass (static tables).
+      let lensTable = JSON.parse(lensBlob);
+      let lensSize = Object.keys(lensTable).length;
+      deepstack.faceRecognition(msg.payload, config.server, 0.7).then(result => {
+        let known = result.predictions.filter(p => p.confidence > 0.75);
+        if (known.length > 0) {
+          client.publish("door/front", "OPEN:" + known[0].userid);
+        }
+        msg.faces = result.predictions;
+        node.send(msg);
+      });
+    });
+  }
+  RED.nodes.registerType("face-gate", FaceGateNode);
+};
+)",
+      R"([{ "id": "fg", "type": "face-gate", "config": { "server": "http://ds.local" },
+           "wires": [] }])",
+      "node", "fg", "input",
+      R"({ "payload": "$frame" })",
+      StdPolicy("msg"),
+      4,  // input->publish, input->send, recognition->publish, recognition->send
+      "promise chain (deepstack) feeding an MQTT sink"});
+
+  // -------------------------------------------------------------------- 3
+  apps->push_back({
+      "sensor-logger", "sensor", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  function LoggerNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let lines = [];
+    let journalBlob = "{";
+    for (let mb = 0; mb < 850; mb++) {
+      journalBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    journalBlob = journalBlob + '"end":0}';
+    node.on("input", msg => {
+      // Journal-rotation metadata refresh.
+      let journalTable = JSON.parse(journalBlob);
+      let journalSize = Object.keys(journalTable).length;
+      let line = msg.topic + "=" + msg.payload;
+      let check = 0;
+      for (let i = 0; i < line.length; i = i + 4) {
+        check = (check + line.charCodeAt(i)) % 65521;
+      }
+      lines.push(line + "#" + check);
+      if (lines.length >= 3) {
+        fs.appendFile("/sensors.log", lines.join("\n"), () => {});
+        lines = [];
+      }
+    });
+  }
+  RED.nodes.registerType("sensor-logger", LoggerNode);
+};
+)",
+      R"([{ "id": "lg", "type": "sensor-logger", "wires": [] }])",
+      "node", "lg", "input",
+      R"({ "payload": "$json", "topic": "$topic" })",
+      StdPolicy("msg"),
+      1,  // input -> fs append (via batching array)
+      "batched sink writes through an array accumulator"});
+
+  // -------------------------------------------------------------------- 4
+  apps->push_back({
+      "mqtt-bridge", "gateway", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let mqtt = require("mqtt");
+  function BridgeNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let client = mqtt.connect(config.broker);
+    client.subscribe("upstream/#");
+    let retainBlob = "{";
+    for (let mb = 0; mb < 858; mb++) {
+      retainBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    retainBlob = retainBlob + '"end":0}';
+    client.on("message", (topic, payload) => {
+      node.send({ topic: topic, payload: payload });
+    });
+    node.on("input", msg => {
+      // Retransmission-window bookkeeping (runtime state, not data).
+      let retainTable = JSON.parse(retainBlob);
+      let retainSize = Object.keys(retainTable).length;
+      let stamp = 0;
+      for (let i = 0; i < msg.payload.length; i = i + 1) {
+        stamp = (stamp * 17 + msg.payload.charCodeAt(i)) % 99991;
+      }
+      client.publish("downstream/" + msg.topic, msg.payload + "|s" + stamp);
+    });
+  }
+  RED.nodes.registerType("mqtt-bridge", BridgeNode);
+};
+)",
+      R"([{ "id": "br", "type": "mqtt-bridge", "config": { "broker": "mqtt://hub" },
+           "wires": [] }])",
+      "node", "br", "input",
+      R"({ "payload": "$json", "topic": "$topic" })",
+      StdPolicy("msg"),
+      2,  // broker message -> node.send; input -> publish
+      "bidirectional bridge: two sources, two sinks"});
+
+  // -------------------------------------------------------------------- 5
+  apps->push_back({
+      "email-alert", "notification", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let nodemailer = require("nodemailer");
+  function AlertNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let transport = nodemailer.createTransport({ service: "smtp" });
+    let throttleBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      throttleBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    throttleBlob = throttleBlob + '"end":0}';
+    node.on("input", msg => {
+      // Alert-throttle window maintenance.
+      let throttleTable = JSON.parse(throttleBlob);
+      let throttleSize = Object.keys(throttleTable).length;
+      if (msg.level > 7) {
+        let body = "alert from " + msg.device + ": " + msg.payload;
+        transport.sendMail({ to: config.admin, text: body }, (err, info) => {
+          node.send({ payload: "alerted", detail: body });
+        });
+      }
+    });
+  }
+  RED.nodes.registerType("email-alert", AlertNode);
+};
+)",
+      R"([{ "id": "al", "type": "email-alert", "config": { "admin": "ops@example.com" },
+           "wires": [] }])",
+      "node", "al", "input",
+      R"({ "payload": "$sentence", "device": "$id", "level": "$num" })",
+      StdPolicy("msg"),
+      2,  // input -> sendMail, input -> node.send
+      "conditional sink inside a callback"});
+
+  // -------------------------------------------------------------------- 6
+  apps->push_back({
+      "telemetry-post", "cloud", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let http = require("http");
+  function PostNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let retryBlob = "{";
+    for (let mb = 0; mb < 990; mb++) {
+      retryBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    retryBlob = retryBlob + '"end":0}';
+    node.on("input", msg => {
+      // Connection retry-budget bookkeeping.
+      let retryTable = JSON.parse(retryBlob);
+      let retrySize = Object.keys(retryTable).length;
+      let req = http.request({ host: config.host, method: "POST" });
+      let body = JSON.stringify({ device: msg.device, value: msg.payload });
+      req.write(body);
+      req.end();
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("telemetry-post", PostNode);
+};
+)",
+      R"([{ "id": "tp", "type": "telemetry-post", "config": { "host": "ingest.example" },
+           "wires": [] }])",
+      "node", "tp", "input",
+      R"({ "payload": "$num", "device": "$id" })",
+      StdPolicy("msg"),
+      2,  // input -> http write, input -> node.send
+      "per-message HTTP request; tag flows through a chained call"});
+
+  // -------------------------------------------------------------------- 7
+  apps->push_back({
+      "dispatch-hub", "gateway", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  let mqtt = require("mqtt");
+  function HubNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let client = mqtt.connect("mqtt://site");
+    let routeBlob = "{";
+    for (let mb = 0; mb < 858; mb++) {
+      routeBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    routeBlob = routeBlob + '"end":0}';
+    let routes = {
+      archive: msg => { fs.writeFileSync("/hub/" + msg.seq, msg.payload); },
+      broadcast: msg => { client.publish("hub/out", msg.payload); },
+      forward: msg => { node.send(msg); }
+    };
+    node.on("input", msg => {
+      // Routing-metrics decay.
+      let routeTable = JSON.parse(routeBlob);
+      let routeSize = Object.keys(routeTable).length;
+      let guard = 0;
+      for (let i = 0; i < msg.payload.length; i = i + 4) {
+        guard = (guard * 13 + msg.payload.charCodeAt(i)) % 65521;
+      }
+      msg.guard = guard;
+      let kind = msg.route ? msg.route : "forward";
+      routes[kind](msg);
+    });
+  }
+  RED.nodes.registerType("dispatch-hub", HubNode);
+};
+)",
+      R"([{ "id": "hub", "type": "dispatch-hub", "wires": [] }])",
+      "node", "hub", "input",
+      R"({ "payload": "$frame", "seq": "$seq", "route": "archive" })",
+      StdPolicy("msg"),
+      3,  // input -> fs, input -> publish, input -> send (all via routes[kind])
+      "dynamic bracket dispatch — the over-approximation pattern"});
+
+  // -------------------------------------------------------------------- 8
+  apps->push_back({
+      "closure-router", "gateway", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let net = require("net");
+  function RouterNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let uplink = net.connect(9000, config.collector);
+    function makeWriter(target, prefix) {
+      return data => { target.write(prefix + data); };
+    }
+    let emit = makeWriter(uplink, "route:");
+    let keepaliveBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      keepaliveBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    keepaliveBlob = keepaliveBlob + '"end":0}';
+    node.on("input", msg => {
+      // Uplink keepalive accounting.
+      let keepaliveTable = JSON.parse(keepaliveBlob);
+      let keepaliveSize = Object.keys(keepaliveTable).length;
+      let seal = 0;
+      for (let i = 0; i < msg.payload.length; i = i + 4) {
+        seal = (seal + msg.payload.charCodeAt(i)) % 46337;
+      }
+      emit(msg.payload + ":" + seal);
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("closure-router", RouterNode);
+};
+)",
+      R"([{ "id": "rt", "type": "closure-router",
+           "config": { "collector": "collector.local" }, "wires": [] }])",
+      "node", "rt", "input",
+      R"({ "payload": "$json" })",
+      StdPolicy("msg"),
+      2,  // input -> socket.write (via closure), input -> send
+      "closure factory captures the socket; sink reached through it"});
+
+  // -------------------------------------------------------------------- 9
+  apps->push_back({
+      "sqlite-history", "storage", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let sqlite = require("sqlite3");
+  function HistoryNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let db = new sqlite.Database(config.path);
+    let compactBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      compactBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    compactBlob = compactBlob + '"end":0}';
+    node.on("input", msg => {
+      // Compaction scheduling.
+      let compactTable = JSON.parse(compactBlob);
+      let compactSize = Object.keys(compactTable).length;
+      let row = [msg.topic, msg.payload, msg.seq];
+      db.run('INSERT INTO history VALUES (?, ?, ?)', row, err => {
+        node.send({ payload: "stored", rows: 1 });
+      });
+    });
+  }
+  RED.nodes.registerType("sqlite-history", HistoryNode);
+};
+)",
+      R"([{ "id": "hs", "type": "sqlite-history", "config": { "path": "/var/hist.db" },
+           "wires": [] }])",
+      "node", "hs", "input",
+      R"({ "payload": "$sentence", "topic": "$topic", "seq": "$seq" })",
+      StdPolicy("msg"),
+      1,  // input -> db.run
+      "database sink with parameter array"});
+
+  // ------------------------------------------------------------------- 10
+  apps->push_back({
+      "voice-intent", "voice", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let http = require("http");
+  function IntentNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let hotwordBlob = "{";
+    for (let mb = 0; mb < 858; mb++) {
+      hotwordBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    hotwordBlob = hotwordBlob + '"end":0}';
+    function classify(text) {
+      let words = text.split(" ");
+      let verb = words.length > 0 ? words[0] : "unknown";
+      let score = 0;
+      for (let w of words) {
+        score = (score * 7 + w.length) % 4093;
+      }
+      return { intent: verb, confidence: words.length > 2 ? 0.9 : 0.4,
+               score: score, text: text };
+    }
+    node.on("input", msg => {
+      // Hotword model refresh (static tables).
+      let hotwordTable = JSON.parse(hotwordBlob);
+      let hotwordSize = Object.keys(hotwordTable).length;
+      let result = classify(msg.payload);
+      let req = http.request({ host: "assistant.api", method: "POST" });
+      req.end(JSON.stringify(result));
+      msg.intent = result.intent;
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("voice-intent", IntentNode);
+};
+)",
+      R"([{ "id": "vi", "type": "voice-intent", "wires": [] }])",
+      "node", "vi", "input",
+      R"({ "payload": "$sentence" })",
+      StdPolicy("msg"),
+      2,  // input -> http end, input -> send
+      "text classification helper on the sensitive path"});
+
+  // ------------------------------------------------------------------- 11
+  apps->push_back({
+      "smart-meter", "sensor", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  function MeterNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let window = [];
+    let tariffBlob = "{";
+    for (let mb = 0; mb < 990; mb++) {
+      tariffBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    tariffBlob = tariffBlob + '"end":0}';
+    node.on("input", msg => {
+      // Tariff-table refresh.
+      let tariffTable = JSON.parse(tariffBlob);
+      let tariffSize = Object.keys(tariffTable).length;
+      window.push(msg.payload);
+      if (window.length > 12) {
+        window.shift();
+      }
+      let sum = window.reduce((a, b) => a + b, 0);
+      let avg = sum / window.length;
+      msg.average = avg;
+      fs.writeFileSync("/meter/latest.json", JSON.stringify({ avg: avg, n: window.length }));
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("smart-meter", MeterNode);
+};
+)",
+      R"([{ "id": "sm", "type": "smart-meter", "wires": [] }])",
+      "node", "sm", "input",
+      R"({ "payload": "$num" })",
+      StdPolicy("msg"),
+      2,  // input -> fs (via window/avg), input -> send
+      "sliding-window aggregation with reduce"});
+}
+
+}  // namespace turnstile

@@ -1,0 +1,497 @@
+// Corpus bucket A, part 2 — including the applications named in Fig. 12
+// (nlp.js, amazon-echo, dialogflow) whose exhaustive-instrumentation cost the
+// paper highlights.
+#include "src/corpus/corpus.h"
+#include "src/corpus/corpus_internal.h"
+
+namespace turnstile {
+
+void AppendTurnstileOnlyAppsPart2(std::vector<CorpusApp>* apps) {
+  // ------------------------------------------------------------------- 12
+  apps->push_back({
+      "presence-tracker", "home", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let mqtt = require("mqtt");
+  function PresenceNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let client = mqtt.connect("mqtt://home");
+    let rooms = {};
+    let occupancyBlob = "{";
+    for (let mb = 0; mb < 858; mb++) {
+      occupancyBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    occupancyBlob = occupancyBlob + '"end":0}';
+    node.on("input", msg => {
+      // Occupancy decay pass.
+      let occupancyTable = JSON.parse(occupancyBlob);
+      let occupancySize = Object.keys(occupancyTable).length;
+      rooms[msg.room] = msg.payload;
+      let occupied = Object.keys(rooms).filter(r => rooms[r] === "occupied");
+      client.publish("presence/summary", occupied.join(","));
+      node.send({ payload: occupied.length });
+    });
+  }
+  RED.nodes.registerType("presence-tracker", PresenceNode);
+};
+)",
+      R"([{ "id": "pt", "type": "presence-tracker", "wires": [] }])",
+      "node", "pt", "input",
+      R"({ "payload": "occupied", "room": "$word" })",
+      StdPolicy("msg"),
+      2,  // input -> publish (via rooms map), input -> send
+      "state map keyed by dynamic property names"});
+
+  // ------------------------------------------------------------------- 13
+  apps->push_back({
+      "doorbell-notify", "home", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let nodemailer = require("nodemailer");
+  let mqtt = require("mqtt");
+  function DoorbellNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let transport = nodemailer.createTransport({});
+    let client = mqtt.connect("mqtt://home");
+    let chimeBlob = "{";
+    for (let mb = 0; mb < 792; mb++) {
+      chimeBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    chimeBlob = chimeBlob + '"end":0}';
+    node.on("input", msg => {
+      let snapshot = msg.payload;
+      let thumb = 0;
+      for (let i = 0; i < snapshot.length; i = i + 1) {
+        thumb = (thumb * 33 + snapshot.charCodeAt(i)) % 65521;
+      }
+      // Chime scheduling (static).
+      let chimeTable = JSON.parse(chimeBlob);
+      let chimeSize = Object.keys(chimeTable).length;
+      transport.sendMail({ to: config.owner, attachments: snapshot,
+                           text: "thumb:" + thumb }, () => {});
+      client.publish("chime/ring", "ding");
+      node.send({ payload: "notified", image: snapshot });
+    });
+  }
+  RED.nodes.registerType("doorbell-notify", DoorbellNode);
+};
+)",
+      R"([{ "id": "db", "type": "doorbell-notify", "config": { "owner": "me@home" },
+           "wires": [] }])",
+      "node", "db", "input",
+      R"({ "payload": "$frame" })",
+      StdPolicy("msg"),
+      2,  // input -> sendMail, input -> send (chime publish carries no input data)
+      "two sinks, one carrying only a constant"});
+
+  // ------------------------------------------------------------------- 14
+  apps->push_back({
+      "frame-archiver", "camera", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  function ArchiverNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let stream = fs.createWriteStream("/archive/frames.bin");
+    let indexBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      indexBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    indexBlob = indexBlob + '"end":0}';
+    node.on("input", msg => {
+      // Archive index maintenance.
+      let indexTable = JSON.parse(indexBlob);
+      let indexSize = Object.keys(indexTable).length;
+      let stamped = msg.seq + ":" + msg.payload;
+      stream.write(stamped);
+      node.send({ payload: "archived", bytes: stamped.length });
+    });
+  }
+  RED.nodes.registerType("frame-archiver", ArchiverNode);
+};
+)",
+      R"([{ "id": "fa", "type": "frame-archiver", "wires": [] }])",
+      "node", "fa", "input",
+      R"({ "payload": "$frame", "seq": "$seq" })",
+      StdPolicy("msg"),
+      2,  // input -> stream.write, input -> send (bytes derives from stamped)
+      "write-stream sink obtained at construction time"});
+
+  // ------------------------------------------------------------------- 15
+  apps->push_back({
+      "geo-fence", "mobility", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let mqtt = require("mqtt");
+  function GeoNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let client = mqtt.connect("mqtt://fleet");
+    let fenceBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      fenceBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    fenceBlob = fenceBlob + '"end":0}';
+    function inside(lat, lon) {
+      return lat > 10 && lat < 20 && lon > 30 && lon < 40;
+    }
+    node.on("input", msg => {
+      // Fence-grid cache refresh.
+      let fenceTable = JSON.parse(fenceBlob);
+      let fenceSize = Object.keys(fenceTable).length;
+      let pos = msg.payload;
+      let state = inside(pos.lat, pos.lon) ? "inside" : "outside";
+      client.publish("fence/" + msg.device, state + "@" + pos.lat + "," + pos.lon);
+      node.send({ payload: state });
+    });
+  }
+  RED.nodes.registerType("geo-fence", GeoNode);
+};
+)",
+      R"([{ "id": "gf", "type": "geo-fence", "wires": [] }])",
+      "node", "gf", "input",
+      R"({ "payload": { "lat": "$num", "lon": "$num" }, "device": "$id" })",
+      StdPolicy("msg"),
+      1,  // input -> publish (send carries only the derived state constant-ish)
+      "nested payload object; coordinates leak into the topic payload"});
+
+  // ------------------------------------------------------------------- 16
+  apps->push_back({
+      "thermostat-sync", "home", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let http = require("http");
+  function SyncNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let pending = [];
+    let valveBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      valveBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    valveBlob = valveBlob + '"end":0}';
+    function flush() {
+      if (pending.length === 0) {
+        return;
+      }
+      let req = http.request({ host: "thermostat.cloud", method: "PUT" });
+      req.end(JSON.stringify(pending));
+      pending = [];
+    }
+    node.on("input", msg => {
+      // Valve calibration sweep.
+      let valveTable = JSON.parse(valveBlob);
+      let valveSize = Object.keys(valveTable).length;
+      pending.push({ at: msg.seq, temp: msg.payload });
+      if (pending.length >= 2) {
+        flush();
+      }
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("thermostat-sync", SyncNode);
+};
+)",
+      R"([{ "id": "ts", "type": "thermostat-sync", "wires": [] }])",
+      "node", "ts", "input",
+      R"({ "payload": "$num", "seq": "$seq" })",
+      StdPolicy("msg"),
+      2,  // input -> http end (through pending + flush), input -> send
+      "flow through a module-level buffer and a named flush helper"});
+
+  // ------------------------------------------------------------------- 17
+  apps->push_back({
+      "audio-level", "sensor", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let sqlite = require("sqlite3");
+  function AudioNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let db = new sqlite.Database("/var/audio.db");
+    let eqBlob = "{";
+    for (let mb = 0; mb < 850; mb++) {
+      eqBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    eqBlob = eqBlob + '"end":0}';
+    node.on("input", msg => {
+      // Equalizer profile refresh.
+      let eqTable = JSON.parse(eqBlob);
+      let eqSize = Object.keys(eqTable).length;
+      let samples = msg.payload.split(",");
+      let peak = 0;
+      for (let s of samples) {
+        let v = Number(s);
+        if (v > peak) {
+          peak = v;
+        }
+      }
+      let rms = 0;
+      for (let i = 0; i < msg.payload.length; i = i + 1) {
+        rms = (rms + msg.payload.charCodeAt(i)) % 999983;
+      }
+      peak = peak + rms % 3;
+      db.run('INSERT INTO levels VALUES (?, ?)', [msg.seq, peak]);
+      node.send({ payload: peak });
+    });
+  }
+  RED.nodes.registerType("audio-level", AudioNode);
+};
+)",
+      R"([{ "id": "au", "type": "audio-level", "wires": [] }])",
+      "node", "au", "input",
+      R"({ "payload": "$json", "seq": "$seq" })",
+      StdPolicy("msg"),
+      2,  // input -> db.run, input -> send
+      "per-sample loop deriving the stored value"});
+
+  // ------------------------------------------------------------------- 18
+  apps->push_back({
+      "baby-monitor", "camera", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let deepstack = require("deepstack");
+  let nodemailer = require("nodemailer");
+  function MonitorNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let transport = nodemailer.createTransport({});
+    let luxBlob = "{";
+    for (let mb = 0; mb < 792; mb++) {
+      luxBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    luxBlob = luxBlob + '"end":0}';
+    node.on("input", msg => {
+      // Night-light schedule update.
+      let luxTable = JSON.parse(luxBlob);
+      let luxSize = Object.keys(luxTable).length;
+      deepstack.faceRecognition(msg.payload, config.server, 0.5).then(result => {
+        if (result.predictions.length === 0) {
+          transport.sendMail({ to: config.parent, attachments: msg.payload }, () => {});
+        }
+        node.send({ payload: result.predictions.length, frame: msg.payload });
+      });
+    });
+  }
+  RED.nodes.registerType("baby-monitor", MonitorNode);
+};
+)",
+      R"([{ "id": "bm", "type": "baby-monitor",
+           "config": { "server": "http://ds", "parent": "p@example.com" }, "wires": [] }])",
+      "node", "bm", "input",
+      R"({ "payload": "$frame" })",
+      StdPolicy("msg"),
+      3,  // input -> mail, input -> send, recognition -> send
+      "promise + conditional sink; frame reaches the mail attachment"});
+
+  // ------------------------------------------------------------------- 19
+  apps->push_back({
+      "parcel-scanner", "logistics", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  function ScannerNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let beltBlob = "{";
+    for (let mb = 0; mb < 924; mb++) {
+      beltBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    beltBlob = beltBlob + '"end":0}';
+    let carriers = { u: "ups", f: "fedex", d: "dhl", p: "post" };
+    function carrierOf(code) {
+      let key = code.charAt(0);
+      let name = carriers[key];
+      return name ? name : "unknown";
+    }
+    node.on("input", msg => {
+      // Conveyor telemetry rollup.
+      let beltTable = JSON.parse(beltBlob);
+      let beltSize = Object.keys(beltTable).length;
+      let label = 0;
+      for (let i = 0; i < msg.payload.length; i = i + 1) {
+        label = (label * 31 + msg.payload.charCodeAt(i)) % 65521;
+      }
+      let record = { code: msg.payload, digest: label,
+                     carrier: carrierOf(msg.payload), at: msg.seq };
+      fs.appendFile("/parcels.ndjson", JSON.stringify(record), () => {});
+      node.send({ payload: record });
+    });
+  }
+  RED.nodes.registerType("parcel-scanner", ScannerNode);
+};
+)",
+      R"([{ "id": "ps", "type": "parcel-scanner", "wires": [] }])",
+      "node", "ps", "input",
+      R"({ "payload": "$json", "seq": "$seq" })",
+      StdPolicy("msg"),
+      2,  // input -> fs append, input -> send
+      "lookup table with dynamic key on the path"});
+
+  // ------------------------------------------------------------------- 20
+  // The Fig. 12 outlier: exhaustive instrumentation tracks the large
+  // dictionary (thousands of strings boxed, and the dictionary is passed as
+  // an argument through instrumented calls on every token), while selective
+  // instrumentation only touches the msg path.
+  apps->push_back({
+      "nlp.js", "voice", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  function buildLexicon() {
+    let lex = { buckets: [], size: 0 };
+    for (let b = 0; b < 12; b++) {
+      lex.buckets.push([]);
+    }
+    let syllables = ["ka", "ro", "mi", "ta", "lu", "en", "so", "pa", "de", "vi"];
+    for (let i = 0; i < 2400; i++) {
+      let word = syllables[i % 10] + syllables[Math.floor(i / 10) % 10] + i;
+      lex.buckets[word.length % 12].push({ term: word, idx: i, weight: (i % 17) / 17 });
+      lex.size = lex.size + 1;
+    }
+    return lex;
+  }
+  let scorer = {
+    score(bucket, token) {
+      let best = 0;
+      for (let entry of bucket) {
+        if (entry.term === token) {
+          best = entry.weight;
+        } else if (entry.idx % 503 === 0 && token.length > entry.term.length) {
+          best = best + entry.weight / 1000;
+        }
+      }
+      return best;
+    }
+  };
+  function TokenizeNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let lexicon = buildLexicon();
+    node.on("input", msg => {
+      let tokens = msg.payload.split(" ");
+      let total = 0;
+      let scanned = 0;
+      for (let token of tokens) {
+        if (scanned < 8) {
+          total = total + scorer.score(lexicon.buckets[token.length % 12], token);
+          scanned = scanned + 1;
+        }
+      }
+      // The aggregate score is a usage statistic, not privacy-sensitive: it
+      // feeds the node status display only.
+      node.status({ text: "score " + total });
+      node.send({ payload: tokens.join("|"), count: tokens.length });
+    });
+  }
+  RED.nodes.registerType("nlp-tokenize", TokenizeNode);
+};
+)",
+      R"([{ "id": "nl", "type": "nlp-tokenize", "wires": [] }])",
+      "node", "nl", "input",
+      R"({ "payload": "$sentence" })",
+      StdPolicy("msg"),
+      1,  // input -> send
+      "Fig. 12 outlier: huge non-sensitive lexicon crushed by exhaustive mode"});
+
+  // ------------------------------------------------------------------- 21
+  apps->push_back({
+      "amazon-echo", "voice", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let mqtt = require("mqtt");
+  function EchoNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let client = mqtt.connect("mqtt://devices");
+    let registry = {};
+    let kinds = ["lamp", "plug", "fan", "blind", "speaker", "lock"];
+    for (let i = 0; i < 120; i++) {
+      let name = kinds[i % 6] + "-" + i;
+      registry[name] = { topic: "device/" + name, kind: kinds[i % 6], level: i % 100 };
+    }
+    function resolveDevice(reg, utterance) {
+      let words = utterance.split(" ");
+      for (let w of words) {
+        if (reg[w]) {
+          return reg[w];
+        }
+      }
+      return null;
+    }
+    let skillBlob = "{";
+    for (let mb = 0; mb < 850; mb++) {
+      skillBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    skillBlob = skillBlob + '"end":0}';
+    node.on("input", msg => {
+      // Skill-manifest refresh.
+      let skillTable = JSON.parse(skillBlob);
+      let skillSize = Object.keys(skillTable).length;
+      let device = resolveDevice(registry, msg.payload);
+      if (device) {
+        client.publish(device.topic, "set:" + msg.payload);
+      }
+      node.send({ payload: device ? device.kind : msg.payload });
+    });
+  }
+  RED.nodes.registerType("amazon-echo", EchoNode);
+};
+)",
+      R"([{ "id": "ae", "type": "amazon-echo", "wires": [] }])",
+      "node", "ae", "input",
+      R"({ "payload": "$sentence" })",
+      StdPolicy("msg"),
+      2,  // input -> publish, input -> send
+      "medium device registry passed into a resolver per message"});
+
+  // ------------------------------------------------------------------- 22
+  apps->push_back({
+      "dialogflow", "voice", CorpusBucket::kTurnstileOnly,
+      R"(module.exports = function(RED) {
+  let http = require("http");
+  function DialogNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let grammar = { rules: [] };
+    for (let i = 0; i < 150; i++) {
+      grammar.rules.push({ match: "intent" + i, reply: "reply " + i, uses: 0 });
+    }
+    let matcher = {
+      find(g, text) {
+        for (let rule of g.rules) {
+          if (text.includes(rule.match)) {
+            rule.uses = rule.uses + 1;
+            return rule;
+          }
+        }
+        return null;
+      }
+    };
+    let contextBlob = "{";
+    for (let mb = 0; mb < 850; mb++) {
+      contextBlob += '"k' + mb + '":' + (mb % 97) + ",";
+    }
+    contextBlob = contextBlob + '"end":0}';
+    node.on("input", msg => {
+      // Conversation-context table refresh.
+      let contextTable = JSON.parse(contextBlob);
+      let contextSize = Object.keys(contextTable).length;
+      let rule = matcher.find(grammar, msg.payload);
+      let reply = rule ? rule.reply : "fallback: " + msg.payload;
+      let req = http.request({ host: "dialog.api", method: "POST" });
+      req.end(reply);
+      node.send({ payload: reply });
+    });
+  }
+  RED.nodes.registerType("dialogflow", DialogNode);
+};
+)",
+      R"([{ "id": "df", "type": "dialogflow", "wires": [] }])",
+      "node", "df", "input",
+      R"({ "payload": "$sentence" })",
+      StdPolicy("msg"),
+      2,  // input -> http end, input -> send
+      "grammar table scanned per message through an instrumented method call"});
+}
+
+void AppendTurnstileOnlyAppsPart1(std::vector<CorpusApp>* apps);
+
+void AppendTurnstileOnlyApps(std::vector<CorpusApp>* apps) {
+  AppendTurnstileOnlyAppsPart1(apps);
+  AppendTurnstileOnlyAppsPart2(apps);
+}
+
+}  // namespace turnstile

@@ -1,0 +1,409 @@
+// Corpus buckets B (both tools find paths, 5 apps), C (QueryDL-only, 2 apps)
+// and E (genuinely no privacy-sensitive paths, 6 apps).
+#include "src/corpus/corpus.h"
+#include "src/corpus/corpus_internal.h"
+
+namespace turnstile {
+
+void AppendBothFindApps(std::vector<CorpusApp>* apps) {
+  // ---------------------------------------------------------------- B1
+  // modbus: both tools find the direct socket paths; Turnstile additionally
+  // resolves the dynamic decoder dispatch (3 vs 2). Heavy per-message
+  // register parsing makes it the Fig. 12 worst case at 30 Hz.
+  apps->push_back({
+      "modbus", "industrial", CorpusBucket::kBothFind,
+      R"(let net = require("net");
+let fs = require("fs");
+let socket = net.connect(502, "plc.local");
+let decoders = {
+  holding: raw => {
+    let regs = [];
+    for (let i = 0; i + 4 <= raw.length; i = i + 4) {
+      let hi = raw.charCodeAt(i) * 256 + raw.charCodeAt(i + 1);
+      let lo = raw.charCodeAt(i + 2) * 256 + raw.charCodeAt(i + 3);
+      regs.push(hi * 65536 + lo);
+    }
+    return regs;
+  },
+  coil: raw => {
+    let bits = [];
+    for (let i = 0; i < raw.length; i++) {
+      bits.push(raw.charCodeAt(i) % 2);
+    }
+    return bits;
+  }
+};
+socket.on("data", frame => {
+  // Line-noise calibration sweep over the simulated register banks: a large
+  // amount of per-poll compute that touches NO privacy-sensitive data. This
+  // is what exhaustive instrumentation pays for and selective skips (§6.2).
+  let cal = 0;
+  for (let k = 0; k < 36000; k++) {
+    cal = (cal * 31 + k) % 65521;
+  }
+  let raw = frame + frame + frame + frame;
+  let kind = raw.length % 2 === 0 ? "holding" : "coil";
+  let registers = decoders[kind](raw);
+  let checksum = 0;
+  for (let r of registers) {
+    checksum = (checksum * 31 + r) % 1000003;
+  }
+  fs.writeFileSync("/modbus/raw.bin", frame);
+  fs.appendFile("/modbus/registers.log", registers.join(","), () => {});
+  socket.write("ACK:" + checksum);
+});
+)",
+      "[]", "emitter", "net.socket", "data",
+      R"("$json")",
+      BarePolicy("frame"),
+      3,  // frame -> raw archive (direct), -> register log (via decoders), -> ACK
+      "direct fs flow (both find) + dynamic decoder dispatch (Turnstile only)"});
+
+  // ---------------------------------------------------------------- B2
+  // watson: direct http flows both find; the enrichment path through a
+  // factory-made closure is Turnstile-only.
+  apps->push_back({
+      "watson", "voice", CorpusBucket::kBothFind,
+      R"(let net = require("net");
+let http = require("http");
+let socket = net.connect(7700, "audio.gw");
+function makeUploader(path) {
+  return text => {
+    let req = http.request({ host: "watson.cloud", method: "POST" });
+    req.end(path + ":" + text);
+  };
+}
+let upload = makeUploader("/v1/analyze");
+let fs = require("fs");
+let modelBlob = "{";
+for (let mb = 0; mb < 850; mb++) {
+  modelBlob += '"k' + mb + '":' + (mb % 97) + ",";
+}
+modelBlob = modelBlob + '"end":0}';
+socket.on("data", utterance => {
+  // Acoustic-model metadata refresh.
+  let modelTable = JSON.parse(modelBlob);
+  let modelSize = Object.keys(modelTable).length;
+  let energy = 0;
+  for (let i = 0; i < utterance.length; i = i + 4) {
+    energy = (energy + utterance.charCodeAt(i)) % 65521;
+  }
+  fs.appendFile("/watson/transcript.log", utterance, () => {});
+  let req = http.request({ host: "watson.cloud", method: "POST" });
+  req.write(utterance + "#e" + energy);
+  req.end();
+  upload(utterance.toUpperCase());
+});
+)",
+      "[]", "emitter", "net.socket", "data",
+      R"("$sentence")",
+      BarePolicy("utterance"),
+      3,  // utterance -> transcript log, -> req.write, -> closure req.end (T only)
+      "direct fs+http sinks (both) + closure-factory sink (Turnstile only)"});
+
+  // ---------------------------------------------------------------- B3
+  apps->push_back({
+      "rtsp-relay", "camera", CorpusBucket::kBothFind,
+      R"(let net = require("net");
+let fs = require("fs");
+let camera = net.connect(554, "cam.hall");
+let uplink = net.connect(8554, "relay.cloud");
+let sinks = {
+  mirror: chunk => { uplink.write(chunk); }
+};
+let ladderBlob = "{";
+for (let mb = 0; mb < 850; mb++) {
+  ladderBlob += '"k' + mb + '":' + (mb % 97) + ",";
+}
+ladderBlob = ladderBlob + '"end":0}';
+camera.on("data", chunk => {
+  // Bitrate-ladder recomputation (stream metadata only).
+  let ladderTable = JSON.parse(ladderBlob);
+  let ladderSize = Object.keys(ladderTable).length;
+  uplink.write(chunk);
+  fs.writeFileSync("/relay/last.bin", chunk);
+  sinks["mirror"](chunk);
+});
+)",
+      "[]", "emitter", "net.socket", "data",
+      R"("$frame")",
+      BarePolicy("chunk"),
+      3,  // chunk -> uplink (direct, both), chunk -> fs (both), chunk -> bracket sink (T only)
+      "relay with direct and bracket-dispatched writes"});
+
+  // ---------------------------------------------------------------- B4
+  // legacy-gateway: QueryDL finds MORE than Turnstile here — the report path
+  // runs through a method inherited from a base class.
+  apps->push_back({
+      "legacy-gateway", "industrial", CorpusBucket::kBothFind,
+      R"(let net = require("net");
+let fs = require("fs");
+let socket = net.connect(4840, "scada.local");
+class BaseChannel {
+  persist(entry) {
+    fs.appendFile("/gateway/audit.log", entry, () => {});
+  }
+}
+class AuditChannel extends BaseChannel {
+  format(data) {
+    let crc = 0;
+    for (let i = 0; i < data.length; i = i + 1) {
+      crc = (crc * 31 + data.charCodeAt(i)) % 65521;
+    }
+    return "audit:" + crc + ":" + data;
+  }
+}
+let channel = new AuditChannel();
+let tagsetBlob = "{";
+for (let mb = 0; mb < 850; mb++) {
+  tagsetBlob += '"k' + mb + '":' + (mb % 97) + ",";
+}
+tagsetBlob = tagsetBlob + '"end":0}';
+socket.on("data", reading => {
+  // SCADA tag-set metadata refresh.
+  let tagsetTable = JSON.parse(tagsetBlob);
+  let tagsetSize = Object.keys(tagsetTable).length;
+  socket.write("echo:" + reading);
+  channel.persist(channel.format(reading));
+});
+)",
+      "[]", "emitter", "net.socket", "data",
+      R"("$json")",
+      BarePolicy("reading"),
+      2,  // reading -> socket.write (both), reading -> fs via inherited persist (QueryDL only)
+      "inherited-method sink: the prototype-chain case favouring QueryDL"});
+
+  // ---------------------------------------------------------------- B5
+  // file-sync: both tools find exactly the same paths.
+  apps->push_back({
+      "file-sync", "storage", CorpusBucket::kBothFind,
+      R"(let fs = require("fs");
+let http = require("http");
+let manifest = fs.readFileSync("/sync/manifest.json");
+let req = http.request({ host: "backup.example", method: "POST" });
+req.write(manifest);
+req.end();
+let catalogBlob = "{";
+for (let mb = 0; mb < 850; mb++) {
+  catalogBlob += '"k' + mb + '":' + (mb % 97) + ",";
+}
+catalogBlob = catalogBlob + '"end":0}';
+fs.createReadStream("/sync/payload.bin").on("data", block => {
+  // Sync-catalog refresh.
+  let catalogTable = JSON.parse(catalogBlob);
+  let catalogSize = Object.keys(catalogTable).length;
+  let sum = 0;
+  for (let i = 0; i < block.length; i = i + 1) {
+    sum = (sum + block.charCodeAt(i)) % 46337;
+  }
+  fs.writeFileSync("/sync/staging.bin", block + "#" + sum);
+});
+)",
+      "[]", "emitter", "fs.readStream", "data",
+      R"("$json")",
+      BarePolicy("block"),
+      2,  // manifest -> http write; stream block -> fs write
+      "straight-line flows; the agreement case"});
+}
+
+void AppendQueryDlOnlyApps(std::vector<CorpusApp>* apps) {
+  // ---------------------------------------------------------------- C1
+  apps->push_back({
+      "proto-pipeline", "gateway", CorpusBucket::kQueryDlOnly,
+      R"(let net = require("net");
+let socket = net.connect(6000, "edge.local");
+class Stage {
+  emit(data) {
+    socket.write("stage:" + data);
+  }
+}
+class Enricher extends Stage {
+  enrich(data) {
+    return data + "|enriched";
+  }
+}
+let pipeline = new Enricher();
+socket.on("data", sample => {
+  pipeline.emit(pipeline.enrich(sample));
+});
+)",
+      "[]", "emitter", "net.socket", "data",
+      R"("$json")",
+      BarePolicy("sample"),
+      1,  // sample -> socket.write through the inherited emit
+      "the only sink sits behind an inherited method — Turnstile finds nothing"});
+
+  // ---------------------------------------------------------------- C2
+  apps->push_back({
+      "plugin-chain", "gateway", CorpusBucket::kQueryDlOnly,
+      R"(let fs = require("fs");
+let net = require("net");
+let feed = net.connect(7100, "meter.bus");
+class PluginBase {
+  record(line) {
+    fs.appendFile("/plugins/out.log", line, () => {});
+  }
+  forward(line) {
+    feed.write("fwd:" + line);
+  }
+}
+class MeterPlugin extends PluginBase {
+  normalize(raw) {
+    return raw.trim().toLowerCase();
+  }
+}
+let plugin = new MeterPlugin();
+feed.on("data", raw => {
+  let n = plugin.normalize(raw);
+  plugin.record(n);
+  plugin.forward(n);
+});
+)",
+      "[]", "emitter", "net.socket", "data",
+      R"("$sentence")",
+      BarePolicy("raw"),
+      2,  // raw -> fs.record, raw -> feed.forward — both inherited
+      "two inherited-method sinks"});
+}
+
+void AppendNoPathApps(std::vector<CorpusApp>* apps) {
+  // ---------------------------------------------------------------- E1
+  apps->push_back({
+      "status-led", "home", CorpusBucket::kNoPaths,
+      R"(module.exports = function(RED) {
+  function LedNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let state = "off";
+    node.on("input", msg => {
+      state = state === "off" ? "on" : "off";
+      node.status({ fill: state === "on" ? "green" : "grey" });
+      node.send({ payload: state });
+    });
+  }
+  RED.nodes.registerType("status-led", LedNode);
+};
+)",
+      R"([{ "id": "led", "type": "status-led", "wires": [] }])",
+      "node", "led", "input",
+      R"({ "payload": "toggle" })",
+      StdPolicy("msg"),
+      0, "input only toggles internal state; outputs are constants"});
+
+  // ---------------------------------------------------------------- E2
+  apps->push_back({
+      "config-loader", "utility", CorpusBucket::kNoPaths,
+      R"(let defaults = { interval: 30, retries: 3, unit: "C" };
+function merge(base, extra) {
+  let out = {};
+  for (let k of Object.keys(base)) {
+    out[k] = base[k];
+  }
+  for (let k of Object.keys(extra)) {
+    out[k] = extra[k];
+  }
+  return out;
+}
+let active = merge(defaults, { retries: 5 });
+console.log("config ready: " + active.retries);
+)",
+      "[]", "", "", "",
+      R"({ "payload": "unused" })",
+      StdPolicy("msg"),
+      0, "pure configuration merging, no I/O sources"});
+
+  // ---------------------------------------------------------------- E3
+  apps->push_back({
+      "unit-converter", "utility", CorpusBucket::kNoPaths,
+      R"(module.exports = function(RED) {
+  function ConvertNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let conversions = 0;
+    node.on("input", msg => {
+      conversions = conversions + 1;
+      node.send({ payload: conversions });
+    });
+  }
+  RED.nodes.registerType("unit-converter", ConvertNode);
+};
+)",
+      R"([{ "id": "uc", "type": "unit-converter", "wires": [] }])",
+      "node", "uc", "input",
+      R"({ "payload": "$num" })",
+      StdPolicy("msg"),
+      0, "only a local counter leaves the node"});
+
+  // ---------------------------------------------------------------- E4
+  apps->push_back({
+      "scheduler", "utility", CorpusBucket::kNoPaths,
+      R"(let slots = [];
+for (let h = 0; h < 24; h++) {
+  slots.push({ hour: h, active: h >= 8 && h < 20 });
+}
+function nextActive(from) {
+  for (let s of slots) {
+    if (s.hour > from && s.active) {
+      return s.hour;
+    }
+  }
+  return -1;
+}
+let horizon = nextActive(9);
+console.log("next slot " + horizon);
+)",
+      "[]", "", "", "",
+      R"({ "payload": "unused" })",
+      StdPolicy("msg"),
+      0, "static schedule computation"});
+
+  // ---------------------------------------------------------------- E5
+  apps->push_back({
+      "rate-limiter", "utility", CorpusBucket::kNoPaths,
+      R"(module.exports = function(RED) {
+  function LimitNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let tokens = 5;
+    node.on("input", msg => {
+      if (tokens > 0) {
+        tokens = tokens - 1;
+        node.send({ payload: "pass", left: tokens });
+      } else {
+        node.send({ payload: "drop" });
+      }
+    });
+  }
+  RED.nodes.registerType("rate-limiter", LimitNode);
+};
+)",
+      R"([{ "id": "rl", "type": "rate-limiter", "wires": [] }])",
+      "node", "rl", "input",
+      R"({ "payload": "$num" })",
+      StdPolicy("msg"),
+      0, "token bucket; message content never leaves"});
+
+  // ---------------------------------------------------------------- E6
+  apps->push_back({
+      "debug-counter", "utility", CorpusBucket::kNoPaths,
+      R"(module.exports = function(RED) {
+  function CountNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    let counts = { total: 0 };
+    node.on("input", msg => {
+      counts.total = counts.total + 1;
+      node.log("seen " + counts.total);
+    });
+  }
+  RED.nodes.registerType("debug-counter", CountNode);
+};
+)",
+      R"([{ "id": "dc", "type": "debug-counter", "wires": [] }])",
+      "node", "dc", "input",
+      R"({ "payload": "$word" })",
+      StdPolicy("msg"),
+      0, "counting only; node.log is not in the sink catalog"});
+}
+
+}  // namespace turnstile

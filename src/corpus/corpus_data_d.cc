@@ -1,0 +1,465 @@
+// Corpus bucket D: 26 applications with real privacy-sensitive dataflows that
+// BOTH analyzers miss (§6.1's most common failure: data exchanged through
+// framework APIs such as RED.httpNode, whose nature is assigned dynamically
+// by the Node-RED runtime and cannot be inferred statically).
+//
+// The miss patterns used, mirroring the paper's discussion:
+//   - RED.httpNode.on("request", (req, res) => ...)   [dynamically-typed server]
+//   - RED.settings.<x> carrying endpoint objects injected at run time
+//   - node.context().global — runtime-shared state channels
+#include "src/corpus/corpus.h"
+#include "src/corpus/corpus_internal.h"
+
+namespace turnstile {
+
+namespace {
+
+// Builds the standard two-arg HTTP entry template used by the driver for
+// red.httpNode applications.
+constexpr const char* kHttpTemplate = R"({ "body": "$json", "url": "/api" })";
+
+}  // namespace
+
+void AppendBothMissApps(std::vector<CorpusApp>* apps) {
+  // ---------------------------------------------------------------- D1
+  apps->push_back({
+      "http-echo-admin", "dashboard", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  RED.httpNode.on("request", (req, res) => {
+    res.end("echo:" + req.body);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "request body echoed to the response"});
+
+  // ---------------------------------------------------------------- D2
+  apps->push_back({
+      "http-frame-upload", "camera", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  RED.httpNode.on("request", (req, res) => {
+    fs.writeFileSync("/uploads/frame.bin", req.body);
+    res.end("stored");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "uploaded frame written to disk; source unrecognized"});
+
+  // ---------------------------------------------------------------- D3
+  apps->push_back({
+      "http-command-relay", "home", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let mqtt = require("mqtt");
+  let client = mqtt.connect("mqtt://home");
+  RED.httpNode.on("request", (req, res) => {
+    client.publish("commands/web", req.body);
+    res.end("ok");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "web command republished over MQTT"});
+
+  // ---------------------------------------------------------------- D4
+  apps->push_back({
+      "http-query-log", "dashboard", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let sqlite = require("sqlite3");
+  let db = new sqlite.Database("/var/web.db");
+  RED.httpNode.on("request", (req, res) => {
+    db.run('INSERT INTO hits VALUES (?)', [req.url + "|" + req.body]);
+    res.end("logged");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "request details recorded in a database"});
+
+  // ---------------------------------------------------------------- D5
+  apps->push_back({
+      "settings-exporter", "utility", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  function ExportNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    node.on("input", msg => {
+      // RED.settings.uplink is injected by the hosting runtime; statically
+      // it has no type, so the write below is invisible to both tools.
+      RED.settings.uplink.push(msg.payload);
+    });
+  }
+  RED.nodes.registerType("settings-exporter", ExportNode);
+};
+)",
+      R"([{ "id": "se", "type": "settings-exporter", "wires": [] }])",
+      "node", "se", "input", R"({ "payload": "$json" })", StdPolicy("msg"),
+      1, "sink is a runtime-injected settings object"});
+
+  // ---------------------------------------------------------------- D6
+  apps->push_back({
+      "http-badge-lookup", "access", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let badges = { b1: "alice", b7: "bob" };
+  RED.httpNode.on("request", (req, res) => {
+    let owner = badges[req.body];
+    res.end(owner ? "badge of " + owner : "unknown badge " + req.body);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "badge id reflected into the response"});
+
+  // ---------------------------------------------------------------- D7
+  apps->push_back({
+      "http-sensor-feed", "sensor", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  let readings = [];
+  RED.httpNode.on("request", (req, res) => {
+    readings.push(req.body);
+    if (readings.length >= 4) {
+      fs.appendFile("/feed/batch.log", readings.join(";"), () => {});
+      readings = [];
+    }
+    res.end("accepted " + readings.length);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      2, "batched disk write + reflected count"});
+
+  // ---------------------------------------------------------------- D8
+  apps->push_back({
+      "context-broadcaster", "gateway", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  function BroadcastNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    node.on("input", msg => {
+      // The shared bus object is placed into settings by another flow at
+      // run time — a channel neither analyzer models.
+      let bus = RED.settings.sharedBus;
+      bus.emitTo("displays", msg.payload);
+    });
+  }
+  RED.nodes.registerType("context-broadcaster", BroadcastNode);
+};
+)",
+      R"([{ "id": "cb", "type": "context-broadcaster", "wires": [] }])",
+      "node", "cb", "input", R"({ "payload": "$sentence" })", StdPolicy("msg"),
+      1, "runtime-shared bus sink"});
+
+  // ---------------------------------------------------------------- D9
+  apps->push_back({
+      "http-config-patch", "utility", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  RED.httpNode.on("request", (req, res) => {
+    let current = fs.readFileSync("/etc/app.json");
+    res.end(current + "|patched-with|" + req.body);
+    fs.writeFileSync("/etc/app.json", req.body);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      3, "config read echoed out; patch body persisted"});
+
+  // --------------------------------------------------------------- D10
+  apps->push_back({
+      "http-camera-proxy", "camera", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let http = require("http");
+  RED.httpNode.on("request", (req, res) => {
+    let upstream = http.request({ host: "cam.internal", method: "POST" });
+    upstream.write(req.body);
+    upstream.end();
+    res.end("proxied");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "proxy: body forwarded to the internal camera service"});
+
+  // --------------------------------------------------------------- D11
+  apps->push_back({
+      "ui-slider-sync", "dashboard", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  function SliderNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    node.on("input", msg => {
+      RED.settings.dashboard.update(config.widget, msg.payload);
+    });
+  }
+  RED.nodes.registerType("ui-slider-sync", SliderNode);
+};
+)",
+      R"([{ "id": "sl", "type": "ui-slider-sync", "config": { "widget": "w1" },
+           "wires": [] }])",
+      "node", "sl", "input", R"({ "payload": "$num" })", StdPolicy("msg"),
+      1, "dashboard widget update through injected settings"});
+
+  // --------------------------------------------------------------- D12
+  apps->push_back({
+      "http-gps-ingest", "mobility", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let sqlite = require("sqlite3");
+  let db = new sqlite.Database("/var/tracks.db");
+  RED.httpNode.on("request", (req, res) => {
+    let parts = req.body.split(",");
+    db.run('INSERT INTO points VALUES (?, ?)', [parts[0], parts[1]]);
+    res.end("point saved");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "GPS coordinates parsed and stored"});
+
+  // --------------------------------------------------------------- D13
+  apps->push_back({
+      "http-intercom", "home", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let mqtt = require("mqtt");
+  let client = mqtt.connect("mqtt://home");
+  let lastMessage = "";
+  RED.httpNode.on("request", (req, res) => {
+    lastMessage = req.body;
+    client.publish("intercom/hall", lastMessage);
+    res.end("announced: " + lastMessage);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      2, "announcement published and echoed"});
+
+  // --------------------------------------------------------------- D14
+  apps->push_back({
+      "http-firmware-check", "utility", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let versions = { cam: "2.1", lock: "1.4", hub: "3.0" };
+  RED.httpNode.on("request", (req, res) => {
+    let device = req.body;
+    let version = versions[device];
+    res.end(device + " -> " + (version ? version : "unsupported"));
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "device name reflected with its firmware version"});
+
+  // --------------------------------------------------------------- D15
+  apps->push_back({
+      "http-guestbook", "dashboard", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  RED.httpNode.on("request", (req, res) => {
+    fs.appendFile("/guests.txt", req.body + "\n", () => {});
+    let everyone = fs.readFileSync("/guests.txt");
+    res.end(everyone);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      2, "append + full read-back of visitor names"});
+
+  // --------------------------------------------------------------- D16
+  apps->push_back({
+      "injected-uplink", "cloud", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  function UplinkNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    // The transport is attached to the node by the runtime after deploy.
+    node.on("input", msg => {
+      node.transport.send({ device: msg.device, reading: msg.payload });
+    });
+  }
+  RED.nodes.registerType("injected-uplink", UplinkNode);
+};
+)",
+      R"([{ "id": "iu", "type": "injected-uplink", "wires": [] }])",
+      "node", "iu", "input", R"({ "payload": "$num", "device": "$id" })",
+      StdPolicy("msg"),
+      1, "sink object attached to the node instance at run time"});
+
+  // --------------------------------------------------------------- D17
+  apps->push_back({
+      "http-token-mint", "access", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let minted = 0;
+  RED.httpNode.on("request", (req, res) => {
+    minted = minted + 1;
+    let token = "tok-" + minted + "-" + req.body.length;
+    res.end(token + " for " + req.body);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "subject identity embedded in the minted token response"});
+
+  // --------------------------------------------------------------- D18
+  apps->push_back({
+      "http-meter-export", "sensor", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let http = require("http");
+  RED.httpNode.on("request", (req, res) => {
+    let out = http.request({ host: "billing.example", method: "POST" });
+    out.end("meter:" + req.body);
+    res.end("exported");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "meter reading exported to a billing endpoint"});
+
+  // --------------------------------------------------------------- D19
+  apps->push_back({
+      "global-blackboard", "gateway", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  function BlackboardNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    node.on("input", msg => {
+      let board = RED.settings.blackboard;
+      board.post(config.lane, msg.payload);
+      node.send({ payload: "posted" });
+    });
+  }
+  RED.nodes.registerType("global-blackboard", BlackboardNode);
+};
+)",
+      R"([{ "id": "bb", "type": "global-blackboard", "config": { "lane": "ops" },
+           "wires": [] }])",
+      "node", "bb", "input", R"({ "payload": "$sentence" })", StdPolicy("msg"),
+      1, "cross-flow blackboard sink injected at run time"});
+
+  // --------------------------------------------------------------- D20
+  apps->push_back({
+      "http-alarm-ack", "security", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  let pending = { a1: "door", a2: "window" };
+  RED.httpNode.on("request", (req, res) => {
+    let alarm = pending[req.body];
+    if (alarm) {
+      delete pending[req.body];
+      fs.appendFile("/alarms/acks.log", req.body + ":" + alarm, () => {});
+      res.end("acked " + alarm);
+    } else {
+      res.end("unknown alarm");
+    }
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      2, "acknowledgement id logged and reflected"});
+
+  // --------------------------------------------------------------- D21
+  apps->push_back({
+      "http-scene-trigger", "home", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let mqtt = require("mqtt");
+  let client = mqtt.connect("mqtt://home");
+  let scenes = { movie: ["light/dim", "blind/down"], away: ["lock/all"] };
+  RED.httpNode.on("request", (req, res) => {
+    let actions = scenes[req.body];
+    if (actions) {
+      for (let a of actions) {
+        client.publish(a, "scene:" + req.body);
+      }
+    }
+    res.end("scene " + req.body);
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      2, "scene name fanned out over device topics"});
+
+  // --------------------------------------------------------------- D22
+  apps->push_back({
+      "http-diagnostics", "utility", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let fs = require("fs");
+  RED.httpNode.on("request", (req, res) => {
+    let log = fs.readFileSync("/var/log/app.log");
+    res.end("tail for " + req.body + ": " + log.slice(-64));
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      2, "internal log contents exposed through the web endpoint"});
+
+  // --------------------------------------------------------------- D23
+  apps->push_back({
+      "injected-notifier", "notification", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  function NotifyNode(config) {
+    RED.nodes.createNode(this, config);
+    let node = this;
+    node.on("input", msg => {
+      // The pager client arrives through deploy-time dependency injection.
+      RED.settings.pager.page(config.oncall, msg.payload);
+      node.send({ payload: "paged" });
+    });
+  }
+  RED.nodes.registerType("injected-notifier", NotifyNode);
+};
+)",
+      R"([{ "id": "nf", "type": "injected-notifier", "config": { "oncall": "ops" },
+           "wires": [] }])",
+      "node", "nf", "input", R"({ "payload": "$sentence" })", StdPolicy("msg"),
+      1, "pager sink injected via settings"});
+
+  // --------------------------------------------------------------- D24
+  apps->push_back({
+      "http-export-csv", "storage", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let sqlite = require("sqlite3");
+  let db = new sqlite.Database("/var/data.db");
+  RED.httpNode.on("request", (req, res) => {
+    db.get("SELECT * FROM readings WHERE id = " + req.body, (err, row) => {
+      res.end(row ? row.id + "," + row.value : "none");
+    });
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      2, "query string into SQL; row data into the response"});
+
+  // --------------------------------------------------------------- D25
+  apps->push_back({
+      "http-ota-push", "utility", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let net = require("net");
+  let device = net.connect(9100, "esp.device");
+  RED.httpNode.on("request", (req, res) => {
+    device.write("OTA:" + req.body);
+    res.end("pushed " + req.body.length + " bytes");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "firmware image pushed to the device socket"});
+
+  // --------------------------------------------------------------- D26
+  apps->push_back({
+      "http-mirror-cluster", "gateway", CorpusBucket::kBothMiss,
+      R"(module.exports = function(RED) {
+  let http = require("http");
+  let peers = ["node-b.local", "node-c.local"];
+  RED.httpNode.on("request", (req, res) => {
+    for (let peer of peers) {
+      let forward = http.request({ host: peer, method: "POST" });
+      forward.end(req.body);
+    }
+    res.end("mirrored to " + peers.length + " peers");
+  });
+};
+)",
+      "[]", "emitter", "red.httpNode", "request", kHttpTemplate, StdPolicy("req"),
+      1, "request body replicated to cluster peers"});
+}
+
+}  // namespace turnstile

@@ -1,0 +1,42 @@
+// Shared helpers for the corpus data files. Internal to src/corpus.
+#ifndef TURNSTILE_SRC_CORPUS_CORPUS_INTERNAL_H_
+#define TURNSTILE_SRC_CORPUS_CORPUS_INTERNAL_H_
+
+#include <string>
+
+#include "src/support/strings.h"
+
+namespace turnstile {
+
+// The placeholder-label policy used across the run-time evaluation (§6.2:
+// "we generated placeholder labels ... such as Alpha and Beta"). The input
+// message is labelled by content; sinks are left unlabelled (fail-open), so
+// the measurement captures pure tracking overhead, not enforcement aborts.
+inline std::string StdPolicy(const std::string& object) {
+  std::string policy = R"json({
+    "labellers": {
+      "inputLabel": { "payload": {
+        "$fn": "p => (String(p).includes(\"employee\") ? \"Alpha\" : \"Beta\")" } }
+    },
+    "rules": ["Alpha -> Beta", "Beta -> Gamma"],
+    "injections": [{ "object": "OBJ", "labeller": "inputLabel" }]
+  })json";
+  return StrReplaceAll(policy, "OBJ", object);
+}
+
+// Policy for apps whose tainted value is a bare string parameter.
+inline std::string BarePolicy(const std::string& object) {
+  std::string policy = R"json({
+    "labellers": {
+      "inputLabel": {
+        "$fn": "p => (String(p).includes(\"employee\") ? \"Alpha\" : \"Beta\")" }
+    },
+    "rules": ["Alpha -> Beta", "Beta -> Gamma"],
+    "injections": [{ "object": "OBJ", "labeller": "inputLabel" }]
+  })json";
+  return StrReplaceAll(policy, "OBJ", object);
+}
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_CORPUS_CORPUS_INTERNAL_H_

@@ -1,0 +1,55 @@
+// Harness that runs corpus applications: original, selectively-managed or
+// exhaustively-managed (§6.2's three versions), feeding generated workload
+// messages and measuring per-message processing cost.
+#ifndef TURNSTILE_SRC_CORPUS_DRIVER_H_
+#define TURNSTILE_SRC_CORPUS_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/dift/tracker.h"
+#include "src/flow/engine.h"
+#include "src/ifc/policy.h"
+#include "src/interp/interp.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+enum class AppVersion { kOriginal, kSelective, kExhaustive };
+
+// A live, runnable instance of a corpus application.
+class AppRuntime {
+ public:
+  // Parses, (optionally) analyzes + instruments, loads the module into a
+  // fresh interpreter/flow engine, instantiates the flow, and installs the
+  // framework-injected runtime objects bucket-D apps rely on.
+  static Result<std::unique_ptr<AppRuntime>> Create(const CorpusApp& app, AppVersion version);
+
+  // Delivers one generated message through the app's entry point and drains
+  // the event loop. Returns an error if the app throws.
+  Status DriveMessage(Rng* rng, int seq);
+
+  // Number of statements/expressions evaluated so far — the deterministic
+  // work metric.
+  uint64_t eval_count() const { return interp_->eval_count(); }
+
+  Interpreter& interp() { return *interp_; }
+  FlowEngine& engine() { return *engine_; }
+  DiftTracker* tracker() { return tracker_.get(); }  // null for kOriginal
+
+ private:
+  AppRuntime() = default;
+
+  const CorpusApp* app_ = nullptr;
+  std::unique_ptr<Interpreter> interp_;
+  std::unique_ptr<FlowEngine> engine_;
+  std::shared_ptr<Policy> policy_;
+  std::unique_ptr<DiftTracker> tracker_;
+  Json message_template_;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_CORPUS_DRIVER_H_

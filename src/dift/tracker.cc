@@ -1,0 +1,555 @@
+#include "src/dift/tracker.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "src/lang/parser.h"
+
+namespace turnstile {
+
+namespace {
+
+Value ArgAt(const std::vector<Value>& args, size_t i) {
+  return i < args.size() ? args[i] : Value::Undefined();
+}
+}  // namespace
+
+DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy)
+    : DiftTracker(interp, std::move(policy), Options()) {}
+
+DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Options options)
+    : interp_(interp), policy_(std::move(policy)), options_(options) {}
+
+// --- label plumbing ----------------------------------------------------------
+
+LabelSet DiftTracker::GetLabel(const Value& v) const {
+  const void* key = v.IdentityKey();
+  if (key == nullptr) {
+    return LabelSet();
+  }
+  auto it = labels_.find(key);
+  return it == labels_.end() ? LabelSet() : it->second;
+}
+
+void DiftTracker::AttachLabel(const Value& v, const LabelSet& labels) {
+  const void* key = v.IdentityKey();
+  if (key == nullptr || labels.empty()) {
+    return;
+  }
+  label_anchors_.try_emplace(key, v);
+  LabelSet& slot = labels_[key];
+  slot.UnionWith(labels);
+}
+
+void DiftTracker::DeepLabelInto(const Value& v, LabelSet* out,
+                                std::unordered_set<const void*>* visited, int depth) const {
+  if (depth < 0) {
+    return;
+  }
+  const void* key = v.IdentityKey();
+  if (key != nullptr) {
+    if (!visited->insert(key).second) {
+      return;
+    }
+    auto it = labels_.find(key);
+    if (it != labels_.end()) {
+      out->UnionWith(it->second);
+    }
+  }
+  if (v.IsObject()) {
+    const ObjectPtr& obj = v.AsObject();
+    if (obj->is_box) {
+      DeepLabelInto(obj->box_payload, out, visited, depth);  // boxes are free
+      return;
+    }
+    for (const auto& [prop_key, prop_value] : obj->properties) {
+      (void)prop_key;
+      DeepLabelInto(prop_value, out, visited, depth - 1);
+    }
+  } else if (v.IsArray()) {
+    for (const Value& element : v.AsArray()->elements) {
+      DeepLabelInto(element, out, visited, depth - 1);
+    }
+  }
+}
+
+LabelSet DiftTracker::DeepLabel(const Value& v, int max_depth) const {
+  LabelSet out;
+  std::unordered_set<const void*> visited;
+  DeepLabelInto(v, &out, &visited, max_depth);
+  return out;
+}
+
+void DiftTracker::InstallProxy(const ObjectPtr& object) {
+  if (object->set_trap) {
+    return;  // already proxied
+  }
+  // Dynamic-property support (§4.4): when a property is created or updated on
+  // a tracked object, the property value's label is folded into the object's
+  // own label so sink checks on the container observe it. Deletion keeps the
+  // container label (conservative — labels only grow, as in the paper).
+  DiftTracker* tracker = this;
+  const void* object_key = object.get();
+  object->set_trap = [tracker, object_key](Object&, const std::string&, const Value& value) {
+    LabelSet value_labels = tracker->GetLabel(value);
+    if (!value_labels.empty()) {
+      tracker->labels_[object_key].UnionWith(value_labels);
+    }
+  };
+  object->delete_trap = [](Object&, const std::string&) {};
+}
+
+// --- labeller evaluation -----------------------------------------------------
+
+Result<FunctionPtr> DiftTracker::CompileLabelFn(const LabellerSpec* spec) {
+  auto cached = compiled_fns_.find(spec);
+  if (cached != compiled_fns_.end()) {
+    return cached->second;
+  }
+  TURNSTILE_ASSIGN_OR_RETURN(program, ParseProgram(spec->fn_source, "<labeller>"));
+  if (program.root->children.size() != 1 ||
+      program.root->children[0]->kind != NodeKind::kExprStmt) {
+    return PolicyError("label function must be a single expression: " + spec->fn_source);
+  }
+  TURNSTILE_ASSIGN_OR_RETURN(
+      completion,
+      interp_->EvalExpression(program.root->children[0]->children[0], interp_->global_env()));
+  if (completion.IsAbrupt() || !completion.value.IsFunction()) {
+    return PolicyError("label function did not evaluate to a function: " + spec->fn_source);
+  }
+  // Keep the AST alive for the closure's lifetime by retaining the function.
+  compiled_fns_[spec] = completion.value.AsFunction();
+  return completion.value.AsFunction();
+}
+
+Result<LabelSet> DiftTracker::LabelsFromValue(const Value& v) {
+  LabelSet out;
+  Value unboxed = UnboxDeep(v);
+  if (unboxed.IsNullish()) {
+    return out;  // labeller declined to label
+  }
+  if (unboxed.IsArray()) {
+    for (const Value& element : unboxed.AsArray()->elements) {
+      Value e = UnboxDeep(element);
+      if (!e.IsNullish()) {
+        out.Insert(policy_->space().Intern(e.ToDisplayString()));
+      }
+    }
+    return out;
+  }
+  out.Insert(policy_->space().Intern(unboxed.ToDisplayString()));
+  return out;
+}
+
+Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
+                                     LabelSet* out_labels) {
+  switch (spec->kind) {
+    case LabellerSpec::Kind::kConst: {
+      LabelSet labels;
+      for (const std::string& name : spec->const_labels) {
+        labels.Insert(policy_->space().Intern(name));
+      }
+      out_labels->UnionWith(labels);
+      if (target.IsValueType()) {
+        ObjectPtr box = MakeObject();
+        box->is_box = true;
+        box->box_payload = target;
+        ++stats_.boxes_created;
+        Value boxed(box);
+        AttachLabel(boxed, labels);
+        return boxed;
+      }
+      AttachLabel(target, labels);
+      if (target.IsObject()) {
+        InstallProxy(target.AsObject());
+      }
+      return target;
+    }
+    case LabellerSpec::Kind::kFn: {
+      TURNSTILE_ASSIGN_OR_RETURN(fn, CompileLabelFn(spec));
+      ++stats_.labeller_fn_evals;
+      TURNSTILE_ASSIGN_OR_RETURN(
+          result, interp_->CallFunction(fn, Value::Undefined(), {UnboxDeep(target)}));
+      TURNSTILE_ASSIGN_OR_RETURN(labels, LabelsFromValue(result));
+      out_labels->UnionWith(labels);
+      if (target.IsValueType()) {
+        if (labels.empty()) {
+          return target;  // nothing to track
+        }
+        ObjectPtr box = MakeObject();
+        box->is_box = true;
+        box->box_payload = target;
+        ++stats_.boxes_created;
+        Value boxed(box);
+        AttachLabel(boxed, labels);
+        return boxed;
+      }
+      AttachLabel(target, labels);
+      if (target.IsObject()) {
+        InstallProxy(target.AsObject());
+      }
+      return target;
+    }
+    case LabellerSpec::Kind::kMap: {
+      Value unboxed = Unbox(target);
+      if (!unboxed.IsArray()) {
+        return target;  // $map on a non-array is a no-op (value may be absent)
+      }
+      LabelSet element_union;
+      auto& elements = unboxed.AsArray()->elements;
+      for (Value& element : elements) {
+        LabelSet element_labels;
+        TURNSTILE_ASSIGN_OR_RETURN(replacement,
+                                   ApplySpec(spec->element.get(), element, &element_labels));
+        element = replacement;
+        element_union.UnionWith(element_labels);
+      }
+      AttachLabel(unboxed, element_union);
+      out_labels->UnionWith(element_union);
+      return target;
+    }
+    case LabellerSpec::Kind::kObject: {
+      Value unboxed = Unbox(target);
+      if (!unboxed.IsObject()) {
+        return target;
+      }
+      const ObjectPtr& obj = unboxed.AsObject();
+      LabelSet field_union;
+      for (const auto& [field, sub_spec] : spec->fields) {
+        if (sub_spec->kind == LabellerSpec::Kind::kInvoke) {
+          // Call-time labeller for obj.field(...): registered, not evaluated.
+          invoke_labellers_[{obj.get(), field}] = sub_spec.get();
+          continue;
+        }
+        Value field_value = obj->Get(field);
+        if (field_value.IsUndefined()) {
+          continue;
+        }
+        LabelSet field_labels;
+        TURNSTILE_ASSIGN_OR_RETURN(replacement,
+                                   ApplySpec(sub_spec.get(), field_value, &field_labels));
+        if (replacement.IdentityKey() != field_value.IdentityKey() ||
+            replacement.IsObject() != field_value.IsObject()) {
+          obj->Set(field, replacement);
+        }
+        field_union.UnionWith(field_labels);
+      }
+      AttachLabel(unboxed, field_union);
+      InstallProxy(obj);
+      out_labels->UnionWith(field_union);
+      return target;
+    }
+    case LabellerSpec::Kind::kInvoke: {
+      // Top-level $invoke: applies to direct calls of the target function or
+      // to any method of the target object.
+      const void* key = target.IdentityKey();
+      if (key != nullptr) {
+        invoke_labellers_[{key, ""}] = spec;
+      }
+      return target;
+    }
+  }
+  return target;
+}
+
+Result<Value> DiftTracker::Label(Value target, const std::string& labeller_name) {
+  ++stats_.label_calls;
+  const LabellerSpec* spec = policy_->FindLabeller(labeller_name);
+  if (spec == nullptr) {
+    return PolicyError("unknown labeller '" + labeller_name + "'");
+  }
+  LabelSet labels;
+  return ApplySpec(spec, std::move(target), &labels);
+}
+
+// --- operations --------------------------------------------------------------
+
+Result<Value> DiftTracker::BinaryOp(const std::string& op, const Value& left,
+                                    const Value& right) {
+  ++stats_.binary_ops;
+  LabelSet labels = LabelSet::Union(GetLabel(left), GetLabel(right));
+  TURNSTILE_ASSIGN_OR_RETURN(completion, interp_->EvalBinary(op, left, right));
+  if (completion.IsAbrupt()) {
+    return RuntimeError("binaryOp threw: " + completion.value.ToDisplayString());
+  }
+  Value result = completion.value;
+  if (labels.empty()) {
+    return result;
+  }
+  if (result.IsValueType()) {
+    ObjectPtr box = MakeObject();
+    box->is_box = true;
+    box->box_payload = result;
+    ++stats_.boxes_created;
+    result = Value(box);
+  }
+  AttachLabel(result, labels);
+  return result;
+}
+
+void DiftTracker::RecordViolation(const std::string& sink, const LabelSet& data,
+                                  const LabelSet& receiver) {
+  ++stats_.violations;
+  Violation violation;
+  violation.time = interp_->VirtualNow();
+  violation.sink = sink;
+  violation.data_labels = data.ToString(policy_->space());
+  violation.receiver_labels = receiver.ToString(policy_->space());
+  violations_.push_back(std::move(violation));
+}
+
+Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
+                                const std::string& sink_name) {
+  ++stats_.checks;
+  LabelSet data_labels = DeepLabel(data);
+  LabelSet receiver_labels = GetLabel(receiver);
+  if (data_labels.empty()) {
+    return true;
+  }
+  if (receiver_labels.empty()) {
+    if (options_.strict_unlabeled_receivers) {
+      RecordViolation(sink_name, data_labels, receiver_labels);
+      return false;
+    }
+    return true;
+  }
+  bool allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels);
+  if (!allowed) {
+    RecordViolation(sink_name, data_labels, receiver_labels);
+  }
+  return allowed;
+}
+
+Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
+                                  std::vector<Value> args) {
+  ++stats_.invokes;
+  TURNSTILE_ASSIGN_OR_RETURN(fn_value, interp_->GetProperty(target, func));
+  Value fn_unboxed = Unbox(fn_value);
+  if (!fn_unboxed.IsFunction()) {
+    return Interpreter::TypeError("invoke: '" + func + "' is not a function");
+  }
+
+  // Receiver label: a registered $invoke labeller wins; otherwise any label
+  // already attached to the receiver object or the function itself.
+  LabelSet receiver_labels;
+  bool receiver_has_labeller = false;
+  const LabellerSpec* invoke_spec = nullptr;
+  const void* target_key = target.IdentityKey();
+  auto it = invoke_labellers_.find({target_key, func});
+  if (it == invoke_labellers_.end()) {
+    it = invoke_labellers_.find({fn_unboxed.IdentityKey(), ""});
+  }
+  if (it == invoke_labellers_.end() && target_key != nullptr) {
+    it = invoke_labellers_.find({target_key, ""});
+  }
+  if (it != invoke_labellers_.end()) {
+    invoke_spec = it->second;
+  }
+  if (invoke_spec != nullptr) {
+    receiver_has_labeller = true;
+    TURNSTILE_ASSIGN_OR_RETURN(label_fn, CompileLabelFn(invoke_spec));
+    ++stats_.labeller_fn_evals;
+    std::vector<Value> unboxed_args;
+    unboxed_args.reserve(args.size());
+    for (const Value& arg : args) {
+      unboxed_args.push_back(UnboxDeep(arg));
+    }
+    TURNSTILE_ASSIGN_OR_RETURN(
+        label_value,
+        interp_->CallFunction(label_fn, Value::Undefined(),
+                              {UnboxDeep(target), Value(MakeArray(unboxed_args))}));
+    TURNSTILE_ASSIGN_OR_RETURN(labels, LabelsFromValue(label_value));
+    receiver_labels = labels;
+  } else {
+    receiver_labels = LabelSet::Union(GetLabel(target), GetLabel(fn_value));
+  }
+
+  // Data label: union over all arguments. Containers tracked by the proxy
+  // mechanism already carry their children's labels, so a depth-2 walk
+  // suffices to cover explicitly nested payloads (msg.payload) without
+  // scanning whole object graphs on every call — except for *untracked*
+  // large containers, which exhaustive instrumentation pays for (§6.2).
+  LabelSet data_labels;
+  for (const Value& arg : args) {
+    data_labels.UnionWith(DeepLabel(arg, 2));
+  }
+
+  bool allowed = true;
+  if (!data_labels.empty()) {
+    if (receiver_labels.empty()) {
+      allowed = !(receiver_has_labeller || options_.strict_unlabeled_receivers);
+    } else {
+      allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels);
+    }
+  }
+  if (!allowed) {
+    RecordViolation(func, data_labels, receiver_labels);
+    if (options_.mode == Options::Mode::kEnforce) {
+      return Value::Undefined();
+    }
+  }
+
+  // Sink natives receive unwrapped values ("unwrapped upon writing to a sink
+  // object", §4.4); everything else — in-language callees and utility natives
+  // such as Array.push — keeps the boxes so tracking continues.
+  std::vector<Value> call_args;
+  call_args.reserve(args.size());
+  if (fn_unboxed.AsFunction()->is_io_sink) {
+    for (Value& arg : args) {
+      call_args.push_back(UnboxDeep(arg));
+    }
+  } else {
+    call_args = std::move(args);
+  }
+  TURNSTILE_ASSIGN_OR_RETURN(result,
+                             interp_->CallFunction(fn_unboxed.AsFunction(), target,
+                                                   std::move(call_args)));
+  // Fig. 5 (invoke): the returned value carries the union of argument labels.
+  if (!data_labels.empty()) {
+    if (result.IsValueType()) {
+      if (!result.IsNullish()) {
+        ObjectPtr box = MakeObject();
+        box->is_box = true;
+        box->box_payload = result;
+        ++stats_.boxes_created;
+        result = Value(box);
+        AttachLabel(result, data_labels);
+      }
+    } else {
+      AttachLabel(result, data_labels);
+    }
+  }
+  return result;
+}
+
+// --- exhaustive tracking -----------------------------------------------------
+
+Value DiftTracker::Track(Value v) {
+  if (v.IsValueType()) {
+    if (v.IsNullish() || v.IsBool()) {
+      return v;  // nothing worth boxing
+    }
+    ObjectPtr box = MakeObject();
+    box->is_box = true;
+    box->box_payload = std::move(v);
+    ++stats_.boxes_created;
+    return Value(box);
+  }
+  // Register reference types in the label map with an empty label set so the
+  // tracker pays the bookkeeping cost of managing them.
+  const void* key = v.IdentityKey();
+  if (key != nullptr) {
+    labels_.try_emplace(key);
+    label_anchors_.try_emplace(key, v);
+    if (v.IsObject() && !v.AsObject()->is_box) {
+      InstallProxy(v.AsObject());
+    }
+  }
+  return v;
+}
+
+Value DiftTracker::TrackDeep(Value v, int depth) {
+  if (depth <= 0) {
+    return Track(std::move(v));
+  }
+  if (v.IsObject() && !v.AsObject()->is_box) {
+    const ObjectPtr& obj = v.AsObject();
+    for (const std::string& prop_key : obj->insertion_order) {
+      auto it = obj->properties.find(prop_key);
+      if (it == obj->properties.end() || it->second.IsFunction()) {
+        continue;
+      }
+      it->second = TrackDeep(it->second, depth - 1);
+    }
+    return Track(std::move(v));
+  }
+  if (v.IsArray()) {
+    for (Value& element : v.AsArray()->elements) {
+      if (!element.IsFunction()) {
+        element = TrackDeep(element, depth - 1);
+      }
+    }
+    return Track(std::move(v));
+  }
+  return Track(std::move(v));
+}
+
+// --- MiniScript bridge -------------------------------------------------------
+
+void DiftTracker::Install() {
+  ObjectPtr dift = MakeObject();
+  dift->debug_tag = "__dift";
+  DiftTracker* tracker = this;
+
+  dift->Set("label", Value(MakeNativeFunction(
+      "__dift.label",
+      [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        return tracker->Label(ArgAt(args, 0), UnboxDeep(ArgAt(args, 1)).ToDisplayString());
+      })));
+
+  dift->Set("binaryOp", Value(MakeNativeFunction(
+      "__dift.binaryOp",
+      [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        return tracker->BinaryOp(UnboxDeep(ArgAt(args, 0)).ToDisplayString(), ArgAt(args, 1),
+                                 ArgAt(args, 2));
+      })));
+
+  dift->Set("check", Value(MakeNativeFunction(
+      "__dift.check",
+      [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        TURNSTILE_ASSIGN_OR_RETURN(
+            allowed, tracker->Check(ArgAt(args, 0), ArgAt(args, 1), "check"));
+        return Value(allowed);
+      })));
+
+  dift->Set("invoke", Value(MakeNativeFunction(
+      "__dift.invoke",
+      [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        Value args_array = ArgAt(args, 2);
+        std::vector<Value> call_args;
+        if (args_array.IsArray()) {
+          call_args = args_array.AsArray()->elements;
+        }
+        return tracker->Invoke(ArgAt(args, 0), UnboxDeep(ArgAt(args, 1)).ToDisplayString(),
+                               std::move(call_args));
+      })));
+
+  dift->Set("violationCount", Value(MakeNativeFunction(
+      "__dift.violationCount",
+      [tracker](Interpreter&, const Value&, std::vector<Value>&) -> Result<Value> {
+        return Value(static_cast<double>(tracker->violations_.size()));
+      })));
+
+  dift->Set("labelsOf", Value(MakeNativeFunction(
+      "__dift.labelsOf",
+      [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        LabelSet labels = tracker->DeepLabel(ArgAt(args, 0));
+        std::vector<Value> names;
+        for (LabelId id : labels.ids()) {
+          names.push_back(Value(tracker->policy_->space().NameOf(id)));
+        }
+        return Value(MakeArray(std::move(names)));
+      })));
+
+  dift->Set("track", Value(MakeNativeFunction(
+      "__dift.track",
+      [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        return tracker->Track(ArgAt(args, 0));
+      })));
+
+  dift->Set("trackDeep", Value(MakeNativeFunction(
+      "__dift.trackDeep",
+      [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        return tracker->TrackDeep(ArgAt(args, 0));
+      })));
+
+  dift->Set("unwrap", Value(MakeNativeFunction(
+      "__dift.unwrap",
+      [](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        return UnboxDeep(ArgAt(args, 0));
+      })));
+
+  interp_->DefineGlobal("__dift", Value(dift));
+}
+
+}  // namespace turnstile

@@ -1,0 +1,142 @@
+// The Inlined Dynamic Information Flow Tracker (§4.4).
+//
+// The tracker is registered into the interpreter as an ordinary global object
+// named `__dift`, exactly as the paper inlines a minified tracker + policy
+// into the instrumented application (Fig. 2b line 1). The interpreter core
+// has no IFC knowledge: everything here goes through public interpreter APIs,
+// which is the reproduction of the paper's platform-independence property.
+//
+// Implemented semantics (Fig. 5):
+//   label(v, l)        —  v ↦ l(v)
+//   binaryOp(⊙, v1,v2) —  v3 = v1 ⊙ v2,  v3 ↦ P1 ∪ P2
+//   assignment         —  handled structurally: labels ride on object
+//                         identity; value types are boxed
+//   invoke(f, v...)    —  check ∀args ⊑ receiver, call, result ↦ ∪ Pi
+//   check(d, r)        —  rule query without a call
+#ifndef TURNSTILE_SRC_DIFT_TRACKER_H_
+#define TURNSTILE_SRC_DIFT_TRACKER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/ifc/policy.h"
+#include "src/interp/interp.h"
+
+namespace turnstile {
+
+// A recorded policy violation.
+struct Violation {
+  double time = 0.0;         // virtual time
+  std::string sink;          // function / receiver description
+  std::string data_labels;   // rendered label sets (diagnostics)
+  std::string receiver_labels;
+};
+
+// Tracker statistics — used by the ablation benches.
+struct TrackerStats {
+  uint64_t label_calls = 0;
+  uint64_t binary_ops = 0;
+  uint64_t checks = 0;
+  uint64_t invokes = 0;
+  uint64_t boxes_created = 0;
+  uint64_t violations = 0;
+  uint64_t labeller_fn_evals = 0;
+};
+
+class DiftTracker {
+ public:
+  struct Options {
+    // kReport records violations but lets the flow proceed; kEnforce blocks
+    // the offending call (invoke returns undefined).
+    enum class Mode { kReport, kEnforce };
+    Mode mode = Mode::kEnforce;
+    // When true, flows into receivers with no label information are treated
+    // as violations (fail-closed). Default fail-open: selective
+    // instrumentation routinely wraps calls whose receiver is unmanaged.
+    bool strict_unlabeled_receivers = false;
+  };
+
+  DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy);
+  DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Options options);
+
+  // Defines the `__dift` global. Call once before running the program.
+  void Install();
+
+  // --- the Table 1 API (also exposed to MiniScript) -------------------------
+
+  // Evaluates the named labeller against `target` and attaches the resulting
+  // label. Returns the (possibly boxed) managed value that must replace
+  // `target` in the program.
+  Result<Value> Label(Value target, const std::string& labeller_name);
+
+  // v1 ⊙ v2 with compound labelling of the result.
+  Result<Value> BinaryOp(const std::string& op, const Value& left, const Value& right);
+
+  // Pure rule query; records a violation when the flow is forbidden.
+  Result<bool> Check(const Value& data, const Value& receiver, const std::string& sink_name);
+
+  // Checked call: verifies args ⊑ receiver, invokes target[func](args) with
+  // unwrapped arguments, labels the result with the union of argument labels.
+  Result<Value> Invoke(const Value& target, const std::string& func, std::vector<Value> args);
+
+  // Pure tracking (exhaustive instrumentation): registers `v` in the label
+  // map without assigning labels, boxing value types. TrackDeep additionally
+  // boxes every value-type property/element reachable from `v` — this is the
+  // cost model for exhaustively-managed applications (§6.2: nlp.js converts
+  // every dictionary string into a heap-allocated object).
+  Value Track(Value v);
+  Value TrackDeep(Value v, int depth = 4);
+
+  // --- label plumbing --------------------------------------------------------
+
+  // Label attached directly to `v` (empty when untracked).
+  LabelSet GetLabel(const Value& v) const;
+  // Label of `v` including labels reachable through its properties/elements,
+  // down to `max_depth`. Containers labelled via label()/proxies already
+  // carry their children's union at depth 0; the default covers explicitly
+  // nested data (msg.payload) without walking entire object graphs.
+  LabelSet DeepLabel(const Value& v, int max_depth = 8) const;
+  void AttachLabel(const Value& v, const LabelSet& labels);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  const TrackerStats& stats() const { return stats_; }
+  Policy& policy() { return *policy_; }
+  size_t tracked_count() const { return labels_.size(); }
+
+ private:
+  Result<Value> ApplySpec(const LabellerSpec* spec, Value target, LabelSet* out_labels);
+  Result<FunctionPtr> CompileLabelFn(const LabellerSpec* spec);
+  Result<LabelSet> LabelsFromValue(const Value& v);  // fn result -> LabelSet
+  void DeepLabelInto(const Value& v, LabelSet* out,
+                     std::unordered_set<const void*>* visited, int depth) const;
+  void RecordViolation(const std::string& sink, const LabelSet& data,
+                       const LabelSet& receiver);
+  // Installs the set-trap proxy on a tracked object (dynamic property
+  // support, §4.4).
+  void InstallProxy(const ObjectPtr& object);
+
+  Interpreter* interp_;
+  std::shared_ptr<Policy> policy_;
+  Options options_;
+  // The global label map (§4.4), keyed by object identity. Entries retain the
+  // tracked value itself: identity keys are raw addresses, and without
+  // retention a freed object's entry could be inherited by a new allocation
+  // at the same address. (JavaScript's Map has the same strong-retention
+  // semantics the paper relies on.)
+  std::unordered_map<const void*, LabelSet> labels_;
+  std::unordered_map<const void*, Value> label_anchors_;
+  // ($invoke labellers) keyed by object identity + method name.
+  std::map<std::pair<const void*, std::string>, const LabellerSpec*> invoke_labellers_;
+  std::unordered_map<const LabellerSpec*, FunctionPtr> compiled_fns_;
+  std::vector<Violation> violations_;
+  TrackerStats stats_;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_DIFT_TRACKER_H_

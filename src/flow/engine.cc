@@ -1,0 +1,219 @@
+#include "src/flow/engine.h"
+
+#include "src/lang/parser.h"
+
+namespace turnstile {
+
+namespace {
+Value ArgAt(const std::vector<Value>& args, size_t i) {
+  return i < args.size() ? args[i] : Value::Undefined();
+}
+}  // namespace
+
+FlowEngine::FlowEngine(Interpreter* interp) : interp_(interp) {
+  red_ = MakeRedGlobal();
+  interp_->DefineGlobal("RED", Value(red_));
+}
+
+ObjectPtr FlowEngine::MakeRedGlobal() {
+  ObjectPtr red = MakeObject();
+  red->debug_tag = "RED";
+  ObjectPtr nodes = MakeObject();
+  FlowEngine* engine = this;
+
+  nodes->Set("createNode", Value(MakeNativeFunction(
+      "RED.nodes.createNode",
+      [](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        Value target = Unbox(ArgAt(args, 0));
+        if (target.IsObject()) {
+          target.AsObject()->Set("__red", Value(true));
+          Value config = Unbox(ArgAt(args, 1));
+          if (config.IsObject()) {
+            target.AsObject()->Set("config", config);
+          }
+        }
+        return Value::Undefined();
+      })));
+
+  nodes->Set("registerType", Value(MakeNativeFunction(
+      "RED.nodes.registerType",
+      [engine](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        Value name = Unbox(ArgAt(args, 0));
+        Value ctor = Unbox(ArgAt(args, 1));
+        if (!name.IsString() || !ctor.IsFunction()) {
+          return Interpreter::TypeError("registerType(name, constructor)");
+        }
+        engine->types_[name.AsString()] = ctor.AsFunction();
+        return Value::Undefined();
+      })));
+
+  red->Set("nodes", Value(nodes));
+  // RED.httpNode: an emitter the runtime wires up dynamically — exactly the
+  // object whose flows static analysis cannot see (§6.1).
+  red->Set("httpNode", Value(MakeEmitterObject(*interp_, "red.httpNode")));
+  ObjectPtr util = MakeObject();
+  util->Set("cloneMessage", Value(MakeNativeFunction(
+      "RED.util.cloneMessage",
+      [](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
+        Value msg = Unbox(ArgAt(args, 0));
+        if (!msg.IsObject()) {
+          return msg;
+        }
+        ObjectPtr copy = MakeObject();
+        for (const std::string& key : msg.AsObject()->insertion_order) {
+          if (msg.AsObject()->Has(key)) {
+            copy->Set(key, msg.AsObject()->Get(key));
+          }
+        }
+        return Value(copy);
+      })));
+  red->Set("util", Value(util));
+  return red;
+}
+
+Status FlowEngine::LoadModule(const std::string& source, const std::string& source_name) {
+  TURNSTILE_ASSIGN_OR_RETURN(program, ParseProgram(source, source_name));
+  return LoadModule(program);
+}
+
+Status FlowEngine::LoadModule(const Program& program) {
+  // Provide a fresh `module` object, run the module body, then call
+  // module.exports(RED).
+  ObjectPtr module = MakeObject();
+  module->debug_tag = "module";
+  interp_->DefineGlobal("module", Value(module));
+  TURNSTILE_RETURN_IF_ERROR(interp_->RunProgram(program));
+  Value exports = module->Get("exports");
+  exports = Unbox(exports);
+  if (exports.IsFunction()) {
+    TURNSTILE_ASSIGN_OR_RETURN(
+        unused, interp_->CallFunction(exports.AsFunction(), Value::Undefined(), {Value(red_)}));
+    (void)unused;
+  }
+  return Status::Ok();
+}
+
+ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
+                                     const std::vector<std::string>& wires) {
+  ObjectPtr node = MakeEmitterObject(*interp_, "rednode");
+  node->Set("id", Value(id));
+  FlowEngine* engine = this;
+
+  node->Set("send", Value(MakeNativeFunction(
+      "node.send", [engine, id, wires](Interpreter& in, const Value&,
+                                       std::vector<Value>& args) -> Result<Value> {
+        Value msg = ArgAt(args, 0);
+        // Multi-message send: an array fans out each element to every wire.
+        std::vector<Value> messages;
+        Value unboxed = Unbox(msg);
+        if (unboxed.IsArray()) {
+          messages = unboxed.AsArray()->elements;
+        } else {
+          messages.push_back(msg);
+        }
+        if (wires.empty()) {
+          engine->terminal_sends_ += static_cast<int>(messages.size());
+          return Value::Undefined();
+        }
+        for (const std::string& target_id : wires) {
+          auto it = engine->nodes_.find(target_id);
+          if (it == engine->nodes_.end()) {
+            continue;
+          }
+          for (const Value& m : messages) {
+            in.EmitEvent(it->second, "input", {m});
+            ++engine->messages_routed_;
+          }
+        }
+        return Value::Undefined();
+      })));
+
+  auto noop = [](Interpreter&, const Value&, std::vector<Value>&) -> Result<Value> {
+    return Value::Undefined();
+  };
+  node->Set("status", Value(MakeNativeFunction("node.status", noop)));
+  auto log_fn = [id](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+    in.io_world().Record(in.VirtualNow(), "console", "node.log", id,
+                         UnboxDeep(ArgAt(args, 0)).ToDisplayString());
+    return Value::Undefined();
+  };
+  node->Set("log", Value(MakeNativeFunction("node.log", log_fn)));
+  node->Set("warn", Value(MakeNativeFunction("node.warn", log_fn)));
+  node->Set("error", Value(MakeNativeFunction("node.error", log_fn)));
+  return node;
+}
+
+Status FlowEngine::InstantiateFlow(const Json& flow) {
+  if (!flow.is_array()) {
+    return InvalidArgumentError("flow spec must be an array of node objects");
+  }
+  // First pass: create node objects so wiring targets exist.
+  for (const Json& spec : flow.array_items()) {
+    std::string id = spec.GetString("id");
+    if (id.empty()) {
+      return InvalidArgumentError("flow node needs an id");
+    }
+    std::vector<std::string> wires;
+    for (const Json& wire : spec["wires"].is_array() ? spec["wires"].array_items()
+                                                     : JsonArray{}) {
+      if (wire.is_string()) {
+        wires.push_back(wire.string_value());
+      }
+    }
+    wires_[id] = wires;
+    nodes_[id] = MakeNodeObject(id, wires);
+  }
+  // Second pass: run constructors.
+  for (const Json& spec : flow.array_items()) {
+    std::string id = spec.GetString("id");
+    std::string type = spec.GetString("type");
+    auto ctor = types_.find(type);
+    if (ctor == types_.end()) {
+      return NotFoundError("flow references unregistered node type '" + type + "'");
+    }
+    // Build the config object from the spec.
+    ObjectPtr config = MakeObject();
+    config->Set("id", Value(id));
+    const Json& config_json = spec["config"];
+    if (config_json.is_object()) {
+      for (const auto& [key, value] : config_json.object_items()) {
+        if (value.is_string()) {
+          config->Set(key, Value(value.string_value()));
+        } else if (value.is_number()) {
+          config->Set(key, Value(value.number_value()));
+        } else if (value.is_bool()) {
+          config->Set(key, Value(value.bool_value()));
+        }
+      }
+    }
+    TURNSTILE_ASSIGN_OR_RETURN(
+        unused, interp_->CallFunction(ctor->second, Value(nodes_[id]), {Value(config)}));
+    (void)unused;
+  }
+  return Status::Ok();
+}
+
+Status FlowEngine::InjectInput(const std::string& node_id, Value msg) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) {
+    return NotFoundError("unknown flow node '" + node_id + "'");
+  }
+  interp_->EmitEvent(it->second, "input", {std::move(msg)});
+  return Status::Ok();
+}
+
+ObjectPtr FlowEngine::FindNode(const std::string& node_id) const {
+  auto it = nodes_.find(node_id);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> FlowEngine::registered_types() const {
+  std::vector<std::string> out;
+  for (const auto& [name, ctor] : types_) {
+    (void)ctor;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace turnstile

@@ -1,0 +1,83 @@
+// RedFlow — the Node-RED-like flow framework substrate (§5).
+//
+// Node-RED applications are modules of the shape
+//
+//   module.exports = function(RED) {
+//     function MyNode(config) {
+//       RED.nodes.createNode(this, config);
+//       let node = this;
+//       node.on("input", msg => { ...; node.send(out); });
+//     }
+//     RED.nodes.registerType("my-type", MyNode);
+//   };
+//
+// and a *flow* instantiates registered node types and wires them into a DAG.
+// RedFlow executes such modules on the MiniScript interpreter: it provides
+// the RED global, instantiates flows from a JSON spec, and routes node.send()
+// messages along wires through the interpreter's event loop. Instrumented
+// and original modules run identically (the engine knows nothing about
+// __dift), which is the non-invasiveness property the case study (§5)
+// demonstrates.
+#ifndef TURNSTILE_SRC_FLOW_ENGINE_H_
+#define TURNSTILE_SRC_FLOW_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+class FlowEngine {
+ public:
+  explicit FlowEngine(Interpreter* interp);
+
+  // Parses and executes a Node-RED module, then calls module.exports(RED).
+  // Node types registered via RED.nodes.registerType become available to
+  // InstantiateFlow. `source_name` feeds diagnostics and policy file
+  // matching.
+  Status LoadModule(const std::string& source, const std::string& source_name);
+
+  // Same, for an already-parsed (e.g. instrumented) program.
+  Status LoadModule(const Program& program);
+
+  // Instantiates a flow: [{ "id": "n1", "type": "camera-in",
+  //                         "config": {...}, "wires": ["n2"] }, ...].
+  // Constructors run immediately; event handlers land in the event loop.
+  Status InstantiateFlow(const Json& flow);
+
+  // Enqueues an input message for a node (the Inject-node equivalent).
+  // Call interp->RunEventLoop() to process.
+  Status InjectInput(const std::string& node_id, Value msg);
+
+  // The node instance object (for assertions), or nullptr.
+  ObjectPtr FindNode(const std::string& node_id) const;
+
+  // Registered node type names.
+  std::vector<std::string> registered_types() const;
+
+  // Total node.send() deliveries routed along wires.
+  int messages_routed() const { return messages_routed_; }
+  // Messages sent from nodes with no outgoing wires (flow outputs).
+  int terminal_sends() const { return terminal_sends_; }
+
+ private:
+  ObjectPtr MakeRedGlobal();
+  ObjectPtr MakeNodeObject(const std::string& id, const std::vector<std::string>& wires);
+
+  Interpreter* interp_;
+  ObjectPtr red_;                                       // the RED global
+  std::unordered_map<std::string, FunctionPtr> types_;  // type -> constructor
+  std::unordered_map<std::string, ObjectPtr> nodes_;    // id -> instance
+  std::unordered_map<std::string, std::vector<std::string>> wires_;
+  int messages_routed_ = 0;
+  int terminal_sends_ = 0;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_FLOW_ENGINE_H_

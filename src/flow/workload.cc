@@ -1,0 +1,122 @@
+#include "src/flow/workload.h"
+
+#include <algorithm>
+
+namespace turnstile {
+
+namespace {
+
+Value ExpandPlaceholder(const std::string& token, Rng* rng, int seq) {
+  if (token == "$frame") {
+    // Frame content varies: ~40% contain an employee face, ~30% a visitor,
+    // ~30% no face — so value-dependent labellers exercise all branches.
+    double roll = rng->NextDouble();
+    std::string face = roll < 0.4 ? "employee:u" + std::to_string(rng->NextBelow(20))
+                      : roll < 0.7 ? "visitor:anon" + std::to_string(rng->NextBelow(50))
+                                   : "empty";
+    std::string pixels;
+    for (int i = 0; i < 12; ++i) {
+      pixels += rng->NextWord(24);
+    }
+    return Value("frame#" + std::to_string(seq) + "|" + face + "|" + pixels);
+  }
+  if (token == "$word") {
+    return Value(rng->NextWord(3 + rng->NextBelow(8)));
+  }
+  if (token == "$sentence") {
+    std::string out;
+    size_t words = 24 + rng->NextBelow(16);
+    for (size_t i = 0; i < words; ++i) {
+      if (i > 0) {
+        out += " ";
+      }
+      out += rng->NextWord(2 + rng->NextBelow(7));
+    }
+    return Value(out);
+  }
+  if (token == "$num") {
+    return Value(static_cast<double>(rng->NextBelow(100)));
+  }
+  if (token == "$id") {
+    return Value("dev" + std::to_string(rng->NextBelow(100)));
+  }
+  if (token == "$email") {
+    return Value(rng->NextWord(6) + "@example.com");
+  }
+  if (token == "$topic") {
+    return Value("site/" + rng->NextWord(4) + "/" + rng->NextWord(6));
+  }
+  if (token == "$seq") {
+    return Value(static_cast<double>(seq));
+  }
+  if (token == "$json") {
+    std::string blob;
+    for (int i = 0; i < 10; ++i) {
+      blob += ",\"f" + std::to_string(i) + "\":\"" + rng->NextWord(18) + "\"";
+    }
+    return Value("{\"v\":" + std::to_string(rng->NextBelow(1000)) + blob + "}");
+  }
+  return Value(token);  // unknown placeholder: literal
+}
+
+Value FromTemplate(const Json& json, Rng* rng, int seq) {
+  switch (json.type()) {
+    case Json::Type::kNull:
+      return Value::Null();
+    case Json::Type::kBool:
+      return Value(json.bool_value());
+    case Json::Type::kNumber:
+      return Value(json.number_value());
+    case Json::Type::kString: {
+      const std::string& s = json.string_value();
+      if (!s.empty() && s[0] == '$') {
+        return ExpandPlaceholder(s, rng, seq);
+      }
+      return Value(s);
+    }
+    case Json::Type::kArray: {
+      std::vector<Value> elements;
+      for (const Json& item : json.array_items()) {
+        elements.push_back(FromTemplate(item, rng, seq));
+      }
+      return Value(MakeArray(std::move(elements)));
+    }
+    case Json::Type::kObject: {
+      ObjectPtr object = MakeObject();
+      for (const auto& [key, item] : json.object_items()) {
+        object->Set(key, FromTemplate(item, rng, seq));
+      }
+      return Value(object);
+    }
+  }
+  return Value::Undefined();
+}
+
+}  // namespace
+
+Value GenerateMessage(const Json& message_template, Rng* rng, int seq) {
+  return FromTemplate(message_template, rng, seq);
+}
+
+double StreamCompletionTime(const std::vector<double>& proc_seconds, double rate_hz) {
+  double finish = 0.0;
+  const double period = rate_hz > 0 ? 1.0 / rate_hz : 0.0;
+  for (size_t i = 0; i < proc_seconds.size(); ++i) {
+    double arrival = static_cast<double>(i) * period;
+    double start = std::max(arrival, finish);
+    finish = start + proc_seconds[i];
+  }
+  return finish;
+}
+
+double RelativeRuntime(const std::vector<double>& managed_proc,
+                       const std::vector<double>& original_proc, double rate_hz) {
+  double managed = StreamCompletionTime(managed_proc, rate_hz);
+  double original = StreamCompletionTime(original_proc, rate_hz);
+  if (original <= 0.0) {
+    return 1.0;
+  }
+  return managed / original;
+}
+
+}  // namespace turnstile

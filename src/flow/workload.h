@@ -1,0 +1,47 @@
+// Workload synthesis for the §6.2 evaluation: generates per-application input
+// message streams from a JSON template, and models streaming completion time
+// at a fixed input rate.
+#ifndef TURNSTILE_SRC_FLOW_WORKLOAD_H_
+#define TURNSTILE_SRC_FLOW_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/interp/value.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+
+namespace turnstile {
+
+// Builds a message Value from a JSON template. String fields beginning with
+// '$' expand to synthetic data (deterministic per (rng, seq)):
+//   "$frame"    — simulated camera frame bytes with varying face content
+//   "$word"     — a random word
+//   "$sentence" — several words (voice-assistant text)
+//   "$num"      — a number in [0, 100)
+//   "$id"       — "devNN" style identifier
+//   "$email"    — a recipient address
+//   "$topic"    — an mqtt-ish topic path
+//   "$seq"      — the message sequence number
+//   "$json"     — a small JSON document as a string
+// Everything else is copied literally.
+Value GenerateMessage(const Json& message_template, Rng* rng, int seq);
+
+// Streaming-time model. Messages arrive at `rate_hz`; message i is processed
+// for proc_seconds[i] (measured on the real interpreter). Processing is
+// serial and work-conserving:
+//     start_i  = max(i / rate_hz, finish_{i-1})
+//     finish_i = start_i + proc_seconds[i]
+// Returns finish of the last message — the end-to-end time the paper's E2
+// experiment measures by actually streaming for that long. The queueing
+// behaviour (overhead hidden at low rates, exposed at high rates) is
+// identical; see DESIGN.md §1.
+double StreamCompletionTime(const std::vector<double>& proc_seconds, double rate_hz);
+
+// Relative run-time t/t_og at a rate (the y-axis of Figs. 11 and 12).
+double RelativeRuntime(const std::vector<double>& managed_proc,
+                       const std::vector<double>& original_proc, double rate_hz);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_FLOW_WORKLOAD_H_

@@ -1,0 +1,69 @@
+#include "src/ifc/label.h"
+
+#include <algorithm>
+
+namespace turnstile {
+
+LabelId LabelSpace::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.push_back(name);
+  ids_[name] = id;
+  return id;
+}
+
+int LabelSpace::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : static_cast<int>(it->second);
+}
+
+LabelSet::LabelSet(std::vector<LabelId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool LabelSet::Contains(LabelId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool LabelSet::IsSubsetOf(const LabelSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(), ids_.end());
+}
+
+void LabelSet::Insert(LabelId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) {
+    ids_.insert(it, id);
+  }
+}
+
+void LabelSet::UnionWith(const LabelSet& other) {
+  std::vector<LabelId> merged;
+  merged.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                 std::back_inserter(merged));
+  ids_ = std::move(merged);
+}
+
+LabelSet LabelSet::Union(const LabelSet& a, const LabelSet& b) {
+  LabelSet out = a;
+  out.UnionWith(b);
+  return out;
+}
+
+std::string LabelSet::ToString(const LabelSpace& space) const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += space.NameOf(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace turnstile

@@ -1,0 +1,64 @@
+// Privacy labels and compound labels (label sets).
+//
+// Following §2 of the paper: each object carries a set of privacy labels; a
+// singleton set is an atomic label, and operations over labelled values union
+// the sets (Denning's lattice model).
+#ifndef TURNSTILE_SRC_IFC_LABEL_H_
+#define TURNSTILE_SRC_IFC_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace turnstile {
+
+using LabelId = uint16_t;
+
+// Interns label names to dense ids. One LabelSpace per policy.
+class LabelSpace {
+ public:
+  // Returns the id for `name`, interning it on first use.
+  LabelId Intern(const std::string& name);
+  // Returns the id for `name` or -1 when unknown.
+  int Find(const std::string& name) const;
+  const std::string& NameOf(LabelId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+// An immutable-ish set of label ids, kept sorted and deduplicated.
+class LabelSet {
+ public:
+  LabelSet() = default;
+  explicit LabelSet(std::vector<LabelId> ids);
+  static LabelSet Single(LabelId id) { return LabelSet({id}); }
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+  const std::vector<LabelId>& ids() const { return ids_; }
+
+  bool Contains(LabelId id) const;
+  bool IsSubsetOf(const LabelSet& other) const;
+
+  // Adds `id`, keeping the set sorted.
+  void Insert(LabelId id);
+  // Set union (the compound-label operation of Fig. 5).
+  void UnionWith(const LabelSet& other);
+  static LabelSet Union(const LabelSet& a, const LabelSet& b);
+
+  bool operator==(const LabelSet& other) const { return ids_ == other.ids_; }
+
+  // "{employee, customer}" or "{}" — for diagnostics.
+  std::string ToString(const LabelSpace& space) const;
+
+ private:
+  std::vector<LabelId> ids_;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_IFC_LABEL_H_

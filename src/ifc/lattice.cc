@@ -1,0 +1,138 @@
+#include "src/ifc/lattice.h"
+
+#include <deque>
+
+#include "src/support/strings.h"
+
+namespace turnstile {
+
+void RuleGraph::AddRule(const std::string& from, const std::string& to) {
+  LabelId from_id = space_->Intern(from);
+  LabelId to_id = space_->Intern(to);
+  std::vector<LabelId>& out = edges_[from_id];
+  for (LabelId existing : out) {
+    if (existing == to_id) {
+      return;  // duplicate rule
+    }
+  }
+  out.push_back(to_id);
+  ++edge_total_;
+  reach_cache_.clear();
+}
+
+Status RuleGraph::AddRuleChain(const std::string& chain) {
+  std::vector<std::string> parts;
+  for (const std::string& piece : StrSplit(chain, '>')) {
+    std::string_view trimmed = StrTrim(piece);
+    if (!trimmed.empty() && trimmed.back() == '-') {
+      trimmed.remove_suffix(1);
+      trimmed = StrTrim(trimmed);
+    }
+    if (trimmed.empty()) {
+      return PolicyError("malformed rule '" + chain + "'");
+    }
+    parts.emplace_back(trimmed);
+  }
+  if (parts.size() < 2) {
+    return PolicyError("rule must have at least two labels: '" + chain + "'");
+  }
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    AddRule(parts[i], parts[i + 1]);
+  }
+  return Status::Ok();
+}
+
+const std::vector<LabelId>& RuleGraph::successors(LabelId id) const {
+  static const std::vector<LabelId> kEmpty;
+  auto it = edges_.find(id);
+  return it == edges_.end() ? kEmpty : it->second;
+}
+
+Status RuleGraph::Validate() const {
+  // Iterative three-color DFS over every interned label.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(space_->size(), Color::kWhite);
+  for (LabelId start = 0; start < space_->size(); ++start) {
+    if (color[start] != Color::kWhite) {
+      continue;
+    }
+    // Stack of (node, next-successor-index).
+    std::vector<std::pair<LabelId, size_t>> stack = {{start, 0}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, index] = stack.back();
+      const std::vector<LabelId>& succ = successors(node);
+      if (index >= succ.size()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      LabelId next = succ[index++];
+      if (color[next] == Color::kGray) {
+        return PolicyError("privacy rules contain a cycle through label '" +
+                           space_->NameOf(next) + "'");
+      }
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.push_back({next, 0});
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool RuleGraph::CanFlowLabel(LabelId from, LabelId to) const {
+  if (from == to) {
+    return true;
+  }
+  uint32_t key = (static_cast<uint32_t>(from) << 16) | to;
+  auto cached = reach_cache_.find(key);
+  if (cached != reach_cache_.end()) {
+    return cached->second;
+  }
+  // BFS — O(V + E) on the first query for this pair.
+  std::vector<bool> visited(space_->size(), false);
+  std::deque<LabelId> frontier = {from};
+  visited[from] = true;
+  bool reachable = false;
+  while (!frontier.empty()) {
+    LabelId node = frontier.front();
+    frontier.pop_front();
+    if (node == to) {
+      reachable = true;
+      break;
+    }
+    for (LabelId next : successors(node)) {
+      if (!visited[next]) {
+        visited[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  reach_cache_[key] = reachable;
+  return reachable;
+}
+
+bool RuleGraph::CanFlowSet(const LabelSet& data, const LabelSet& receiver) const {
+  if (data.empty()) {
+    return true;
+  }
+  if (receiver.empty()) {
+    return false;
+  }
+  for (LabelId from : data.ids()) {
+    bool ok = false;
+    for (LabelId to : receiver.ids()) {
+      if (CanFlowLabel(from, to)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace turnstile

@@ -1,0 +1,56 @@
+// The privacy-rule DAG (§4.3): nodes are labels, a directed edge A → B means
+// "A may flow to B" (B is at least as private as A). Flow queries walk the
+// DAG; the first query for a pair costs O(V+E) and the result is cached so
+// subsequent queries are O(1), exactly as the paper describes.
+#ifndef TURNSTILE_SRC_IFC_LATTICE_H_
+#define TURNSTILE_SRC_IFC_LATTICE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ifc/label.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+class RuleGraph {
+ public:
+  explicit RuleGraph(LabelSpace* space) : space_(space) {}
+
+  // Adds the rule `from -> to`. Invalidates the reachability cache.
+  void AddRule(const std::string& from, const std::string& to);
+
+  // Parses a chain rule string "A -> B -> C" into pairwise edges.
+  Status AddRuleChain(const std::string& chain);
+
+  // Returns an error naming a label on a cycle if the graph is cyclic
+  // (an invalid policy per §4.3).
+  Status Validate() const;
+
+  // True when label `from` may flow to label `to` (reflexive + path).
+  bool CanFlowLabel(LabelId from, LabelId to) const;
+
+  // Compound-label flow check: every label of `data` must be allowed to flow
+  // to at least one label of `receiver`. With the subset rule X ⊑ Y iff
+  // X ⊆ Y as a special case (identity paths), this extends Denning's model
+  // with the DAG hierarchy. An empty `data` set always flows; a non-empty
+  // `data` set never flows into an empty `receiver` set.
+  bool CanFlowSet(const LabelSet& data, const LabelSet& receiver) const;
+
+  size_t edge_count() const { return edge_total_; }
+  size_t cache_size() const { return reach_cache_.size(); }
+  const std::vector<LabelId>& successors(LabelId id) const;
+  LabelSpace* space() { return space_; }
+
+ private:
+  LabelSpace* space_;
+  std::unordered_map<LabelId, std::vector<LabelId>> edges_;
+  size_t edge_total_ = 0;
+  // (from << 16 | to) -> reachable. Mutable: queries are logically const.
+  mutable std::unordered_map<uint32_t, bool> reach_cache_;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_IFC_LATTICE_H_

@@ -1,0 +1,142 @@
+#include "src/ifc/policy.h"
+
+namespace turnstile {
+
+Result<std::shared_ptr<LabellerSpec>> LabellerSpec::FromJson(const Json& json) {
+  auto spec = std::make_shared<LabellerSpec>();
+  if (json.is_string()) {
+    // Shorthand: "L" means {"$const": "L"}.
+    spec->kind = Kind::kConst;
+    spec->const_labels.push_back(json.string_value());
+    return spec;
+  }
+  if (!json.is_object()) {
+    return PolicyError("labeller spec must be an object or a label string");
+  }
+  if (json.Has("$fn")) {
+    spec->kind = Kind::kFn;
+    if (!json["$fn"].is_string()) {
+      return PolicyError("$fn must be MiniScript source text");
+    }
+    spec->fn_source = json["$fn"].string_value();
+    return spec;
+  }
+  if (json.Has("$invoke")) {
+    spec->kind = Kind::kInvoke;
+    if (!json["$invoke"].is_string()) {
+      return PolicyError("$invoke must be MiniScript source text");
+    }
+    spec->fn_source = json["$invoke"].string_value();
+    return spec;
+  }
+  if (json.Has("$const")) {
+    spec->kind = Kind::kConst;
+    const Json& labels = json["$const"];
+    if (labels.is_string()) {
+      spec->const_labels.push_back(labels.string_value());
+    } else if (labels.is_array()) {
+      for (const Json& item : labels.array_items()) {
+        if (!item.is_string()) {
+          return PolicyError("$const entries must be label names");
+        }
+        spec->const_labels.push_back(item.string_value());
+      }
+    } else {
+      return PolicyError("$const must be a label name or a list of names");
+    }
+    return spec;
+  }
+  if (json.Has("$map")) {
+    spec->kind = Kind::kMap;
+    TURNSTILE_ASSIGN_OR_RETURN(element, LabellerSpec::FromJson(json["$map"]));
+    spec->element = std::move(element);
+    return spec;
+  }
+  // Plain object: property traversal.
+  spec->kind = Kind::kObject;
+  for (const auto& [key, value] : json.object_items()) {
+    TURNSTILE_ASSIGN_OR_RETURN(field, LabellerSpec::FromJson(value));
+    spec->fields.emplace_back(key, std::move(field));
+  }
+  if (spec->fields.empty()) {
+    return PolicyError("empty labeller spec");
+  }
+  return spec;
+}
+
+Result<std::unique_ptr<Policy>> Policy::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return PolicyError("policy root must be an object");
+  }
+  auto policy = std::make_unique<Policy>();
+
+  const Json& labellers = json["labellers"];
+  if (labellers.is_object()) {
+    for (const auto& [name, spec_json] : labellers.object_items()) {
+      TURNSTILE_ASSIGN_OR_RETURN(spec, LabellerSpec::FromJson(spec_json));
+      policy->labellers_[name] = std::move(spec);
+    }
+  }
+
+  const Json& rules = json["rules"];
+  if (rules.is_array()) {
+    for (const Json& rule : rules.array_items()) {
+      if (!rule.is_string()) {
+        return PolicyError("rules must be strings like \"A -> B\"");
+      }
+      TURNSTILE_RETURN_IF_ERROR(policy->rules_.AddRuleChain(rule.string_value()));
+    }
+  }
+  TURNSTILE_RETURN_IF_ERROR(policy->rules_.Validate());
+
+  const Json& injections = json["injections"];
+  if (injections.is_array()) {
+    for (const Json& item : injections.array_items()) {
+      if (!item.is_object()) {
+        return PolicyError("injections must be objects");
+      }
+      Injection injection;
+      injection.file = item.GetString("file");
+      injection.line = static_cast<int>(item.GetNumber("line"));
+      injection.object = item.GetString("object");
+      injection.labeller = item.GetString("labeller");
+      if (injection.labeller.empty() || injection.object.empty()) {
+        return PolicyError("injection needs 'object' and 'labeller'");
+      }
+      if (policy->labellers_.count(injection.labeller) == 0) {
+        return PolicyError("injection references unknown labeller '" + injection.labeller +
+                           "'");
+      }
+      policy->injections_.push_back(std::move(injection));
+    }
+  }
+  return policy;
+}
+
+Result<std::unique_ptr<Policy>> Policy::FromJsonText(const std::string& text) {
+  TURNSTILE_ASSIGN_OR_RETURN(json, Json::Parse(text));
+  return FromJson(json);
+}
+
+const LabellerSpec* Policy::FindLabeller(const std::string& name) const {
+  auto it = labellers_.find(name);
+  return it == labellers_.end() ? nullptr : it->second.get();
+}
+
+LabelSet Policy::MakeLabelSet(const std::vector<std::string>& names) {
+  LabelSet out;
+  for (const std::string& name : names) {
+    out.Insert(space_.Intern(name));
+  }
+  return out;
+}
+
+void Policy::AddLabeller(const std::string& name, std::shared_ptr<LabellerSpec> spec) {
+  labellers_[name] = std::move(spec);
+}
+
+void Policy::AddInjection(Injection injection) {
+  injections_.push_back(std::move(injection));
+}
+
+}  // namespace turnstile

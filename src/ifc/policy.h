@@ -1,0 +1,86 @@
+// IFC policy model (§4.3, Figs. 4 and 7): label functions ("labellers"),
+// privacy rules, and injection points mapping source-code locations to
+// labellers.
+//
+// Label functions are written in MiniScript (the application language), kept
+// here as source strings; the DIFT tracker compiles them at load time. This
+// mirrors the paper, where label functions are JavaScript closures shipped
+// inside the instrumented application.
+#ifndef TURNSTILE_SRC_IFC_POLICY_H_
+#define TURNSTILE_SRC_IFC_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ifc/lattice.h"
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+// One node of a labeller specification tree.
+//
+// JSON forms:
+//   {"$fn": "item => ..."}            — MiniScript function of the value
+//   {"$const": "L"} / {"$const": ["A","B"]}
+//                                     — constant label(s); also the
+//                                       declassify/endorse mechanism
+//   {"$map": <spec>}                  — apply <spec> to each array element
+//   {"$invoke": "(obj, args) => ..."} — label evaluated at call time (sinks)
+//   {"prop": <spec>, ...}             — traverse object properties; the
+//                                       object's own label is the union of
+//                                       the property labels
+struct LabellerSpec {
+  enum class Kind { kConst, kFn, kMap, kInvoke, kObject };
+  Kind kind = Kind::kConst;
+  std::vector<std::string> const_labels;                       // kConst
+  std::string fn_source;                                       // kFn / kInvoke
+  std::shared_ptr<LabellerSpec> element;                       // kMap
+  std::vector<std::pair<std::string, std::shared_ptr<LabellerSpec>>> fields;  // kObject
+
+  static Result<std::shared_ptr<LabellerSpec>> FromJson(const Json& json);
+};
+
+// Where the instrumentor must insert a label() call.
+struct Injection {
+  std::string file;      // source name ("" matches any)
+  int line = 0;          // 1-based line of the labelled expression
+  std::string object;    // variable/property name being labelled
+  std::string labeller;  // name of the labeller to apply
+};
+
+class Policy {
+ public:
+  Policy() : rules_(&space_) {}
+
+  // Parses the JSON policy format of Fig. 4 / Fig. 7 and validates the rule
+  // DAG (cycles are a policy error).
+  static Result<std::unique_ptr<Policy>> FromJson(const Json& json);
+  static Result<std::unique_ptr<Policy>> FromJsonText(const std::string& text);
+
+  const LabellerSpec* FindLabeller(const std::string& name) const;
+  const std::vector<Injection>& injections() const { return injections_; }
+  RuleGraph& rules() { return rules_; }
+  const RuleGraph& rules() const { return rules_; }
+  LabelSpace& space() { return space_; }
+  const LabelSpace& space() const { return space_; }
+
+  // Builds a LabelSet from label names, interning as needed.
+  LabelSet MakeLabelSet(const std::vector<std::string>& names);
+
+  // Programmatic construction (used by tests and the workload generator).
+  void AddLabeller(const std::string& name, std::shared_ptr<LabellerSpec> spec);
+  void AddInjection(Injection injection);
+
+ private:
+  LabelSpace space_;
+  RuleGraph rules_;
+  std::unordered_map<std::string, std::shared_ptr<LabellerSpec>> labellers_;
+  std::vector<Injection> injections_;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_IFC_POLICY_H_

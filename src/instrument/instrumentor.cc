@@ -1,0 +1,240 @@
+#include "src/instrument/instrumentor.h"
+
+#include <cstdlib>
+
+#include "src/lang/parser.h"
+
+namespace turnstile {
+
+namespace {
+
+// Operators whose results carry compound labels (Fig. 5 binaryOp). Pure
+// comparisons produce booleans used for control flow; tracking them would be
+// implicit-flow territory, which Turnstile does not do (§4.6).
+bool IsValueProducingOp(const std::string& op) {
+  static const char* kOps[] = {"+", "-", "*", "/", "%", "**", "&", "|", "^", "<<", ">>"};
+  for (const char* candidate : kOps) {
+    if (op == candidate) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class Instrumentor {
+ public:
+  Instrumentor(const Policy& policy, InstrumentMode mode, const AnalysisResult* analysis)
+      : policy_(policy), mode_(mode), analysis_(analysis) {}
+
+  Result<InstrumentedProgram> Run(const Program& program) {
+    if (mode_ == InstrumentMode::kSelective && analysis_ == nullptr) {
+      return InvalidArgumentError("selective instrumentation requires an analysis result");
+    }
+    InstrumentedProgram out;
+    out.program.root = CloneTree(program.root);
+    out.program.source_name = program.source_name;
+    out.program.node_count = program.node_count;
+    source_name_ = program.source_name;
+
+    ApplyLabelInjections(out.program.root);
+    out.program.root = RewriteTree(std::move(out.program.root));
+    RenumberNodes(&out.program);
+    out.stats = stats_;
+    return out;
+  }
+
+ private:
+  bool InScope(const NodePtr& node) const {
+    if (mode_ == InstrumentMode::kExhaustive) {
+      return true;
+    }
+    return node->id >= 0 && analysis_->sensitive_ast_nodes.count(node->id) > 0;
+  }
+
+  NodePtr MakeDiftCall(const std::string& method, std::vector<NodePtr> args) {
+    return MakeCall(MakeMember(MakeIdentifier("__dift"), method), std::move(args));
+  }
+
+  // --- label injections -------------------------------------------------------
+
+  bool InjectionMatches(const Injection& injection, const std::string& name,
+                        const SourceLocation& loc) const {
+    if (injection.object != name) {
+      return false;
+    }
+    if (!injection.file.empty() && injection.file != source_name_) {
+      return false;
+    }
+    if (injection.line > 0 && std::abs(loc.line - injection.line) > 1) {
+      return false;
+    }
+    return true;
+  }
+
+  void ApplyLabelInjections(const NodePtr& root) {
+    for (const Injection& injection : policy_.injections()) {
+      ApplyInjection(root, injection);
+    }
+  }
+
+  // True when `node` is already a __dift.label(...) wrapper.
+  static bool IsDiftLabelCall(const NodePtr& node) {
+    return node->kind == NodeKind::kCallExpr &&
+           node->children[0]->kind == NodeKind::kMemberExpr &&
+           node->children[0]->str == "label" &&
+           node->children[0]->children[0]->kind == NodeKind::kIdentifier &&
+           node->children[0]->children[0]->str == "__dift";
+  }
+
+  // Walks the tree looking for sites that bind `injection.object` and wraps
+  // them with __dift.label(..., labeller).
+  void ApplyInjection(const NodePtr& node, const Injection& injection) {
+    if (node->kind == NodeKind::kVarDecl) {
+      for (const NodePtr& declarator : node->children) {
+        if (!declarator->children.empty() && !IsDiftLabelCall(declarator->children[0]) &&
+            InjectionMatches(injection, declarator->str, declarator->loc)) {
+          declarator->children[0] = MakeDiftCall(
+              "label", {declarator->children[0], MakeStringLit(injection.labeller)});
+          ++stats_.labels_injected;
+        }
+      }
+    } else if (node->kind == NodeKind::kAssignExpr && node->str == "=" &&
+               node->children[0]->kind == NodeKind::kIdentifier) {
+      if (!IsDiftLabelCall(node->children[1]) &&
+          InjectionMatches(injection, node->children[0]->str, node->loc)) {
+        node->children[1] =
+            MakeDiftCall("label", {node->children[1], MakeStringLit(injection.labeller)});
+        ++stats_.labels_injected;
+      }
+    } else if (node->IsFunctionLike()) {
+      // Parameter injection: prepend `p = __dift.label(p, "L");` to the body.
+      const NodePtr& params = node->children[0];
+      NodePtr body = node->children[1];
+      for (const NodePtr& param : params->children) {
+        if (InjectionMatches(injection, param->str, param->loc) &&
+            body->kind == NodeKind::kBlockStmt) {
+          NodePtr assign = MakeNode(NodeKind::kAssignExpr, "=");
+          assign->children.push_back(MakeIdentifier(param->str));
+          assign->children.push_back(
+              MakeDiftCall("label", {MakeIdentifier(param->str),
+                                     MakeStringLit(injection.labeller)}));
+          NodePtr stmt = MakeNode(NodeKind::kExprStmt, {std::move(assign)});
+          body->children.insert(body->children.begin(), std::move(stmt));
+          ++stats_.labels_injected;
+        }
+      }
+    }
+    for (const NodePtr& child : node->children) {
+      ApplyInjection(child, injection);
+    }
+  }
+
+  // --- expression rewriting ----------------------------------------------------
+
+  NodePtr RewriteTree(NodePtr node) {
+    // Call sites are managed when the call itself OR any argument is on a
+    // privacy-sensitive path: data can flow *through* the callee's body into
+    // a sink without the call's result ever being tainted (Fig. 2b wraps
+    // deviceControl.send(person) because `person` is managed). Decide before
+    // rewriting children, which replaces them with synthesized nodes.
+    bool call_in_scope = false;
+    if (node->kind == NodeKind::kCallExpr) {
+      call_in_scope = InScope(node);
+      for (size_t i = 1; !call_in_scope && i < node->children.size(); ++i) {
+        call_in_scope = InScope(node->children[i]);
+      }
+    }
+    bool assign_in_scope = false;
+    if (node->kind == NodeKind::kAssignExpr) {
+      assign_in_scope =
+          InScope(node) || InScope(node->children[0]) || InScope(node->children[1]);
+    }
+    // Children first (a freshly synthesized wrapper is never re-visited).
+    for (NodePtr& child : node->children) {
+      child = RewriteTree(std::move(child));
+    }
+    switch (node->kind) {
+      case NodeKind::kBinaryExpr: {
+        if (!IsValueProducingOp(node->str) || !InScope(node)) {
+          return node;
+        }
+        ++stats_.binary_ops_wrapped;
+        NodePtr left = node->children[0];
+        NodePtr right = node->children[1];
+        return MakeDiftCall("binaryOp",
+                            {MakeStringLit(node->str), std::move(left), std::move(right)});
+      }
+      case NodeKind::kAssignExpr: {
+        // Compound assignments hide a binary operation: `acc += tainted`
+        // must not launder labels. Desugar `t op= v` on sensitive paths to
+        // `t = __dift.binaryOp(op, t, v)`. Logical forms (&&= ||= ??=) are
+        // control-flow selections and stay untouched (§4.6: no implicit
+        // flows).
+        if (node->str.size() < 2 || node->str == "=" ||
+            !IsValueProducingOp(node->str.substr(0, node->str.size() - 1))) {
+          return node;
+        }
+        if (mode_ != InstrumentMode::kExhaustive && !assign_in_scope) {
+          return node;
+        }
+        ++stats_.binary_ops_wrapped;
+        std::string op = node->str.substr(0, node->str.size() - 1);
+        NodePtr read_target = CloneTree(node->children[0]);
+        NodePtr wrapped = MakeDiftCall(
+            "binaryOp", {MakeStringLit(op), std::move(read_target), node->children[1]});
+        node->str = "=";
+        node->children[1] = std::move(wrapped);
+        return node;
+      }
+      case NodeKind::kCallExpr: {
+        const NodePtr& callee = node->children[0];
+        bool is_member = callee->kind == NodeKind::kMemberExpr;
+        bool is_index = callee->kind == NodeKind::kIndexExpr;
+        if ((!is_member && !is_index) ||
+            !(mode_ == InstrumentMode::kExhaustive || call_in_scope)) {
+          return node;
+        }
+        // Never rewrap the tracker's own calls.
+        if (is_member && callee->children[0]->kind == NodeKind::kIdentifier &&
+            callee->children[0]->str == "__dift") {
+          return node;
+        }
+        ++stats_.invokes_wrapped;
+        NodePtr target = callee->children[0];
+        NodePtr method = is_member ? MakeStringLit(callee->str) : callee->children[1];
+        NodePtr args = MakeNode(NodeKind::kArrayLit);
+        for (size_t i = 1; i < node->children.size(); ++i) {
+          args->children.push_back(node->children[i]);
+        }
+        return MakeDiftCall("invoke", {std::move(target), std::move(method), std::move(args)});
+      }
+      case NodeKind::kObjectLit:
+      case NodeKind::kArrayLit:
+        // Exhaustive tracking registers every freshly created container and
+        // boxes its value-type contents — the nlp.js dictionary cost.
+        if (mode_ == InstrumentMode::kExhaustive && !node->children.empty()) {
+          ++stats_.tracks_injected;
+          return MakeDiftCall("trackDeep", {std::move(node)});
+        }
+        return node;
+      default:
+        return node;
+    }
+  }
+
+  const Policy& policy_;
+  InstrumentMode mode_;
+  const AnalysisResult* analysis_;
+  std::string source_name_;
+  InstrumentStats stats_;
+};
+
+}  // namespace
+
+Result<InstrumentedProgram> InstrumentProgram(const Program& program, const Policy& policy,
+                                              InstrumentMode mode,
+                                              const AnalysisResult* analysis) {
+  return Instrumentor(policy, mode, analysis).Run(program);
+}
+
+}  // namespace turnstile

@@ -1,0 +1,52 @@
+// Lexical environments (scope chains) for the MiniScript interpreter.
+#ifndef TURNSTILE_SRC_INTERP_ENVIRONMENT_H_
+#define TURNSTILE_SRC_INTERP_ENVIRONMENT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/interp/value.h"
+
+namespace turnstile {
+
+struct Environment : std::enable_shared_from_this<Environment> {
+  std::unordered_map<std::string, Value> bindings;
+  EnvPtr parent;
+
+  static EnvPtr MakeChild(EnvPtr parent_env) {
+    EnvPtr env = std::make_shared<Environment>();
+    env->parent = std::move(parent_env);
+    return env;
+  }
+
+  // Declares (or redeclares) a binding in this scope.
+  void Define(const std::string& name, Value value) {
+    bindings[name] = std::move(value);
+  }
+
+  // Looks up `name` along the scope chain; returns nullptr when unbound.
+  Value* Lookup(const std::string& name) {
+    for (Environment* env = this; env != nullptr; env = env->parent.get()) {
+      auto it = env->bindings.find(name);
+      if (it != env->bindings.end()) {
+        return &it->second;
+      }
+    }
+    return nullptr;
+  }
+
+  // Assigns to an existing binding; returns false when unbound.
+  bool Assign(const std::string& name, Value value) {
+    Value* slot = Lookup(name);
+    if (slot == nullptr) {
+      return false;
+    }
+    *slot = std::move(value);
+    return true;
+  }
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_INTERP_ENVIRONMENT_H_

@@ -1,0 +1,215 @@
+// Tree-walking interpreter for MiniScript with a virtual-time event loop and
+// simulated I/O modules.
+//
+// The interpreter is the "runtime platform" substrate of the reproduction: it
+// plays the role Node.js plays in the paper. Crucially it contains no IFC
+// logic — the DIFT tracker (src/dift) is an ordinary native module registered
+// into the global scope, mirroring the paper's platform-independence claim.
+#ifndef TURNSTILE_SRC_INTERP_INTERP_H_
+#define TURNSTILE_SRC_INTERP_INTERP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/interp/environment.h"
+#include "src/interp/value.h"
+#include "src/lang/ast.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+// One observable side effect produced through a simulated I/O module (the
+// runtime equivalent of a taint sink).
+struct IoRecord {
+  double time = 0.0;       // virtual seconds
+  std::string channel;     // "fs", "net", "http", "mqtt", "smtp", "sqlite", "console"
+  std::string op;          // "write", "sendMail", "publish", ...
+  std::string detail;      // path / host / topic / recipient
+  std::string payload;     // rendered written data
+};
+
+// The simulated outside world shared by all I/O modules.
+struct IoWorld {
+  std::unordered_map<std::string, std::string> files;  // virtual filesystem
+  std::vector<IoRecord> records;                        // every sink write
+  // Emitter objects created by modules, keyed by tag ("net.socket", ...), so
+  // harnesses can push events into a running program.
+  std::unordered_map<std::string, std::vector<ObjectPtr>> emitters;
+
+  void Record(double time, std::string channel, std::string op, std::string detail,
+              std::string payload) {
+    records.push_back({time, std::move(channel), std::move(op), std::move(detail),
+                       std::move(payload)});
+  }
+};
+
+// Statement/expression completion record (JS-style abrupt completions).
+struct Completion {
+  enum class Kind { kNormal, kReturn, kBreak, kContinue, kThrow };
+  Kind kind = Kind::kNormal;
+  Value value;
+
+  static Completion Normal(Value v = Value::Undefined()) {
+    return {Kind::kNormal, std::move(v)};
+  }
+  static Completion Return(Value v) { return {Kind::kReturn, std::move(v)}; }
+  static Completion Break() { return {Kind::kBreak, Value::Undefined()}; }
+  static Completion Continue() { return {Kind::kContinue, Value::Undefined()}; }
+  static Completion Throw(Value v) { return {Kind::kThrow, std::move(v)}; }
+
+  bool IsAbrupt() const { return kind != Kind::kNormal; }
+};
+
+class Interpreter {
+ public:
+  Interpreter();
+  ~Interpreter();
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  // Evaluates the top level of a program in the global scope. An uncaught
+  // MiniScript exception or a host error is returned as a Status.
+  Status RunProgram(const Program& program);
+
+  // Runs queued macrotasks/microtasks until the queues drain or `max_tasks`
+  // macrotasks have executed.
+  Status RunEventLoop(int max_tasks = 100000);
+
+  // Calls a MiniScript or native function from C++.
+  Result<Value> CallFunction(const FunctionPtr& fn, const Value& this_value,
+                             std::vector<Value> args);
+
+  // --- event / task plumbing -------------------------------------------------
+
+  // Registers `listener` for `event` on `emitter` (the `.on` mechanism).
+  void AddListener(const ObjectPtr& emitter, const std::string& event, FunctionPtr listener);
+  // Enqueues a macrotask firing all listeners of `event` at virtual `delay_s`
+  // seconds from now.
+  void EmitEvent(const ObjectPtr& emitter, const std::string& event, std::vector<Value> args,
+                 double delay_s = 0.0);
+  bool HasListener(const ObjectPtr& emitter, const std::string& event) const;
+  // Schedules a bare callback macrotask.
+  void ScheduleTask(FunctionPtr fn, std::vector<Value> args, double delay_s);
+  // Schedules a microtask (runs before the next macrotask).
+  void ScheduleMicrotask(FunctionPtr fn, std::vector<Value> args);
+
+  double VirtualNow() const { return virtual_time_; }
+  void AdvanceVirtualTime(double seconds) { virtual_time_ += seconds; }
+
+  // --- environment access ----------------------------------------------------
+
+  EnvPtr global_env() { return global_env_; }
+  void DefineGlobal(const std::string& name, Value value) {
+    global_env_->Define(name, std::move(value));
+  }
+  IoWorld& io_world() { return io_world_; }
+  Rng& rng() { return rng_; }
+
+  // Registers a module for `require(name)`. The factory runs once (cached).
+  void RegisterModule(const std::string& name,
+                      std::function<Value(Interpreter&)> factory);
+  Result<Value> RequireModule(const std::string& name);
+
+  // --- expression/statement evaluation (used by dift + tests) ---------------
+
+  Result<Completion> EvalStatement(const NodePtr& node, const EnvPtr& env);
+  Result<Completion> EvalExpression(const NodePtr& node, const EnvPtr& env);
+
+  // Property access helpers shared with native modules.
+  Result<Value> GetProperty(const Value& object, const std::string& key);
+  Status SetProperty(const Value& object, const std::string& key, Value value);
+
+  // Creates a MiniScript error object ({ message }).
+  Value MakeError(const std::string& message);
+
+  // Applies a MiniScript binary operator to two already-evaluated values.
+  // Exposed for the DIFT tracker's binaryOp API.
+  Result<Completion> EvalBinary(const std::string& op, const Value& left, const Value& right);
+
+  // Throws a host-level error carrying a MiniScript-visible message.
+  static Status TypeError(const std::string& message) {
+    return RuntimeError("TypeError: " + message);
+  }
+
+  // Total number of statements/expressions evaluated (a deterministic,
+  // platform-independent work metric used by tests).
+  uint64_t eval_count() const { return eval_count_; }
+
+  // Exception plumbing: when CallFunction fails because the callee threw a
+  // MiniScript value, the thrown value can be retrieved exactly once. Used to
+  // re-raise the original value across native call boundaries.
+  bool ConsumePendingThrow(Value* out) {
+    if (!has_pending_throw_) {
+      return false;
+    }
+    *out = std::move(pending_throw_);
+    pending_throw_ = Value::Undefined();
+    has_pending_throw_ = false;
+    return true;
+  }
+  void SetPendingThrow(Value v) {
+    pending_throw_ = std::move(v);
+    has_pending_throw_ = true;
+  }
+
+ private:
+  struct Task {
+    double time = 0.0;
+    uint64_t seq = 0;
+    FunctionPtr fn;          // direct callback task …
+    ObjectPtr emitter;       // … or an event task: listeners are resolved at
+    std::string event;       //     fire time (so late .on() registration works)
+    std::vector<Value> args;
+  };
+
+  Status ExecuteTask(const Task& task);
+
+  Result<Completion> EvalBlock(const NodePtr& block, const EnvPtr& env);
+  Result<Completion> EvalCall(const NodePtr& node, const EnvPtr& env);
+  Result<Completion> EvalNew(const NodePtr& node, const EnvPtr& env);
+  Result<Completion> EvalAssignment(const NodePtr& node, const EnvPtr& env);
+  Result<Completion> EvalArgs(const NodePtr& call, size_t first_index, const EnvPtr& env,
+                              std::vector<Value>* out);
+  FunctionPtr MakeClosure(const NodePtr& node, const EnvPtr& env);
+  Status DrainMicrotasks(int max_tasks = 100000);
+
+  void InstallBuiltins();   // builtins.cc
+  void InstallIoModules();  // modules.cc
+
+  EnvPtr global_env_;
+  IoWorld io_world_;
+  Rng rng_{0x7457eeull};
+
+  std::map<std::pair<double, uint64_t>, Task> macrotasks_;
+  std::deque<Task> microtasks_;
+  uint64_t task_seq_ = 0;
+  double virtual_time_ = 0.0;
+  uint64_t eval_count_ = 0;
+  int call_depth_ = 0;
+  Value pending_throw_;
+  bool has_pending_throw_ = false;
+
+  std::unordered_map<const Object*, std::unordered_map<std::string, std::vector<FunctionPtr>>>
+      listeners_;
+  std::unordered_map<std::string, std::function<Value(Interpreter&)>> module_factories_;
+  std::unordered_map<std::string, Value> module_cache_;
+};
+
+// Creates a promise object already fulfilled with `value` (implemented in
+// builtins.cc; used by simulated async I/O modules).
+Value MakeResolvedPromise(Interpreter& interp, Value value);
+
+// Creates an event-emitter object whose `.on(event, cb)` registers listeners
+// with the interpreter (implemented in modules.cc).
+ObjectPtr MakeEmitterObject(Interpreter& interp, const std::string& tag);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_INTERP_INTERP_H_

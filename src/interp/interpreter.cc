@@ -1,0 +1,1094 @@
+#include "src/interp/interp.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/support/strings.h"
+
+namespace turnstile {
+
+// Evaluates an expression into `var`; propagates host errors upward and
+// abrupt completions (throw) to the caller.
+#define TS_EVAL(var, node, env)                                        \
+  Value var;                                                           \
+  {                                                                    \
+    TURNSTILE_ASSIGN_OR_RETURN(var##_c, EvalExpression((node), (env))); \
+    if (var##_c.IsAbrupt()) {                                          \
+      return var##_c;                                                  \
+    }                                                                  \
+    var = std::move(var##_c.value);                                    \
+  }
+
+namespace {
+constexpr int kMaxCallDepth = 400;
+}  // namespace
+
+Interpreter::Interpreter() {
+  global_env_ = std::make_shared<Environment>();
+  InstallBuiltins();
+  InstallIoModules();
+}
+
+Interpreter::~Interpreter() = default;
+
+Status Interpreter::RunProgram(const Program& program) {
+  TURNSTILE_ASSIGN_OR_RETURN(completion, EvalStatement(program.root, global_env_));
+  if (completion.kind == Completion::Kind::kThrow) {
+    return RuntimeError("uncaught exception: " + completion.value.ToDisplayString());
+  }
+  return Status::Ok();
+}
+
+// --- events and tasks --------------------------------------------------------
+
+void Interpreter::AddListener(const ObjectPtr& emitter, const std::string& event,
+                              FunctionPtr listener) {
+  listeners_[emitter.get()][event].push_back(std::move(listener));
+}
+
+bool Interpreter::HasListener(const ObjectPtr& emitter, const std::string& event) const {
+  auto it = listeners_.find(emitter.get());
+  if (it == listeners_.end()) {
+    return false;
+  }
+  auto jt = it->second.find(event);
+  return jt != it->second.end() && !jt->second.empty();
+}
+
+void Interpreter::EmitEvent(const ObjectPtr& emitter, const std::string& event,
+                            std::vector<Value> args, double delay_s) {
+  Task task;
+  task.time = virtual_time_ + delay_s;
+  task.seq = task_seq_++;
+  task.emitter = emitter;
+  task.event = event;
+  task.args = std::move(args);
+  macrotasks_[{task.time, task.seq}] = std::move(task);
+}
+
+Status Interpreter::ExecuteTask(const Task& task) {
+  if (task.fn != nullptr) {
+    TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(task.fn, Value::Undefined(), task.args));
+    (void)unused;
+    return Status::Ok();
+  }
+  // Event task: snapshot the current listener list (a listener may re-register
+  // or remove itself while running).
+  std::vector<FunctionPtr> fire;
+  auto it = listeners_.find(task.emitter.get());
+  if (it != listeners_.end()) {
+    auto jt = it->second.find(task.event);
+    if (jt != it->second.end()) {
+      fire = jt->second;
+    }
+  }
+  for (const FunctionPtr& listener : fire) {
+    TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(listener, Value::Undefined(), task.args));
+    (void)unused;
+  }
+  return Status::Ok();
+}
+
+void Interpreter::ScheduleTask(FunctionPtr fn, std::vector<Value> args, double delay_s) {
+  Task task;
+  task.time = virtual_time_ + delay_s;
+  task.seq = task_seq_++;
+  task.fn = std::move(fn);
+  task.args = std::move(args);
+  macrotasks_[{task.time, task.seq}] = std::move(task);
+}
+
+void Interpreter::ScheduleMicrotask(FunctionPtr fn, std::vector<Value> args) {
+  Task task;
+  task.time = virtual_time_;
+  task.seq = task_seq_++;
+  task.fn = std::move(fn);
+  task.args = std::move(args);
+  microtasks_.push_back(std::move(task));
+}
+
+Status Interpreter::DrainMicrotasks(int max_tasks) {
+  int executed = 0;
+  while (!microtasks_.empty()) {
+    if (++executed > max_tasks) {
+      return InternalError("microtask limit exceeded (possible livelock)");
+    }
+    Task task = std::move(microtasks_.front());
+    microtasks_.pop_front();
+    TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(task.fn, Value::Undefined(), task.args));
+    (void)unused;
+  }
+  return Status::Ok();
+}
+
+Status Interpreter::RunEventLoop(int max_tasks) {
+  int executed = 0;
+  while (true) {
+    TURNSTILE_RETURN_IF_ERROR(DrainMicrotasks());
+    if (macrotasks_.empty()) {
+      return Status::Ok();
+    }
+    if (++executed > max_tasks) {
+      return InternalError("macrotask limit exceeded");
+    }
+    auto it = macrotasks_.begin();
+    Task task = std::move(it->second);
+    macrotasks_.erase(it);
+    if (task.time > virtual_time_) {
+      virtual_time_ = task.time;
+    }
+    TURNSTILE_RETURN_IF_ERROR(ExecuteTask(task));
+  }
+}
+
+// --- modules -----------------------------------------------------------------
+
+void Interpreter::RegisterModule(const std::string& name,
+                                 std::function<Value(Interpreter&)> factory) {
+  module_factories_[name] = std::move(factory);
+  module_cache_.erase(name);
+}
+
+Result<Value> Interpreter::RequireModule(const std::string& name) {
+  auto cached = module_cache_.find(name);
+  if (cached != module_cache_.end()) {
+    return cached->second;
+  }
+  auto it = module_factories_.find(name);
+  if (it == module_factories_.end()) {
+    return NotFoundError("module not found: " + name);
+  }
+  Value module = it->second(*this);
+  module_cache_[name] = module;
+  return module;
+}
+
+// --- functions ---------------------------------------------------------------
+
+FunctionPtr Interpreter::MakeClosure(const NodePtr& node, const EnvPtr& env) {
+  FunctionPtr fn = std::make_shared<FunctionObject>();
+  fn->name = node->str;
+  fn->params = node->children[0];
+  fn->body = node->children[1];
+  fn->closure = env;
+  fn->is_arrow = node->kind == NodeKind::kArrowFunction;
+  fn->is_async = node->num != 0;
+  return fn;
+}
+
+Result<Value> Interpreter::CallFunction(const FunctionPtr& fn, const Value& this_value,
+                                        std::vector<Value> args) {
+  if (fn == nullptr) {
+    return TypeError("value is not a function");
+  }
+  if (fn->IsNative()) {
+    return fn->native(*this, this_value, args);
+  }
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    return RuntimeError("maximum call depth exceeded in " + fn->name);
+  }
+  EnvPtr call_env = Environment::MakeChild(fn->closure);
+  // `this`: regular functions bind it per call; arrows inherit lexically (no
+  // binding defined here, so lookup reaches the defining scope's binding).
+  if (!fn->is_arrow) {
+    if (fn->has_bound_this) {
+      call_env->Define("this", fn->bound_this);
+    } else {
+      call_env->Define("this", this_value);
+    }
+  }
+  const auto& params = fn->params->children;
+  size_t arg_index = 0;
+  for (const NodePtr& param : params) {
+    if (param->kind == NodeKind::kRestParam) {
+      std::vector<Value> rest(args.begin() + static_cast<long>(std::min(arg_index, args.size())),
+                              args.end());
+      call_env->Define(param->str, Value(MakeArray(std::move(rest))));
+      break;
+    }
+    call_env->Define(param->str,
+                     arg_index < args.size() ? args[arg_index] : Value::Undefined());
+    ++arg_index;
+  }
+  Result<Completion> body_result =
+      fn->body->kind == NodeKind::kBlockStmt
+          ? EvalBlock(fn->body, call_env)
+          : EvalExpression(fn->body, call_env);
+  --call_depth_;
+  TURNSTILE_ASSIGN_OR_RETURN(completion, std::move(body_result));
+  // Async functions deliver their result through an (already settled) promise.
+  auto wrap = [this, &fn](Value v) -> Value {
+    if (fn->is_async && !(v.IsObject() && v.AsObject()->Has("__promiseState"))) {
+      return MakeResolvedPromise(*this, std::move(v));
+    }
+    return v;
+  };
+  switch (completion.kind) {
+    case Completion::Kind::kNormal:
+      // Arrow expression bodies return the expression value; block bodies
+      // return undefined when falling off the end.
+      return wrap(fn->body->kind == NodeKind::kBlockStmt ? Value::Undefined()
+                                                         : completion.value);
+    case Completion::Kind::kReturn:
+      return wrap(completion.value);
+    case Completion::Kind::kThrow:
+      SetPendingThrow(completion.value);
+      return RuntimeError("uncaught exception in " + (fn->name.empty() ? "<anonymous>" : fn->name) +
+                          ": " + completion.value.ToDisplayString());
+    default:
+      return RuntimeError("illegal break/continue across function boundary");
+  }
+}
+
+// Like CallFunction but keeps abrupt `throw` completions as completions so
+// they propagate through MiniScript try/catch.
+static Result<Completion> CallAsCompletion(Interpreter& interp, const FunctionPtr& fn,
+                                           const Value& this_value, std::vector<Value> args);
+
+// --- properties --------------------------------------------------------------
+
+// Array and string method factories (implemented in builtins.cc).
+FunctionPtr GetArrayMethod(const std::string& name);
+FunctionPtr GetStringMethod(const std::string& name);
+FunctionPtr GetFunctionMethod(const std::string& name);
+
+Result<Value> Interpreter::GetProperty(const Value& object, const std::string& key) {
+  if (object.IsObject()) {
+    const ObjectPtr& obj = object.AsObject();
+    if (obj->is_box) {
+      // Forward property access to the payload (e.g. boxedString.length).
+      return GetProperty(obj->box_payload, key);
+    }
+    auto it = obj->properties.find(key);
+    if (it != obj->properties.end()) {
+      return it->second;
+    }
+    if (obj->class_info != nullptr) {
+      FunctionPtr method = obj->class_info->FindMethod(key);
+      if (method != nullptr) {
+        return Value(method);
+      }
+    }
+    return Value::Undefined();
+  }
+  if (object.IsArray()) {
+    if (key == "length") {
+      return Value(static_cast<double>(object.AsArray()->elements.size()));
+    }
+    FunctionPtr method = GetArrayMethod(key);
+    if (method != nullptr) {
+      return Value(method);
+    }
+    // Numeric string keys index the array.
+    char* end = nullptr;
+    long index = std::strtol(key.c_str(), &end, 10);
+    if (end != key.c_str() && *end == '\0') {
+      const auto& elements = object.AsArray()->elements;
+      if (index >= 0 && static_cast<size_t>(index) < elements.size()) {
+        return elements[static_cast<size_t>(index)];
+      }
+    }
+    return Value::Undefined();
+  }
+  if (object.IsString()) {
+    if (key == "length") {
+      return Value(static_cast<double>(object.AsString().size()));
+    }
+    FunctionPtr method = GetStringMethod(key);
+    if (method != nullptr) {
+      return Value(method);
+    }
+    return Value::Undefined();
+  }
+  if (object.IsFunction()) {
+    FunctionPtr method = GetFunctionMethod(key);
+    if (method != nullptr) {
+      return Value(method);
+    }
+    return Value::Undefined();
+  }
+  if (object.IsNullish()) {
+    return TypeError("cannot read property '" + key + "' of " +
+                     (object.IsNull() ? "null" : "undefined"));
+  }
+  return Value::Undefined();  // number/bool property access
+}
+
+Status Interpreter::SetProperty(const Value& object, const std::string& key, Value value) {
+  if (object.IsObject()) {
+    const ObjectPtr& obj = object.AsObject();
+    if (obj->is_box) {
+      return SetProperty(obj->box_payload, key, std::move(value));
+    }
+    obj->Set(key, std::move(value));
+    return Status::Ok();
+  }
+  if (object.IsArray()) {
+    auto& elements = object.AsArray()->elements;
+    if (key == "length") {
+      size_t new_size = static_cast<size_t>(value.ToNumber());
+      elements.resize(new_size);
+      return Status::Ok();
+    }
+    char* end = nullptr;
+    long index = std::strtol(key.c_str(), &end, 10);
+    if (end != key.c_str() && *end == '\0' && index >= 0) {
+      if (static_cast<size_t>(index) >= elements.size()) {
+        elements.resize(static_cast<size_t>(index) + 1);
+      }
+      elements[static_cast<size_t>(index)] = std::move(value);
+      return Status::Ok();
+    }
+    return Status::Ok();  // non-index properties on arrays are dropped
+  }
+  return TypeError("cannot set property '" + key + "' on a " + object.TypeName());
+}
+
+Value Interpreter::MakeError(const std::string& message) {
+  ObjectPtr err = MakeObject();
+  err->Set("message", Value(message));
+  err->debug_tag = "error";
+  return Value(err);
+}
+
+// --- expression evaluation ---------------------------------------------------
+
+Result<Completion> Interpreter::EvalArgs(const NodePtr& call, size_t first_index,
+                                         const EnvPtr& env, std::vector<Value>* out) {
+  for (size_t i = first_index; i < call->children.size(); ++i) {
+    const NodePtr& arg_node = call->children[i];
+    if (arg_node->kind == NodeKind::kSpreadElement) {
+      TS_EVAL(spread, arg_node->children[0], env);
+      Value unboxed = Unbox(spread);
+      if (!unboxed.IsArray()) {
+        return TypeError("spread argument is not an array");
+      }
+      for (const Value& element : unboxed.AsArray()->elements) {
+        out->push_back(element);
+      }
+    } else {
+      TS_EVAL(arg, arg_node, env);
+      out->push_back(std::move(arg));
+    }
+  }
+  return Completion::Normal();
+}
+
+Result<Completion> Interpreter::EvalCall(const NodePtr& node, const EnvPtr& env) {
+  const NodePtr& callee = node->children[0];
+  Value this_value = Value::Undefined();
+  Value fn_value;
+  if (callee->kind == NodeKind::kMemberExpr) {
+    TS_EVAL(object, callee->children[0], env);
+    if (callee->num != 0 && object.IsNullish()) {  // optional call a?.b()
+      return Completion::Normal(Value::Undefined());
+    }
+    TURNSTILE_ASSIGN_OR_RETURN(member, GetProperty(object, callee->str));
+    this_value = object;
+    fn_value = member;
+  } else if (callee->kind == NodeKind::kIndexExpr) {
+    TS_EVAL(object, callee->children[0], env);
+    TS_EVAL(key, callee->children[1], env);
+    TURNSTILE_ASSIGN_OR_RETURN(member, GetProperty(object, Unbox(key).ToDisplayString()));
+    this_value = object;
+    fn_value = member;
+  } else {
+    TS_EVAL(direct, callee, env);
+    fn_value = direct;
+  }
+  std::vector<Value> args;
+  {
+    TURNSTILE_ASSIGN_OR_RETURN(c, EvalArgs(node, 1, env, &args));
+    if (c.IsAbrupt()) {
+      return c;
+    }
+  }
+  Value fn_unboxed = Unbox(fn_value);
+  if (!fn_unboxed.IsFunction()) {
+    std::string name = callee->kind == NodeKind::kMemberExpr ? callee->str : callee->str;
+    return TypeError("'" + name + "' is not a function (it is " +
+                     std::string(fn_unboxed.TypeName()) + ")");
+  }
+  return CallAsCompletion(*this, fn_unboxed.AsFunction(), this_value, std::move(args));
+}
+
+Result<Completion> Interpreter::EvalNew(const NodePtr& node, const EnvPtr& env) {
+  TS_EVAL(callee, node->children[0], env);
+  std::vector<Value> args;
+  {
+    TURNSTILE_ASSIGN_OR_RETURN(c, EvalArgs(node, 1, env, &args));
+    if (c.IsAbrupt()) {
+      return c;
+    }
+  }
+  Value fn_unboxed = Unbox(callee);
+  if (!fn_unboxed.IsFunction()) {
+    return TypeError("new target is not constructible");
+  }
+  const FunctionPtr& ctor = fn_unboxed.AsFunction();
+  ObjectPtr instance = MakeObject();
+  if (ctor->construct_class != nullptr) {
+    instance->class_info = ctor->construct_class;
+    FunctionPtr constructor = ctor->construct_class->FindMethod("constructor");
+    if (constructor != nullptr) {
+      TURNSTILE_ASSIGN_OR_RETURN(c, CallAsCompletion(*this, constructor, Value(instance),
+                                                     std::move(args)));
+      if (c.IsAbrupt()) {
+        return c;
+      }
+    }
+    return Completion::Normal(Value(instance));
+  }
+  // Plain / native function used as constructor: call with fresh `this`; if it
+  // returns an object, that wins (lets natives like Promise produce their own).
+  TURNSTILE_ASSIGN_OR_RETURN(c, CallAsCompletion(*this, ctor, Value(instance), std::move(args)));
+  if (c.IsAbrupt()) {
+    return c;
+  }
+  if (c.value.IsObject() || c.value.IsArray() || c.value.IsFunction()) {
+    return Completion::Normal(c.value);
+  }
+  return Completion::Normal(Value(instance));
+}
+
+namespace {
+
+// Loose equality (==): a pragmatic subset of the JS algorithm.
+bool LooseEquals(const Value& a, const Value& b) {
+  if (a.IsNullish() && b.IsNullish()) {
+    return true;
+  }
+  if (a.IsNullish() || b.IsNullish()) {
+    return false;
+  }
+  if (a.IsBool() || b.IsBool() || (a.IsNumber() && b.IsString()) ||
+      (a.IsString() && b.IsNumber())) {
+    double an = a.ToNumber();
+    double bn = b.ToNumber();
+    return an == bn && !std::isnan(an);
+  }
+  return a.StrictEquals(b);
+}
+
+int64_t ToInt(const Value& v) {
+  double n = v.ToNumber();
+  if (std::isnan(n) || std::isinf(n)) {
+    return 0;
+  }
+  return static_cast<int64_t>(n);
+}
+
+}  // namespace
+
+Result<Completion> Interpreter::EvalBinary(const std::string& op, const Value& left_in,
+                                           const Value& right_in) {
+  // Boxes are transparent to operators (the DIFT binaryOp API relies on this
+  // when re-dispatching an instrumented operation).
+  Value left = Unbox(left_in);
+  Value right = Unbox(right_in);
+  if (op == "+") {
+    if (left.IsString() || right.IsString()) {
+      return Completion::Normal(Value(left.ToDisplayString() + right.ToDisplayString()));
+    }
+    return Completion::Normal(Value(left.ToNumber() + right.ToNumber()));
+  }
+  if (op == "-") {
+    return Completion::Normal(Value(left.ToNumber() - right.ToNumber()));
+  }
+  if (op == "*") {
+    return Completion::Normal(Value(left.ToNumber() * right.ToNumber()));
+  }
+  if (op == "/") {
+    return Completion::Normal(Value(left.ToNumber() / right.ToNumber()));
+  }
+  if (op == "%") {
+    return Completion::Normal(Value(std::fmod(left.ToNumber(), right.ToNumber())));
+  }
+  if (op == "**") {
+    return Completion::Normal(Value(std::pow(left.ToNumber(), right.ToNumber())));
+  }
+  if (op == "==") {
+    return Completion::Normal(Value(LooseEquals(left, right)));
+  }
+  if (op == "!=") {
+    return Completion::Normal(Value(!LooseEquals(left, right)));
+  }
+  if (op == "===") {
+    return Completion::Normal(Value(left.StrictEquals(right)));
+  }
+  if (op == "!==") {
+    return Completion::Normal(Value(!left.StrictEquals(right)));
+  }
+  if (op == "<" || op == ">" || op == "<=" || op == ">=") {
+    bool result = false;
+    if (left.IsString() && right.IsString()) {
+      int cmp = left.AsString().compare(right.AsString());
+      result = op == "<" ? cmp < 0 : op == ">" ? cmp > 0 : op == "<=" ? cmp <= 0 : cmp >= 0;
+    } else {
+      double l = left.ToNumber();
+      double r = right.ToNumber();
+      result = op == "<" ? l < r : op == ">" ? l > r : op == "<=" ? l <= r : l >= r;
+    }
+    return Completion::Normal(Value(result));
+  }
+  if (op == "&") {
+    return Completion::Normal(Value(static_cast<double>(ToInt(left) & ToInt(right))));
+  }
+  if (op == "|") {
+    return Completion::Normal(Value(static_cast<double>(ToInt(left) | ToInt(right))));
+  }
+  if (op == "^") {
+    return Completion::Normal(Value(static_cast<double>(ToInt(left) ^ ToInt(right))));
+  }
+  if (op == "<<") {
+    return Completion::Normal(Value(static_cast<double>(ToInt(left) << (ToInt(right) & 63))));
+  }
+  if (op == ">>") {
+    return Completion::Normal(Value(static_cast<double>(ToInt(left) >> (ToInt(right) & 63))));
+  }
+  if (op == "in") {
+    if (right.IsObject()) {
+      return Completion::Normal(Value(right.AsObject()->Has(left.ToDisplayString())));
+    }
+    if (right.IsArray()) {
+      size_t index = static_cast<size_t>(left.ToNumber());
+      return Completion::Normal(Value(index < right.AsArray()->elements.size()));
+    }
+    return TypeError("'in' requires an object operand");
+  }
+  return UnimplementedError("binary operator " + op);
+}
+
+Result<Completion> Interpreter::EvalAssignment(const NodePtr& node, const EnvPtr& env) {
+  const NodePtr& target = node->children[0];
+  const std::string& op = node->str;
+
+  // Compute the new value. For compound ops, read the old value first.
+  auto compute = [&](const Value& old_value) -> Result<Completion> {
+    TS_EVAL(rhs, node->children[1], env);
+    if (op == "=") {
+      return Completion::Normal(rhs);
+    }
+    if (op == "&&=") {
+      return Completion::Normal(old_value.Truthy() ? rhs : old_value);
+    }
+    if (op == "||=") {
+      return Completion::Normal(old_value.Truthy() ? old_value : rhs);
+    }
+    if (op == "?\?=") {
+      return Completion::Normal(old_value.IsNullish() ? rhs : old_value);
+    }
+    std::string base_op = op.substr(0, op.size() - 1);  // "+=" -> "+"
+    return EvalBinary(base_op, old_value, rhs);
+  };
+
+  if (target->kind == NodeKind::kIdentifier) {
+    Value old_value;
+    if (op != "=") {
+      Value* slot = env->Lookup(target->str);
+      if (slot == nullptr) {
+        return RuntimeError("assignment to undeclared variable " + target->str);
+      }
+      old_value = *slot;
+    }
+    TURNSTILE_ASSIGN_OR_RETURN(c, compute(old_value));
+    if (c.IsAbrupt()) {
+      return c;
+    }
+    if (!env->Assign(target->str, c.value)) {
+      // Implicit global definition (sloppy-mode JS); corpus apps rely on it
+      // for framework-injected globals.
+      global_env_->Define(target->str, c.value);
+    }
+    return Completion::Normal(c.value);
+  }
+
+  if (target->kind == NodeKind::kMemberExpr || target->kind == NodeKind::kIndexExpr) {
+    TS_EVAL(object, target->children[0], env);
+    std::string key;
+    if (target->kind == NodeKind::kMemberExpr) {
+      key = target->str;
+    } else {
+      TS_EVAL(key_value, target->children[1], env);
+      key = Unbox(key_value).ToDisplayString();
+    }
+    Value old_value;
+    if (op != "=") {
+      TURNSTILE_ASSIGN_OR_RETURN(read, GetProperty(object, key));
+      old_value = read;
+    }
+    TURNSTILE_ASSIGN_OR_RETURN(c, compute(old_value));
+    if (c.IsAbrupt()) {
+      return c;
+    }
+    TURNSTILE_RETURN_IF_ERROR(SetProperty(object, key, c.value));
+    return Completion::Normal(c.value);
+  }
+  return TypeError("invalid assignment target");
+}
+
+Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr& env) {
+  ++eval_count_;
+  switch (node->kind) {
+    case NodeKind::kNumberLit:
+      return Completion::Normal(Value(node->num));
+    case NodeKind::kStringLit:
+      return Completion::Normal(Value(node->str));
+    case NodeKind::kBoolLit:
+      return Completion::Normal(Value(node->num != 0));
+    case NodeKind::kNullLit:
+      return Completion::Normal(Value::Null());
+    case NodeKind::kUndefinedLit:
+      return Completion::Normal(Value::Undefined());
+    case NodeKind::kThisExpr: {
+      Value* slot = env->Lookup("this");
+      return Completion::Normal(slot != nullptr ? *slot : Value::Undefined());
+    }
+    case NodeKind::kIdentifier: {
+      Value* slot = env->Lookup(node->str);
+      if (slot == nullptr) {
+        return RuntimeError("reference to undeclared variable " + node->str + " at " +
+                            node->loc.ToString());
+      }
+      return Completion::Normal(*slot);
+    }
+    case NodeKind::kArrayLit: {
+      std::vector<Value> elements;
+      for (const NodePtr& element : node->children) {
+        if (element->kind == NodeKind::kSpreadElement) {
+          TS_EVAL(spread, element->children[0], env);
+          Value unboxed = Unbox(spread);
+          if (!unboxed.IsArray()) {
+            return TypeError("spread element is not an array");
+          }
+          for (const Value& v : unboxed.AsArray()->elements) {
+            elements.push_back(v);
+          }
+        } else {
+          TS_EVAL(v, element, env);
+          elements.push_back(std::move(v));
+        }
+      }
+      return Completion::Normal(Value(MakeArray(std::move(elements))));
+    }
+    case NodeKind::kObjectLit: {
+      ObjectPtr object = MakeObject();
+      for (const NodePtr& prop : node->children) {
+        std::string key;
+        const NodePtr* value_node = nullptr;
+        if (prop->num != 0) {  // computed
+          TS_EVAL(key_value, prop->children[0], env);
+          key = Unbox(key_value).ToDisplayString();
+          value_node = &prop->children[1];
+        } else {
+          key = prop->str;
+          value_node = &prop->children[0];
+        }
+        TS_EVAL(v, *value_node, env);
+        object->Set(key, std::move(v));
+      }
+      return Completion::Normal(Value(object));
+    }
+    case NodeKind::kFunctionExpr:
+    case NodeKind::kArrowFunction:
+      return Completion::Normal(Value(MakeClosure(node, env)));
+    case NodeKind::kCallExpr:
+      return EvalCall(node, env);
+    case NodeKind::kNewExpr:
+      return EvalNew(node, env);
+    case NodeKind::kMemberExpr: {
+      TS_EVAL(object, node->children[0], env);
+      if (node->num != 0 && object.IsNullish()) {  // optional chaining
+        return Completion::Normal(Value::Undefined());
+      }
+      TURNSTILE_ASSIGN_OR_RETURN(v, GetProperty(object, node->str));
+      return Completion::Normal(v);
+    }
+    case NodeKind::kIndexExpr: {
+      TS_EVAL(object, node->children[0], env);
+      TS_EVAL(key, node->children[1], env);
+      TURNSTILE_ASSIGN_OR_RETURN(v, GetProperty(object, Unbox(key).ToDisplayString()));
+      return Completion::Normal(v);
+    }
+    case NodeKind::kBinaryExpr: {
+      TS_EVAL(left, node->children[0], env);
+      TS_EVAL(right, node->children[1], env);
+      return EvalBinary(node->str, left, right);
+    }
+    case NodeKind::kLogicalExpr: {
+      TS_EVAL(left, node->children[0], env);
+      if (node->str == "&&") {
+        if (!left.Truthy()) {
+          return Completion::Normal(left);
+        }
+      } else if (node->str == "||") {
+        if (left.Truthy()) {
+          return Completion::Normal(left);
+        }
+      } else {  // ??
+        if (!left.IsNullish()) {
+          return Completion::Normal(left);
+        }
+      }
+      TS_EVAL(right, node->children[1], env);
+      return Completion::Normal(right);
+    }
+    case NodeKind::kUnaryExpr: {
+      if (node->str == "typeof") {
+        // typeof tolerates undeclared identifiers.
+        if (node->children[0]->kind == NodeKind::kIdentifier &&
+            env->Lookup(node->children[0]->str) == nullptr) {
+          return Completion::Normal(Value("undefined"));
+        }
+        TS_EVAL(v, node->children[0], env);
+        return Completion::Normal(Value(Unbox(v).TypeName()));
+      }
+      if (node->str == "delete") {
+        const NodePtr& target = node->children[0];
+        if (target->kind == NodeKind::kMemberExpr || target->kind == NodeKind::kIndexExpr) {
+          TS_EVAL(object, target->children[0], env);
+          std::string key;
+          if (target->kind == NodeKind::kMemberExpr) {
+            key = target->str;
+          } else {
+            TS_EVAL(key_value, target->children[1], env);
+            key = Unbox(key_value).ToDisplayString();
+          }
+          Value unboxed = Unbox(object);
+          if (unboxed.IsObject()) {
+            unboxed.AsObject()->Delete(key);
+          }
+          return Completion::Normal(Value(true));
+        }
+        return Completion::Normal(Value(false));
+      }
+      TS_EVAL(operand, node->children[0], env);
+      Value v = Unbox(operand);
+      if (node->str == "!") {
+        return Completion::Normal(Value(!v.Truthy()));
+      }
+      if (node->str == "-") {
+        return Completion::Normal(Value(-v.ToNumber()));
+      }
+      if (node->str == "+") {
+        return Completion::Normal(Value(v.ToNumber()));
+      }
+      if (node->str == "~") {
+        return Completion::Normal(Value(static_cast<double>(~ToInt(v))));
+      }
+      return UnimplementedError("unary operator " + node->str);
+    }
+    case NodeKind::kUpdateExpr: {
+      const NodePtr& target = node->children[0];
+      if (target->kind != NodeKind::kIdentifier && target->kind != NodeKind::kMemberExpr &&
+          target->kind != NodeKind::kIndexExpr) {
+        return TypeError("invalid update target");
+      }
+      // Desugar: evaluate old, compute new = old ± 1, store, return per fixity.
+      Value old_value;
+      if (target->kind == NodeKind::kIdentifier) {
+        Value* slot = env->Lookup(target->str);
+        if (slot == nullptr) {
+          return RuntimeError("update of undeclared variable " + target->str);
+        }
+        old_value = *slot;
+        double n = Unbox(old_value).ToNumber();
+        double updated = node->str == "++" ? n + 1 : n - 1;
+        *slot = Value(updated);
+        return Completion::Normal(Value(node->num != 0 ? updated : n));
+      }
+      TS_EVAL(object, target->children[0], env);
+      std::string key;
+      if (target->kind == NodeKind::kMemberExpr) {
+        key = target->str;
+      } else {
+        TS_EVAL(key_value, target->children[1], env);
+        key = Unbox(key_value).ToDisplayString();
+      }
+      TURNSTILE_ASSIGN_OR_RETURN(read, GetProperty(object, key));
+      double n = Unbox(read).ToNumber();
+      double updated = node->str == "++" ? n + 1 : n - 1;
+      TURNSTILE_RETURN_IF_ERROR(SetProperty(object, key, Value(updated)));
+      return Completion::Normal(Value(node->num != 0 ? updated : n));
+    }
+    case NodeKind::kAssignExpr:
+      return EvalAssignment(node, env);
+    case NodeKind::kConditionalExpr: {
+      TS_EVAL(cond, node->children[0], env);
+      return EvalExpression(cond.Truthy() ? node->children[1] : node->children[2], env);
+    }
+    case NodeKind::kSpreadElement:
+      return TypeError("spread element outside call/array context");
+    case NodeKind::kAwaitExpr: {
+      TS_EVAL(operand, node->children[0], env);
+      // Promises are pass-through (matching the paper's dataflow treatment):
+      // a settled promise yields its value; anything else awaits to itself.
+      Value v = Unbox(operand);
+      if (v.IsObject() && v.AsObject()->Has("__promiseState")) {
+        TURNSTILE_RETURN_IF_ERROR(DrainMicrotasks());
+        const ObjectPtr& promise = v.AsObject();
+        std::string state = promise->Get("__promiseState").ToDisplayString();
+        if (state == "fulfilled") {
+          return Completion::Normal(promise->Get("__promiseValue"));
+        }
+        if (state == "rejected") {
+          return Completion::Throw(promise->Get("__promiseValue"));
+        }
+        return RuntimeError("await on a pending promise (unsupported)");
+      }
+      return Completion::Normal(operand);
+    }
+    case NodeKind::kSequenceExpr: {
+      Value last;
+      for (const NodePtr& part : node->children) {
+        TS_EVAL(v, part, env);
+        last = std::move(v);
+      }
+      return Completion::Normal(last);
+    }
+    default:
+      return InternalError(std::string("EvalExpression on ") + NodeKindName(node->kind));
+  }
+}
+
+// --- statement evaluation ----------------------------------------------------
+
+// JS function-declaration hoisting: function declarations that are immediate
+// statements of a scope are callable before their textual position.
+static void HoistFunctionDeclarations(Interpreter& interp, const NodePtr& scope_node,
+                                      const EnvPtr& env);
+
+Result<Completion> Interpreter::EvalBlock(const NodePtr& block, const EnvPtr& env) {
+  EnvPtr scope = Environment::MakeChild(env);
+  HoistFunctionDeclarations(*this, block, scope);
+  for (const NodePtr& stmt : block->children) {
+    TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(stmt, scope));
+    if (c.IsAbrupt()) {
+      return c;
+    }
+  }
+  return Completion::Normal();
+}
+
+Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr& env) {
+  ++eval_count_;
+  switch (node->kind) {
+    case NodeKind::kProgram: {
+      HoistFunctionDeclarations(*this, node, env);
+      for (const NodePtr& stmt : node->children) {
+        TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(stmt, env));
+        if (c.IsAbrupt()) {
+          return c;
+        }
+      }
+      return Completion::Normal();
+    }
+    case NodeKind::kVarDecl: {
+      for (const NodePtr& declarator : node->children) {
+        Value init;
+        if (!declarator->children.empty()) {
+          TS_EVAL(v, declarator->children[0], env);
+          init = std::move(v);
+          if (init.IsFunction() && init.AsFunction()->name.empty()) {
+            init.AsFunction()->name = declarator->str;
+          }
+        }
+        env->Define(declarator->str, std::move(init));
+      }
+      return Completion::Normal();
+    }
+    case NodeKind::kExprStmt:
+      return EvalExpression(node->children[0], env);
+    case NodeKind::kBlockStmt:
+      return EvalBlock(node, env);
+    case NodeKind::kIfStmt: {
+      TS_EVAL(cond, node->children[0], env);
+      if (cond.Truthy()) {
+        return EvalStatement(node->children[1], env);
+      }
+      if (node->children.size() > 2) {
+        return EvalStatement(node->children[2], env);
+      }
+      return Completion::Normal();
+    }
+    case NodeKind::kWhileStmt: {
+      while (true) {
+        TS_EVAL(cond, node->children[0], env);
+        if (!cond.Truthy()) {
+          return Completion::Normal();
+        }
+        TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(node->children[1], env));
+        if (c.kind == Completion::Kind::kBreak) {
+          return Completion::Normal();
+        }
+        if (c.kind == Completion::Kind::kReturn || c.kind == Completion::Kind::kThrow) {
+          return c;
+        }
+      }
+    }
+    case NodeKind::kForStmt: {
+      EnvPtr scope = Environment::MakeChild(env);
+      if (node->children[0]->kind != NodeKind::kEmpty) {
+        TURNSTILE_ASSIGN_OR_RETURN(init, EvalStatement(node->children[0], scope));
+        if (init.IsAbrupt()) {
+          return init;
+        }
+      }
+      while (true) {
+        if (node->children[1]->kind != NodeKind::kEmpty) {
+          TS_EVAL(cond, node->children[1], scope);
+          if (!cond.Truthy()) {
+            return Completion::Normal();
+          }
+        }
+        TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(node->children[3], scope));
+        if (c.kind == Completion::Kind::kBreak) {
+          return Completion::Normal();
+        }
+        if (c.kind == Completion::Kind::kReturn || c.kind == Completion::Kind::kThrow) {
+          return c;
+        }
+        if (node->children[2]->kind != NodeKind::kEmpty) {
+          TS_EVAL(update, node->children[2], scope);
+          (void)update;
+        }
+      }
+    }
+    case NodeKind::kForOfStmt: {
+      TS_EVAL(iterable_value, node->children[1], env);
+      Value iterable = Unbox(iterable_value);
+      std::vector<Value> items;
+      if (iterable.IsArray()) {
+        items = iterable.AsArray()->elements;  // copy: body may mutate
+      } else if (iterable.IsString()) {
+        for (char c : iterable.AsString()) {
+          items.push_back(Value(std::string(1, c)));
+        }
+      } else {
+        return TypeError("for-of target is not iterable");
+      }
+      for (const Value& item : items) {
+        EnvPtr scope = Environment::MakeChild(env);
+        scope->Define(node->children[0]->str, item);
+        TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(node->children[2], scope));
+        if (c.kind == Completion::Kind::kBreak) {
+          return Completion::Normal();
+        }
+        if (c.kind == Completion::Kind::kReturn || c.kind == Completion::Kind::kThrow) {
+          return c;
+        }
+      }
+      return Completion::Normal();
+    }
+    case NodeKind::kReturnStmt: {
+      if (node->children.empty()) {
+        return Completion::Return(Value::Undefined());
+      }
+      TS_EVAL(v, node->children[0], env);
+      return Completion::Return(std::move(v));
+    }
+    case NodeKind::kBreakStmt:
+      return Completion::Break();
+    case NodeKind::kContinueStmt:
+      return Completion::Continue();
+    case NodeKind::kEmpty:
+      return Completion::Normal();
+    case NodeKind::kFunctionDecl: {
+      env->Define(node->str, Value(MakeClosure(node, env)));
+      return Completion::Normal();
+    }
+    case NodeKind::kClassDecl: {
+      auto info = std::make_shared<ClassInfo>();
+      info->name = node->str;
+      if (node->children[0]->kind != NodeKind::kEmpty) {
+        Value* super = env->Lookup(node->children[0]->str);
+        if (super == nullptr || !super->IsFunction() ||
+            super->AsFunction()->construct_class == nullptr) {
+          return TypeError("superclass " + node->children[0]->str + " is not a class");
+        }
+        info->superclass = super->AsFunction()->construct_class;
+      }
+      for (size_t i = 1; i < node->children.size(); ++i) {
+        const NodePtr& method_node = node->children[i];
+        FunctionPtr method = MakeClosure(method_node, env);
+        info->methods[method_node->str] = method;
+      }
+      FunctionPtr ctor = std::make_shared<FunctionObject>();
+      ctor->name = node->str;
+      ctor->construct_class = info;
+      // Calling the class object without `new` is a TypeError in JS; we model
+      // the constructor function as a native that reports this.
+      std::string class_name = node->str;
+      ctor->native = [class_name](Interpreter&, const Value&,
+                                  std::vector<Value>&) -> Result<Value> {
+        return Interpreter::TypeError("class " + class_name + " must be called with new");
+      };
+      env->Define(node->str, Value(ctor));
+      return Completion::Normal();
+    }
+    case NodeKind::kTryStmt: {
+      TURNSTILE_ASSIGN_OR_RETURN(result, EvalBlock(node->children[0], env));
+      Completion outcome = result;
+      if (outcome.kind == Completion::Kind::kThrow &&
+          node->children[2]->kind == NodeKind::kBlockStmt) {
+        EnvPtr catch_env = Environment::MakeChild(env);
+        if (node->children[1]->kind != NodeKind::kEmpty) {
+          catch_env->Define(node->children[1]->str, outcome.value);
+        }
+        TURNSTILE_ASSIGN_OR_RETURN(catch_result, EvalBlock(node->children[2], catch_env));
+        outcome = catch_result;
+      }
+      if (node->children.size() > 3 && node->children[3]->kind == NodeKind::kBlockStmt) {
+        TURNSTILE_ASSIGN_OR_RETURN(finally_result, EvalBlock(node->children[3], env));
+        if (finally_result.IsAbrupt()) {
+          return finally_result;  // finally overrides
+        }
+      }
+      return outcome;
+    }
+    case NodeKind::kThrowStmt: {
+      TS_EVAL(v, node->children[0], env);
+      return Completion::Throw(std::move(v));
+    }
+    default:
+      // Expression in statement position.
+      return EvalExpression(node, env);
+  }
+}
+
+// --- hoisting ----------------------------------------------------------------
+
+static void HoistFunctionDeclarations(Interpreter& interp, const NodePtr& scope_node,
+                                      const EnvPtr& env) {
+  for (const NodePtr& stmt : scope_node->children) {
+    if (stmt->kind == NodeKind::kFunctionDecl) {
+      // EvalStatement re-defines the same closure at the declaration's
+      // textual position; both definitions share this scope.
+      auto result = interp.EvalStatement(stmt, env);
+      (void)result;
+    }
+  }
+}
+
+// --- CallAsCompletion --------------------------------------------------------
+
+static Result<Completion> CallAsCompletion(Interpreter& interp, const FunctionPtr& fn,
+                                           const Value& this_value, std::vector<Value> args) {
+  // CallFunction collapses a MiniScript `throw` into a Status plus a pending
+  // thrown value; re-raise it here as a throw completion so an enclosing
+  // MiniScript try/catch observes the original value.
+  Result<Value> result = interp.CallFunction(fn, this_value, std::move(args));
+  if (result.ok()) {
+    return Completion::Normal(std::move(result).value());
+  }
+  Value thrown;
+  if (interp.ConsumePendingThrow(&thrown)) {
+    return Completion::Throw(std::move(thrown));
+  }
+  return result.status();
+}
+
+#undef TS_EVAL
+
+}  // namespace turnstile

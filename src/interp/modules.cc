@@ -1,0 +1,451 @@
+// Simulated I/O modules — the substitution for Node.js's fs/net/http/etc.
+//
+// The paper's taint sources and sinks are "all POSIX I/O interfaces" as seen
+// through Node.js modules. We reproduce that boundary: every module here
+// routes reads from a virtual world and records writes into IoWorld, so tests
+// and benches can assert on exactly what left the application.
+#include <cmath>
+
+#include "src/interp/interp.h"
+#include "src/support/strings.h"
+
+namespace turnstile {
+
+namespace {
+
+Value Arg(const std::vector<Value>& args, size_t i) {
+  return i < args.size() ? args[i] : Value::Undefined();
+}
+
+std::string Render(const Value& v) { return UnboxDeep(v).ToDisplayString(); }
+
+// Finds the trailing callback argument, if any.
+FunctionPtr TrailingCallback(const std::vector<Value>& args) {
+  if (args.empty()) {
+    return nullptr;
+  }
+  Value last = Unbox(args.back());
+  return last.IsFunction() ? last.AsFunction() : nullptr;
+}
+
+}  // namespace
+
+ObjectPtr MakeEmitterObject(Interpreter& interp, const std::string& tag) {
+  ObjectPtr emitter = MakeObject();
+  emitter->debug_tag = tag;
+  std::weak_ptr<Object> weak = emitter;
+  emitter->Set("on", Value(MakeNativeFunction(
+      tag + ".on", [weak](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        ObjectPtr self = weak.lock();
+        if (self == nullptr) {
+          return Value::Undefined();
+        }
+        Value event = Unbox(Arg(args, 0));
+        Value listener = Unbox(Arg(args, 1));
+        if (!event.IsString() || !listener.IsFunction()) {
+          return Interpreter::TypeError("on(event, listener) expects a string and a function");
+        }
+        in.AddListener(self, event.AsString(), listener.AsFunction());
+        return Value(self);
+      })));
+  emitter->Set("once", emitter->Get("on"));
+  interp.io_world().emitters[tag].push_back(emitter);
+  return emitter;
+}
+
+namespace {
+
+// Marks a native function value as an I/O sink (boxed DIFT arguments are
+// unwrapped before such functions run).
+Value SinkNative(std::string name, NativeFn fn) {
+  FunctionPtr native = MakeNativeFunction(std::move(name), std::move(fn));
+  native->is_io_sink = true;
+  return Value(native);
+}
+
+// --- fs ----------------------------------------------------------------------
+
+Value MakeFsModule(Interpreter& interp) {
+  ObjectPtr fs = MakeObject();
+  fs->debug_tag = "module:fs";
+
+  fs->Set("readFileSync", Value(MakeNativeFunction(
+      "fs.readFileSync", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string path = Render(Arg(args, 0));
+        auto it = in.io_world().files.find(path);
+        std::string content = it != in.io_world().files.end()
+                                  ? it->second
+                                  : "simulated-content:" + path;
+        return Value(content);
+      })));
+
+  fs->Set("readFile", Value(MakeNativeFunction(
+      "fs.readFile", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string path = Render(Arg(args, 0));
+        FunctionPtr cb = TrailingCallback(args);
+        auto it = in.io_world().files.find(path);
+        std::string content = it != in.io_world().files.end()
+                                  ? it->second
+                                  : "simulated-content:" + path;
+        if (cb != nullptr) {
+          in.ScheduleTask(cb, {Value::Null(), Value(content)}, 0.0);
+        }
+        return Value::Undefined();
+      })));
+
+  fs->Set("writeFileSync", Value(MakeNativeFunction(
+      "fs.writeFileSync", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string path = Render(Arg(args, 0));
+        std::string data = Render(Arg(args, 1));
+        in.io_world().files[path] = data;
+        in.io_world().Record(in.VirtualNow(), "fs", "write", path, data);
+        return Value::Undefined();
+      })));
+
+  fs->Set("writeFile", Value(MakeNativeFunction(
+      "fs.writeFile", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string path = Render(Arg(args, 0));
+        std::string data = Render(Arg(args, 1));
+        in.io_world().files[path] = data;
+        in.io_world().Record(in.VirtualNow(), "fs", "write", path, data);
+        FunctionPtr cb = TrailingCallback(args);
+        if (cb != nullptr && args.size() > 2) {
+          in.ScheduleTask(cb, {Value::Null()}, 0.0);
+        }
+        return Value::Undefined();
+      })));
+
+  fs->Set("appendFile", fs->Get("writeFile"));
+  fs->Get("writeFileSync").AsFunction()->is_io_sink = true;
+  fs->Get("writeFile").AsFunction()->is_io_sink = true;
+
+  fs->Set("createReadStream", Value(MakeNativeFunction(
+      "fs.createReadStream",
+      [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string path = Render(Arg(args, 0));
+        ObjectPtr stream = MakeEmitterObject(in, "fs.readStream");
+        stream->Set("path", Value(path));
+        // Synthetic chunked content arrives asynchronously.
+        for (int chunk = 0; chunk < 3; ++chunk) {
+          in.EmitEvent(stream, "data",
+                       {Value("chunk" + std::to_string(chunk) + ":" + path)},
+                       0.001 * (chunk + 1));
+        }
+        in.EmitEvent(stream, "end", {}, 0.004);
+        return Value(stream);
+      })));
+
+  fs->Set("createWriteStream", Value(MakeNativeFunction(
+      "fs.createWriteStream",
+      [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string path = Render(Arg(args, 0));
+        ObjectPtr stream = MakeEmitterObject(in, "fs.writeStream");
+        stream->Set("path", Value(path));
+        stream->Set("write", SinkNative(
+            "writeStream.write",
+            [path](Interpreter& in2, const Value&, std::vector<Value>& a) -> Result<Value> {
+              in2.io_world().Record(in2.VirtualNow(), "fs", "write", path, Render(Arg(a, 0)));
+              return Value(true);
+            }));
+        stream->Set("end", SinkNative(
+            "writeStream.end",
+            [](Interpreter&, const Value&, std::vector<Value>&) -> Result<Value> {
+              return Value::Undefined();
+            }));
+        return Value(stream);
+      })));
+  return Value(fs);
+}
+
+// --- net ---------------------------------------------------------------------
+
+ObjectPtr MakeSocket(Interpreter& interp, const std::string& peer) {
+  ObjectPtr socket = MakeEmitterObject(interp, "net.socket");
+  socket->Set("remoteAddress", Value(peer));
+  socket->Set("write", Value(MakeNativeFunction(
+      "socket.write", [peer](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        in.io_world().Record(in.VirtualNow(), "net", "write", peer, Render(Arg(args, 0)));
+        return Value(true);
+      })));
+  socket->Set("end", Value(MakeNativeFunction(
+      "socket.end", [peer](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        if (!args.empty()) {
+          in.io_world().Record(in.VirtualNow(), "net", "write", peer, Render(Arg(args, 0)));
+        }
+        return Value::Undefined();
+      })));
+  socket->Get("write").AsFunction()->is_io_sink = true;
+  socket->Get("end").AsFunction()->is_io_sink = true;
+  return socket;
+}
+
+Value MakeNetModule(Interpreter& interp) {
+  ObjectPtr net = MakeObject();
+  net->debug_tag = "module:net";
+  net->Set("connect", Value(MakeNativeFunction(
+      "net.connect", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string peer = Render(Arg(args, 1));
+        if (peer == "undefined") {
+          peer = "port:" + Render(Arg(args, 0));
+        }
+        ObjectPtr socket = MakeSocket(in, peer);
+        in.EmitEvent(socket, "connect", {}, 0.0005);
+        return Value(socket);
+      })));
+  net->Set("createServer", Value(MakeNativeFunction(
+      "net.createServer",
+      [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        ObjectPtr server = MakeEmitterObject(in, "net.server");
+        Value handler = Unbox(Arg(args, 0));
+        if (handler.IsFunction()) {
+          in.AddListener(server, "connection", handler.AsFunction());
+        }
+        server->Set("listen", Value(MakeNativeFunction(
+            "server.listen",
+            [](Interpreter&, const Value& self, std::vector<Value>&) -> Result<Value> {
+              return self;
+            })));
+        return Value(server);
+      })));
+  return Value(net);
+}
+
+// --- http --------------------------------------------------------------------
+
+Value MakeHttpModule(Interpreter& interp) {
+  ObjectPtr http = MakeObject();
+  http->debug_tag = "module:http";
+
+  http->Set("get", Value(MakeNativeFunction(
+      "http.get", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string url = Render(Arg(args, 0));
+        FunctionPtr cb = TrailingCallback(args);
+        ObjectPtr response = MakeEmitterObject(in, "http.response");
+        response->Set("statusCode", Value(200.0));
+        response->Set("url", Value(url));
+        if (cb != nullptr) {
+          in.ScheduleTask(cb, {Value(response)}, 0.001);
+        }
+        in.EmitEvent(response, "data", {Value("http-body:" + url)}, 0.002);
+        in.EmitEvent(response, "end", {}, 0.003);
+        ObjectPtr request = MakeEmitterObject(in, "http.request");
+        return Value(request);
+      })));
+
+  http->Set("request", Value(MakeNativeFunction(
+      "http.request", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        Value options = Unbox(Arg(args, 0));
+        std::string host = "unknown-host";
+        if (options.IsObject()) {
+          Value h = options.AsObject()->Get("host");
+          if (h.IsUndefined()) {
+            h = options.AsObject()->Get("hostname");
+          }
+          if (!h.IsUndefined()) {
+            host = Render(h);
+          }
+        } else if (options.IsString()) {
+          host = options.AsString();
+        }
+        FunctionPtr cb = TrailingCallback(args);
+        ObjectPtr response = MakeEmitterObject(in, "http.response");
+        response->Set("statusCode", Value(200.0));
+        if (cb != nullptr) {
+          in.ScheduleTask(cb, {Value(response)}, 0.001);
+        }
+        in.EmitEvent(response, "data", {Value("http-body:" + host)}, 0.002);
+        in.EmitEvent(response, "end", {}, 0.003);
+        ObjectPtr request = MakeEmitterObject(in, "http.request");
+        std::string peer = host;
+        request->Set("write", SinkNative(
+            "request.write",
+            [peer](Interpreter& in2, const Value&, std::vector<Value>& a) -> Result<Value> {
+              in2.io_world().Record(in2.VirtualNow(), "http", "request", peer, Render(Arg(a, 0)));
+              return Value(true);
+            }));
+        request->Set("end", SinkNative(
+            "request.end",
+            [peer](Interpreter& in2, const Value&, std::vector<Value>& a) -> Result<Value> {
+              if (!a.empty()) {
+                in2.io_world().Record(in2.VirtualNow(), "http", "request", peer,
+                                      Render(Arg(a, 0)));
+              }
+              return Value::Undefined();
+            }));
+        return Value(request);
+      })));
+
+  http->Set("createServer", Value(MakeNativeFunction(
+      "http.createServer",
+      [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        ObjectPtr server = MakeEmitterObject(in, "http.server");
+        Value handler = Unbox(Arg(args, 0));
+        if (handler.IsFunction()) {
+          in.AddListener(server, "request", handler.AsFunction());
+        }
+        server->Set("listen", Value(MakeNativeFunction(
+            "server.listen",
+            [](Interpreter&, const Value& self, std::vector<Value>&) -> Result<Value> {
+              return self;
+            })));
+        return Value(server);
+      })));
+  return Value(http);
+}
+
+// --- mqtt --------------------------------------------------------------------
+
+Value MakeMqttModule(Interpreter& interp) {
+  ObjectPtr mqtt = MakeObject();
+  mqtt->debug_tag = "module:mqtt";
+  mqtt->Set("connect", Value(MakeNativeFunction(
+      "mqtt.connect", [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        std::string broker = Render(Arg(args, 0));
+        ObjectPtr client = MakeEmitterObject(in, "mqtt.client");
+        client->Set("broker", Value(broker));
+        client->Set("publish", SinkNative(
+            "mqtt.publish",
+            [broker](Interpreter& in2, const Value&, std::vector<Value>& a) -> Result<Value> {
+              in2.io_world().Record(in2.VirtualNow(), "mqtt", "publish",
+                                    broker + "/" + Render(Arg(a, 0)), Render(Arg(a, 1)));
+              return Value::Undefined();
+            }));
+        client->Set("subscribe", Value(MakeNativeFunction(
+            "mqtt.subscribe",
+            [](Interpreter&, const Value& self, std::vector<Value>&) -> Result<Value> {
+              return self;
+            })));
+        in.EmitEvent(client, "connect", {}, 0.0005);
+        return Value(client);
+      })));
+  return Value(mqtt);
+}
+
+// --- nodemailer (smtp) --------------------------------------------------------
+
+Value MakeNodemailerModule(Interpreter& interp) {
+  ObjectPtr mailer = MakeObject();
+  mailer->debug_tag = "module:nodemailer";
+  mailer->Set("createTransport", Value(MakeNativeFunction(
+      "nodemailer.createTransport",
+      [](Interpreter& in, const Value&, std::vector<Value>&) -> Result<Value> {
+        ObjectPtr transport = MakeEmitterObject(in, "smtp.transport");
+        transport->Set("sendMail", SinkNative(
+            "transport.sendMail",
+            [](Interpreter& in2, const Value&, std::vector<Value>& a) -> Result<Value> {
+              Value opts = Unbox(Arg(a, 0));
+              std::string to = "unknown";
+              std::string body;
+              if (opts.IsObject()) {
+                to = Render(opts.AsObject()->Get("to"));
+                Value attachments = opts.AsObject()->Get("attachments");
+                if (!attachments.IsUndefined()) {
+                  body = Render(attachments);
+                } else {
+                  body = Render(opts.AsObject()->Get("text"));
+                }
+              }
+              in2.io_world().Record(in2.VirtualNow(), "smtp", "sendMail", to, body);
+              FunctionPtr cb = TrailingCallback(a);
+              if (cb != nullptr) {
+                ObjectPtr info = MakeObject();
+                info->Set("accepted", Value(MakeArray({Value(to)})));
+                in2.ScheduleTask(cb, {Value::Null(), Value(info)}, 0.001);
+              }
+              return Value::Undefined();
+            }));
+        return Value(transport);
+      })));
+  return Value(mailer);
+}
+
+// --- sqlite3 -----------------------------------------------------------------
+
+Value MakeSqliteModule(Interpreter& interp) {
+  ObjectPtr sqlite = MakeObject();
+  sqlite->debug_tag = "module:sqlite3";
+  sqlite->Set("Database", Value(MakeNativeFunction(
+      "sqlite3.Database",
+      [](Interpreter& in, const Value& self, std::vector<Value>& args) -> Result<Value> {
+        ObjectPtr db = self.IsObject() ? self.AsObject() : MakeObject();
+        std::string path = Render(Arg(args, 0));
+        db->debug_tag = "sqlite.db";
+        db->Set("path", Value(path));
+        db->Set("run", SinkNative(
+            "db.run", [path](Interpreter& in2, const Value&, std::vector<Value>& a) -> Result<Value> {
+              std::string sql = Render(Arg(a, 0));
+              std::string params;
+              if (a.size() > 1 && !Unbox(a[1]).IsFunction()) {
+                params = Render(a[1]);
+              }
+              in2.io_world().Record(in2.VirtualNow(), "sqlite", "run", path,
+                                    sql + (params.empty() ? "" : " <- " + params));
+              FunctionPtr cb = TrailingCallback(a);
+              if (cb != nullptr) {
+                in2.ScheduleTask(cb, {Value::Null()}, 0.0005);
+              }
+              return Value::Undefined();
+            }));
+        db->Set("get", Value(MakeNativeFunction(
+            "db.get", [](Interpreter& in2, const Value&, std::vector<Value>& a) -> Result<Value> {
+              FunctionPtr cb = TrailingCallback(a);
+              if (cb != nullptr) {
+                ObjectPtr row = MakeObject();
+                row->Set("id", Value(1.0));
+                row->Set("value", Value("simulated-row"));
+                in2.ScheduleTask(cb, {Value::Null(), Value(row)}, 0.0005);
+              }
+              return Value::Undefined();
+            })));
+        in.io_world().emitters["sqlite.db"].push_back(db);
+        return Value(db);
+      })));
+  return Value(sqlite);
+}
+
+// --- deepstack (face recognition SaaS client) ---------------------------------
+
+Value MakeDeepstackModule(Interpreter& interp) {
+  ObjectPtr deepstack = MakeObject();
+  deepstack->debug_tag = "module:deepstack";
+  deepstack->Set("faceRecognition", Value(MakeNativeFunction(
+      "deepstack.faceRecognition",
+      [](Interpreter& in, const Value&, std::vector<Value>& args) -> Result<Value> {
+        // Simulated recognizer: derives deterministic "predictions" from the
+        // frame content so label functions see realistic variation.
+        std::string frame = Render(Arg(args, 0));
+        ObjectPtr result = MakeObject();
+        std::vector<Value> predictions;
+        uint64_t hash = 1469598103934665603ull;
+        for (char c : frame) {
+          hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+        }
+        int face_count = static_cast<int>(hash % 3);
+        for (int i = 0; i < face_count; ++i) {
+          ObjectPtr person = MakeObject();
+          uint64_t h = hash >> (8 * (i + 1));
+          person->Set("userid", Value("user" + std::to_string(h % 20)));
+          person->Set("confidence", Value(0.5 + static_cast<double>(h % 50) / 100.0));
+          predictions.push_back(Value(person));
+        }
+        result->Set("predictions", Value(MakeArray(std::move(predictions))));
+        result->Set("success", Value(true));
+        return MakeResolvedPromise(in, Value(result));
+      })));
+  return Value(deepstack);
+}
+
+}  // namespace
+
+void Interpreter::InstallIoModules() {
+  RegisterModule("fs", MakeFsModule);
+  RegisterModule("net", MakeNetModule);
+  RegisterModule("http", MakeHttpModule);
+  RegisterModule("https", MakeHttpModule);
+  RegisterModule("mqtt", MakeMqttModule);
+  RegisterModule("nodemailer", MakeNodemailerModule);
+  RegisterModule("sqlite3", MakeSqliteModule);
+  RegisterModule("deepstack", MakeDeepstackModule);
+}
+
+}  // namespace turnstile

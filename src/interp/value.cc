@@ -1,0 +1,219 @@
+#include "src/interp/value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/support/strings.h"
+
+namespace turnstile {
+
+FunctionPtr ClassInfo::FindMethod(const std::string& method_name) const {
+  auto it = methods.find(method_name);
+  if (it != methods.end()) {
+    return it->second;
+  }
+  if (superclass != nullptr) {
+    return superclass->FindMethod(method_name);
+  }
+  return nullptr;
+}
+
+const void* Value::IdentityKey() const {
+  if (IsObject()) {
+    return AsObject().get();
+  }
+  if (IsArray()) {
+    return AsArray().get();
+  }
+  if (IsFunction()) {
+    return AsFunction().get();
+  }
+  return nullptr;
+}
+
+bool Value::Truthy() const {
+  if (IsUndefined() || IsNull()) {
+    return false;
+  }
+  if (IsBool()) {
+    return AsBool();
+  }
+  if (IsNumber()) {
+    double n = AsNumber();
+    return n != 0.0 && !std::isnan(n);
+  }
+  if (IsString()) {
+    return !AsString().empty();
+  }
+  if (IsObject() && AsObject()->is_box) {
+    return AsObject()->box_payload.Truthy();
+  }
+  return true;  // objects/arrays/functions
+}
+
+double Value::ToNumber() const {
+  if (IsNumber()) {
+    return AsNumber();
+  }
+  if (IsBool()) {
+    return AsBool() ? 1.0 : 0.0;
+  }
+  if (IsNull()) {
+    return 0.0;
+  }
+  if (IsString()) {
+    const std::string& s = AsString();
+    if (StrTrim(s).empty()) {
+      return 0.0;
+    }
+    char* end = nullptr;
+    double n = std::strtod(s.c_str(), &end);
+    while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) {
+      ++end;
+    }
+    if (*end != '\0') {
+      return std::nan("");
+    }
+    return n;
+  }
+  if (IsObject() && AsObject()->is_box) {
+    return AsObject()->box_payload.ToNumber();
+  }
+  return std::nan("");
+}
+
+std::string Value::ToDisplayString() const {
+  if (IsUndefined()) {
+    return "undefined";
+  }
+  if (IsNull()) {
+    return "null";
+  }
+  if (IsBool()) {
+    return AsBool() ? "true" : "false";
+  }
+  if (IsNumber()) {
+    return NumberToString(AsNumber());
+  }
+  if (IsString()) {
+    return AsString();
+  }
+  if (IsArray()) {
+    std::string out = "[";
+    const auto& elements = AsArray()->elements;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += elements[i].ToDisplayString();
+    }
+    out += "]";
+    return out;
+  }
+  if (IsFunction()) {
+    return "[function " + AsFunction()->name + "]";
+  }
+  const ObjectPtr& obj = AsObject();
+  if (obj->is_box) {
+    return obj->box_payload.ToDisplayString();
+  }
+  std::string out = "{ ";
+  bool first = true;
+  for (const std::string& key : obj->insertion_order) {
+    auto it = obj->properties.find(key);
+    if (it == obj->properties.end()) {
+      continue;
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += key;
+    out += ": ";
+    if (it->second.IsString()) {
+      out += "\"" + it->second.AsString() + "\"";
+    } else {
+      out += it->second.ToDisplayString();
+    }
+  }
+  out += first ? "}" : " }";
+  return out;
+}
+
+const char* Value::TypeName() const {
+  if (IsUndefined()) {
+    return "undefined";
+  }
+  if (IsNull()) {
+    return "object";  // JS quirk, preserved
+  }
+  if (IsBool()) {
+    return "boolean";
+  }
+  if (IsNumber()) {
+    return "number";
+  }
+  if (IsString()) {
+    return "string";
+  }
+  if (IsFunction()) {
+    return "function";
+  }
+  return "object";
+}
+
+bool Value::StrictEquals(const Value& other) const {
+  if (IsUndefined()) {
+    return other.IsUndefined();
+  }
+  if (IsNull()) {
+    return other.IsNull();
+  }
+  if (IsBool() && other.IsBool()) {
+    return AsBool() == other.AsBool();
+  }
+  if (IsNumber() && other.IsNumber()) {
+    return AsNumber() == other.AsNumber();
+  }
+  if (IsString() && other.IsString()) {
+    return AsString() == other.AsString();
+  }
+  if (IdentityKey() != nullptr) {
+    return IdentityKey() == other.IdentityKey();
+  }
+  return false;
+}
+
+ObjectPtr MakeObject() { return std::make_shared<Object>(); }
+
+ArrayPtr MakeArray(std::vector<Value> elements) {
+  ArrayPtr array = std::make_shared<ArrayObject>();
+  array->elements = std::move(elements);
+  return array;
+}
+
+FunctionPtr MakeNativeFunction(std::string name, NativeFn fn) {
+  FunctionPtr function = std::make_shared<FunctionObject>();
+  function->name = std::move(name);
+  function->native = std::move(fn);
+  return function;
+}
+
+bool IsBox(const Value& value) { return value.IsObject() && value.AsObject()->is_box; }
+
+Value Unbox(const Value& value) {
+  if (IsBox(value)) {
+    return value.AsObject()->box_payload;
+  }
+  return value;
+}
+
+Value UnboxDeep(const Value& value) {
+  Value current = value;
+  while (IsBox(current)) {
+    current = current.AsObject()->box_payload;
+  }
+  return current;
+}
+
+}  // namespace turnstile

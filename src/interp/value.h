@@ -1,0 +1,203 @@
+// Runtime value model for the MiniScript interpreter.
+//
+// MiniScript distinguishes value types (undefined, null, boolean, number,
+// string) from reference types (object, array, function) — the distinction
+// the paper's DIFT tracker relies on: reference types can be used directly as
+// keys in the label map, while value types must be boxed (§4.4).
+#ifndef TURNSTILE_SRC_INTERP_VALUE_H_
+#define TURNSTILE_SRC_INTERP_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+class Interpreter;
+class Value;
+struct Object;
+struct ArrayObject;
+struct FunctionObject;
+struct Environment;
+
+using ObjectPtr = std::shared_ptr<Object>;
+using ArrayPtr = std::shared_ptr<ArrayObject>;
+using FunctionPtr = std::shared_ptr<FunctionObject>;
+using EnvPtr = std::shared_ptr<Environment>;
+
+// Signature of a native (C++-implemented) function exposed to MiniScript.
+using NativeFn =
+    std::function<Result<Value>(Interpreter&, const Value& this_value, std::vector<Value>& args)>;
+
+struct UndefinedTag {
+  bool operator==(const UndefinedTag&) const { return true; }
+};
+struct NullTag {
+  bool operator==(const NullTag&) const { return true; }
+};
+
+// A MiniScript runtime value. Copying is cheap (reference types share).
+class Value {
+ public:
+  Value() : data_(UndefinedTag{}) {}
+  static Value Undefined() { return Value(); }
+  static Value Null() {
+    Value v;
+    v.data_ = NullTag{};
+    return v;
+  }
+  Value(bool b) : data_(b) {}
+  Value(double n) : data_(n) {}
+  Value(int n) : data_(static_cast<double>(n)) {}
+  Value(const char* s) : data_(std::make_shared<std::string>(s)) {}
+  Value(std::string s) : data_(std::make_shared<std::string>(std::move(s))) {}
+  Value(ObjectPtr o) : data_(std::move(o)) {}
+  Value(ArrayPtr a) : data_(std::move(a)) {}
+  Value(FunctionPtr f) : data_(std::move(f)) {}
+
+  bool IsUndefined() const { return std::holds_alternative<UndefinedTag>(data_); }
+  bool IsNull() const { return std::holds_alternative<NullTag>(data_); }
+  bool IsNullish() const { return IsUndefined() || IsNull(); }
+  bool IsBool() const { return std::holds_alternative<bool>(data_); }
+  bool IsNumber() const { return std::holds_alternative<double>(data_); }
+  bool IsString() const { return std::holds_alternative<std::shared_ptr<std::string>>(data_); }
+  bool IsObject() const { return std::holds_alternative<ObjectPtr>(data_); }
+  bool IsArray() const { return std::holds_alternative<ArrayPtr>(data_); }
+  bool IsFunction() const { return std::holds_alternative<FunctionPtr>(data_); }
+  // Value types require boxing in the DIFT label map.
+  bool IsValueType() const { return !IsObject() && !IsArray() && !IsFunction(); }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  double AsNumber() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return *std::get<std::shared_ptr<std::string>>(data_); }
+  const ObjectPtr& AsObject() const { return std::get<ObjectPtr>(data_); }
+  const ArrayPtr& AsArray() const { return std::get<ArrayPtr>(data_); }
+  const FunctionPtr& AsFunction() const { return std::get<FunctionPtr>(data_); }
+
+  // Stable identity pointer for reference types (nullptr for value types).
+  // Used as the key of the DIFT label map.
+  const void* IdentityKey() const;
+
+  // JS-like coercions.
+  bool Truthy() const;
+  double ToNumber() const;
+  std::string ToDisplayString() const;  // console.log-style rendering
+  const char* TypeName() const;         // typeof operator result
+
+  // Strict equality (===). Reference types compare by identity.
+  bool StrictEquals(const Value& other) const;
+
+ private:
+  std::variant<UndefinedTag, NullTag, bool, double, std::shared_ptr<std::string>, ObjectPtr,
+               ArrayPtr, FunctionPtr>
+      data_;
+};
+
+// Class metadata produced by `class` declarations.
+struct ClassInfo {
+  std::string name;
+  std::unordered_map<std::string, FunctionPtr> methods;  // includes "constructor"
+  std::shared_ptr<ClassInfo> superclass;
+
+  // Walks the inheritance chain for a method.
+  FunctionPtr FindMethod(const std::string& method_name) const;
+};
+
+// A heap object: ordered-insertion property map plus optional class metadata
+// and optional proxy traps (used by the DIFT tracker to observe dynamic
+// property creation/deletion, mirroring the paper's use of JS Proxy).
+struct Object {
+  std::unordered_map<std::string, Value> properties;
+  std::vector<std::string> insertion_order;  // keys in first-set order
+  std::shared_ptr<ClassInfo> class_info;
+
+  // Proxy traps: when set, property reads/writes are reported to the trap
+  // after the underlying operation resolves. The trap must not re-enter the
+  // interpreter.
+  std::function<void(Object&, const std::string& key, const Value& value)> set_trap;
+  std::function<void(Object&, const std::string& key)> delete_trap;
+
+  // DIFT boxing support: a box carries exactly one value-type payload.
+  bool is_box = false;
+  Value box_payload;
+
+  // Set for objects created by simulated I/O modules ("socket", "mqtt", ...),
+  // used for diagnostics.
+  std::string debug_tag;
+
+  bool Has(const std::string& key) const { return properties.count(key) > 0; }
+  Value Get(const std::string& key) const {
+    auto it = properties.find(key);
+    return it == properties.end() ? Value::Undefined() : it->second;
+  }
+  void Set(const std::string& key, Value value) {
+    auto [it, inserted] = properties.insert_or_assign(key, std::move(value));
+    if (inserted) {
+      insertion_order.push_back(key);
+    }
+    if (set_trap) {
+      set_trap(*this, key, it->second);
+    }
+  }
+  void Delete(const std::string& key) {
+    if (properties.erase(key) > 0) {
+      for (auto it = insertion_order.begin(); it != insertion_order.end(); ++it) {
+        if (*it == key) {
+          insertion_order.erase(it);
+          break;
+        }
+      }
+      if (delete_trap) {
+        delete_trap(*this, key);
+      }
+    }
+  }
+};
+
+// A JS-style array with identity.
+struct ArrayObject {
+  std::vector<Value> elements;
+};
+
+// A callable: either a MiniScript closure or a native function.
+struct FunctionObject {
+  std::string name;          // for diagnostics
+  NodePtr params;            // kParams (closures only)
+  NodePtr body;              // kBlockStmt or expression (closures only)
+  EnvPtr closure;            // captured environment (closures only)
+  bool is_arrow = false;     // arrows inherit `this` from the closure
+  bool is_async = false;     // async functions wrap returns in a promise
+  Value bound_this;          // captured `this` for arrows / bound methods
+  bool has_bound_this = false;
+  std::shared_ptr<ClassInfo> construct_class;  // set for class constructors
+  NativeFn native;           // set for native functions
+  // True for natives that write to the outside world (fs.writeFile,
+  // socket.write, ...). The DIFT tracker unwraps boxed arguments only for
+  // these, matching the paper's "unwrapped upon writing to a sink".
+  bool is_io_sink = false;
+
+  bool IsNative() const { return static_cast<bool>(native); }
+};
+
+// Helpers.
+ObjectPtr MakeObject();
+ArrayPtr MakeArray(std::vector<Value> elements = {});
+FunctionPtr MakeNativeFunction(std::string name, NativeFn fn);
+
+// True when `value` is a DIFT box object.
+bool IsBox(const Value& value);
+// Unwraps one layer of boxing, or returns `value` unchanged.
+Value Unbox(const Value& value);
+// Fully unwraps nested boxes.
+Value UnboxDeep(const Value& value);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_INTERP_VALUE_H_

@@ -1,0 +1,221 @@
+#include "src/lang/ast.h"
+
+namespace turnstile {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kProgram:
+      return "Program";
+    case NodeKind::kNumberLit:
+      return "NumberLit";
+    case NodeKind::kStringLit:
+      return "StringLit";
+    case NodeKind::kBoolLit:
+      return "BoolLit";
+    case NodeKind::kNullLit:
+      return "NullLit";
+    case NodeKind::kUndefinedLit:
+      return "UndefinedLit";
+    case NodeKind::kThisExpr:
+      return "ThisExpr";
+    case NodeKind::kIdentifier:
+      return "Identifier";
+    case NodeKind::kArrayLit:
+      return "ArrayLit";
+    case NodeKind::kObjectLit:
+      return "ObjectLit";
+    case NodeKind::kProperty:
+      return "Property";
+    case NodeKind::kFunctionExpr:
+      return "FunctionExpr";
+    case NodeKind::kArrowFunction:
+      return "ArrowFunction";
+    case NodeKind::kParams:
+      return "Params";
+    case NodeKind::kRestParam:
+      return "RestParam";
+    case NodeKind::kClassDecl:
+      return "ClassDecl";
+    case NodeKind::kMethodDef:
+      return "MethodDef";
+    case NodeKind::kCallExpr:
+      return "CallExpr";
+    case NodeKind::kNewExpr:
+      return "NewExpr";
+    case NodeKind::kMemberExpr:
+      return "MemberExpr";
+    case NodeKind::kIndexExpr:
+      return "IndexExpr";
+    case NodeKind::kBinaryExpr:
+      return "BinaryExpr";
+    case NodeKind::kLogicalExpr:
+      return "LogicalExpr";
+    case NodeKind::kUnaryExpr:
+      return "UnaryExpr";
+    case NodeKind::kUpdateExpr:
+      return "UpdateExpr";
+    case NodeKind::kAssignExpr:
+      return "AssignExpr";
+    case NodeKind::kConditionalExpr:
+      return "ConditionalExpr";
+    case NodeKind::kSpreadElement:
+      return "SpreadElement";
+    case NodeKind::kAwaitExpr:
+      return "AwaitExpr";
+    case NodeKind::kSequenceExpr:
+      return "SequenceExpr";
+    case NodeKind::kVarDecl:
+      return "VarDecl";
+    case NodeKind::kDeclarator:
+      return "Declarator";
+    case NodeKind::kExprStmt:
+      return "ExprStmt";
+    case NodeKind::kBlockStmt:
+      return "BlockStmt";
+    case NodeKind::kIfStmt:
+      return "IfStmt";
+    case NodeKind::kWhileStmt:
+      return "WhileStmt";
+    case NodeKind::kForStmt:
+      return "ForStmt";
+    case NodeKind::kForOfStmt:
+      return "ForOfStmt";
+    case NodeKind::kReturnStmt:
+      return "ReturnStmt";
+    case NodeKind::kBreakStmt:
+      return "BreakStmt";
+    case NodeKind::kContinueStmt:
+      return "ContinueStmt";
+    case NodeKind::kEmpty:
+      return "Empty";
+    case NodeKind::kFunctionDecl:
+      return "FunctionDecl";
+    case NodeKind::kTryStmt:
+      return "TryStmt";
+    case NodeKind::kThrowStmt:
+      return "ThrowStmt";
+  }
+  return "Unknown";
+}
+
+bool Node::IsExpression() const {
+  switch (kind) {
+    case NodeKind::kNumberLit:
+    case NodeKind::kStringLit:
+    case NodeKind::kBoolLit:
+    case NodeKind::kNullLit:
+    case NodeKind::kUndefinedLit:
+    case NodeKind::kThisExpr:
+    case NodeKind::kIdentifier:
+    case NodeKind::kArrayLit:
+    case NodeKind::kObjectLit:
+    case NodeKind::kFunctionExpr:
+    case NodeKind::kArrowFunction:
+    case NodeKind::kCallExpr:
+    case NodeKind::kNewExpr:
+    case NodeKind::kMemberExpr:
+    case NodeKind::kIndexExpr:
+    case NodeKind::kBinaryExpr:
+    case NodeKind::kLogicalExpr:
+    case NodeKind::kUnaryExpr:
+    case NodeKind::kUpdateExpr:
+    case NodeKind::kAssignExpr:
+    case NodeKind::kConditionalExpr:
+    case NodeKind::kSpreadElement:
+    case NodeKind::kAwaitExpr:
+    case NodeKind::kSequenceExpr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Node::IsFunctionLike() const {
+  switch (kind) {
+    case NodeKind::kFunctionExpr:
+    case NodeKind::kArrowFunction:
+    case NodeKind::kFunctionDecl:
+    case NodeKind::kMethodDef:
+      return true;
+    default:
+      return false;
+  }
+}
+
+NodePtr MakeNode(NodeKind kind) { return std::make_shared<Node>(kind); }
+
+NodePtr MakeNode(NodeKind kind, std::string str) {
+  NodePtr node = std::make_shared<Node>(kind);
+  node->str = std::move(str);
+  return node;
+}
+
+NodePtr MakeNode(NodeKind kind, std::vector<NodePtr> children) {
+  NodePtr node = std::make_shared<Node>(kind);
+  node->children = std::move(children);
+  return node;
+}
+
+NodePtr MakeNode(NodeKind kind, std::string str, std::vector<NodePtr> children) {
+  NodePtr node = std::make_shared<Node>(kind);
+  node->str = std::move(str);
+  node->children = std::move(children);
+  return node;
+}
+
+NodePtr MakeIdentifier(const std::string& name) {
+  return MakeNode(NodeKind::kIdentifier, name);
+}
+
+NodePtr MakeStringLit(const std::string& value) {
+  return MakeNode(NodeKind::kStringLit, value);
+}
+
+NodePtr MakeNumberLit(double value) {
+  NodePtr node = MakeNode(NodeKind::kNumberLit);
+  node->num = value;
+  return node;
+}
+
+NodePtr MakeMember(NodePtr object, const std::string& property) {
+  NodePtr node = MakeNode(NodeKind::kMemberExpr, property);
+  node->children.push_back(std::move(object));
+  return node;
+}
+
+NodePtr MakeCall(NodePtr callee, std::vector<NodePtr> args) {
+  NodePtr node = MakeNode(NodeKind::kCallExpr);
+  node->children.push_back(std::move(callee));
+  for (NodePtr& arg : args) {
+    node->children.push_back(std::move(arg));
+  }
+  return node;
+}
+
+NodePtr CloneTree(const NodePtr& node) {
+  if (node == nullptr) {
+    return nullptr;
+  }
+  NodePtr copy = std::make_shared<Node>(node->kind);
+  copy->id = node->id;
+  copy->loc = node->loc;
+  copy->str = node->str;
+  copy->num = node->num;
+  copy->children.reserve(node->children.size());
+  for (const NodePtr& child : node->children) {
+    copy->children.push_back(CloneTree(child));
+  }
+  return copy;
+}
+
+void ForEachNode(const NodePtr& root, const std::function<void(const NodePtr&)>& fn) {
+  if (root == nullptr) {
+    return;
+  }
+  fn(root);
+  for (const NodePtr& child : root->children) {
+    ForEachNode(child, fn);
+  }
+}
+
+}  // namespace turnstile

@@ -1,0 +1,167 @@
+// Abstract syntax tree for MiniScript.
+//
+// The tree uses a single generic Node struct (kind + string/number payload +
+// ordered children) so that the static analyzer and the instrumentor can walk
+// and rewrite programs uniformly. The child layout of every kind is fixed and
+// documented below; helper accessors encode the layouts.
+//
+// Child layouts (— marks optional trailing children):
+//   kProgram          statements...
+//   kNumberLit        (payload: num)
+//   kStringLit        (payload: str = decoded value)
+//   kBoolLit          (payload: num = 0/1)
+//   kNullLit, kUndefinedLit, kThisExpr
+//   kIdentifier       (payload: str = name)
+//   kArrayLit         elements... (elements may be kSpreadElement)
+//   kObjectLit        properties... (kProperty nodes)
+//   kProperty         static key:  [value]          (payload: str = key)
+//                     computed:    [keyExpr, value] (payload: str empty, num = 1)
+//   kFunctionExpr     [params, body]                (payload: str = optional name)
+//   kArrowFunction    [params, body]  body is kBlockStmt or an expression
+//   kParams           identifiers... (last may be kRestParam)
+//   kRestParam        (payload: str = name)
+//   kClassDecl        [superclassIdent-or-kEmpty, methods...] (payload: str = name)
+//   kMethodDef        [params, body]                (payload: str = method name)
+//   kCallExpr         [callee, args...]
+//   kNewExpr          [callee, args...]
+//   kMemberExpr       [object]                      (payload: str = property name)
+//   kIndexExpr        [object, index]
+//   kBinaryExpr       [left, right]                 (payload: str = operator)
+//   kLogicalExpr      [left, right]                 (payload: str = && / || / ??)
+//   kUnaryExpr        [operand]                     (payload: str = op, e.g. !, -, typeof)
+//   kUpdateExpr       [operand]                     (payload: str = ++/--, num = 1 if prefix)
+//   kAssignExpr       [target, value]               (payload: str = =, +=, ...)
+//   kConditionalExpr  [cond, thenExpr, elseExpr]
+//   kSpreadElement    [argument]
+//   kAwaitExpr        [argument]
+//   kSequenceExpr     expressions...
+//   kVarDecl          declarators...                (payload: str = let/const/var)
+//   kDeclarator       [init] or []                  (payload: str = name)
+//   kExprStmt         [expression]
+//   kBlockStmt        statements...
+//   kIfStmt           [cond, thenStmt] or [cond, thenStmt, elseStmt]
+//   kWhileStmt        [cond, body]
+//   kForStmt          [init, cond, update, body]    (missing parts are kEmpty)
+//   kForOfStmt        [iterVar(kIdentifier), iterable, body] (payload: str = decl kind)
+//   kReturnStmt       [] or [argument]
+//   kBreakStmt, kContinueStmt, kEmpty
+//   kFunctionDecl     [params, body]                (payload: str = name)
+//   kTryStmt          [block, catchParam(kIdentifier or kEmpty), catchBlock, finallyBlock-or-kEmpty]
+//   kThrowStmt        [argument]
+#ifndef TURNSTILE_SRC_LANG_AST_H_
+#define TURNSTILE_SRC_LANG_AST_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/token.h"
+
+namespace turnstile {
+
+enum class NodeKind {
+  kProgram,
+  kNumberLit,
+  kStringLit,
+  kBoolLit,
+  kNullLit,
+  kUndefinedLit,
+  kThisExpr,
+  kIdentifier,
+  kArrayLit,
+  kObjectLit,
+  kProperty,
+  kFunctionExpr,
+  kArrowFunction,
+  kParams,
+  kRestParam,
+  kClassDecl,
+  kMethodDef,
+  kCallExpr,
+  kNewExpr,
+  kMemberExpr,
+  kIndexExpr,
+  kBinaryExpr,
+  kLogicalExpr,
+  kUnaryExpr,
+  kUpdateExpr,
+  kAssignExpr,
+  kConditionalExpr,
+  kSpreadElement,
+  kAwaitExpr,
+  kSequenceExpr,
+  kVarDecl,
+  kDeclarator,
+  kExprStmt,
+  kBlockStmt,
+  kIfStmt,
+  kWhileStmt,
+  kForStmt,
+  kForOfStmt,
+  kReturnStmt,
+  kBreakStmt,
+  kContinueStmt,
+  kEmpty,
+  kFunctionDecl,
+  kTryStmt,
+  kThrowStmt,
+};
+
+// Human-readable kind name, e.g. "CallExpr".
+const char* NodeKindName(NodeKind kind);
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+struct Node {
+  NodeKind kind;
+  int id = -1;  // unique within a parsed Program; -1 for synthesized nodes
+  SourceLocation loc;
+  std::string str;   // see per-kind layout above
+  double num = 0.0;  // see per-kind layout above
+  std::vector<NodePtr> children;
+
+  explicit Node(NodeKind k) : kind(k) {}
+
+  bool Is(NodeKind k) const { return kind == k; }
+
+  // Convenience accessors (valid only for the matching kinds).
+  const NodePtr& child(size_t i) const { return children[i]; }
+  size_t child_count() const { return children.size(); }
+
+  // True for nodes that represent expressions producing a value.
+  bool IsExpression() const;
+  // True for function-like nodes (kFunctionExpr/kArrowFunction/kFunctionDecl/kMethodDef).
+  bool IsFunctionLike() const;
+};
+
+// Creates a node of the given kind (id unassigned).
+NodePtr MakeNode(NodeKind kind);
+NodePtr MakeNode(NodeKind kind, std::string str);
+NodePtr MakeNode(NodeKind kind, std::vector<NodePtr> children);
+NodePtr MakeNode(NodeKind kind, std::string str, std::vector<NodePtr> children);
+
+// Shorthand constructors used by the instrumentor and tests.
+NodePtr MakeIdentifier(const std::string& name);
+NodePtr MakeStringLit(const std::string& value);
+NodePtr MakeNumberLit(double value);
+NodePtr MakeMember(NodePtr object, const std::string& property);
+NodePtr MakeCall(NodePtr callee, std::vector<NodePtr> args);
+
+// Deep-copies a subtree (fresh shared_ptrs, same ids).
+NodePtr CloneTree(const NodePtr& node);
+
+// A parsed compilation unit.
+struct Program {
+  NodePtr root;            // kProgram
+  std::string source_name; // file name used in diagnostics and policies
+  int node_count = 0;      // ids are in [0, node_count)
+};
+
+// Calls `fn(node)` for every node in the subtree, pre-order.
+void ForEachNode(const NodePtr& root, const std::function<void(const NodePtr&)>& fn);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_LANG_AST_H_

@@ -1,0 +1,265 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace turnstile {
+
+bool IsKeywordText(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "let",     "const",    "var",    "function", "return", "if",    "else",
+      "while",   "for",      "of",     "break",    "continue", "true", "false",
+      "null",    "undefined", "new",   "class",    "extends", "this",  "typeof",
+      "delete",  "in",       "try",    "catch",    "finally", "throw", "await",
+      "async",   "static",
+  };
+  return kKeywords.count(text) > 0;
+}
+
+namespace {
+
+// Longest-first list of multi-character punctuators.
+const char* kPunctuators[] = {
+    "===", "!==", "**=", "...", "<<=", ">>=", "&&=", "||=", "?\?=",
+    "==", "!=", "<=", ">=", "&&", "||", "??", "?.", "=>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "**",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":", ";", ",",
+    ".", "(", ")", "[", "]", "{", "}", "&", "|", "^", "~",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      TURNSTILE_RETURN_IF_ERROR(SkipTrivia());
+      if (AtEnd()) {
+        Token eof;
+        eof.kind = TokenKind::kEndOfFile;
+        eof.loc = Location();
+        tokens.push_back(eof);
+        return tokens;
+      }
+      TURNSTILE_ASSIGN_OR_RETURN(token, Next());
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+
+  SourceLocation Location() const { return {line_, static_cast<int>(pos_ - line_start_) + 1}; }
+
+  void Advance() {
+    if (Peek() == '\n') {
+      ++line_;
+      line_start_ = pos_ + 1;
+    }
+    ++pos_;
+  }
+
+  Status Fail(const std::string& message) const {
+    return ParseError(message + " at " + Location().ToString());
+  }
+
+  Status SkipTrivia() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (AtEnd()) {
+          return Fail("unterminated block comment");
+        }
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return LexIdentifier();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber();
+    }
+    if (c == '"' || c == '\'' || c == '`') {
+      return LexString(c);
+    }
+    return LexPunct();
+  }
+
+  Result<Token> LexIdentifier() {
+    Token token;
+    token.loc = Location();
+    std::string text;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+        text += c;
+        Advance();
+      } else {
+        break;
+      }
+    }
+    token.kind = IsKeywordText(text) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+    token.text = std::move(text);
+    return token;
+  }
+
+  Result<Token> LexNumber() {
+    Token token;
+    token.kind = TokenKind::kNumber;
+    token.loc = Location();
+    size_t start = pos_;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      Advance();
+      Advance();
+      while (!AtEnd() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        size_t mark = pos_;
+        Advance();
+        if (Peek() == '+' || Peek() == '-') {
+          Advance();
+        }
+        if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+            Advance();
+          }
+        } else {
+          pos_ = mark;  // not an exponent after all
+        }
+      }
+    }
+    std::string text(source_.substr(start, pos_ - start));
+    token.text = text;
+    token.number = std::strtod(text.c_str(), nullptr);
+    return token;
+  }
+
+  Result<Token> LexString(char quote) {
+    Token token;
+    token.kind = TokenKind::kString;
+    token.loc = Location();
+    Advance();  // opening quote
+    std::string value;
+    while (true) {
+      if (AtEnd()) {
+        return Fail("unterminated string literal");
+      }
+      char c = Peek();
+      if (c == quote) {
+        Advance();
+        token.text = std::move(value);
+        return token;
+      }
+      if (c == '\n' && quote != '`') {
+        return Fail("newline in string literal");
+      }
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) {
+          return Fail("unterminated escape sequence");
+        }
+        char esc = Peek();
+        Advance();
+        switch (esc) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          case '0':
+            value += '\0';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          case '\'':
+            value += '\'';
+            break;
+          case '"':
+            value += '"';
+            break;
+          case '`':
+            value += '`';
+            break;
+          case '\n':
+            break;  // line continuation
+          default:
+            value += esc;
+        }
+        continue;
+      }
+      value += c;
+      Advance();
+    }
+  }
+
+  Result<Token> LexPunct() {
+    Token token;
+    token.kind = TokenKind::kPunct;
+    token.loc = Location();
+    std::string_view rest = source_.substr(pos_);
+    for (const char* punct : kPunctuators) {
+      std::string_view spelling(punct);
+      if (rest.substr(0, spelling.size()) == spelling) {
+        token.text = std::string(spelling);
+        for (size_t i = 0; i < spelling.size(); ++i) {
+          Advance();
+        }
+        return token;
+      }
+    }
+    return Fail(std::string("unexpected character '") + Peek() + "'");
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  size_t line_start_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace turnstile

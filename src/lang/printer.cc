@@ -1,0 +1,551 @@
+#include "src/lang/printer.h"
+
+#include <cassert>
+#include <cctype>
+
+#include "src/support/strings.h"
+
+namespace turnstile {
+
+namespace {
+
+// Escapes a MiniScript string literal body and wraps it in double quotes.
+std::string QuoteString(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+class Printer {
+ public:
+  std::string Render(const NodePtr& node) {
+    if (node->IsExpression()) {
+      PrintExpr(node);
+    } else {
+      PrintStmt(node);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void Emit(std::string_view text) { out_.append(text); }
+  void EmitIndent() { out_.append(static_cast<size_t>(indent_) * 2, ' '); }
+  void EmitLine(std::string_view text) {
+    EmitIndent();
+    Emit(text);
+    Emit("\n");
+  }
+
+  // True if an operand needs parentheses when nested inside another operator.
+  bool NeedsParens(const NodePtr& node) const {
+    switch (node->kind) {
+      case NodeKind::kBinaryExpr:
+      case NodeKind::kLogicalExpr:
+      case NodeKind::kConditionalExpr:
+      case NodeKind::kAssignExpr:
+      case NodeKind::kArrowFunction:
+      case NodeKind::kFunctionExpr:
+      case NodeKind::kSequenceExpr:
+      case NodeKind::kAwaitExpr:
+      case NodeKind::kUnaryExpr:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void PrintOperand(const NodePtr& node) {
+    if (NeedsParens(node)) {
+      Emit("(");
+      PrintExpr(node);
+      Emit(")");
+    } else {
+      PrintExpr(node);
+    }
+  }
+
+  void PrintParams(const NodePtr& params) {
+    Emit("(");
+    for (size_t i = 0; i < params->children.size(); ++i) {
+      if (i > 0) {
+        Emit(", ");
+      }
+      const NodePtr& p = params->children[i];
+      if (p->kind == NodeKind::kRestParam) {
+        Emit("...");
+        Emit(p->str);
+      } else {
+        Emit(p->str);
+      }
+    }
+    Emit(")");
+  }
+
+  // Prints an expression in a comma-separated list context; sequence
+  // expressions must keep their parentheses there.
+  void PrintListItem(const NodePtr& node) {
+    if (node->kind == NodeKind::kSequenceExpr) {
+      Emit("(");
+      PrintExpr(node);
+      Emit(")");
+    } else {
+      PrintExpr(node);
+    }
+  }
+
+  void PrintArgs(const NodePtr& call, size_t first_arg_index) {
+    Emit("(");
+    for (size_t i = first_arg_index; i < call->children.size(); ++i) {
+      if (i > first_arg_index) {
+        Emit(", ");
+      }
+      PrintListItem(call->children[i]);
+    }
+    Emit(")");
+  }
+
+  void PrintExpr(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kNumberLit:
+        if (node->num < 0) {
+          Emit("(" + NumberToString(node->num) + ")");
+        } else {
+          Emit(NumberToString(node->num));
+        }
+        return;
+      case NodeKind::kStringLit:
+        Emit(QuoteString(node->str));
+        return;
+      case NodeKind::kBoolLit:
+        Emit(node->num != 0 ? "true" : "false");
+        return;
+      case NodeKind::kNullLit:
+        Emit("null");
+        return;
+      case NodeKind::kUndefinedLit:
+        Emit("undefined");
+        return;
+      case NodeKind::kThisExpr:
+        Emit("this");
+        return;
+      case NodeKind::kIdentifier:
+        Emit(node->str);
+        return;
+      case NodeKind::kArrayLit:
+        Emit("[");
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          if (i > 0) {
+            Emit(", ");
+          }
+          PrintListItem(node->children[i]);
+        }
+        Emit("]");
+        return;
+      case NodeKind::kObjectLit:
+        if (node->children.empty()) {
+          Emit("{}");
+          return;
+        }
+        Emit("{ ");
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          if (i > 0) {
+            Emit(", ");
+          }
+          PrintProperty(node->children[i]);
+        }
+        Emit(" }");
+        return;
+      case NodeKind::kSpreadElement:
+        Emit("...");
+        PrintOperand(node->children[0]);
+        return;
+      case NodeKind::kFunctionExpr:
+        Emit(node->num != 0 ? "async function" : "function");
+        if (!node->str.empty()) {
+          Emit(" ");
+          Emit(node->str);
+        }
+        PrintParams(node->children[0]);
+        Emit(" ");
+        PrintBlockInline(node->children[1]);
+        return;
+      case NodeKind::kArrowFunction:
+        if (node->num != 0) {
+          Emit("async ");
+        }
+        PrintParams(node->children[0]);
+        Emit(" => ");
+        if (node->children[1]->kind == NodeKind::kBlockStmt) {
+          PrintBlockInline(node->children[1]);
+        } else if (node->children[1]->kind == NodeKind::kObjectLit ||
+                   node->children[1]->kind == NodeKind::kSequenceExpr) {
+          Emit("(");
+          PrintExpr(node->children[1]);
+          Emit(")");
+        } else {
+          PrintExpr(node->children[1]);
+        }
+        return;
+      case NodeKind::kCallExpr:
+        PrintOperand(node->children[0]);
+        PrintArgs(node, 1);
+        return;
+      case NodeKind::kNewExpr:
+        Emit("new ");
+        PrintOperand(node->children[0]);
+        PrintArgs(node, 1);
+        return;
+      case NodeKind::kMemberExpr:
+        PrintOperand(node->children[0]);
+        Emit(node->num != 0 ? "?." : ".");
+        Emit(node->str);
+        return;
+      case NodeKind::kIndexExpr:
+        PrintOperand(node->children[0]);
+        Emit("[");
+        PrintExpr(node->children[1]);
+        Emit("]");
+        return;
+      case NodeKind::kBinaryExpr:
+      case NodeKind::kLogicalExpr:
+        PrintOperand(node->children[0]);
+        Emit(" ");
+        Emit(node->str);
+        Emit(" ");
+        PrintOperand(node->children[1]);
+        return;
+      case NodeKind::kUnaryExpr:
+        Emit(node->str);
+        if (node->str.size() > 1) {  // typeof, delete
+          Emit(" ");
+        }
+        PrintOperand(node->children[0]);
+        return;
+      case NodeKind::kUpdateExpr:
+        if (node->num != 0) {
+          Emit(node->str);
+          PrintOperand(node->children[0]);
+        } else {
+          PrintOperand(node->children[0]);
+          Emit(node->str);
+        }
+        return;
+      case NodeKind::kAssignExpr:
+        PrintExpr(node->children[0]);
+        Emit(" ");
+        Emit(node->str);
+        Emit(" ");
+        PrintOperand(node->children[1]);
+        return;
+      case NodeKind::kConditionalExpr:
+        PrintOperand(node->children[0]);
+        Emit(" ? ");
+        PrintOperand(node->children[1]);
+        Emit(" : ");
+        PrintOperand(node->children[2]);
+        return;
+      case NodeKind::kAwaitExpr:
+        Emit("await ");
+        PrintOperand(node->children[0]);
+        return;
+      case NodeKind::kSequenceExpr:
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          if (i > 0) {
+            Emit(", ");
+          }
+          PrintOperand(node->children[i]);
+        }
+        return;
+      default:
+        assert(false && "PrintExpr called on a statement node");
+        Emit("/*?*/");
+        return;
+    }
+  }
+
+  void PrintProperty(const NodePtr& prop) {
+    if (prop->num != 0) {  // computed
+      Emit("[");
+      PrintExpr(prop->children[0]);
+      Emit("]: ");
+      PrintExpr(prop->children[1]);
+      return;
+    }
+    bool plain_ident = !prop->str.empty() &&
+                       (std::isalpha(static_cast<unsigned char>(prop->str[0])) ||
+                        prop->str[0] == '_' || prop->str[0] == '$');
+    for (char c : prop->str) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$')) {
+        plain_ident = false;
+        break;
+      }
+    }
+    if (plain_ident) {
+      Emit(prop->str);
+    } else {
+      Emit(QuoteString(prop->str));
+    }
+    Emit(": ");
+    PrintListItem(prop->children[0]);
+  }
+
+  // Prints a block starting at the current position (used after `) ` of a
+  // function head); ends without a newline.
+  void PrintBlockInline(const NodePtr& block) {
+    if (block->children.empty()) {
+      Emit("{}");
+      return;
+    }
+    Emit("{\n");
+    ++indent_;
+    for (const NodePtr& stmt : block->children) {
+      PrintStmt(stmt);
+    }
+    --indent_;
+    EmitIndent();
+    Emit("}");
+  }
+
+  void PrintStmt(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kProgram:
+        for (const NodePtr& stmt : node->children) {
+          PrintStmt(stmt);
+        }
+        return;
+      case NodeKind::kVarDecl:
+        EmitIndent();
+        Emit(node->str);
+        Emit(" ");
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          if (i > 0) {
+            Emit(", ");
+          }
+          const NodePtr& d = node->children[i];
+          Emit(d->str);
+          if (!d->children.empty()) {
+            Emit(" = ");
+            PrintListItem(d->children[0]);
+          }
+        }
+        Emit(";\n");
+        return;
+      case NodeKind::kExprStmt:
+        EmitIndent();
+        // A leading `{` or `function` would be mis-parsed as block/decl.
+        if (node->children[0]->kind == NodeKind::kObjectLit ||
+            node->children[0]->kind == NodeKind::kFunctionExpr) {
+          Emit("(");
+          PrintExpr(node->children[0]);
+          Emit(")");
+        } else {
+          PrintExpr(node->children[0]);
+        }
+        Emit(";\n");
+        return;
+      case NodeKind::kBlockStmt:
+        EmitIndent();
+        PrintBlockInline(node);
+        Emit("\n");
+        return;
+      case NodeKind::kIfStmt:
+        EmitIndent();
+        Emit("if (");
+        PrintExpr(node->children[0]);
+        Emit(") ");
+        PrintNestedStmt(node->children[1]);
+        if (node->children.size() > 2) {
+          EmitIndent();
+          Emit("else ");
+          PrintNestedStmt(node->children[2]);
+        }
+        return;
+      case NodeKind::kWhileStmt:
+        EmitIndent();
+        Emit("while (");
+        PrintExpr(node->children[0]);
+        Emit(") ");
+        PrintNestedStmt(node->children[1]);
+        return;
+      case NodeKind::kForStmt: {
+        EmitIndent();
+        Emit("for (");
+        const NodePtr& init = node->children[0];
+        if (init->kind == NodeKind::kVarDecl) {
+          Emit(init->str);
+          Emit(" ");
+          for (size_t i = 0; i < init->children.size(); ++i) {
+            if (i > 0) {
+              Emit(", ");
+            }
+            Emit(init->children[i]->str);
+            if (!init->children[i]->children.empty()) {
+              Emit(" = ");
+              PrintExpr(init->children[i]->children[0]);
+            }
+          }
+        } else if (init->kind != NodeKind::kEmpty) {
+          PrintExpr(init);
+        }
+        Emit("; ");
+        if (node->children[1]->kind != NodeKind::kEmpty) {
+          PrintExpr(node->children[1]);
+        }
+        Emit("; ");
+        if (node->children[2]->kind != NodeKind::kEmpty) {
+          PrintExpr(node->children[2]);
+        }
+        Emit(") ");
+        PrintNestedStmt(node->children[3]);
+        return;
+      }
+      case NodeKind::kForOfStmt:
+        EmitIndent();
+        Emit("for (");
+        Emit(node->str);
+        Emit(" ");
+        Emit(node->children[0]->str);
+        Emit(" of ");
+        PrintExpr(node->children[1]);
+        Emit(") ");
+        PrintNestedStmt(node->children[2]);
+        return;
+      case NodeKind::kReturnStmt:
+        EmitIndent();
+        if (node->children.empty()) {
+          Emit("return;\n");
+        } else {
+          Emit("return ");
+          PrintExpr(node->children[0]);
+          Emit(";\n");
+        }
+        return;
+      case NodeKind::kBreakStmt:
+        EmitLine("break;");
+        return;
+      case NodeKind::kContinueStmt:
+        EmitLine("continue;");
+        return;
+      case NodeKind::kEmpty:
+        return;
+      case NodeKind::kFunctionDecl:
+        EmitIndent();
+        Emit(node->num != 0 ? "async function " : "function ");
+        Emit(node->str);
+        PrintParams(node->children[0]);
+        Emit(" ");
+        PrintBlockInline(node->children[1]);
+        Emit("\n");
+        return;
+      case NodeKind::kClassDecl:
+        EmitIndent();
+        Emit("class ");
+        Emit(node->str);
+        if (node->children[0]->kind != NodeKind::kEmpty) {
+          Emit(" extends ");
+          Emit(node->children[0]->str);
+        }
+        Emit(" {\n");
+        ++indent_;
+        for (size_t i = 1; i < node->children.size(); ++i) {
+          const NodePtr& method = node->children[i];
+          EmitIndent();
+          Emit(method->str);
+          PrintParams(method->children[0]);
+          Emit(" ");
+          PrintBlockInline(method->children[1]);
+          Emit("\n");
+        }
+        --indent_;
+        EmitIndent();
+        Emit("}\n");
+        return;
+      case NodeKind::kTryStmt:
+        EmitIndent();
+        Emit("try ");
+        PrintBlockInline(node->children[0]);
+        if (node->children[2]->kind == NodeKind::kBlockStmt) {
+          Emit(" catch ");
+          if (node->children[1]->kind != NodeKind::kEmpty) {
+            Emit("(");
+            Emit(node->children[1]->str);
+            Emit(") ");
+          }
+          PrintBlockInline(node->children[2]);
+        }
+        if (node->children.size() > 3 && node->children[3]->kind == NodeKind::kBlockStmt) {
+          Emit(" finally ");
+          PrintBlockInline(node->children[3]);
+        }
+        Emit("\n");
+        return;
+      case NodeKind::kThrowStmt:
+        EmitIndent();
+        Emit("throw ");
+        PrintExpr(node->children[0]);
+        Emit(";\n");
+        return;
+      default:
+        // Expression used in statement position.
+        EmitIndent();
+        PrintExpr(node);
+        Emit(";\n");
+        return;
+    }
+  }
+
+  // Prints a statement that follows `if (...) ` etc. — blocks inline, other
+  // statements on the next line, indented. No braces are synthesized so the
+  // printed tree re-parses to an identical structure.
+  void PrintNestedStmt(const NodePtr& stmt) {
+    if (stmt->kind == NodeKind::kBlockStmt) {
+      PrintBlockInline(stmt);
+      Emit("\n");
+      return;
+    }
+    Emit("\n");
+    ++indent_;
+    PrintStmt(stmt);
+    --indent_;
+  }
+
+  std::string out_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string PrintProgram(const NodePtr& root) {
+  Printer printer;
+  return printer.Render(root);
+}
+
+std::string PrintProgram(const Program& program) { return PrintProgram(program.root); }
+
+std::string PrintNode(const NodePtr& node) {
+  Printer printer;
+  return printer.Render(node);
+}
+
+}  // namespace turnstile

@@ -1,0 +1,49 @@
+// Token definitions for MiniScript, the JavaScript-like language used by the
+// Turnstile reproduction as its application language substrate.
+#ifndef TURNSTILE_SRC_LANG_TOKEN_H_
+#define TURNSTILE_SRC_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace turnstile {
+
+enum class TokenKind {
+  kEndOfFile,
+  kIdentifier,   // foo
+  kNumber,       // 42, 3.14, 0x1f
+  kString,       // "..." or '...'
+  kKeyword,      // let const var function class ...
+  kPunct,        // operators and punctuation
+};
+
+struct SourceLocation {
+  int line = 0;    // 1-based
+  int column = 0;  // 1-based
+
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;     // identifier/keyword/punct spelling, or decoded string value
+  double number = 0.0;  // for kNumber
+  SourceLocation loc;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  bool IsPunct(const char* spelling) const {
+    return kind == TokenKind::kPunct && text == spelling;
+  }
+  bool IsKeyword(const char* spelling) const {
+    return kind == TokenKind::kKeyword && text == spelling;
+  }
+};
+
+// True for MiniScript reserved words.
+bool IsKeywordText(const std::string& text);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_LANG_TOKEN_H_

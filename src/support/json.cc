@@ -1,0 +1,469 @@
+#include "src/support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/strings.h"
+
+namespace turnstile {
+
+namespace {
+const Json& SharedNull() {
+  static const Json kNull;
+  return kNull;
+}
+}  // namespace
+
+Json::Type Json::type() const {
+  switch (data_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kNumber;
+    case 3:
+      return Type::kString;
+    case 4:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
+
+const Json& Json::operator[](std::string_view key) const {
+  if (!is_object()) {
+    return SharedNull();
+  }
+  for (const auto& [k, v] : object_items()) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return SharedNull();
+}
+
+const Json& Json::operator[](size_t index) const {
+  if (!is_array() || index >= array_items().size()) {
+    return SharedNull();
+  }
+  return array_items()[index];
+}
+
+bool Json::Has(std::string_view key) const {
+  if (!is_object()) {
+    return false;
+  }
+  for (const auto& [k, v] : object_items()) {
+    (void)v;
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Json::Set(std::string key, Json value) {
+  if (is_null()) {
+    data_ = JsonObject{};
+  }
+  JsonObject& fields = object_items();
+  for (auto& [k, v] : fields) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::Append(Json value) {
+  if (is_null()) {
+    data_ = JsonArray{};
+  }
+  array_items().push_back(std::move(value));
+}
+
+std::string Json::GetString(std::string_view key, std::string fallback) const {
+  const Json& field = (*this)[key];
+  return field.is_string() ? field.string_value() : fallback;
+}
+
+double Json::GetNumber(std::string_view key, double fallback) const {
+  const Json& field = (*this)[key];
+  return field.is_number() ? field.number_value() : fallback;
+}
+
+bool Json::GetBool(std::string_view key, bool fallback) const {
+  const Json& field = (*this)[key];
+  return field.is_bool() ? field.bool_value() : fallback;
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::DumpTo(std::string* out, bool pretty, int depth) const {
+  const std::string indent = pretty ? std::string(2 * (depth + 1), ' ') : "";
+  const std::string closing_indent = pretty ? std::string(2 * depth, ' ') : "";
+  const char* newline = pretty ? "\n" : "";
+  switch (type()) {
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kBool:
+      out->append(bool_value() ? "true" : "false");
+      return;
+    case Type::kNumber:
+      out->append(NumberToString(number_value()));
+      return;
+    case Type::kString:
+      out->append(JsonQuote(string_value()));
+      return;
+    case Type::kArray: {
+      const JsonArray& items = array_items();
+      if (items.empty()) {
+        out->append("[]");
+        return;
+      }
+      out->append("[");
+      out->append(newline);
+      for (size_t i = 0; i < items.size(); ++i) {
+        out->append(indent);
+        items[i].DumpTo(out, pretty, depth + 1);
+        if (i + 1 < items.size()) {
+          out->append(",");
+        }
+        out->append(newline);
+      }
+      out->append(closing_indent);
+      out->append("]");
+      return;
+    }
+    case Type::kObject: {
+      const JsonObject& fields = object_items();
+      if (fields.empty()) {
+        out->append("{}");
+        return;
+      }
+      out->append("{");
+      out->append(newline);
+      for (size_t i = 0; i < fields.size(); ++i) {
+        out->append(indent);
+        out->append(JsonQuote(fields[i].first));
+        out->append(pretty ? ": " : ":");
+        fields[i].second.DumpTo(out, pretty, depth + 1);
+        if (i + 1 < fields.size()) {
+          out->append(",");
+        }
+        out->append(newline);
+      }
+      out->append(closing_indent);
+      out->append("}");
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(&out, pretty, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON parser with // comments and trailing commas.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWhitespace();
+    TURNSTILE_ASSIGN_OR_RETURN(value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& message) const {
+    return ParseError(message + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (AtEnd()) {
+      return Fail("unexpected end of input");
+    }
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        if (ConsumeLiteral("true")) {
+          return Json(true);
+        }
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          return Json(false);
+        }
+        return Fail("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          return Json(nullptr);
+        }
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (!AtEnd() && (Peek() == '-' || Peek() == '+')) {
+      ++pos_;
+    }
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.' ||
+                        Peek() == 'e' || Peek() == 'E' || Peek() == '-' || Peek() == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Fail("malformed number '" + token + "'");
+    }
+    return Json(value);
+  }
+
+  Result<Json> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return Fail("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        return Json(std::move(out));
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (AtEnd()) {
+        return Fail("unterminated escape");
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          unsigned code = 0;
+          if (std::sscanf(hex.c_str(), "%4x", &code) != 1) {
+            return Fail("malformed \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not needed here).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    Json out = Json::Array();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ']') {  // trailing comma
+        ++pos_;
+        return out;
+      }
+      TURNSTILE_ASSIGN_OR_RETURN(item, ParseValue());
+      out.Append(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) {
+        return Fail("unterminated array");
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return out;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json out = Json::Object();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == '}') {  // trailing comma
+        ++pos_;
+        return out;
+      }
+      if (AtEnd() || Peek() != '"') {
+        return Fail("expected object key");
+      }
+      TURNSTILE_ASSIGN_OR_RETURN(key, ParseString());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      TURNSTILE_ASSIGN_OR_RETURN(value, ParseValue());
+      out.Set(key.string_value(), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) {
+        return Fail("unterminated object");
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return out;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace turnstile

@@ -1,0 +1,33 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace turnstile {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
+LogLevel GetLogThreshold() { return g_threshold.load(); }
+
+void EmitLogLine(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[turnstile %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace turnstile

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: TURNSTILE_LOG(Warning) << "policy has " << n << " cycles";
+// The default threshold is Warning so library code is quiet in benches; tests
+// and tools can lower it via SetLogThreshold.
+#ifndef TURNSTILE_SRC_SUPPORT_LOGGING_H_
+#define TURNSTILE_SRC_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace turnstile {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+// Internal: emits one formatted line to stderr.
+void EmitLogLine(LogLevel level, const std::string& message);
+
+// RAII message builder; emits on destruction if the level passes the filter.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= GetLogThreshold()) {
+      EmitLogLine(level_, stream_.str());
+    }
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace turnstile
+
+#define TURNSTILE_LOG(severity) ::turnstile::LogMessage(::turnstile::LogLevel::k##severity)
+
+#endif  // TURNSTILE_SRC_SUPPORT_LOGGING_H_

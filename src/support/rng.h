@@ -1,0 +1,63 @@
+// Deterministic pseudo-random generator (SplitMix64) for workload synthesis.
+//
+// Benches and tests must be reproducible across runs and platforms, so we do
+// not use std::random_device / std::mt19937 distributions (whose outputs are
+// implementation-defined for some distributions).
+#ifndef TURNSTILE_SRC_SUPPORT_RNG_H_
+#define TURNSTILE_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turnstile {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // True with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  // Random lowercase identifier of the given length.
+  std::string NextWord(size_t length) {
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      out += static_cast<char>('a' + NextBelow(26));
+    }
+    return out;
+  }
+
+  // Picks a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,136 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// Library code in this repository does not throw across module boundaries;
+// fallible operations return Result<T> and callers decide how to surface
+// failures (tests assert, tools print the message and exit).
+#ifndef TURNSTILE_SRC_SUPPORT_STATUS_H_
+#define TURNSTILE_SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace turnstile {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kPolicyError,
+  kRuntimeError,
+};
+
+// Human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A status is either OK or carries an error code plus a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "InvalidArgument: expected a number" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ParseError(std::string message);
+Status PolicyError(std::string message);
+Status RuntimeError(std::string message);
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return SomeError(...);`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "value() called on error Result");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok() && "value() called on error Result");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok() && "value() called on error Result");
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // value_or: returns the contained value or `fallback` on error.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace turnstile
+
+// Propagates an error Result from a subexpression: the macro evaluates `expr`
+// and returns its status from the enclosing function if it failed.
+#define TURNSTILE_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto lhs##_result = (expr);                    \
+  if (!lhs##_result.ok()) {                      \
+    return lhs##_result.status();                \
+  }                                              \
+  auto lhs = std::move(lhs##_result).value()
+
+#define TURNSTILE_RETURN_IF_ERROR(expr)          \
+  do {                                           \
+    ::turnstile::Status status_ = (expr);        \
+    if (!status_.ok()) {                         \
+      return status_;                            \
+    }                                            \
+  } while (0)
+
+#endif  // TURNSTILE_SRC_SUPPORT_STATUS_H_

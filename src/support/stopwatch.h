@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+#ifndef TURNSTILE_SRC_SUPPORT_STOPWATCH_H_
+#define TURNSTILE_SRC_SUPPORT_STOPWATCH_H_
+
+#include <chrono>
+
+namespace turnstile {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_SUPPORT_STOPWATCH_H_

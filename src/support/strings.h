@@ -1,0 +1,39 @@
+// Small string utilities shared across the project.
+#ifndef TURNSTILE_SRC_SUPPORT_STRINGS_H_
+#define TURNSTILE_SRC_SUPPORT_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace turnstile {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Splits on `sep` and trims ASCII whitespace from each piece; drops empties.
+std::vector<std::string> StrSplitTrimmed(std::string_view text, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool Contains(std::string_view text, std::string_view needle);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string StrReplaceAll(std::string_view text, std::string_view from, std::string_view to);
+
+// Formats a double the way a JS-ish runtime prints numbers: integers without a
+// trailing ".0", everything else with up to 12 significant digits.
+std::string NumberToString(double value);
+
+// Repeats `unit` `count` times.
+std::string StrRepeat(std::string_view unit, size_t count);
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_SUPPORT_STRINGS_H_

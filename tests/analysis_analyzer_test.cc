@@ -1,0 +1,379 @@
+// The Turnstile Dataflow Analyzer: source/sink detection, interprocedural and
+// points-to propagation, framework knowledge, and the paper's documented
+// blind spots.
+#include "src/analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace turnstile {
+namespace {
+
+AnalysisResult Analyze(const std::string& source) {
+  auto program = ParseProgram(source, "app.js");
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto result = AnalyzeProgram(*program);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : AnalysisResult{};
+}
+
+TEST(AnalyzerTest, DirectSocketFlow) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(554, "cam.local");
+    socket.on("data", frame => {
+      socket.write(frame);
+    });
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].source_description, "net socket data");
+  EXPECT_EQ(r.paths[0].sink_description, "socket write");
+}
+
+TEST(AnalyzerTest, NoPathWhenDataDoesNotReachSink) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(554, "cam.local");
+    socket.on("data", frame => {
+      let size = 42;
+      socket.write(size);
+    });
+  )");
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.sources_found, 1);
+  EXPECT_EQ(r.stats.sinks_found, 1);
+}
+
+TEST(AnalyzerTest, FlowThroughBinaryExpression) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let message = "frame: " + frame;
+      socket.write(message);
+    });
+  )");
+  EXPECT_EQ(r.paths.size(), 1u);
+}
+
+TEST(AnalyzerTest, InterproceduralFlowThroughHelper) {
+  AnalysisResult r = Analyze(R"(
+    let fs = require("fs");
+    let net = require("net");
+    function describe(data) {
+      return "content=" + data;
+    }
+    let socket = net.connect(2, "h");
+    socket.on("data", chunk => {
+      fs.writeFileSync("/log.txt", describe(chunk));
+    });
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].sink_description, "fs.writeFileSync");
+}
+
+TEST(AnalyzerTest, FlowThroughObjectProperty) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(3, "h");
+    socket.on("data", frame => {
+      let msg = { topic: "frames", payload: frame };
+      socket.write(msg.payload);
+    });
+  )");
+  EXPECT_EQ(r.paths.size(), 1u);
+}
+
+TEST(AnalyzerTest, DynamicDispatchIsResolvedByOverApproximation) {
+  // foo[x](y): all functions reaching any property of foo are candidates
+  // (§4.5 "sound over-approximation"). This is the pattern QueryDL misses.
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(4, "h");
+    let handlers = {
+      forward: data => { socket.write(data); },
+      drop: data => {}
+    };
+    socket.on("data", frame => {
+      let kind = frame.length > 3 ? "forward" : "drop";
+      handlers[kind](frame);
+    });
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+}
+
+TEST(AnalyzerTest, FunctionValueThroughVariable) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(5, "h");
+    function makeSender(target) {
+      return data => { target.write(data); };
+    }
+    let send = makeSender(socket);
+    socket.on("data", frame => { send(frame); });
+  )");
+  ASSERT_EQ(r.paths.size(), 1u) << "closure-returned function must be resolved";
+}
+
+TEST(AnalyzerTest, PromiseThenFlow) {
+  AnalysisResult r = Analyze(R"(
+    let deepstack = require("deepstack");
+    let fs = require("fs");
+    let net = require("net");
+    let socket = net.connect(6, "h");
+    socket.on("data", frame => {
+      deepstack.faceRecognition(frame, "http://ds", 0.8).then(result => {
+        fs.writeFileSync("/faces.json", result.predictions);
+      });
+    });
+  )");
+  // Two sources (socket data, recognition result) reach the same sink.
+  EXPECT_GE(r.paths.size(), 1u);
+  bool face_path = false;
+  for (const DataflowPath& path : r.paths) {
+    if (path.source_description == "face recognition result") {
+      face_path = true;
+    }
+  }
+  EXPECT_TRUE(face_path);
+}
+
+TEST(AnalyzerTest, NodeRedInputToSend) {
+  AnalysisResult r = Analyze(R"(
+    module.exports = function(RED) {
+      function FilterNode(config) {
+        RED.nodes.createNode(this, config);
+        let node = this;
+        node.on("input", msg => {
+          msg.payload = msg.payload + "!";
+          node.send(msg);
+        });
+      }
+      RED.nodes.registerType("filter", FilterNode);
+    };
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].source_description, "Node-RED input message");
+  EXPECT_EQ(r.paths[0].sink_description, "Node-RED send");
+}
+
+TEST(AnalyzerTest, MqttMessageToFs) {
+  AnalysisResult r = Analyze(R"(
+    let mqtt = require("mqtt");
+    let fs = require("fs");
+    let client = mqtt.connect("mqtt://broker");
+    client.subscribe("sensors/#");
+    client.on("message", (topic, payload) => {
+      fs.appendFile("/sensors.log", payload, () => {});
+    });
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].source_description, "mqtt message");
+}
+
+TEST(AnalyzerTest, ReadFileSyncReturnIsASource) {
+  AnalysisResult r = Analyze(R"(
+    let fs = require("fs");
+    let http = require("http");
+    let config = fs.readFileSync("/secrets.json");
+    let req = http.request({ host: "telemetry.example" });
+    req.write(config);
+    req.end();
+  )");
+  ASSERT_GE(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].source_description, "fs.readFileSync content");
+  EXPECT_EQ(r.paths[0].sink_description, "http request body");
+}
+
+TEST(AnalyzerTest, ExpressRequestToResponse) {
+  AnalysisResult r = Analyze(R"(
+    let express = require("express");
+    let app = express();
+    app.get("/profile", (req, res) => {
+      res.send("hello " + req.query);
+    });
+    app.listen(3000);
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].source_description, "express request");
+  EXPECT_EQ(r.paths[0].sink_description, "express response");
+}
+
+TEST(AnalyzerTest, HttpServerRequestToSqlite) {
+  AnalysisResult r = Analyze(R"js(
+    let http = require("http");
+    let sqlite = require("sqlite3");
+    let db = new sqlite.Database("/data.db");
+    http.createServer((req, res) => {
+      db.run("INSERT INTO visits VALUES (?)", req, () => {});
+      res.end("ok");
+    }).listen(8080);
+  )js");
+  ASSERT_GE(r.paths.size(), 1u);
+  bool sqlite_path = false;
+  for (const DataflowPath& path : r.paths) {
+    if (path.sink_description == "sqlite write") {
+      sqlite_path = true;
+    }
+  }
+  EXPECT_TRUE(sqlite_path);
+}
+
+TEST(AnalyzerTest, InheritedMethodIsTheDocumentedBlindSpot) {
+  // Taint reaches the sink through a method inherited from a superclass.
+  // Turnstile resolves only own methods (§6.1: CodeQL outperformed Turnstile
+  // on reflective/prototype-chain code), so this path must NOT be found.
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(7, "h");
+    class Base {
+      deliver(data) { socket.write(data); }
+    }
+    class Forwarder extends Base {
+      tag(data) { return data; }
+    }
+    let fwd = new Forwarder();
+    socket.on("data", frame => {
+      fwd.deliver(frame);
+    });
+  )");
+  EXPECT_TRUE(r.paths.empty());
+}
+
+TEST(AnalyzerTest, OwnMethodIsResolved) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(8, "h");
+    class Forwarder {
+      deliver(data) { socket.write(data); }
+    }
+    let fwd = new Forwarder();
+    socket.on("data", frame => {
+      fwd.deliver(frame);
+    });
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+}
+
+TEST(AnalyzerTest, RedHttpNodeIsMissedByDesign) {
+  // RED.httpNode is assigned dynamically by the Node-RED runtime; it cannot
+  // be statically typed as an HTTP server, so flows through it are missed
+  // (the 26-app miss bucket of §6.1).
+  AnalysisResult r = Analyze(R"(
+    module.exports = function(RED) {
+      RED.httpNode.on("request", (req, res) => {
+        res.end(req.body);
+      });
+    };
+  )");
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.sources_found, 0);
+}
+
+TEST(AnalyzerTest, MultipleDistinctPathsAreCounted) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let fs = require("fs");
+    let mailer = require("nodemailer");
+    let socket = net.connect(9, "h");
+    let transport = mailer.createTransport({});
+    socket.on("data", frame => {
+      fs.writeFileSync("/frames.bin", frame);
+      transport.sendMail({ to: "a@b.c", attachments: frame });
+    });
+  )");
+  EXPECT_EQ(r.paths.size(), 2u);
+}
+
+TEST(AnalyzerTest, SensitiveNodeSetCoversThePath) {
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(10, "h");
+    socket.on("data", frame => {
+      let enriched = frame + "!";
+      socket.write(enriched);
+    });
+  )");
+  ASSERT_TRUE(program.ok());
+  auto result = AnalyzeProgram(*program);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->paths.size(), 1u);
+  EXPECT_FALSE(result->sensitive_ast_nodes.empty());
+  // The sink call and every via node belong to the sensitive set.
+  for (int node : result->paths[0].via_ast_nodes) {
+    EXPECT_TRUE(result->sensitive_ast_nodes.count(node)) << "missing node " << node;
+  }
+  // The sensitive set is a strict subset of the program (selectivity!).
+  EXPECT_LT(result->sensitive_ast_nodes.size(),
+            static_cast<size_t>(program->node_count));
+}
+
+TEST(AnalyzerTest, PathCarriesSourceLocations) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(11, "h");
+    socket.on("data", frame => { socket.write(frame); });
+  )");
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_GT(r.paths[0].source_loc.line, 0);
+  EXPECT_GT(r.paths[0].sink_loc.line, 0);
+}
+
+TEST(AnalyzerTest, SpreadArgumentsFlowConservatively) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(12, "h");
+    function fanout(a, b) { socket.write(b); }
+    socket.on("data", frame => {
+      let parts = [frame, frame];
+      fanout(...parts);
+    });
+  )");
+  EXPECT_EQ(r.paths.size(), 1u);
+}
+
+TEST(AnalyzerTest, ForOfPropagatesElementTaint) {
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let socket = net.connect(13, "h");
+    socket.on("data", frame => {
+      let queue = [frame];
+      for (let item of queue) {
+        socket.write(item);
+      }
+    });
+  )");
+  EXPECT_EQ(r.paths.size(), 1u);
+}
+
+TEST(AnalyzerTest, EmptyProgramHasNoFindings) {
+  AnalysisResult r = Analyze("let x = 1 + 2;");
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.sources_found, 0);
+  EXPECT_EQ(r.stats.sinks_found, 0);
+}
+
+TEST(AnalyzerTest, Fig2aExampleIsDetected) {
+  // The paper's running example (Fig. 2a): frame -> scene -> three sinks.
+  AnalysisResult r = Analyze(R"(
+    let net = require("net");
+    let mailer = require("nodemailer");
+    let fs = require("fs");
+    let socket = net.connect(554, "rtsp.cam");
+    let emailSender = mailer.createTransport({});
+    function analyzeVideoFrame(f) { return { persons: [], raw: f }; }
+    socket.on("data", frame => {
+      const scene = analyzeVideoFrame(frame);
+      for (let person of scene.persons) {
+        person.description = person.action + " at " + scene.location;
+      }
+      emailSender.sendMail({ to: "admin@x", attachments: scene });
+      fs.writeFileSync("/frames/latest.bin", scene);
+    });
+  )");
+  EXPECT_EQ(r.paths.size(), 2u);  // socket data -> email, socket data -> fs
+}
+
+}  // namespace
+}  // namespace turnstile

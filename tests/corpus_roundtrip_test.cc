@@ -1,0 +1,106 @@
+// Corpus-wide structural properties:
+//   - every app's source survives Parse -> Print -> Parse structurally
+//     (printer fidelity on real-world-shaped programs),
+//   - both analyzers are deterministic across repeated runs,
+//   - instrumentation of every Part-2 app is idempotent in its statistics.
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/baseline/querydl.h"
+#include "src/corpus/corpus.h"
+#include "src/instrument/instrumentor.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace turnstile {
+namespace {
+
+bool TreesEqual(const NodePtr& a, const NodePtr& b) {
+  if (a->kind != b->kind || a->str != b->str || a->num != b->num ||
+      a->children.size() != b->children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!TreesEqual(a->children[i], b->children[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CorpusRoundTripTest, EveryAppSourceRoundTripsThroughThePrinter) {
+  for (const CorpusApp& app : Corpus()) {
+    auto first = ParseProgram(app.source, app.name + ".js");
+    ASSERT_TRUE(first.ok()) << app.name;
+    std::string printed = PrintProgram(*first);
+    auto second = ParseProgram(printed, app.name + ".reprinted.js");
+    ASSERT_TRUE(second.ok()) << app.name << ":\n" << printed;
+    EXPECT_TRUE(TreesEqual(first->root, second->root)) << app.name;
+    // Fixed point: printing again is byte-identical.
+    EXPECT_EQ(printed, PrintProgram(*second)) << app.name;
+  }
+}
+
+TEST(CorpusRoundTripTest, AnalyzersAreDeterministic) {
+  for (const CorpusApp& app : Corpus()) {
+    auto program = ParseProgram(app.source, app.name + ".js");
+    ASSERT_TRUE(program.ok());
+    auto t1 = AnalyzeProgram(*program);
+    auto t2 = AnalyzeProgram(*program);
+    ASSERT_TRUE(t1.ok() && t2.ok()) << app.name;
+    ASSERT_EQ(t1->paths.size(), t2->paths.size()) << app.name;
+    for (size_t i = 0; i < t1->paths.size(); ++i) {
+      EXPECT_EQ(t1->paths[i].source_ast, t2->paths[i].source_ast) << app.name;
+      EXPECT_EQ(t1->paths[i].sink_ast, t2->paths[i].sink_ast) << app.name;
+    }
+    EXPECT_EQ(t1->sensitive_ast_nodes, t2->sensitive_ast_nodes) << app.name;
+
+    auto q1 = QueryDlAnalyze(*program);
+    auto q2 = QueryDlAnalyze(*program);
+    ASSERT_TRUE(q1.ok() && q2.ok()) << app.name;
+    EXPECT_EQ(q1->paths.size(), q2->paths.size()) << app.name;
+  }
+}
+
+TEST(CorpusRoundTripTest, AnalysisIsStableUnderReprinting) {
+  // Detection results must not depend on formatting: analyzing the reprinted
+  // source finds the same number of paths.
+  for (const CorpusApp& app : Corpus()) {
+    auto original = ParseProgram(app.source, app.name + ".js");
+    ASSERT_TRUE(original.ok());
+    auto reprinted = ParseProgram(PrintProgram(*original), app.name + ".js");
+    ASSERT_TRUE(reprinted.ok());
+    auto before = AnalyzeProgram(*original);
+    auto after = AnalyzeProgram(*reprinted);
+    ASSERT_TRUE(before.ok() && after.ok());
+    EXPECT_EQ(before->paths.size(), after->paths.size()) << app.name;
+  }
+}
+
+TEST(CorpusRoundTripTest, InstrumentationStatsAreDeterministic) {
+  for (const CorpusApp& app : Corpus()) {
+    if (app.bucket != CorpusBucket::kTurnstileOnly && app.bucket != CorpusBucket::kBothFind) {
+      continue;
+    }
+    auto program = ParseProgram(app.source, app.name + ".js");
+    auto policy = Policy::FromJsonText(app.policy_json);
+    auto analysis = AnalyzeProgram(*program);
+    ASSERT_TRUE(program.ok() && policy.ok() && analysis.ok()) << app.name;
+    auto a = InstrumentProgram(*program, **policy, InstrumentMode::kSelective, &*analysis);
+    auto b = InstrumentProgram(*program, **policy, InstrumentMode::kSelective, &*analysis);
+    ASSERT_TRUE(a.ok() && b.ok()) << app.name;
+    EXPECT_EQ(a->stats.binary_ops_wrapped, b->stats.binary_ops_wrapped) << app.name;
+    EXPECT_EQ(a->stats.invokes_wrapped, b->stats.invokes_wrapped) << app.name;
+    EXPECT_EQ(a->stats.labels_injected, b->stats.labels_injected) << app.name;
+    EXPECT_EQ(a->program.node_count, b->program.node_count) << app.name;
+    // Selective never injects more than exhaustive.
+    auto exhaustive =
+        InstrumentProgram(*program, **policy, InstrumentMode::kExhaustive, &*analysis);
+    ASSERT_TRUE(exhaustive.ok());
+    EXPECT_LE(a->stats.binary_ops_wrapped, exhaustive->stats.binary_ops_wrapped) << app.name;
+    EXPECT_LE(a->stats.invokes_wrapped, exhaustive->stats.invokes_wrapped) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -1,0 +1,254 @@
+// The RedFlow engine: module loading, type registration, flow wiring,
+// message routing, and the workload/timing model.
+#include "src/flow/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/flow/workload.h"
+#include "src/lang/parser.h"
+
+namespace turnstile {
+namespace {
+
+constexpr const char* kFilterModule = R"(
+  module.exports = function(RED) {
+    function UpperNode(config) {
+      RED.nodes.createNode(this, config);
+      let node = this;
+      node.on("input", msg => {
+        msg.payload = msg.payload.toUpperCase();
+        node.send(msg);
+      });
+    }
+    function CollectNode(config) {
+      RED.nodes.createNode(this, config);
+      let node = this;
+      node.on("input", msg => {
+        collected.push(msg.payload);
+      });
+    }
+    RED.nodes.registerType("upper", UpperNode);
+    RED.nodes.registerType("collect", CollectNode);
+  };
+)";
+
+Json MustJson(const std::string& text) {
+  auto json = Json::Parse(text);
+  EXPECT_TRUE(json.ok()) << json.status().ToString();
+  return json.ok() ? *json : Json();
+}
+
+TEST(FlowEngineTest, RegistersTypesFromModule) {
+  Interpreter interp;
+  interp.DefineGlobal("collected", Value(MakeArray()));
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(kFilterModule, "filter.js").ok());
+  auto types = engine.registered_types();
+  EXPECT_EQ(types.size(), 2u);
+}
+
+TEST(FlowEngineTest, RoutesMessagesAlongWires) {
+  Interpreter interp;
+  interp.DefineGlobal("collected", Value(MakeArray()));
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(kFilterModule, "filter.js").ok());
+  ASSERT_TRUE(engine.InstantiateFlow(MustJson(R"([
+    { "id": "n1", "type": "upper", "wires": ["n2"] },
+    { "id": "n2", "type": "collect", "wires": [] }
+  ])")).ok());
+
+  ObjectPtr msg = MakeObject();
+  msg->Set("payload", Value("hello"));
+  ASSERT_TRUE(engine.InjectInput("n1", Value(msg)).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+
+  Value* collected = interp.global_env()->Lookup("collected");
+  ASSERT_NE(collected, nullptr);
+  EXPECT_EQ(collected->ToDisplayString(), "[HELLO]");
+  EXPECT_EQ(engine.messages_routed(), 1);
+}
+
+TEST(FlowEngineTest, UnknownTypeFailsInstantiation) {
+  Interpreter interp;
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(kFilterModule, "filter.js").ok());
+  EXPECT_FALSE(engine.InstantiateFlow(MustJson(R"([
+    { "id": "n1", "type": "no-such-type", "wires": [] }
+  ])")).ok());
+}
+
+TEST(FlowEngineTest, UnknownInjectTargetFails) {
+  Interpreter interp;
+  FlowEngine engine(&interp);
+  EXPECT_FALSE(engine.InjectInput("ghost", Value(1.0)).ok());
+}
+
+TEST(FlowEngineTest, ConfigReachesConstructor) {
+  Interpreter interp;
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(R"(
+    module.exports = function(RED) {
+      function EchoNode(config) {
+        RED.nodes.createNode(this, config);
+        let node = this;
+        node.on("input", msg => {
+          node.send({ payload: config.prefix + msg.payload });
+        });
+      }
+      RED.nodes.registerType("echo", EchoNode);
+    };
+  )", "echo.js").ok());
+  ASSERT_TRUE(engine.InstantiateFlow(MustJson(R"([
+    { "id": "e1", "type": "echo", "config": { "prefix": ">> " }, "wires": [] }
+  ])")).ok());
+  ObjectPtr msg = MakeObject();
+  msg->Set("payload", Value("x"));
+  ASSERT_TRUE(engine.InjectInput("e1", Value(msg)).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+  EXPECT_EQ(engine.terminal_sends(), 1);
+}
+
+TEST(FlowEngineTest, ArraySendFansOut) {
+  Interpreter interp;
+  interp.DefineGlobal("collected", Value(MakeArray()));
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(R"(
+    module.exports = function(RED) {
+      function SplitNode(config) {
+        RED.nodes.createNode(this, config);
+        let node = this;
+        node.on("input", msg => {
+          node.send([{ payload: 1 }, { payload: 2 }]);
+        });
+      }
+      function CollectNode(config) {
+        RED.nodes.createNode(this, config);
+        this.on("input", msg => { collected.push(msg.payload); });
+      }
+      RED.nodes.registerType("split", SplitNode);
+      RED.nodes.registerType("collect", CollectNode);
+    };
+  )", "split.js").ok());
+  ASSERT_TRUE(engine.InstantiateFlow(MustJson(R"([
+    { "id": "s", "type": "split", "wires": ["c"] },
+    { "id": "c", "type": "collect", "wires": [] }
+  ])")).ok());
+  ASSERT_TRUE(engine.InjectInput("s", Value(MakeObject())).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+  Value* collected = interp.global_env()->Lookup("collected");
+  EXPECT_EQ(collected->ToDisplayString(), "[1, 2]");
+  EXPECT_EQ(engine.messages_routed(), 2);
+}
+
+TEST(FlowEngineTest, NodesCanUseIoModules) {
+  Interpreter interp;
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(R"(
+    module.exports = function(RED) {
+      let fs = require("fs");
+      function StoreNode(config) {
+        RED.nodes.createNode(this, config);
+        this.on("input", msg => {
+          fs.writeFileSync("/frames/" + msg.seq, msg.payload);
+        });
+      }
+      RED.nodes.registerType("store", StoreNode);
+    };
+  )", "store.js").ok());
+  ASSERT_TRUE(engine.InstantiateFlow(MustJson(R"([
+    { "id": "st", "type": "store", "wires": [] }
+  ])")).ok());
+  ObjectPtr msg = MakeObject();
+  msg->Set("seq", Value(7.0));
+  msg->Set("payload", Value("pixels"));
+  ASSERT_TRUE(engine.InjectInput("st", Value(msg)).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+  ASSERT_EQ(interp.io_world().records.size(), 1u);
+  EXPECT_EQ(interp.io_world().records[0].detail, "/frames/7");
+}
+
+// --- workload generation ------------------------------------------------------
+
+TEST(WorkloadTest, TemplateExpansionIsDeterministic) {
+  Json tmpl = MustJson(R"({ "payload": "$frame", "topic": "$topic", "n": "$num",
+                            "seq": "$seq", "fixed": "literal", "count": 3 })");
+  Rng a(42);
+  Rng b(42);
+  Value va = GenerateMessage(tmpl, &a, 5);
+  Value vb = GenerateMessage(tmpl, &b, 5);
+  EXPECT_EQ(va.ToDisplayString(), vb.ToDisplayString());
+  EXPECT_EQ(va.AsObject()->Get("fixed").ToDisplayString(), "literal");
+  EXPECT_DOUBLE_EQ(va.AsObject()->Get("seq").AsNumber(), 5.0);
+  EXPECT_DOUBLE_EQ(va.AsObject()->Get("count").AsNumber(), 3.0);
+  EXPECT_NE(va.AsObject()->Get("payload").ToDisplayString().find("frame#5"),
+            std::string::npos);
+}
+
+TEST(WorkloadTest, FrameContentsVary) {
+  Json tmpl = MustJson(R"({ "payload": "$frame" })");
+  Rng rng(7);
+  bool employee = false;
+  bool other = false;
+  for (int i = 0; i < 50; ++i) {
+    std::string frame =
+        GenerateMessage(tmpl, &rng, i).AsObject()->Get("payload").ToDisplayString();
+    if (frame.find("employee:") != std::string::npos) {
+      employee = true;
+    } else {
+      other = true;
+    }
+  }
+  EXPECT_TRUE(employee);
+  EXPECT_TRUE(other);
+}
+
+// --- streaming-time model ------------------------------------------------------
+
+TEST(TimingTest, SlowRateHidesProcessingTime) {
+  // 10 messages, 1 ms each, at 2 Hz: the stream is arrival-dominated.
+  std::vector<double> proc(10, 0.001);
+  double t = StreamCompletionTime(proc, 2.0);
+  EXPECT_NEAR(t, 9 * 0.5 + 0.001, 1e-9);
+}
+
+TEST(TimingTest, FastRateIsProcessingDominated) {
+  // 10 messages, 10 ms each, at 1000 Hz: processing back-to-back.
+  std::vector<double> proc(10, 0.010);
+  double t = StreamCompletionTime(proc, 1000.0);
+  EXPECT_NEAR(t, 10 * 0.010, 1e-9);
+}
+
+TEST(TimingTest, RelativeRuntimeConvergesToProcRatioAtHighRate) {
+  std::vector<double> original(100, 0.001);
+  std::vector<double> managed(100, 0.0015);  // 50% slower per message
+  EXPECT_NEAR(RelativeRuntime(managed, original, 100000.0), 1.5, 1e-6);
+}
+
+TEST(TimingTest, RelativeRuntimeNearOneAtLowRate) {
+  std::vector<double> original(100, 0.001);
+  std::vector<double> managed(100, 0.0015);
+  double rel = RelativeRuntime(managed, original, 2.0);
+  EXPECT_GT(rel, 1.0);
+  EXPECT_LT(rel, 1.0001);  // overhead fully masked by idle time
+}
+
+TEST(TimingTest, OverheadGrowsMonotonicallyWithRate) {
+  std::vector<double> original(200, 0.002);
+  std::vector<double> managed(200, 0.003);
+  double previous = 0.0;
+  for (double rate : {2.0, 10.0, 30.0, 100.0, 250.0, 500.0, 1000.0}) {
+    double rel = RelativeRuntime(managed, original, rate);
+    EXPECT_GE(rel, previous - 1e-12) << "at rate " << rate;
+    previous = rel;
+  }
+}
+
+TEST(TimingTest, QueueBacklogCarriesOver) {
+  // One slow message delays the rest when the rate leaves no slack.
+  std::vector<double> proc = {0.5, 0.001, 0.001};
+  double t = StreamCompletionTime(proc, 10.0);  // arrivals at 0, .1, .2
+  EXPECT_NEAR(t, 0.5 + 0.001 + 0.001, 1e-9);
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -1,0 +1,124 @@
+// Extension (paper §8 future work): integrity labels through the same
+// lattice machinery. Privacy (confidentiality) rules point from less to more
+// private; integrity rules point from more to less trusted — "data from X may
+// be used where at most Y-trust is required". The RuleGraph, labellers and
+// tracker are unchanged; only the policy's reading differs.
+#include <gtest/gtest.h>
+
+#include "src/dift/tracker.h"
+#include "src/lang/parser.h"
+
+namespace turnstile {
+namespace {
+
+// trusted -> vetted -> untrusted: trusted data may be used anywhere, untrusted
+// data only at untrusted-tolerant sinks.
+constexpr const char* kIntegrityPolicy = R"json({
+  "labellers": {
+    "bySource": { "$fn":
+      "m => (m.origin === \"plc\" ? \"trusted\" : (m.origin === \"gateway\" ? \"vetted\" : \"untrusted\"))" },
+    "actuator": { "$const": "vetted" },
+    "dashboard": { "$const": "untrusted" }
+  },
+  "rules": ["trusted -> vetted", "vetted -> untrusted"]
+})json";
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto policy = Policy::FromJsonText(kIntegrityPolicy);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    policy_ = std::shared_ptr<Policy>(std::move(policy).value().release());
+    tracker_ = std::make_unique<DiftTracker>(&interp_, policy_);
+    tracker_->Install();
+  }
+
+  void RunSource(const std::string& source) {
+    auto program = ParseProgram(source);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    ASSERT_TRUE(interp_.RunProgram(*program).ok());
+    ASSERT_TRUE(interp_.RunEventLoop().ok());
+  }
+
+  Value Global(const std::string& name) {
+    Value* slot = interp_.global_env()->Lookup(name);
+    return slot != nullptr ? *slot : Value::Undefined();
+  }
+
+  Interpreter interp_;
+  std::shared_ptr<Policy> policy_;
+  std::unique_ptr<DiftTracker> tracker_;
+};
+
+TEST_F(IntegrityTest, TrustedCommandsReachTheActuator) {
+  RunSource(R"(
+    let acted = [];
+    let actuator = __dift.label({ apply: cmd => { acted.push(cmd.value); } }, "actuator");
+    let cmd = __dift.label({ origin: "plc", value: "open-valve" }, "bySource");
+    __dift.invoke(actuator, "apply", [cmd]);
+  )");
+  EXPECT_EQ(Global("acted").ToDisplayString(), "[open-valve]");
+  EXPECT_TRUE(tracker_->violations().empty());
+}
+
+TEST_F(IntegrityTest, UntrustedCommandsAreBlockedFromTheActuator) {
+  // untrusted -/-> vetted: low-integrity data must not drive the actuator.
+  RunSource(R"(
+    let acted = [];
+    let actuator = __dift.label({ apply: cmd => { acted.push(cmd.value); } }, "actuator");
+    let cmd = __dift.label({ origin: "web-form", value: "open-valve" }, "bySource");
+    __dift.invoke(actuator, "apply", [cmd]);
+  )");
+  EXPECT_EQ(Global("acted").ToDisplayString(), "[]");
+  ASSERT_EQ(tracker_->violations().size(), 1u);
+  EXPECT_EQ(tracker_->violations()[0].data_labels, "{untrusted}");
+}
+
+TEST_F(IntegrityTest, AnythingMayReachTheDashboard) {
+  RunSource(R"(
+    let shown = [];
+    let dashboard = __dift.label({ render: m => { shown.push(m.origin); } }, "dashboard");
+    for (let origin of ["plc", "gateway", "web-form"]) {
+      let m = __dift.label({ origin: origin, value: 1 }, "bySource");
+      __dift.invoke(dashboard, "render", [m]);
+    }
+  )");
+  EXPECT_EQ(Global("shown").ToDisplayString(), "[plc, gateway, web-form]");
+  EXPECT_TRUE(tracker_->violations().empty());
+}
+
+TEST_F(IntegrityTest, EndorsementViaConstantLabeller) {
+  // A validation step endorses untrusted input: the checked fields are copied
+  // into a fresh object that is relabelled with a constant labeller (the
+  // §4.3 declassify/endorse mechanism — a label function that ignores the
+  // value). The tainted original is discarded.
+  RunSource(R"(
+    let acted = [];
+    let actuator = __dift.label({ apply: cmd => { acted.push(cmd.value); } }, "actuator");
+    let raw = __dift.label({ origin: "web-form", value: "set-temp:21" }, "bySource");
+    let endorsed = __dift.label({ value: raw.value, checked: true }, "actuator");
+    __dift.invoke(actuator, "apply", [endorsed]);
+    // The unvalidated original is still rejected.
+    __dift.invoke(actuator, "apply", [raw]);
+  )");
+  EXPECT_EQ(Global("acted").ToDisplayString(), "[set-temp:21]");
+  ASSERT_EQ(tracker_->violations().size(), 1u);
+  EXPECT_EQ(tracker_->violations()[0].data_labels, "{untrusted}");
+}
+
+TEST_F(IntegrityTest, CompoundMixedIntegrityTakesTheWeakest) {
+  RunSource(R"(
+    let trusted = __dift.label("plc-reading", "bySource");
+    let actuator = __dift.label({ apply: v => v }, "actuator");
+    let web = __dift.label({ origin: "web", note: "hint" }, "bySource");
+    let mixed = __dift.binaryOp("+", trusted, web.note);
+    let allowed = __dift.check(mixed, actuator);
+  )");
+  // "plc-reading" labelled via bySource: a string has no .origin, the
+  // labeller returns "untrusted"... so mixed is untrusted either way; the
+  // check must refuse.
+  EXPECT_FALSE(Global("allowed").Truthy());
+}
+
+}  // namespace
+}  // namespace turnstile

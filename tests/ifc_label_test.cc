@@ -1,0 +1,111 @@
+// Label interning and compound-label (set) operations.
+#include "src/ifc/label.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace turnstile {
+namespace {
+
+TEST(LabelSpaceTest, InternIsIdempotent) {
+  LabelSpace space;
+  LabelId a = space.Intern("employee");
+  LabelId b = space.Intern("customer");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(space.Intern("employee"), a);
+  EXPECT_EQ(space.size(), 2u);
+  EXPECT_EQ(space.NameOf(a), "employee");
+}
+
+TEST(LabelSpaceTest, FindReturnsMinusOneForUnknown) {
+  LabelSpace space;
+  space.Intern("a");
+  EXPECT_EQ(space.Find("a"), 0);
+  EXPECT_EQ(space.Find("zzz"), -1);
+}
+
+TEST(LabelSetTest, ConstructionSortsAndDedups) {
+  LabelSet set({3, 1, 2, 1, 3});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.ids(), (std::vector<LabelId>{1, 2, 3}));
+}
+
+TEST(LabelSetTest, InsertKeepsSorted) {
+  LabelSet set;
+  set.Insert(5);
+  set.Insert(1);
+  set.Insert(3);
+  set.Insert(3);
+  EXPECT_EQ(set.ids(), (std::vector<LabelId>{1, 3, 5}));
+}
+
+TEST(LabelSetTest, ContainsAndSubset) {
+  LabelSet small({1, 2});
+  LabelSet big({1, 2, 3});
+  EXPECT_TRUE(small.Contains(2));
+  EXPECT_FALSE(small.Contains(3));
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(LabelSet().IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+}
+
+TEST(LabelSetTest, UnionMatchesFig5Semantics) {
+  // Fig. 5 (binaryOp): label(a + b) = label(a) ∪ label(b).
+  LabelSet p({1});
+  LabelSet q({2});
+  LabelSet compound = LabelSet::Union(p, q);
+  EXPECT_EQ(compound.ids(), (std::vector<LabelId>{1, 2}));
+  // P ⊑ {P, Q} and Q ⊑ {P, Q} via the subset rule.
+  EXPECT_TRUE(p.IsSubsetOf(compound));
+  EXPECT_TRUE(q.IsSubsetOf(compound));
+}
+
+TEST(LabelSetTest, ToStringUsesNames) {
+  LabelSpace space;
+  LabelSet set;
+  set.Insert(space.Intern("employee"));
+  set.Insert(space.Intern("customer"));
+  EXPECT_EQ(set.ToString(space), "{employee, customer}");
+  EXPECT_EQ(LabelSet().ToString(space), "{}");
+}
+
+// Property tests: union is commutative, associative, idempotent, monotone.
+class LabelSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+LabelSet RandomSet(Rng& rng) {
+  LabelSet out;
+  size_t n = rng.NextBelow(6);
+  for (size_t i = 0; i < n; ++i) {
+    out.Insert(static_cast<LabelId>(rng.NextBelow(10)));
+  }
+  return out;
+}
+
+TEST_P(LabelSetPropertyTest, UnionLaws) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    LabelSet a = RandomSet(rng);
+    LabelSet b = RandomSet(rng);
+    LabelSet c = RandomSet(rng);
+    // Commutative.
+    EXPECT_EQ(LabelSet::Union(a, b), LabelSet::Union(b, a));
+    // Associative.
+    EXPECT_EQ(LabelSet::Union(LabelSet::Union(a, b), c),
+              LabelSet::Union(a, LabelSet::Union(b, c)));
+    // Idempotent.
+    EXPECT_EQ(LabelSet::Union(a, a), a);
+    // Monotone: operands are subsets of the union.
+    EXPECT_TRUE(a.IsSubsetOf(LabelSet::Union(a, b)));
+    EXPECT_TRUE(b.IsSubsetOf(LabelSet::Union(a, b)));
+    // Identity.
+    EXPECT_EQ(LabelSet::Union(a, LabelSet()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelSetPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 987654321u));
+
+}  // namespace
+}  // namespace turnstile

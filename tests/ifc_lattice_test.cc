@@ -1,0 +1,195 @@
+// Privacy-rule DAG: flow queries, cycle detection, reachability cache.
+#include "src/ifc/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace turnstile {
+namespace {
+
+struct Fixture {
+  LabelSpace space;
+  RuleGraph graph{&space};
+};
+
+TEST(RuleGraphTest, ReflexiveFlow) {
+  Fixture f;
+  LabelId a = f.space.Intern("A");
+  EXPECT_TRUE(f.graph.CanFlowLabel(a, a));
+}
+
+TEST(RuleGraphTest, DirectAndTransitiveFlow) {
+  // employee -> customer -> internal (the paper's §2/Fig. 4 example).
+  Fixture f;
+  ASSERT_TRUE(f.graph.AddRuleChain("employee -> customer -> internal").ok());
+  LabelId employee = f.space.Intern("employee");
+  LabelId customer = f.space.Intern("customer");
+  LabelId internal = f.space.Intern("internal");
+  EXPECT_TRUE(f.graph.CanFlowLabel(employee, customer));
+  EXPECT_TRUE(f.graph.CanFlowLabel(customer, internal));
+  EXPECT_TRUE(f.graph.CanFlowLabel(employee, internal));  // transitivity
+  EXPECT_FALSE(f.graph.CanFlowLabel(internal, employee));  // no reverse flow
+  EXPECT_FALSE(f.graph.CanFlowLabel(customer, employee));
+}
+
+TEST(RuleGraphTest, RuleChainWithoutSpaces) {
+  Fixture f;
+  ASSERT_TRUE(f.graph.AddRuleChain("A->B").ok());
+  EXPECT_TRUE(f.graph.CanFlowLabel(f.space.Intern("A"), f.space.Intern("B")));
+}
+
+TEST(RuleGraphTest, MalformedChainsAreRejected) {
+  Fixture f;
+  EXPECT_FALSE(f.graph.AddRuleChain("A").ok());
+  EXPECT_FALSE(f.graph.AddRuleChain("A -> ").ok());
+  EXPECT_FALSE(f.graph.AddRuleChain("").ok());
+}
+
+TEST(RuleGraphTest, DisconnectedLabelsCannotFlow) {
+  Fixture f;
+  ASSERT_TRUE(f.graph.AddRuleChain("A -> B").ok());
+  LabelId c = f.space.Intern("C");
+  EXPECT_FALSE(f.graph.CanFlowLabel(f.space.Intern("A"), c));
+  EXPECT_FALSE(f.graph.CanFlowLabel(c, f.space.Intern("B")));
+}
+
+TEST(RuleGraphTest, DuplicateRulesAreIgnored) {
+  Fixture f;
+  f.graph.AddRule("A", "B");
+  f.graph.AddRule("A", "B");
+  EXPECT_EQ(f.graph.edge_count(), 1u);
+}
+
+TEST(RuleGraphTest, AcyclicGraphValidates) {
+  Fixture f;
+  ASSERT_TRUE(f.graph.AddRuleChain("US -> EU").ok());
+  ASSERT_TRUE(f.graph.AddRuleChain("L1 -> L2 -> L3").ok());
+  EXPECT_TRUE(f.graph.Validate().ok());
+}
+
+TEST(RuleGraphTest, CycleIsDetected) {
+  Fixture f;
+  ASSERT_TRUE(f.graph.AddRuleChain("A -> B -> C -> A").ok());
+  Status status = f.graph.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kPolicyError);
+  EXPECT_NE(status.message().find("cycle"), std::string::npos);
+}
+
+TEST(RuleGraphTest, SelfLoopIsACycle) {
+  Fixture f;
+  f.graph.AddRule("A", "A");
+  EXPECT_FALSE(f.graph.Validate().ok());
+}
+
+TEST(RuleGraphTest, DiamondIsNotACycle) {
+  Fixture f;
+  f.graph.AddRule("A", "B");
+  f.graph.AddRule("A", "C");
+  f.graph.AddRule("B", "D");
+  f.graph.AddRule("C", "D");
+  EXPECT_TRUE(f.graph.Validate().ok());
+  EXPECT_TRUE(f.graph.CanFlowLabel(f.space.Intern("A"), f.space.Intern("D")));
+}
+
+TEST(RuleGraphTest, SetFlowEmptyDataAlwaysFlows) {
+  Fixture f;
+  LabelSet receiver({f.space.Intern("A")});
+  EXPECT_TRUE(f.graph.CanFlowSet(LabelSet(), receiver));
+  EXPECT_TRUE(f.graph.CanFlowSet(LabelSet(), LabelSet()));
+}
+
+TEST(RuleGraphTest, SetFlowNonEmptyIntoUnlabelledIsForbidden) {
+  Fixture f;
+  LabelSet data({f.space.Intern("A")});
+  EXPECT_FALSE(f.graph.CanFlowSet(data, LabelSet()));
+}
+
+TEST(RuleGraphTest, SubsetRuleHolds) {
+  // X ⊑ Y if X ⊆ Y (Denning): identity paths make subsets flow.
+  Fixture f;
+  LabelId p = f.space.Intern("P");
+  LabelId q = f.space.Intern("Q");
+  LabelSet single({p});
+  LabelSet compound({p, q});
+  EXPECT_TRUE(f.graph.CanFlowSet(single, compound));
+  EXPECT_FALSE(f.graph.CanFlowSet(compound, single));  // Q has nowhere to go
+}
+
+TEST(RuleGraphTest, SetFlowUsesHierarchy) {
+  // NVR policy (Fig. 7): US -> EU, L1 -> L2 -> L3.
+  Fixture f;
+  ASSERT_TRUE(f.graph.AddRuleChain("US -> EU").ok());
+  ASSERT_TRUE(f.graph.AddRuleChain("L1 -> L2 -> L3").ok());
+  LabelSet us_l1({f.space.Intern("US"), f.space.Intern("L1")});
+  LabelSet eu_l3({f.space.Intern("EU"), f.space.Intern("L3")});
+  LabelSet eu_l1({f.space.Intern("EU"), f.space.Intern("L1")});
+  // A frame of a US L1 employee may go to an EU L3 manager...
+  EXPECT_TRUE(f.graph.CanFlowSet(us_l1, eu_l3));
+  // ...but an EU L3 manager's frame must not reach a US L1 viewer.
+  EXPECT_FALSE(f.graph.CanFlowSet(eu_l3, us_l1));
+  EXPECT_FALSE(f.graph.CanFlowSet(eu_l3, eu_l1));  // level violation
+}
+
+TEST(RuleGraphTest, CacheGrowsOnQueriesAndResetsOnNewRule) {
+  Fixture f;
+  ASSERT_TRUE(f.graph.AddRuleChain("A -> B -> C").ok());
+  EXPECT_EQ(f.graph.cache_size(), 0u);
+  f.graph.CanFlowLabel(f.space.Intern("A"), f.space.Intern("C"));
+  EXPECT_EQ(f.graph.cache_size(), 1u);
+  f.graph.CanFlowLabel(f.space.Intern("A"), f.space.Intern("C"));
+  EXPECT_EQ(f.graph.cache_size(), 1u);  // hit, no growth
+  f.graph.AddRule("C", "D");
+  EXPECT_EQ(f.graph.cache_size(), 0u);  // invalidated
+  // New edge is honored after invalidation.
+  EXPECT_TRUE(f.graph.CanFlowLabel(f.space.Intern("A"), f.space.Intern("D")));
+}
+
+// Property test: CanFlowLabel agrees with a naive recomputation, is reflexive
+// and transitive, on random DAGs.
+class LatticePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LatticePropertyTest, ReachabilityLaws) {
+  Rng rng(GetParam());
+  LabelSpace space;
+  RuleGraph graph(&space);
+  constexpr int kLabels = 12;
+  for (int i = 0; i < kLabels; ++i) {
+    space.Intern("L" + std::to_string(i));
+  }
+  // Random DAG: only edges i -> j with i < j (guaranteed acyclic).
+  for (int i = 0; i < kLabels; ++i) {
+    for (int j = i + 1; j < kLabels; ++j) {
+      if (rng.NextBool(0.2)) {
+        graph.AddRule("L" + std::to_string(i), "L" + std::to_string(j));
+      }
+    }
+  }
+  ASSERT_TRUE(graph.Validate().ok());
+  for (int a = 0; a < kLabels; ++a) {
+    EXPECT_TRUE(graph.CanFlowLabel(static_cast<LabelId>(a), static_cast<LabelId>(a)));
+    for (int b = 0; b < kLabels; ++b) {
+      for (int c = 0; c < kLabels; ++c) {
+        if (graph.CanFlowLabel(static_cast<LabelId>(a), static_cast<LabelId>(b)) &&
+            graph.CanFlowLabel(static_cast<LabelId>(b), static_cast<LabelId>(c))) {
+          EXPECT_TRUE(graph.CanFlowLabel(static_cast<LabelId>(a), static_cast<LabelId>(c)))
+              << "transitivity violated: L" << a << " -> L" << b << " -> L" << c;
+        }
+      }
+    }
+  }
+  // Edges never point backwards in this construction, so flow implies order.
+  for (int a = 0; a < kLabels; ++a) {
+    for (int b = 0; b < a; ++b) {
+      EXPECT_FALSE(graph.CanFlowLabel(static_cast<LabelId>(a), static_cast<LabelId>(b)))
+          << "L" << a << " must not flow backwards to L" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticePropertyTest,
+                         ::testing::Values(3u, 17u, 99u, 2024u, 777777u));
+
+}  // namespace
+}  // namespace turnstile

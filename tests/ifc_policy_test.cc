@@ -1,0 +1,149 @@
+// Policy parsing: labellers, rules, injections (Figs. 4 and 7).
+#include "src/ifc/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace turnstile {
+namespace {
+
+// The example IFC policy from Fig. 4, in this reproduction's JSON format.
+constexpr const char* kFig4Policy = R"json({
+  "labellers": {
+    "Scene": { "persons": { "$map": {
+      "$fn": "item => (item.employeeID ? \"employee\" : \"customer\")" } } }
+  },
+  "rules": ["employee -> customer", "customer -> internal"],
+  "injections": [
+    { "line": 2, "object": "scene", "labeller": "Scene" }
+  ]
+})json";
+
+// The NVR policy from Fig. 7.
+constexpr const char* kFig7Policy = R"json({
+  "labellers": {
+    "onRecognize": { "predictions": { "$map": {
+      "$fn": "item => { let employee = getEmployeeById(item.userid); return [employee.region, employee.level]; }" } } },
+    "mailer": { "sendMail": {
+      "$invoke": "(object, args) => getEmployeeByEmail(args[0].to).level" } },
+    "nodeRegion": { "$fn": "node => node.settings.region" }
+  },
+  "rules": ["US -> EU", "L1 -> L2", "L2 -> L3"],
+  "injections": [
+    { "file": "face-recognition.js", "line": 5, "object": "result", "labeller": "onRecognize" },
+    { "file": "email-notification.js", "line": 7, "object": "smtpTransport", "labeller": "mailer" },
+    { "file": "frame-storage.js", "line": 44, "object": "node", "labeller": "nodeRegion" }
+  ]
+})json";
+
+TEST(PolicyTest, ParsesFig4Policy) {
+  auto policy = Policy::FromJsonText(kFig4Policy);
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  const LabellerSpec* scene = (*policy)->FindLabeller("Scene");
+  ASSERT_NE(scene, nullptr);
+  ASSERT_EQ(scene->kind, LabellerSpec::Kind::kObject);
+  ASSERT_EQ(scene->fields.size(), 1u);
+  EXPECT_EQ(scene->fields[0].first, "persons");
+  const LabellerSpec* persons = scene->fields[0].second.get();
+  ASSERT_EQ(persons->kind, LabellerSpec::Kind::kMap);
+  EXPECT_EQ(persons->element->kind, LabellerSpec::Kind::kFn);
+  EXPECT_NE(persons->element->fn_source.find("employeeID"), std::string::npos);
+
+  ASSERT_EQ((*policy)->injections().size(), 1u);
+  EXPECT_EQ((*policy)->injections()[0].object, "scene");
+  EXPECT_EQ((*policy)->injections()[0].line, 2);
+
+  // Rule hierarchy: employee -> customer -> internal.
+  LabelSpace& space = (*policy)->space();
+  EXPECT_TRUE((*policy)->rules().CanFlowLabel(
+      static_cast<LabelId>(space.Find("employee")),
+      static_cast<LabelId>(space.Find("internal"))));
+}
+
+TEST(PolicyTest, ParsesFig7Policy) {
+  auto policy = Policy::FromJsonText(kFig7Policy);
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  ASSERT_EQ((*policy)->injections().size(), 3u);
+  EXPECT_EQ((*policy)->injections()[1].file, "email-notification.js");
+  const LabellerSpec* mailer = (*policy)->FindLabeller("mailer");
+  ASSERT_NE(mailer, nullptr);
+  ASSERT_EQ(mailer->kind, LabellerSpec::Kind::kObject);
+  EXPECT_EQ(mailer->fields[0].second->kind, LabellerSpec::Kind::kInvoke);
+}
+
+TEST(PolicyTest, ConstLabellerForms) {
+  auto policy = Policy::FromJsonText(R"json({
+    "labellers": {
+      "declassified": { "$const": "public" },
+      "multi": { "$const": ["A", "B"] },
+      "shorthand": { "field": "C" }
+    },
+    "rules": ["A -> B"]
+  })json");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_EQ((*policy)->FindLabeller("declassified")->const_labels,
+            std::vector<std::string>{"public"});
+  EXPECT_EQ((*policy)->FindLabeller("multi")->const_labels,
+            (std::vector<std::string>{"A", "B"}));
+  const LabellerSpec* shorthand = (*policy)->FindLabeller("shorthand");
+  ASSERT_EQ(shorthand->kind, LabellerSpec::Kind::kObject);
+  EXPECT_EQ(shorthand->fields[0].second->kind, LabellerSpec::Kind::kConst);
+}
+
+TEST(PolicyTest, CyclicRulesAreRejected) {
+  auto policy = Policy::FromJsonText(R"json({
+    "labellers": {},
+    "rules": ["A -> B", "B -> A"]
+  })json");
+  ASSERT_FALSE(policy.ok());
+  EXPECT_EQ(policy.status().code(), StatusCode::kPolicyError);
+  EXPECT_NE(policy.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(PolicyTest, UnknownLabellerInInjectionIsRejected) {
+  auto policy = Policy::FromJsonText(R"json({
+    "labellers": { "known": { "$const": "L" } },
+    "rules": [],
+    "injections": [{ "line": 1, "object": "x", "labeller": "unknown" }]
+  })json");
+  ASSERT_FALSE(policy.ok());
+  EXPECT_NE(policy.status().message().find("unknown"), std::string::npos);
+}
+
+TEST(PolicyTest, InjectionMissingFieldsIsRejected) {
+  auto policy = Policy::FromJsonText(R"json({
+    "labellers": { "l": { "$const": "L" } },
+    "rules": [],
+    "injections": [{ "line": 1, "labeller": "l" }]
+  })json");
+  EXPECT_FALSE(policy.ok());
+}
+
+TEST(PolicyTest, MalformedJsonIsRejected) {
+  EXPECT_FALSE(Policy::FromJsonText("{ nope").ok());
+  EXPECT_FALSE(Policy::FromJsonText("[]").ok());
+}
+
+TEST(PolicyTest, BadLabellerSpecsAreRejected) {
+  EXPECT_FALSE(Policy::FromJsonText(R"json({"labellers": {"x": 42}, "rules": []})json").ok());
+  EXPECT_FALSE(Policy::FromJsonText(R"json({"labellers": {"x": {}}, "rules": []})json").ok());
+  EXPECT_FALSE(
+      Policy::FromJsonText(R"json({"labellers": {"x": {"$fn": 1}}, "rules": []})json").ok());
+  EXPECT_FALSE(
+      Policy::FromJsonText(R"json({"labellers": {"x": {"$const": 3}}, "rules": []})json").ok());
+}
+
+TEST(PolicyTest, ProgrammaticConstruction) {
+  Policy policy;
+  auto spec = std::make_shared<LabellerSpec>();
+  spec->kind = LabellerSpec::Kind::kConst;
+  spec->const_labels = {"Alpha"};
+  policy.AddLabeller("alpha", spec);
+  policy.AddInjection({"app.js", 3, "msg", "alpha"});
+  EXPECT_NE(policy.FindLabeller("alpha"), nullptr);
+  ASSERT_EQ(policy.injections().size(), 1u);
+  LabelSet set = policy.MakeLabelSet({"Alpha", "Beta", "Alpha"});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -1,0 +1,153 @@
+// Compound assignments must not launder labels: `acc += tainted` is an
+// implicit binary operation, so the instrumentor desugars it to
+// `acc = __dift.binaryOp("+", acc, tainted)` along sensitive paths.
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/dift/tracker.h"
+#include "src/instrument/instrumentor.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace turnstile {
+namespace {
+
+constexpr const char* kPolicy = R"json({
+  "labellers": {
+    "Frame": { "$fn": "f => (f.includes(\"secret\") ? \"secret\" : null)" },
+    "PublicSink": { "$const": "public" }
+  },
+  "rules": ["public -> secret"]
+})json";
+
+TEST(CompoundAssignTest, DesugaredToBinaryOp) {
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let acc = "log:";
+      acc += frame;
+      socket.write(acc);
+    });
+  )", "app.js");
+  ASSERT_TRUE(program.ok());
+  auto policy = Policy::FromJsonText(kPolicy);
+  ASSERT_TRUE(policy.ok());
+  auto analysis = AnalyzeProgram(*program);
+  ASSERT_TRUE(analysis.ok());
+  auto instrumented =
+      InstrumentProgram(*program, **policy, InstrumentMode::kSelective, &*analysis);
+  ASSERT_TRUE(instrumented.ok());
+  std::string printed = PrintProgram(instrumented->program);
+  EXPECT_NE(printed.find("acc = __dift.binaryOp(\"+\", acc, frame)"), std::string::npos)
+      << printed;
+}
+
+TEST(CompoundAssignTest, LabelsSurviveCompoundAccumulation) {
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      frame = __dift.label(frame, "Frame");
+      let report = "report:";
+      report += frame;
+      report += "!";
+      leakedLabels = __dift.labelsOf(report);
+      socket.write(report);
+    });
+  )", "app.js");
+  ASSERT_TRUE(program.ok());
+  auto policy_result = Policy::FromJsonText(kPolicy);
+  ASSERT_TRUE(policy_result.ok());
+  std::shared_ptr<Policy> policy(std::move(policy_result).value().release());
+  auto analysis = AnalyzeProgram(*program);
+  ASSERT_TRUE(analysis.ok());
+  auto instrumented =
+      InstrumentProgram(*program, *policy, InstrumentMode::kSelective, &*analysis);
+  ASSERT_TRUE(instrumented.ok());
+
+  Interpreter interp;
+  DiftTracker tracker(&interp, policy);
+  tracker.Install();
+  ASSERT_TRUE(interp.RunProgram(instrumented->program).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+  auto& sockets = interp.io_world().emitters["net.socket"];
+  interp.EmitEvent(sockets[0], "data", {Value("secret:payload")});
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+
+  Value* labels = interp.global_env()->Lookup("leakedLabels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->ToDisplayString(), "[secret]")
+      << "the secret label must ride through both += operations";
+}
+
+TEST(CompoundAssignTest, ArithmeticCompoundFormsDesugar) {
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let total = 1;
+      total *= frame.length;
+      total -= 2;
+      socket.write(total);
+    });
+  )", "app.js");
+  ASSERT_TRUE(program.ok());
+  auto policy = Policy::FromJsonText(kPolicy);
+  auto analysis = AnalyzeProgram(*program);
+  ASSERT_TRUE(analysis.ok());
+  auto instrumented =
+      InstrumentProgram(*program, **policy, InstrumentMode::kSelective, &*analysis);
+  ASSERT_TRUE(instrumented.ok());
+  std::string printed = PrintProgram(instrumented->program);
+  EXPECT_NE(printed.find("__dift.binaryOp(\"*\", total"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("__dift.binaryOp(\"-\", total"), std::string::npos) << printed;
+}
+
+TEST(CompoundAssignTest, LogicalCompoundFormsAreLeftAlone) {
+  // &&= / ||= / ??= are control-flow selections, not value derivations.
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let v = frame;
+      v ??= "fallback";
+      socket.write(v);
+    });
+  )", "app.js");
+  ASSERT_TRUE(program.ok());
+  auto policy = Policy::FromJsonText(kPolicy);
+  auto analysis = AnalyzeProgram(*program);
+  ASSERT_TRUE(analysis.ok());
+  auto instrumented =
+      InstrumentProgram(*program, **policy, InstrumentMode::kExhaustive, &*analysis);
+  ASSERT_TRUE(instrumented.ok());
+  std::string printed = PrintProgram(instrumented->program);
+  EXPECT_NE(printed.find("v ?\?= \"fallback\""), std::string::npos) << printed;
+}
+
+TEST(CompoundAssignTest, MemberTargetsDesugarToo) {
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let stats = { log: "" };
+      stats.log += frame;
+      socket.write(stats.log);
+    });
+  )", "app.js");
+  ASSERT_TRUE(program.ok());
+  auto policy = Policy::FromJsonText(kPolicy);
+  auto analysis = AnalyzeProgram(*program);
+  ASSERT_TRUE(analysis.ok());
+  auto instrumented =
+      InstrumentProgram(*program, **policy, InstrumentMode::kSelective, &*analysis);
+  ASSERT_TRUE(instrumented.ok());
+  std::string printed = PrintProgram(instrumented->program);
+  EXPECT_NE(printed.find("stats.log = __dift.binaryOp(\"+\", stats.log, frame)"),
+            std::string::npos)
+      << printed;
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -1,0 +1,294 @@
+// The Code Instrumentor: rewriting correctness, selective-vs-exhaustive
+// scoping, label injection, and end-to-end managed execution.
+#include "src/instrument/instrumentor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/querydl.h"
+#include "src/dift/tracker.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace turnstile {
+namespace {
+
+std::unique_ptr<Policy> MustPolicy(const std::string& text) {
+  auto policy = Policy::FromJsonText(text);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  return policy.ok() ? std::move(policy).value() : nullptr;
+}
+
+constexpr const char* kEmptyPolicy = R"json({"labellers": {}, "rules": []})json";
+
+InstrumentedProgram Instrument(const std::string& source, const std::string& policy_text,
+                               InstrumentMode mode) {
+  auto program = ParseProgram(source, "app.js");
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto policy = MustPolicy(policy_text);
+  auto analysis = AnalyzeProgram(*program);
+  EXPECT_TRUE(analysis.ok());
+  auto instrumented = InstrumentProgram(*program, *policy, mode, &*analysis);
+  EXPECT_TRUE(instrumented.ok()) << instrumented.status().ToString();
+  return instrumented.ok() ? std::move(instrumented).value() : InstrumentedProgram{};
+}
+
+TEST(InstrumentorTest, OutputReparses) {
+  InstrumentedProgram out = Instrument(R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let msg = "got " + frame;
+      socket.write(msg);
+    });
+  )", kEmptyPolicy, InstrumentMode::kExhaustive);
+  std::string printed = PrintProgram(out.program);
+  auto reparsed = ParseProgram(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed << "\n" << reparsed.status().ToString();
+  EXPECT_NE(printed.find("__dift.invoke"), std::string::npos);
+  EXPECT_NE(printed.find("__dift.binaryOp"), std::string::npos);
+}
+
+TEST(InstrumentorTest, ExhaustiveWrapsEverything) {
+  const char* source = R"(
+    let a = 1 + 2;
+    let b = a * 3;
+    let o = { send: x => x };
+    o.send(b);
+    let unrelated = "x" + "y";
+  )";
+  InstrumentedProgram exhaustive = Instrument(source, kEmptyPolicy,
+                                              InstrumentMode::kExhaustive);
+  EXPECT_EQ(exhaustive.stats.binary_ops_wrapped, 3);
+  EXPECT_EQ(exhaustive.stats.invokes_wrapped, 1);
+  EXPECT_GE(exhaustive.stats.tracks_injected, 1);
+}
+
+TEST(InstrumentorTest, SelectiveWrapsOnlySensitivePaths) {
+  const char* source = R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let msg = "got " + frame;
+      socket.write(msg);
+    });
+    let unrelated = 1 + 2;
+    let alsoUnrelated = { helper: x => x };
+    alsoUnrelated.helper(unrelated);
+  )";
+  InstrumentedProgram selective = Instrument(source, kEmptyPolicy,
+                                             InstrumentMode::kSelective);
+  InstrumentedProgram exhaustive = Instrument(source, kEmptyPolicy,
+                                              InstrumentMode::kExhaustive);
+  // The sensitive path covers "got " + frame and socket.write; the unrelated
+  // arithmetic and helper call must stay untouched in selective mode.
+  EXPECT_EQ(selective.stats.binary_ops_wrapped, 1);
+  EXPECT_LT(selective.stats.invokes_wrapped, exhaustive.stats.invokes_wrapped);
+  EXPECT_LT(selective.stats.binary_ops_wrapped, exhaustive.stats.binary_ops_wrapped);
+  EXPECT_EQ(selective.stats.tracks_injected, 0);  // tracking is exhaustive-only
+
+  std::string printed = PrintProgram(selective.program);
+  EXPECT_EQ(printed.find("__dift.binaryOp(\"+\", 1, 2)"), std::string::npos)
+      << "unrelated arithmetic must not be instrumented:\n" << printed;
+}
+
+TEST(InstrumentorTest, ComparisonOperatorsAreNotWrapped) {
+  InstrumentedProgram out = Instrument("let x = 1 < 2; let y = 1 === 1;", kEmptyPolicy,
+                                       InstrumentMode::kExhaustive);
+  EXPECT_EQ(out.stats.binary_ops_wrapped, 0);
+}
+
+TEST(InstrumentorTest, LabelInjectionOnDeclarator) {
+  const char* policy = R"json({
+    "labellers": { "Scene": { "$const": "secret" } },
+    "rules": [],
+    "injections": [{ "file": "app.js", "line": 3, "object": "scene", "labeller": "Scene" }]
+  })json";
+  InstrumentedProgram out = Instrument(R"(
+    let x = 0;
+    let scene = { persons: [] };
+  )", policy, InstrumentMode::kSelective);
+  EXPECT_EQ(out.stats.labels_injected, 1);
+  std::string printed = PrintProgram(out.program);
+  EXPECT_NE(printed.find("__dift.label({ persons: [] }, \"Scene\")"), std::string::npos)
+      << printed;
+}
+
+TEST(InstrumentorTest, LabelInjectionOnParameter) {
+  const char* policy = R"json({
+    "labellers": { "Msg": { "$const": "secret" } },
+    "rules": [],
+    "injections": [{ "object": "msg", "labeller": "Msg" }]
+  })json";
+  InstrumentedProgram out = Instrument(R"(
+    function handle(msg) {
+      return msg;
+    }
+  )", policy, InstrumentMode::kSelective);
+  EXPECT_EQ(out.stats.labels_injected, 1);
+  std::string printed = PrintProgram(out.program);
+  EXPECT_NE(printed.find("msg = __dift.label(msg, \"Msg\")"), std::string::npos) << printed;
+}
+
+TEST(InstrumentorTest, WrongFileInjectionDoesNotApply) {
+  const char* policy = R"json({
+    "labellers": { "L": { "$const": "secret" } },
+    "rules": [],
+    "injections": [{ "file": "other.js", "line": 2, "object": "x", "labeller": "L" }]
+  })json";
+  InstrumentedProgram out = Instrument("let x = 1;", policy, InstrumentMode::kSelective);
+  EXPECT_EQ(out.stats.labels_injected, 0);
+}
+
+TEST(InstrumentorTest, DynamicIndexCallIsWrapped) {
+  InstrumentedProgram out = Instrument(R"(
+    let handlers = { go: x => x };
+    let k = "go";
+    handlers[k](1);
+  )", kEmptyPolicy, InstrumentMode::kExhaustive);
+  std::string printed = PrintProgram(out.program);
+  EXPECT_NE(printed.find("__dift.invoke(handlers, k, [1])"), std::string::npos) << printed;
+}
+
+// --- end-to-end: instrument, run, enforce ------------------------------------
+
+struct ManagedRun {
+  std::unique_ptr<Interpreter> interp;
+  std::shared_ptr<Policy> policy;
+  std::unique_ptr<DiftTracker> tracker;
+};
+
+ManagedRun RunManaged(const std::string& source, const std::string& policy_text,
+                      InstrumentMode mode) {
+  ManagedRun run;
+  auto program = ParseProgram(source, "app.js");
+  EXPECT_TRUE(program.ok());
+  run.policy = std::shared_ptr<Policy>(MustPolicy(policy_text).release());
+  auto analysis = AnalyzeProgram(*program);
+  EXPECT_TRUE(analysis.ok());
+  auto instrumented = InstrumentProgram(*program, *run.policy, mode, &*analysis);
+  EXPECT_TRUE(instrumented.ok()) << instrumented.status().ToString();
+
+  run.interp = std::make_unique<Interpreter>();
+  run.tracker = std::make_unique<DiftTracker>(run.interp.get(), run.policy);
+  run.tracker->Install();
+  Status status = run.interp->RunProgram(instrumented->program);
+  EXPECT_TRUE(status.ok()) << status.ToString() << "\n"
+                           << PrintProgram(instrumented->program);
+  Status loop = run.interp->RunEventLoop();
+  EXPECT_TRUE(loop.ok()) << loop.ToString();
+  return run;
+}
+
+constexpr const char* kCameraPolicy = R"json({
+  "labellers": {
+    "Frame": { "$fn": "f => (f.includes(\"visitor\") ? \"visitor\" : \"employee\")" },
+    "Store": { "$const": "employeeArchive" }
+  },
+  "rules": ["employee -> employeeArchive"]
+})json";
+
+constexpr const char* kCameraApp = R"(
+  let net = require("net");
+  let fs = require("fs");
+  let socket = net.connect(554, "cam");
+  let store = fs;
+  store = __dift.label(store, "Store");
+  socket.on("data", frame => {
+    frame = __dift.label(frame, "Frame");
+    store.writeFileSync("/archive.bin", frame);
+  });
+)";
+
+TEST(InstrumentorTest, EndToEndEnforcementBlocksViolatingFlow) {
+  // Employee frames may be archived; visitor frames may not.
+  ManagedRun run = RunManaged(kCameraApp, kCameraPolicy, InstrumentMode::kSelective);
+  auto& sockets = run.interp->io_world().emitters["net.socket"];
+  ASSERT_EQ(sockets.size(), 1u);
+  run.interp->EmitEvent(sockets[0], "data", {Value("employee-frame-1")});
+  run.interp->EmitEvent(sockets[0], "data", {Value("visitor-frame-2")});
+  ASSERT_TRUE(run.interp->RunEventLoop().ok());
+
+  // Only the employee frame reached the archive.
+  int archive_writes = 0;
+  for (const IoRecord& record : run.interp->io_world().records) {
+    if (record.channel == "fs") {
+      ++archive_writes;
+      EXPECT_EQ(record.payload, "employee-frame-1");
+    }
+  }
+  EXPECT_EQ(archive_writes, 1);
+  ASSERT_EQ(run.tracker->violations().size(), 1u);
+  EXPECT_EQ(run.tracker->violations()[0].data_labels, "{visitor}");
+}
+
+TEST(InstrumentorTest, UnmanagedAndManagedAgreeWhenPolicyAllows) {
+  // Without violations the instrumented app must produce the same sink
+  // payloads as the original.
+  const char* app = R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    socket.on("data", frame => {
+      let enriched = "seen:" + frame;
+      socket.write(enriched);
+    });
+  )";
+  // Unmanaged run.
+  Interpreter plain;
+  auto program = ParseProgram(app, "app.js");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(plain.RunProgram(*program).ok());
+  ASSERT_TRUE(plain.RunEventLoop().ok());
+  auto& plain_sockets = plain.io_world().emitters["net.socket"];
+  plain.EmitEvent(plain_sockets[0], "data", {Value("f1")});
+  ASSERT_TRUE(plain.RunEventLoop().ok());
+
+  // Managed (exhaustive — the most invasive mode).
+  ManagedRun managed = RunManaged(app, kEmptyPolicy, InstrumentMode::kExhaustive);
+  auto& managed_sockets = managed.interp->io_world().emitters["net.socket"];
+  managed.interp->EmitEvent(managed_sockets[0], "data", {Value("f1")});
+  ASSERT_TRUE(managed.interp->RunEventLoop().ok());
+
+  auto PayloadsOf = [](Interpreter& interp) {
+    std::vector<std::string> out;
+    for (const IoRecord& record : interp.io_world().records) {
+      if (record.channel == "net") {
+        out.push_back(record.payload);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(PayloadsOf(plain), PayloadsOf(*managed.interp));
+  EXPECT_TRUE(managed.tracker->violations().empty());
+}
+
+TEST(InstrumentorTest, ExhaustiveDoesMoreTrackerWorkThanSelective) {
+  const char* app = R"(
+    let net = require("net");
+    let socket = net.connect(1, "h");
+    let dictionary = { w1: "alpha", w2: "beta", w3: "gamma", w4: "delta" };
+    let sizes = [1, 2, 3, 4, 5, 6, 7, 8];
+    socket.on("data", frame => {
+      let total = 0;
+      for (let s of sizes) {
+        total = total + s;
+      }
+      socket.write(frame);
+    });
+  )";
+  ManagedRun selective = RunManaged(app, kEmptyPolicy, InstrumentMode::kSelective);
+  ManagedRun exhaustive = RunManaged(app, kEmptyPolicy, InstrumentMode::kExhaustive);
+  for (ManagedRun* run : {&selective, &exhaustive}) {
+    auto& sockets = run->interp->io_world().emitters["net.socket"];
+    run->interp->EmitEvent(sockets[0], "data", {Value("frame")});
+    ASSERT_TRUE(run->interp->RunEventLoop().ok());
+  }
+  // Exhaustive tracking boxes the dictionary strings and array numbers;
+  // selective does not touch them.
+  EXPECT_GT(exhaustive.tracker->stats().boxes_created,
+            selective.tracker->stats().boxes_created);
+  EXPECT_GT(exhaustive.tracker->stats().binary_ops,
+            selective.tracker->stats().binary_ops);
+}
+
+}  // namespace
+}  // namespace turnstile

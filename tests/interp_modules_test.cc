@@ -1,0 +1,238 @@
+// Simulated I/O modules: fs, net, http, mqtt, nodemailer, sqlite3, deepstack.
+#include <gtest/gtest.h>
+
+#include "src/interp/interp.h"
+#include "src/lang/parser.h"
+
+namespace turnstile {
+namespace {
+
+struct RunOutcome {
+  Value result;
+  std::vector<IoRecord> records;
+};
+
+RunOutcome RunScript(Interpreter& interp, const std::string& source,
+               const std::string& var = "result") {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  Status status = interp.RunProgram(*program);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  Status loop_status = interp.RunEventLoop();
+  EXPECT_TRUE(loop_status.ok()) << loop_status.ToString();
+  Value* slot = interp.global_env()->Lookup(var);
+  return {slot != nullptr ? *slot : Value::Undefined(), interp.io_world().records};
+}
+
+RunOutcome RunScript(const std::string& source, const std::string& var = "result") {
+  Interpreter interp;
+  return RunScript(interp, source, var);
+}
+
+// Returns records on `channel`.
+std::vector<IoRecord> RecordsOn(const std::vector<IoRecord>& records,
+                                const std::string& channel) {
+  std::vector<IoRecord> out;
+  for (const IoRecord& r : records) {
+    if (r.channel == channel) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+TEST(ModulesTest, FsWriteIsRecordedAndReadable) {
+  RunOutcome out = RunScript(R"(
+    let fs = require("fs");
+    fs.writeFileSync("/data/frame.jpg", "pixels");
+    let result = fs.readFileSync("/data/frame.jpg");
+  )");
+  EXPECT_EQ(out.result.ToDisplayString(), "pixels");
+  auto writes = RecordsOn(out.records, "fs");
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].detail, "/data/frame.jpg");
+  EXPECT_EQ(writes[0].payload, "pixels");
+}
+
+TEST(ModulesTest, FsReadOfUnknownFileReturnsSyntheticContent) {
+  RunOutcome out = RunScript(R"(
+    let fs = require("fs");
+    let result = fs.readFileSync("/no/such/file");
+  )");
+  EXPECT_EQ(out.result.ToDisplayString(), "simulated-content:/no/such/file");
+}
+
+TEST(ModulesTest, FsAsyncReadDeliversViaEventLoop) {
+  RunOutcome out = RunScript(R"(
+    let fs = require("fs");
+    let result = "";
+    fs.readFile("/cfg.json", (err, data) => { result = data; });
+  )");
+  EXPECT_EQ(out.result.ToDisplayString(), "simulated-content:/cfg.json");
+}
+
+TEST(ModulesTest, FsReadStreamEmitsChunksThenEnd) {
+  RunOutcome out = RunScript(R"(
+    let fs = require("fs");
+    let stream = fs.createReadStream("/video.raw");
+    let chunks = 0;
+    let ended = false;
+    stream.on("data", chunk => { chunks = chunks + 1; });
+    stream.on("end", () => { ended = true; });
+    let result = 0;
+    stream.on("end", () => { result = chunks; });
+  )");
+  EXPECT_DOUBLE_EQ(out.result.ToNumber(), 3);
+}
+
+TEST(ModulesTest, NetSocketRoundTrip) {
+  RunOutcome out = RunScript(R"(
+    let net = require("net");
+    let socket = net.connect(8080, "camera.local");
+    socket.on("connect", () => { socket.write("hello-camera"); });
+  )");
+  auto writes = RecordsOn(out.records, "net");
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].detail, "camera.local");
+  EXPECT_EQ(writes[0].payload, "hello-camera");
+}
+
+TEST(ModulesTest, HttpGetDeliversBody) {
+  RunOutcome out = RunScript(R"(
+    let http = require("http");
+    let result = "";
+    http.get("http://svc.example/api", res => {
+      res.on("data", body => { result = body; });
+    });
+  )");
+  EXPECT_EQ(out.result.ToDisplayString(), "http-body:http://svc.example/api");
+}
+
+TEST(ModulesTest, HttpRequestWriteIsRecorded) {
+  RunOutcome out = RunScript(R"(
+    let http = require("http");
+    let req = http.request({ host: "collector.example", method: "POST" });
+    req.write("telemetry-payload");
+    req.end();
+  )");
+  auto writes = RecordsOn(out.records, "http");
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].detail, "collector.example");
+  EXPECT_EQ(writes[0].payload, "telemetry-payload");
+}
+
+TEST(ModulesTest, MqttPublishIsRecorded) {
+  RunOutcome out = RunScript(R"(
+    let mqtt = require("mqtt");
+    let client = mqtt.connect("mqtt://broker.local");
+    client.on("connect", () => { client.publish("door/lock", "OPEN"); });
+  )");
+  auto pubs = RecordsOn(out.records, "mqtt");
+  ASSERT_EQ(pubs.size(), 1u);
+  EXPECT_EQ(pubs[0].detail, "mqtt://broker.local/door/lock");
+  EXPECT_EQ(pubs[0].payload, "OPEN");
+}
+
+TEST(ModulesTest, NodemailerSendMailRecordsRecipientAndBody) {
+  RunOutcome out = RunScript(R"(
+    let mailer = require("nodemailer");
+    let transport = mailer.createTransport({ service: "smtp" });
+    let result = "";
+    transport.sendMail({ to: "admin@example.com", attachments: "frame-007" },
+                       (err, info) => { result = info.accepted[0]; });
+  )");
+  EXPECT_EQ(out.result.ToDisplayString(), "admin@example.com");
+  auto mails = RecordsOn(out.records, "smtp");
+  ASSERT_EQ(mails.size(), 1u);
+  EXPECT_EQ(mails[0].detail, "admin@example.com");
+  EXPECT_EQ(mails[0].payload, "frame-007");
+}
+
+TEST(ModulesTest, SqliteRunRecordsSqlAndParams) {
+  RunOutcome out = RunScript(R"js(
+    let sqlite = require("sqlite3");
+    let db = new sqlite.Database("/var/nvr.db");
+    db.run("INSERT INTO frames VALUES (?)", ["frame-1"]);
+  )js");
+  auto runs = RecordsOn(out.records, "sqlite");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].detail, "/var/nvr.db");
+  EXPECT_NE(runs[0].payload.find("INSERT INTO frames"), std::string::npos);
+  EXPECT_NE(runs[0].payload.find("frame-1"), std::string::npos);
+}
+
+TEST(ModulesTest, DeepstackReturnsPredictionsPromise) {
+  RunOutcome out = RunScript(R"(
+    let deepstack = require("deepstack");
+    let result = -1;
+    deepstack.faceRecognition("frame-bytes-abc", "http://ds.local", 0.8)
+      .then(r => { result = r.predictions.length; });
+  )");
+  double n = out.result.ToNumber();
+  EXPECT_GE(n, 0);
+  EXPECT_LE(n, 2);
+}
+
+TEST(ModulesTest, DeepstackIsDeterministicForSameFrame) {
+  RunOutcome a = RunScript(R"(
+    let deepstack = require("deepstack");
+    let result = "";
+    deepstack.faceRecognition("same-frame", "s", 0.5)
+      .then(r => { result = JSON.stringify(r); });
+  )");
+  RunOutcome b = RunScript(R"(
+    let deepstack = require("deepstack");
+    let result = "";
+    deepstack.faceRecognition("same-frame", "s", 0.5)
+      .then(r => { result = JSON.stringify(r); });
+  )");
+  EXPECT_EQ(a.result.ToDisplayString(), b.result.ToDisplayString());
+}
+
+TEST(ModulesTest, ModulesAreCachedPerInterpreter) {
+  RunOutcome out = RunScript(R"(
+    let a = require("fs");
+    let b = require("fs");
+    let result = a === b;
+  )");
+  EXPECT_TRUE(out.result.AsBool());
+}
+
+TEST(ModulesTest, HarnessCanInjectEventsIntoEmitters) {
+  // A harness (the flow engine / bench driver) pushes data into a socket the
+  // application is listening on.
+  Interpreter interp;
+  auto program = ParseProgram(R"(
+    let net = require("net");
+    let socket = net.connect(554, "rtsp.camera");
+    let received = [];
+    socket.on("data", frame => { received.push(frame); });
+    let result = received;
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(interp.RunProgram(*program).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+
+  auto& sockets = interp.io_world().emitters["net.socket"];
+  ASSERT_EQ(sockets.size(), 1u);
+  interp.EmitEvent(sockets[0], "data", {Value("frame-1")});
+  interp.EmitEvent(sockets[0], "data", {Value("frame-2")});
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+
+  Value* received = interp.global_env()->Lookup("received");
+  ASSERT_NE(received, nullptr);
+  EXPECT_EQ(received->ToDisplayString(), "[frame-1, frame-2]");
+}
+
+TEST(ModulesTest, IoRecordsCarryVirtualTimestamps) {
+  RunOutcome out = RunScript(R"(
+    let fs = require("fs");
+    setTimeout(() => { fs.writeFileSync("/late.txt", "x"); }, 2000);
+  )");
+  auto writes = RecordsOn(out.records, "fs");
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_DOUBLE_EQ(writes[0].time, 2.0);
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -1,0 +1,101 @@
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace turnstile {
+namespace {
+
+std::vector<Token> MustLex(std::string_view source) {
+  auto result = Lex(source);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value_or({});
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kEndOfFile));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = MustLex("let foo = bar;");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_TRUE(tokens[0].IsKeyword("let"));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kIdentifier));
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_TRUE(tokens[2].IsPunct("="));
+  EXPECT_EQ(tokens[3].text, "bar");
+  EXPECT_TRUE(tokens[4].IsPunct(";"));
+}
+
+TEST(LexerTest, DollarAndUnderscoreIdentifiers) {
+  auto tokens = MustLex("$map _priv $1");
+  EXPECT_EQ(tokens[0].text, "$map");
+  EXPECT_EQ(tokens[1].text, "_priv");
+  EXPECT_EQ(tokens[2].text, "$1");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = MustLex("42 3.25 0x1f 1e3 2e-2");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 31);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1000);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 0.02);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = MustLex(R"('a\'b' "c\nd" `tpl`)");
+  EXPECT_EQ(tokens[0].text, "a'b");
+  EXPECT_EQ(tokens[1].text, "c\nd");
+  EXPECT_EQ(tokens[2].text, "tpl");
+}
+
+TEST(LexerTest, MultiCharPunctuatorsLongestMatch) {
+  auto tokens = MustLex("a === b !== c => d ... e ?. f ?? g");
+  EXPECT_TRUE(tokens[1].IsPunct("==="));
+  EXPECT_TRUE(tokens[3].IsPunct("!=="));
+  EXPECT_TRUE(tokens[5].IsPunct("=>"));
+  EXPECT_TRUE(tokens[7].IsPunct("..."));
+  EXPECT_TRUE(tokens[9].IsPunct("?."));
+  EXPECT_TRUE(tokens[11].IsPunct("??"));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = MustLex("a // line comment\n/* block\ncomment */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = MustLex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("\"abc").ok());
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Lex("/* never closed").ok());
+}
+
+TEST(LexerTest, NewlineInPlainStringFails) {
+  EXPECT_FALSE(Lex("\"a\nb\"").ok());
+}
+
+TEST(LexerTest, TemplateLiteralAllowsNewline) {
+  auto tokens = MustLex("`a\nb`");
+  EXPECT_EQ(tokens[0].text, "a\nb");
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Lex("a # b").ok());
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -1,0 +1,126 @@
+#include "src/support/json.h"
+
+#include <gtest/gtest.h>
+
+namespace turnstile {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+}
+
+TEST(JsonTest, ScalarTypes) {
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::Array().is_array());
+  EXPECT_TRUE(Json::Object().is_object());
+}
+
+TEST(JsonTest, ObjectSetAndLookup) {
+  Json obj = Json::Object();
+  obj.Set("name", "turnstile");
+  obj.Set("count", 61);
+  EXPECT_EQ(obj.GetString("name"), "turnstile");
+  EXPECT_EQ(obj.GetNumber("count"), 61);
+  EXPECT_TRUE(obj["missing"].is_null());
+  EXPECT_EQ(obj.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(JsonTest, SetReplacesExistingKey) {
+  Json obj = Json::Object();
+  obj.Set("k", 1);
+  obj.Set("k", 2);
+  EXPECT_EQ(obj.GetNumber("k"), 2);
+  EXPECT_EQ(obj.object_items().size(), 1u);
+}
+
+TEST(JsonTest, ChainedLookupOnNonObjectIsSafe) {
+  Json j(42.0);
+  EXPECT_TRUE(j["a"]["b"]["c"].is_null());
+}
+
+TEST(JsonTest, ArrayAppendAndIndex) {
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append("two");
+  ASSERT_EQ(arr.array_items().size(), 2u);
+  EXPECT_EQ(arr[0].number_value(), 1);
+  EXPECT_EQ(arr[1].string_value(), "two");
+  EXPECT_TRUE(arr[5].is_null());
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->bool_value(), true);
+  EXPECT_EQ(Json::Parse("-2.5e2")->number_value(), -250.0);
+  EXPECT_EQ(Json::Parse("\"a\\nb\"")->string_value(), "a\nb");
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto result = Json::Parse(R"({
+    "rules": ["employee -> customer", "customer -> internal"],
+    "nested": {"deep": [1, 2, {"x": true}]}
+  })");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Json& doc = *result;
+  EXPECT_EQ(doc["rules"][0].string_value(), "employee -> customer");
+  EXPECT_TRUE(doc["nested"]["deep"][2]["x"].bool_value());
+}
+
+TEST(JsonParseTest, AcceptsCommentsAndTrailingCommas) {
+  auto result = Json::Parse(R"({
+    // the label hierarchy
+    "rules": ["a -> b",],
+  })");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)["rules"][0].string_value(), "a -> b");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1, 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("{1: 2}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+}
+
+TEST(JsonParseTest, ParsesUnicodeEscapes) {
+  auto result = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->string_value(), "A\xc3\xa9");
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  Json obj = Json::Object();
+  obj.Set("a", 1);
+  Json arr = Json::Array();
+  arr.Append("x\"y");
+  arr.Append(Json(nullptr));
+  obj.Set("list", std::move(arr));
+  std::string dumped = obj.Dump();
+  EXPECT_EQ(dumped, R"({"a":1,"list":["x\"y",null]})");
+  auto reparsed = Json::Parse(dumped);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, obj);
+}
+
+TEST(JsonDumpTest, PrettyPrintIsReparsable) {
+  auto doc = Json::Parse(R"({"a": [1, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(doc.ok());
+  std::string pretty = doc->Dump(/*pretty=*/true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto again = Json::Parse(pretty);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *doc);
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  Json j(std::string("a\x01z"));
+  EXPECT_EQ(j.Dump(), "\"a\\u0001z\"");
+}
+
+}  // namespace
+}  // namespace turnstile

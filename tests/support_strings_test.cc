@@ -1,0 +1,99 @@
+#include "src/support/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace turnstile {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitTrimmedDropsEmptiesAndTrims) {
+  auto parts = StrSplitTrimmed("  a ; b ;; ", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  hi \t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringsTest, PrefixSuffixContains) {
+  EXPECT_TRUE(StartsWith("turnstile", "turn"));
+  EXPECT_FALSE(StartsWith("turn", "turnstile"));
+  EXPECT_TRUE(EndsWith("policy.json", ".json"));
+  EXPECT_TRUE(Contains("RED.nodes.createNode", "createNode"));
+  EXPECT_FALSE(Contains("abc", "z"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(StrReplaceAll("a.b.c", ".", "->"), "a->b->c");
+  EXPECT_EQ(StrReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(StrReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(StringsTest, NumberToStringMatchesJsStyle) {
+  EXPECT_EQ(NumberToString(42), "42");
+  EXPECT_EQ(NumberToString(-7), "-7");
+  EXPECT_EQ(NumberToString(2.5), "2.5");
+  EXPECT_EQ(NumberToString(0), "0");
+  EXPECT_EQ(NumberToString(1.0 / 0.0), "Infinity");
+  EXPECT_EQ(NumberToString(-1.0 / 0.0), "-Infinity");
+  EXPECT_EQ(NumberToString(0.0 / 0.0), "NaN");
+}
+
+TEST(StringsTest, Repeat) {
+  EXPECT_EQ(StrRepeat("ab", 3), "ababab");
+  EXPECT_EQ(StrRepeat("x", 0), "");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, WordHasRequestedLength) {
+  Rng rng(9);
+  EXPECT_EQ(rng.NextWord(8).size(), 8u);
+}
+
+}  // namespace
+}  // namespace turnstile
