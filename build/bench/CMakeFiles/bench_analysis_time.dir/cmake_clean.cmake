@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_time.dir/bench_analysis_time.cc.o"
+  "CMakeFiles/bench_analysis_time.dir/bench_analysis_time.cc.o.d"
+  "bench_analysis_time"
+  "bench_analysis_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

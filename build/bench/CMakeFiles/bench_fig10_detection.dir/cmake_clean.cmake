@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_detection.dir/bench_fig10_detection.cc.o"
+  "CMakeFiles/bench_fig10_detection.dir/bench_fig10_detection.cc.o.d"
+  "bench_fig10_detection"
+  "bench_fig10_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

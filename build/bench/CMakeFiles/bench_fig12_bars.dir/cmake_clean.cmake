@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bars.dir/bench_fig12_bars.cc.o"
+  "CMakeFiles/bench_fig12_bars.dir/bench_fig12_bars.cc.o.d"
+  "bench_fig12_bars"
+  "bench_fig12_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

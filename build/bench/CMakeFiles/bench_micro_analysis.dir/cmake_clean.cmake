@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_analysis.dir/bench_micro_analysis.cc.o"
+  "CMakeFiles/bench_micro_analysis.dir/bench_micro_analysis.cc.o.d"
+  "bench_micro_analysis"
+  "bench_micro_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dift.dir/bench_micro_dift.cc.o"
+  "CMakeFiles/bench_micro_dift.dir/bench_micro_dift.cc.o.d"
+  "bench_micro_dift"
+  "bench_micro_dift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_interp.dir/bench_micro_interp.cc.o"
+  "CMakeFiles/bench_micro_interp.dir/bench_micro_interp.cc.o.d"
+  "bench_micro_interp"
+  "bench_micro_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_census.dir/bench_table2_census.cc.o"
+  "CMakeFiles/bench_table2_census.dir/bench_table2_census.cc.o.d"
+  "bench_table2_census"
+  "bench_table2_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

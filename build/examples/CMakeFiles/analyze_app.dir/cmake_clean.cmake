@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_app.dir/analyze_app.cpp.o"
+  "CMakeFiles/analyze_app.dir/analyze_app.cpp.o.d"
+  "analyze_app"
+  "analyze_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvr_case_study.dir/nvr_case_study.cpp.o"
+  "CMakeFiles/nvr_case_study.dir/nvr_case_study.cpp.o.d"
+  "nvr_case_study"
+  "nvr_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvr_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_access_control.dir/smart_access_control.cpp.o"
+  "CMakeFiles/smart_access_control.dir/smart_access_control.cpp.o.d"
+  "smart_access_control"
+  "smart_access_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_access_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

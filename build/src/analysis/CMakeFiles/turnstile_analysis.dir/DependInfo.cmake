@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/analysis/CMakeFiles/turnstile_analysis.dir/analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/turnstile_analysis.dir/analyzer.cc.o.d"
+  "/root/repo/src/analysis/catalog.cc" "src/analysis/CMakeFiles/turnstile_analysis.dir/catalog.cc.o" "gcc" "src/analysis/CMakeFiles/turnstile_analysis.dir/catalog.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/turnstile_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/turnstile_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/scope.cc" "src/analysis/CMakeFiles/turnstile_analysis.dir/scope.cc.o" "gcc" "src/analysis/CMakeFiles/turnstile_analysis.dir/scope.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/turnstile_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/turnstile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

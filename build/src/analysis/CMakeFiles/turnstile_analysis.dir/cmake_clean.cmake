@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/turnstile_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/turnstile_analysis.dir/catalog.cc.o"
+  "CMakeFiles/turnstile_analysis.dir/catalog.cc.o.d"
+  "CMakeFiles/turnstile_analysis.dir/report.cc.o"
+  "CMakeFiles/turnstile_analysis.dir/report.cc.o.d"
+  "CMakeFiles/turnstile_analysis.dir/scope.cc.o"
+  "CMakeFiles/turnstile_analysis.dir/scope.cc.o.d"
+  "libturnstile_analysis.a"
+  "libturnstile_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_baseline.dir/querydl.cc.o"
+  "CMakeFiles/turnstile_baseline.dir/querydl.cc.o.d"
+  "libturnstile_baseline.a"
+  "libturnstile_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_corpus.dir/corpus.cc.o"
+  "CMakeFiles/turnstile_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_a1.cc.o"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_a1.cc.o.d"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_a2.cc.o"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_a2.cc.o.d"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_b.cc.o"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_b.cc.o.d"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_d.cc.o"
+  "CMakeFiles/turnstile_corpus.dir/corpus_data_d.cc.o.d"
+  "CMakeFiles/turnstile_corpus.dir/driver.cc.o"
+  "CMakeFiles/turnstile_corpus.dir/driver.cc.o.d"
+  "libturnstile_corpus.a"
+  "libturnstile_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_dift.dir/tracker.cc.o"
+  "CMakeFiles/turnstile_dift.dir/tracker.cc.o.d"
+  "libturnstile_dift.a"
+  "libturnstile_dift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_dift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturnstile_dift.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/engine.cc" "src/flow/CMakeFiles/turnstile_flow.dir/engine.cc.o" "gcc" "src/flow/CMakeFiles/turnstile_flow.dir/engine.cc.o.d"
+  "/root/repo/src/flow/workload.cc" "src/flow/CMakeFiles/turnstile_flow.dir/workload.cc.o" "gcc" "src/flow/CMakeFiles/turnstile_flow.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/turnstile_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/turnstile_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/turnstile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_flow.dir/engine.cc.o"
+  "CMakeFiles/turnstile_flow.dir/engine.cc.o.d"
+  "CMakeFiles/turnstile_flow.dir/workload.cc.o"
+  "CMakeFiles/turnstile_flow.dir/workload.cc.o.d"
+  "libturnstile_flow.a"
+  "libturnstile_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_ifc.dir/label.cc.o"
+  "CMakeFiles/turnstile_ifc.dir/label.cc.o.d"
+  "CMakeFiles/turnstile_ifc.dir/lattice.cc.o"
+  "CMakeFiles/turnstile_ifc.dir/lattice.cc.o.d"
+  "CMakeFiles/turnstile_ifc.dir/policy.cc.o"
+  "CMakeFiles/turnstile_ifc.dir/policy.cc.o.d"
+  "libturnstile_ifc.a"
+  "libturnstile_ifc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_ifc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

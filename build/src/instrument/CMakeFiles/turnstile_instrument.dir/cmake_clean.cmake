@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_instrument.dir/instrumentor.cc.o"
+  "CMakeFiles/turnstile_instrument.dir/instrumentor.cc.o.d"
+  "libturnstile_instrument.a"
+  "libturnstile_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

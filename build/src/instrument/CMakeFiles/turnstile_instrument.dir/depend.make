@@ -1,0 +1,2 @@
+# Empty dependencies file for turnstile_instrument.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/builtins.cc" "src/interp/CMakeFiles/turnstile_interp.dir/builtins.cc.o" "gcc" "src/interp/CMakeFiles/turnstile_interp.dir/builtins.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/interp/CMakeFiles/turnstile_interp.dir/interpreter.cc.o" "gcc" "src/interp/CMakeFiles/turnstile_interp.dir/interpreter.cc.o.d"
+  "/root/repo/src/interp/modules.cc" "src/interp/CMakeFiles/turnstile_interp.dir/modules.cc.o" "gcc" "src/interp/CMakeFiles/turnstile_interp.dir/modules.cc.o.d"
+  "/root/repo/src/interp/value.cc" "src/interp/CMakeFiles/turnstile_interp.dir/value.cc.o" "gcc" "src/interp/CMakeFiles/turnstile_interp.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/turnstile_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/turnstile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_interp.dir/builtins.cc.o"
+  "CMakeFiles/turnstile_interp.dir/builtins.cc.o.d"
+  "CMakeFiles/turnstile_interp.dir/interpreter.cc.o"
+  "CMakeFiles/turnstile_interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/turnstile_interp.dir/modules.cc.o"
+  "CMakeFiles/turnstile_interp.dir/modules.cc.o.d"
+  "CMakeFiles/turnstile_interp.dir/value.cc.o"
+  "CMakeFiles/turnstile_interp.dir/value.cc.o.d"
+  "libturnstile_interp.a"
+  "libturnstile_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/turnstile_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/turnstile_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/turnstile_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/turnstile_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/turnstile_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/turnstile_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/lang/CMakeFiles/turnstile_lang.dir/printer.cc.o" "gcc" "src/lang/CMakeFiles/turnstile_lang.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/turnstile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_lang.dir/ast.cc.o"
+  "CMakeFiles/turnstile_lang.dir/ast.cc.o.d"
+  "CMakeFiles/turnstile_lang.dir/lexer.cc.o"
+  "CMakeFiles/turnstile_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/turnstile_lang.dir/parser.cc.o"
+  "CMakeFiles/turnstile_lang.dir/parser.cc.o.d"
+  "CMakeFiles/turnstile_lang.dir/printer.cc.o"
+  "CMakeFiles/turnstile_lang.dir/printer.cc.o.d"
+  "libturnstile_lang.a"
+  "libturnstile_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/json.cc" "src/support/CMakeFiles/turnstile_support.dir/json.cc.o" "gcc" "src/support/CMakeFiles/turnstile_support.dir/json.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/turnstile_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/turnstile_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/status.cc" "src/support/CMakeFiles/turnstile_support.dir/status.cc.o" "gcc" "src/support/CMakeFiles/turnstile_support.dir/status.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/support/CMakeFiles/turnstile_support.dir/strings.cc.o" "gcc" "src/support/CMakeFiles/turnstile_support.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

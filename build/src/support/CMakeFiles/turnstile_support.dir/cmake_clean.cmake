@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_support.dir/json.cc.o"
+  "CMakeFiles/turnstile_support.dir/json.cc.o.d"
+  "CMakeFiles/turnstile_support.dir/logging.cc.o"
+  "CMakeFiles/turnstile_support.dir/logging.cc.o.d"
+  "CMakeFiles/turnstile_support.dir/status.cc.o"
+  "CMakeFiles/turnstile_support.dir/status.cc.o.d"
+  "CMakeFiles/turnstile_support.dir/strings.cc.o"
+  "CMakeFiles/turnstile_support.dir/strings.cc.o.d"
+  "libturnstile_support.a"
+  "libturnstile_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_querydl_test.dir/baseline_querydl_test.cc.o"
+  "CMakeFiles/baseline_querydl_test.dir/baseline_querydl_test.cc.o.d"
+  "baseline_querydl_test"
+  "baseline_querydl_test.pdb"
+  "baseline_querydl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_querydl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

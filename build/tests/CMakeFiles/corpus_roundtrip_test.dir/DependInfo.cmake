@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corpus_roundtrip_test.cc" "tests/CMakeFiles/corpus_roundtrip_test.dir/corpus_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/corpus_roundtrip_test.dir/corpus_roundtrip_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/turnstile_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/turnstile_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dift/CMakeFiles/turnstile_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/turnstile_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/turnstile_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/ifc/CMakeFiles/turnstile_ifc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/turnstile_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/turnstile_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/turnstile_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/turnstile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

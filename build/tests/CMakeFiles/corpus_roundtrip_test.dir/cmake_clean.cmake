@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_roundtrip_test.dir/corpus_roundtrip_test.cc.o"
+  "CMakeFiles/corpus_roundtrip_test.dir/corpus_roundtrip_test.cc.o.d"
+  "corpus_roundtrip_test"
+  "corpus_roundtrip_test.pdb"
+  "corpus_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dift_tracker_test.cc" "tests/CMakeFiles/dift_tracker_test.dir/dift_tracker_test.cc.o" "gcc" "tests/CMakeFiles/dift_tracker_test.dir/dift_tracker_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dift/CMakeFiles/turnstile_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/turnstile_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/turnstile_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ifc/CMakeFiles/turnstile_ifc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/turnstile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

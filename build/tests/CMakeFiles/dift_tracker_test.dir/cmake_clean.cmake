@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dift_tracker_test.dir/dift_tracker_test.cc.o"
+  "CMakeFiles/dift_tracker_test.dir/dift_tracker_test.cc.o.d"
+  "dift_tracker_test"
+  "dift_tracker_test.pdb"
+  "dift_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dift_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_engine_test.dir/flow_engine_test.cc.o"
+  "CMakeFiles/flow_engine_test.dir/flow_engine_test.cc.o.d"
+  "flow_engine_test"
+  "flow_engine_test.pdb"
+  "flow_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifc_integrity_test.dir/ifc_integrity_test.cc.o"
+  "CMakeFiles/ifc_integrity_test.dir/ifc_integrity_test.cc.o.d"
+  "ifc_integrity_test"
+  "ifc_integrity_test.pdb"
+  "ifc_integrity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifc_integrity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

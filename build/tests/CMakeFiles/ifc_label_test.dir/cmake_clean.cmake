@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifc_label_test.dir/ifc_label_test.cc.o"
+  "CMakeFiles/ifc_label_test.dir/ifc_label_test.cc.o.d"
+  "ifc_label_test"
+  "ifc_label_test.pdb"
+  "ifc_label_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifc_label_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifc_lattice_test.dir/ifc_lattice_test.cc.o"
+  "CMakeFiles/ifc_lattice_test.dir/ifc_lattice_test.cc.o.d"
+  "ifc_lattice_test"
+  "ifc_lattice_test.pdb"
+  "ifc_lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifc_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifc_policy_test.dir/ifc_policy_test.cc.o"
+  "CMakeFiles/ifc_policy_test.dir/ifc_policy_test.cc.o.d"
+  "ifc_policy_test"
+  "ifc_policy_test.pdb"
+  "ifc_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifc_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

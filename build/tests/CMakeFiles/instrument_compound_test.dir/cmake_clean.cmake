@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_compound_test.dir/instrument_compound_test.cc.o"
+  "CMakeFiles/instrument_compound_test.dir/instrument_compound_test.cc.o.d"
+  "instrument_compound_test"
+  "instrument_compound_test.pdb"
+  "instrument_compound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_compound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

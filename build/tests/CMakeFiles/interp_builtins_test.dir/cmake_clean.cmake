@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_builtins_test.dir/interp_builtins_test.cc.o"
+  "CMakeFiles/interp_builtins_test.dir/interp_builtins_test.cc.o.d"
+  "interp_builtins_test"
+  "interp_builtins_test.pdb"
+  "interp_builtins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_eval_test.dir/interp_eval_test.cc.o"
+  "CMakeFiles/interp_eval_test.dir/interp_eval_test.cc.o.d"
+  "interp_eval_test"
+  "interp_eval_test.pdb"
+  "interp_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

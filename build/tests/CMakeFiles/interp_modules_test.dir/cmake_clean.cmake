@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_modules_test.dir/interp_modules_test.cc.o"
+  "CMakeFiles/interp_modules_test.dir/interp_modules_test.cc.o.d"
+  "interp_modules_test"
+  "interp_modules_test.pdb"
+  "interp_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_semantics_test.dir/interp_semantics_test.cc.o"
+  "CMakeFiles/interp_semantics_test.dir/interp_semantics_test.cc.o.d"
+  "interp_semantics_test"
+  "interp_semantics_test.pdb"
+  "interp_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

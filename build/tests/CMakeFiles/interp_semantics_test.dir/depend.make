@@ -1,0 +1,2 @@
+# Empty dependencies file for interp_semantics_test.
+# This may be replaced when dependencies are built.

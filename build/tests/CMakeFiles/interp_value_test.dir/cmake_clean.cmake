@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_value_test.dir/interp_value_test.cc.o"
+  "CMakeFiles/interp_value_test.dir/interp_value_test.cc.o.d"
+  "interp_value_test"
+  "interp_value_test.pdb"
+  "interp_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

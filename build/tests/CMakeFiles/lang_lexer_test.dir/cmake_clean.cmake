@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_lexer_test.dir/lang_lexer_test.cc.o"
+  "CMakeFiles/lang_lexer_test.dir/lang_lexer_test.cc.o.d"
+  "lang_lexer_test"
+  "lang_lexer_test.pdb"
+  "lang_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

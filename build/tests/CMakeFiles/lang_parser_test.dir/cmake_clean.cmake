@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_parser_test.dir/lang_parser_test.cc.o"
+  "CMakeFiles/lang_parser_test.dir/lang_parser_test.cc.o.d"
+  "lang_parser_test"
+  "lang_parser_test.pdb"
+  "lang_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

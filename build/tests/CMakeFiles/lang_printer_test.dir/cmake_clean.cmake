@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_printer_test.dir/lang_printer_test.cc.o"
+  "CMakeFiles/lang_printer_test.dir/lang_printer_test.cc.o.d"
+  "lang_printer_test"
+  "lang_printer_test.pdb"
+  "lang_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

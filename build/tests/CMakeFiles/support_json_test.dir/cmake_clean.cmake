@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_json_test.dir/support_json_test.cc.o"
+  "CMakeFiles/support_json_test.dir/support_json_test.cc.o.d"
+  "support_json_test"
+  "support_json_test.pdb"
+  "support_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_strings_test.dir/support_strings_test.cc.o"
+  "CMakeFiles/support_strings_test.dir/support_strings_test.cc.o.d"
+  "support_strings_test"
+  "support_strings_test.pdb"
+  "support_strings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_strings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_status_test[1]_include.cmake")
+include("/root/repo/build/tests/support_json_test[1]_include.cmake")
+include("/root/repo/build/tests/support_strings_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_builtins_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_modules_test[1]_include.cmake")
+include("/root/repo/build/tests/ifc_label_test[1]_include.cmake")
+include("/root/repo/build/tests/ifc_lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/ifc_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/dift_tracker_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_querydl_test[1]_include.cmake")
+include("/root/repo/build/tests/instrument_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_scope_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/ifc_integrity_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_value_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/instrument_compound_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_semantics_test[1]_include.cmake")
