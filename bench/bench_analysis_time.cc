@@ -17,6 +17,8 @@
 #include "src/lang/parser.h"
 #include "src/support/stopwatch.h"
 
+#include "bench/bench_util.h"
+
 namespace turnstile {
 namespace {
 
@@ -97,4 +99,8 @@ int Main() {
 }  // namespace
 }  // namespace turnstile
 
-int main() { return turnstile::Main(); }
+int main(int argc, char** argv) {
+  int rc = turnstile::Main();
+  turnstile::MaybeDumpMetricsSnapshot(argc, argv);
+  return rc;
+}

@@ -10,6 +10,8 @@
 #include "src/corpus/corpus.h"
 #include "src/lang/parser.h"
 
+#include "bench/bench_util.h"
+
 namespace turnstile {
 namespace {
 
@@ -111,4 +113,8 @@ int Main() {
 }  // namespace
 }  // namespace turnstile
 
-int main() { return turnstile::Main(); }
+int main(int argc, char** argv) {
+  int rc = turnstile::Main();
+  turnstile::MaybeDumpMetricsSnapshot(argc, argv);
+  return rc;
+}

@@ -99,4 +99,8 @@ int Main() {
 }  // namespace
 }  // namespace turnstile
 
-int main() { return turnstile::Main(); }
+int main(int argc, char** argv) {
+  int rc = turnstile::Main();
+  turnstile::MaybeDumpMetricsSnapshot(argc, argv);
+  return rc;
+}

@@ -11,6 +11,8 @@
 #include "src/corpus/corpus.h"
 #include "src/support/strings.h"
 
+#include "bench/bench_util.h"
+
 namespace turnstile {
 namespace {
 
@@ -82,4 +84,8 @@ int Main() {
 }  // namespace
 }  // namespace turnstile
 
-int main() { return turnstile::Main(); }
+int main(int argc, char** argv) {
+  int rc = turnstile::Main();
+  turnstile::MaybeDumpMetricsSnapshot(argc, argv);
+  return rc;
+}

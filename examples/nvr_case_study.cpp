@@ -13,10 +13,13 @@
 #include <cstdio>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/report.h"
 #include "src/dift/tracker.h"
 #include "src/flow/engine.h"
 #include "src/instrument/instrumentor.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 using namespace turnstile;
 
@@ -154,6 +157,9 @@ int main() {
     return 1;
   }
 
+  // Trace every injected frame so blocked flows can explain themselves.
+  obs::TraceRecorder::Global().Enable(4096);
+
   Interpreter interp;
   DiftTracker tracker(&interp, policy);
   tracker.Install();
@@ -198,10 +204,17 @@ int main() {
     std::printf("  %s: data %s may not flow to receiver %s\n", violation.sink.c_str(),
                 violation.data_labels.c_str(), violation.receiver_labels.c_str());
   }
+  if (!tracker.violations().empty()) {
+    std::printf("\nwhy was the first flow blocked?\n%s",
+                ExplainViolation(tracker.violations().front()).c_str());
+  }
   std::printf("\ntracker stats: %llu labels, %llu invokes, %llu boxes, %zu tracked objects\n",
               static_cast<unsigned long long>(tracker.stats().label_calls),
               static_cast<unsigned long long>(tracker.stats().invokes),
               static_cast<unsigned long long>(tracker.stats().boxes_created),
               tracker.tracked_count());
+  tracker.PublishMetrics();
+  std::printf("\nmetrics snapshot:\n%s\n",
+              obs::Metrics::Global().ToJson().Dump(/*pretty=*/true).c_str());
   return 0;
 }

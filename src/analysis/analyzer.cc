@@ -4,6 +4,9 @@
 #include <map>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+#include "src/support/stopwatch.h"
+
 namespace turnstile {
 
 namespace {
@@ -43,6 +46,8 @@ class Analyzer {
   }
 
   Result<AnalysisResult> Run() {
+    obs::Metrics& metrics = obs::Metrics::Global();
+    Stopwatch fixpoint_watch;
     BuildGenericEdges();
     SeedFunctionValues();
     // Combined points-to / type-inference / call-resolution fixpoint.
@@ -53,13 +58,19 @@ class Analyzer {
       PropagateSets();
       changed = ScanCallSites();
     }
+    metrics.GetHistogram("analysis.fixpoint_seconds")
+        ->Observe(fixpoint_watch.ElapsedSeconds());
     AnalysisResult result;
     result.stats.fixpoint_rounds = rounds;
     result.stats.graph_nodes = resolved_.total_nodes();
     result.stats.graph_edges = edge_count_;
     result.stats.sources_found = static_cast<int>(sources_.size());
     result.stats.sinks_found = static_cast<int>(sinks_.size());
+    Stopwatch taint_watch;
     RunTaint(&result);
+    metrics.GetHistogram("analysis.taint_seconds")
+        ->Observe(taint_watch.ElapsedSeconds());
+    metrics.GetCounter("analysis.paths_found")->Increment(result.paths.size());
     return result;
   }
 
@@ -695,7 +706,14 @@ class Analyzer {
 }  // namespace
 
 Result<AnalysisResult> AnalyzeProgram(const Program& program, const Catalog& catalog) {
-  return Analyzer(program, catalog).Run();
+  obs::Metrics& metrics = obs::Metrics::Global();
+  metrics.GetCounter("analysis.runs")->Increment();
+  // Scope resolution runs in the Analyzer constructor; time it separately
+  // from the fixpoint + taint phases (instrumented inside Run()).
+  Stopwatch scope_watch;
+  Analyzer analyzer(program, catalog);
+  metrics.GetHistogram("analysis.scope_seconds")->Observe(scope_watch.ElapsedSeconds());
+  return analyzer.Run();
 }
 
 Result<AnalysisResult> AnalyzeProgram(const Program& program) {

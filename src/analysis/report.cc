@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "src/obs/metrics.h"
+#include "src/support/stopwatch.h"
 #include "src/support/strings.h"
 
 namespace turnstile {
@@ -66,6 +68,7 @@ std::map<int, LineRole> ClassifyLines(const Program& program,
 
 std::string RenderHtmlReport(const Program& program, const std::string& source,
                              const AnalysisResult& analysis) {
+  Stopwatch report_watch;
   std::map<int, LineRole> roles = ClassifyLines(program, analysis);
   std::string out;
   out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>Turnstile report: ";
@@ -128,11 +131,15 @@ std::string RenderHtmlReport(const Program& program, const std::string& source,
            std::string(num) + "</span>  " + HtmlEscape(lines[i]) + "</span>\n";
   }
   out += "</pre>\n</body></html>\n";
+  obs::Metrics::Global()
+      .GetHistogram("analysis.report_seconds")
+      ->Observe(report_watch.ElapsedSeconds());
   return out;
 }
 
 std::string RenderTextReport(const Program& program, const std::string& source,
                              const AnalysisResult& analysis) {
+  Stopwatch report_watch;
   std::map<int, LineRole> roles = ClassifyLines(program, analysis);
   std::string out = program.source_name + ": " + std::to_string(analysis.paths.size()) +
                     " privacy-sensitive dataflow(s)\n";
@@ -155,6 +162,38 @@ std::string RenderTextReport(const Program& program, const std::string& source,
     char buffer[16];
     std::snprintf(buffer, sizeof(buffer), "%c %4d | ", marker, line_number);
     out += buffer + lines[i] + "\n";
+  }
+  obs::Metrics::Global()
+      .GetHistogram("analysis.report_seconds")
+      ->Observe(report_watch.ElapsedSeconds());
+  return out;
+}
+
+std::string ExplainViolation(const Violation& violation) {
+  char header[160];
+  std::snprintf(header, sizeof(header), "violation at t=%.3f: %s -> %s\n",
+                violation.time, violation.data_labels.c_str(),
+                violation.sink.c_str());
+  std::string out = header;
+  if (!violation.origin_node.empty()) {
+    out += "  message injected at flow node '" + violation.origin_node + "'";
+    if (violation.trace_id != 0) {
+      out += " (trace #" + std::to_string(violation.trace_id) + ")";
+    }
+    out += "\n";
+  } else if (violation.trace_id != 0) {
+    out += "  trace #" + std::to_string(violation.trace_id) + "\n";
+  }
+  if (violation.provenance.empty()) {
+    out += "  (no provenance recorded — enable DiftTracker provenance and/or "
+           "the obs trace recorder)\n";
+    return out;
+  }
+  out += "  provenance chain:\n";
+  for (size_t i = 0; i < violation.provenance.size(); ++i) {
+    char index[16];
+    std::snprintf(index, sizeof(index), "  %3zu. ", i + 1);
+    out += index + violation.provenance[i].ToString() + "\n";
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/analysis/analyzer.h"
+#include "src/dift/tracker.h"
 #include "src/lang/ast.h"
 
 namespace turnstile {
@@ -19,6 +20,12 @@ std::string RenderHtmlReport(const Program& program, const std::string& source,
 // Plain-text variant for terminals (used by examples/analyze_app --report).
 std::string RenderTextReport(const Program& program, const std::string& source,
                              const AnalysisResult& analysis);
+
+// Renders a runtime violation's provenance chain as a human-readable
+// multi-line explanation: which labeller attached each offending label, the
+// flow node the message was injected at, the spans the message traversed
+// (when tracing was enabled), and the forbidden flow itself.
+std::string ExplainViolation(const Violation& violation);
 
 }  // namespace turnstile
 

@@ -158,7 +158,13 @@ Status AppRuntime::DriveMessage(Rng* rng, int seq) {
   } else {
     return Status::Ok();  // no entry point (bucket E utility scripts)
   }
-  return interp_->RunEventLoop();
+  Status status = interp_->RunEventLoop();
+  if (tracker_ != nullptr) {
+    // Flush per-op tracker stats into the "dift.*" registry counters at
+    // message granularity — off the per-op hot path.
+    tracker_->PublishMetrics();
+  }
+  return status;
 }
 
 }  // namespace turnstile

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/lang/parser.h"
+#include "src/support/logging.h"
 
 namespace turnstile {
 
@@ -18,7 +19,54 @@ DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy)
     : DiftTracker(interp, std::move(policy), Options()) {}
 
 DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Options options)
-    : interp_(interp), policy_(std::move(policy)), options_(options) {}
+    : interp_(interp), policy_(std::move(policy)), options_(options) {
+  trace_recorder_ = &obs::TraceRecorder::Global();
+  obs::Metrics& metrics = obs::Metrics::Global();
+  metric_label_calls_ = metrics.GetCounter("dift.label_calls");
+  metric_binary_ops_ = metrics.GetCounter("dift.binary_ops");
+  metric_checks_ = metrics.GetCounter("dift.checks");
+  metric_invokes_ = metrics.GetCounter("dift.invokes");
+  metric_boxes_created_ = metrics.GetCounter("dift.boxes_created");
+  metric_violations_ = metrics.GetCounter("dift.violations");
+  metric_labeller_fn_evals_ = metrics.GetCounter("dift.labeller_fn_evals");
+}
+
+void DiftTracker::PublishMetrics() {
+  // The per-op paths bump plain uint64 fields (they are on the §6.2 hot path
+  // where even a relaxed atomic shows up in bench_micro_dift); this flushes
+  // the deltas accumulated since the previous publish.
+  metric_label_calls_->Increment(stats_.label_calls - published_.label_calls);
+  metric_binary_ops_->Increment(stats_.binary_ops - published_.binary_ops);
+  metric_checks_->Increment(stats_.checks - published_.checks);
+  metric_invokes_->Increment(stats_.invokes - published_.invokes);
+  metric_boxes_created_->Increment(stats_.boxes_created - published_.boxes_created);
+  metric_violations_->Increment(stats_.violations - published_.violations);
+  metric_labeller_fn_evals_->Increment(stats_.labeller_fn_evals -
+                                       published_.labeller_fn_evals);
+  published_ = stats_;
+}
+
+const DiftTracker::LabelOrigin* DiftTracker::OriginOf(LabelId id) const {
+  auto it = label_origins_.find(id);
+  return it == label_origins_.end() ? nullptr : &it->second;
+}
+
+void DiftTracker::RecordOrigins(const LabelSet& labels, const std::string& labeller_name) {
+  if (!options_.record_provenance || labels.empty()) {
+    return;
+  }
+  for (LabelId id : labels.ids()) {
+    auto [it, inserted] = label_origins_.try_emplace(id);
+    if (!inserted) {
+      continue;  // first attachment wins: that is where the label came from
+    }
+    it->second.labeller = labeller_name;
+    it->second.trace_id = trace_recorder_->current_trace();
+    it->second.node = trace_recorder_->OriginOf(it->second.trace_id);
+    it->second.seq = ++origin_seq_;
+    it->second.time = interp_->VirtualNow();
+  }
+}
 
 // --- label plumbing ----------------------------------------------------------
 
@@ -142,13 +190,15 @@ Result<LabelSet> DiftTracker::LabelsFromValue(const Value& v) {
 }
 
 Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
-                                     LabelSet* out_labels) {
+                                     LabelSet* out_labels,
+                                     const std::string& labeller_name) {
   switch (spec->kind) {
     case LabellerSpec::Kind::kConst: {
       LabelSet labels;
       for (const std::string& name : spec->const_labels) {
         labels.Insert(policy_->space().Intern(name));
       }
+      RecordOrigins(labels, labeller_name);
       out_labels->UnionWith(labels);
       if (target.IsValueType()) {
         ObjectPtr box = MakeObject();
@@ -171,6 +221,7 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
       TURNSTILE_ASSIGN_OR_RETURN(
           result, interp_->CallFunction(fn, Value::Undefined(), {UnboxDeep(target)}));
       TURNSTILE_ASSIGN_OR_RETURN(labels, LabelsFromValue(result));
+      RecordOrigins(labels, labeller_name);
       out_labels->UnionWith(labels);
       if (target.IsValueType()) {
         if (labels.empty()) {
@@ -199,8 +250,9 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
       auto& elements = unboxed.AsArray()->elements;
       for (Value& element : elements) {
         LabelSet element_labels;
-        TURNSTILE_ASSIGN_OR_RETURN(replacement,
-                                   ApplySpec(spec->element.get(), element, &element_labels));
+        TURNSTILE_ASSIGN_OR_RETURN(
+            replacement,
+            ApplySpec(spec->element.get(), element, &element_labels, labeller_name));
         element = replacement;
         element_union.UnionWith(element_labels);
       }
@@ -218,7 +270,7 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
       for (const auto& [field, sub_spec] : spec->fields) {
         if (sub_spec->kind == LabellerSpec::Kind::kInvoke) {
           // Call-time labeller for obj.field(...): registered, not evaluated.
-          invoke_labellers_[{obj.get(), field}] = sub_spec.get();
+          invoke_labellers_[{obj.get(), field}] = {sub_spec.get(), labeller_name};
           continue;
         }
         Value field_value = obj->Get(field);
@@ -226,8 +278,8 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
           continue;
         }
         LabelSet field_labels;
-        TURNSTILE_ASSIGN_OR_RETURN(replacement,
-                                   ApplySpec(sub_spec.get(), field_value, &field_labels));
+        TURNSTILE_ASSIGN_OR_RETURN(
+            replacement, ApplySpec(sub_spec.get(), field_value, &field_labels, labeller_name));
         if (replacement.IdentityKey() != field_value.IdentityKey() ||
             replacement.IsObject() != field_value.IsObject()) {
           obj->Set(field, replacement);
@@ -244,7 +296,7 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
       // to any method of the target object.
       const void* key = target.IdentityKey();
       if (key != nullptr) {
-        invoke_labellers_[{key, ""}] = spec;
+        invoke_labellers_[{key, ""}] = {spec, labeller_name};
       }
       return target;
     }
@@ -259,7 +311,13 @@ Result<Value> DiftTracker::Label(Value target, const std::string& labeller_name)
     return PolicyError("unknown labeller '" + labeller_name + "'");
   }
   LabelSet labels;
-  return ApplySpec(spec, std::move(target), &labels);
+  TURNSTILE_ASSIGN_OR_RETURN(result, ApplySpec(spec, std::move(target), &labels,
+                                               labeller_name));
+  if (trace_recorder_->enabled()) {
+    trace_recorder_->Record(obs::SpanKind::kDiftLabel, labeller_name,
+                            labels.ToString(policy_->space()), interp_->VirtualNow());
+  }
+  return result;
 }
 
 // --- operations --------------------------------------------------------------
@@ -268,6 +326,12 @@ Result<Value> DiftTracker::BinaryOp(const std::string& op, const Value& left,
                                     const Value& right) {
   ++stats_.binary_ops;
   LabelSet labels = LabelSet::Union(GetLabel(left), GetLabel(right));
+  // Cheap stack check first: the unlabelled fast path must not even touch
+  // the recorder's cache line.
+  if (!labels.empty() && trace_recorder_->enabled()) {
+    trace_recorder_->Record(obs::SpanKind::kDiftBinaryOp, op,
+                            labels.ToString(policy_->space()), interp_->VirtualNow());
+  }
   TURNSTILE_ASSIGN_OR_RETURN(completion, interp_->EvalBinary(op, left, right));
   if (completion.IsAbrupt()) {
     return RuntimeError("binaryOp threw: " + completion.value.ToDisplayString());
@@ -295,7 +359,49 @@ void DiftTracker::RecordViolation(const std::string& sink, const LabelSet& data,
   violation.sink = sink;
   violation.data_labels = data.ToString(policy_->space());
   violation.receiver_labels = receiver.ToString(policy_->space());
+  violation.trace_id = trace_recorder_->current_trace();
+  violation.origin_node = trace_recorder_->OriginOf(violation.trace_id);
+
+  // Provenance chain, oldest first: where each offending label came from ...
+  for (LabelId id : data.ids()) {
+    const LabelOrigin* origin = OriginOf(id);
+    if (origin == nullptr) {
+      continue;
+    }
+    obs::TraceEvent event;
+    event.trace_id = origin->trace_id;
+    event.seq = origin->seq;
+    event.kind = obs::SpanKind::kDiftLabel;
+    event.vtime = origin->time;
+    event.subject = origin->labeller;
+    event.detail = "attached '" + policy_->space().NameOf(id) + "'" +
+                   (origin->node.empty() ? "" : " at node '" + origin->node + "'");
+    violation.provenance.push_back(std::move(event));
+  }
+  // ... then the recorded journey of the violating message ...
+  if (trace_recorder_->enabled() && violation.trace_id != 0) {
+    for (obs::TraceEvent& event : trace_recorder_->EventsForTrace(violation.trace_id)) {
+      violation.provenance.push_back(std::move(event));
+    }
+  }
+  // ... ending at the sink that rejected the flow.
+  obs::TraceEvent at_sink;
+  at_sink.trace_id = violation.trace_id;
+  at_sink.kind = obs::SpanKind::kViolation;
+  at_sink.vtime = violation.time;
+  at_sink.subject = sink;
+  at_sink.detail = violation.data_labels + " cannot flow to " + violation.receiver_labels;
+  violation.provenance.push_back(at_sink);
+  if (trace_recorder_->enabled()) {
+    trace_recorder_->Record(obs::SpanKind::kViolation, sink, at_sink.detail,
+                            violation.time);
+  }
+
+  TURNSTILE_LOG(Warning) << "IFC violation at " << sink << ": "
+                         << violation.data_labels << " cannot flow to "
+                         << violation.receiver_labels;
   violations_.push_back(std::move(violation));
+  PublishMetrics();  // violations are rare: keep the registry fresh for free
 }
 
 Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
@@ -303,6 +409,12 @@ Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
   ++stats_.checks;
   LabelSet data_labels = DeepLabel(data);
   LabelSet receiver_labels = GetLabel(receiver);
+  if (trace_recorder_->enabled()) {
+    trace_recorder_->Record(obs::SpanKind::kDiftCheck, sink_name,
+                            data_labels.ToString(policy_->space()) + " vs " +
+                                receiver_labels.ToString(policy_->space()),
+                            interp_->VirtualNow());
+  }
   if (data_labels.empty()) {
     return true;
   }
@@ -323,6 +435,9 @@ Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
 Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
                                   std::vector<Value> args) {
   ++stats_.invokes;
+  if (trace_recorder_->enabled()) {
+    trace_recorder_->Record(obs::SpanKind::kDiftInvoke, func, "", interp_->VirtualNow());
+  }
   TURNSTILE_ASSIGN_OR_RETURN(fn_value, interp_->GetProperty(target, func));
   Value fn_unboxed = Unbox(fn_value);
   if (!fn_unboxed.IsFunction()) {
@@ -334,6 +449,7 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   LabelSet receiver_labels;
   bool receiver_has_labeller = false;
   const LabellerSpec* invoke_spec = nullptr;
+  const std::string* invoke_labeller_name = nullptr;
   const void* target_key = target.IdentityKey();
   auto it = invoke_labellers_.find({target_key, func});
   if (it == invoke_labellers_.end()) {
@@ -343,7 +459,8 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
     it = invoke_labellers_.find({target_key, ""});
   }
   if (it != invoke_labellers_.end()) {
-    invoke_spec = it->second;
+    invoke_spec = it->second.spec;
+    invoke_labeller_name = &it->second.labeller_name;
   }
   if (invoke_spec != nullptr) {
     receiver_has_labeller = true;
@@ -359,6 +476,7 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
         interp_->CallFunction(label_fn, Value::Undefined(),
                               {UnboxDeep(target), Value(MakeArray(unboxed_args))}));
     TURNSTILE_ASSIGN_OR_RETURN(labels, LabelsFromValue(label_value));
+    RecordOrigins(labels, *invoke_labeller_name);
     receiver_labels = labels;
   } else {
     receiver_labels = LabelSet::Union(GetLabel(target), GetLabel(fn_value));

@@ -26,15 +26,27 @@
 
 #include "src/ifc/policy.h"
 #include "src/interp/interp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace turnstile {
 
-// A recorded policy violation.
+// A recorded policy violation, with provenance: not just *that* the flow was
+// forbidden, but *where* the offending labels came from and through which
+// nodes/operations the message travelled.
 struct Violation {
   double time = 0.0;         // virtual time
   std::string sink;          // function / receiver description
   std::string data_labels;   // rendered label sets (diagnostics)
   std::string receiver_labels;
+  uint64_t trace_id = 0;     // obs trace active at violation time (0 = untraced)
+  std::string origin_node;   // flow node the traced message was injected at
+  // The chain of events that produced the offending label set: one
+  // kDiftLabel entry per data label naming the labeller that attached it
+  // (always recorded), then the buffered trace events of the violating
+  // message (when the obs trace recorder is enabled), ending with the
+  // violation itself. Rendered by ExplainViolation() in src/analysis/report.
+  std::vector<obs::TraceEvent> provenance;
 };
 
 // Tracker statistics — used by the ablation benches.
@@ -59,6 +71,11 @@ class DiftTracker {
     // as violations (fail-closed). Default fail-open: selective
     // instrumentation routinely wraps calls whose receiver is unmanaged.
     bool strict_unlabeled_receivers = false;
+    // When true (default), every labeller-driven label attachment records
+    // its origin (labeller name, source node, sequence number) so recorded
+    // violations carry a provenance chain. One small map insert per label()
+    // call; set false to shave it off micro-benchmarks.
+    bool record_provenance = true;
   };
 
   DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy);
@@ -108,8 +125,27 @@ class DiftTracker {
   Policy& policy() { return *policy_; }
   size_t tracked_count() const { return labels_.size(); }
 
+  // Flushes the per-tracker stats deltas into the global metrics registry
+  // ("dift.*" counters). The hot-path ops deliberately bump only the plain
+  // TrackerStats fields; callers (driver, benches, tests) publish at message
+  // or snapshot granularity. Violations publish automatically.
+  void PublishMetrics();
+
+  // Where a label was first attached by a labeller (provenance source).
+  struct LabelOrigin {
+    std::string labeller;   // labeller name from the policy
+    std::string node;       // flow node of the active trace ("" = untraced)
+    uint64_t trace_id = 0;  // trace active at attachment time
+    uint64_t seq = 0;       // tracker-local attachment sequence number
+    double time = 0.0;      // virtual time of attachment
+  };
+  // Origin of `id`, or nullptr when the label was never labeller-attached.
+  const LabelOrigin* OriginOf(LabelId id) const;
+
  private:
-  Result<Value> ApplySpec(const LabellerSpec* spec, Value target, LabelSet* out_labels);
+  Result<Value> ApplySpec(const LabellerSpec* spec, Value target, LabelSet* out_labels,
+                          const std::string& labeller_name);
+  void RecordOrigins(const LabelSet& labels, const std::string& labeller_name);
   Result<FunctionPtr> CompileLabelFn(const LabellerSpec* spec);
   Result<LabelSet> LabelsFromValue(const Value& v);  // fn result -> LabelSet
   void DeepLabelInto(const Value& v, LabelSet* out,
@@ -130,11 +166,31 @@ class DiftTracker {
   // semantics the paper relies on.)
   std::unordered_map<const void*, LabelSet> labels_;
   std::unordered_map<const void*, Value> label_anchors_;
-  // ($invoke labellers) keyed by object identity + method name.
-  std::map<std::pair<const void*, std::string>, const LabellerSpec*> invoke_labellers_;
+  // ($invoke labellers) keyed by object identity + method name; the value
+  // keeps the owning labeller's name for provenance.
+  struct InvokeLabeller {
+    const LabellerSpec* spec = nullptr;
+    std::string labeller_name;
+  };
+  std::map<std::pair<const void*, std::string>, InvokeLabeller> invoke_labellers_;
   std::unordered_map<const LabellerSpec*, FunctionPtr> compiled_fns_;
   std::vector<Violation> violations_;
   TrackerStats stats_;
+  TrackerStats published_;  // last state flushed by PublishMetrics()
+
+  // Provenance: first labeller attachment per label id.
+  std::unordered_map<LabelId, LabelOrigin> label_origins_;
+  uint64_t origin_seq_ = 0;
+
+  // Observability handles (resolved once in the constructor).
+  obs::TraceRecorder* trace_recorder_ = nullptr;
+  obs::Counter* metric_label_calls_ = nullptr;
+  obs::Counter* metric_binary_ops_ = nullptr;
+  obs::Counter* metric_checks_ = nullptr;
+  obs::Counter* metric_invokes_ = nullptr;
+  obs::Counter* metric_boxes_created_ = nullptr;
+  obs::Counter* metric_violations_ = nullptr;
+  obs::Counter* metric_labeller_fn_evals_ = nullptr;
 };
 
 }  // namespace turnstile

@@ -1,6 +1,7 @@
 #include "src/flow/engine.h"
 
 #include "src/lang/parser.h"
+#include "src/support/logging.h"
 
 namespace turnstile {
 
@@ -11,6 +12,12 @@ Value ArgAt(const std::vector<Value>& args, size_t i) {
 }  // namespace
 
 FlowEngine::FlowEngine(Interpreter* interp) : interp_(interp) {
+  trace_recorder_ = &obs::TraceRecorder::Global();
+  obs::Metrics& metrics = obs::Metrics::Global();
+  metric_routed_ = metrics.GetCounter("flow.messages_routed");
+  metric_terminal_ = metrics.GetCounter("flow.terminal_sends");
+  metric_injects_ = metrics.GetCounter("flow.injects");
+  metric_node_inputs_ = metrics.GetCounter("flow.node_inputs");
   red_ = MakeRedGlobal();
   interp_->DefineGlobal("RED", Value(red_));
 }
@@ -113,6 +120,9 @@ ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
         }
         if (wires.empty()) {
           engine->terminal_sends_ += static_cast<int>(messages.size());
+          engine->metric_terminal_->Increment(messages.size());
+          engine->trace_recorder_->Record(obs::SpanKind::kNodeSend, id, "(terminal)",
+                                          in.VirtualNow());
           return Value::Undefined();
         }
         for (const std::string& target_id : wires) {
@@ -121,8 +131,11 @@ ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
             continue;
           }
           for (const Value& m : messages) {
+            engine->trace_recorder_->Record(obs::SpanKind::kNodeSend, id, target_id,
+                                            in.VirtualNow());
             in.EmitEvent(it->second, "input", {m});
             ++engine->messages_routed_;
+            engine->metric_routed_->Increment();
           }
         }
         return Value::Undefined();
@@ -140,6 +153,20 @@ ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
   node->Set("log", Value(MakeNativeFunction("node.log", log_fn)));
   node->Set("warn", Value(MakeNativeFunction("node.warn", log_fn)));
   node->Set("error", Value(MakeNativeFunction("node.error", log_fn)));
+
+  // Observability listener: registered before the node constructor runs, so
+  // it fires ahead of the application's own "input" handlers and marks the
+  // message entering the node on its current trace.
+  interp_->AddListener(
+      node, "input",
+      MakeNativeFunction("obs.node_enter",
+                         [engine, id](Interpreter& in, const Value&,
+                                      std::vector<Value>&) -> Result<Value> {
+                           engine->metric_node_inputs_->Increment();
+                           engine->trace_recorder_->Record(obs::SpanKind::kNodeEnter, id, "",
+                                                           in.VirtualNow());
+                           return Value::Undefined();
+                         }));
   return node;
 }
 
@@ -147,6 +174,10 @@ Status FlowEngine::InstantiateFlow(const Json& flow) {
   if (!flow.is_array()) {
     return InvalidArgumentError("flow spec must be an array of node objects");
   }
+  // Per-flow accessors restart from zero on every instantiation; the
+  // process-wide cumulative totals live in the metrics registry.
+  messages_routed_ = 0;
+  terminal_sends_ = 0;
   // First pass: create node objects so wiring targets exist.
   for (const Json& spec : flow.array_items()) {
     std::string id = spec.GetString("id");
@@ -190,6 +221,7 @@ Status FlowEngine::InstantiateFlow(const Json& flow) {
         unused, interp_->CallFunction(ctor->second, Value(nodes_[id]), {Value(config)}));
     (void)unused;
   }
+  TURNSTILE_LOG(Debug) << "instantiated flow with " << nodes_.size() << " node(s)";
   return Status::Ok();
 }
 
@@ -198,7 +230,13 @@ Status FlowEngine::InjectInput(const std::string& node_id, Value msg) {
   if (it == nodes_.end()) {
     return NotFoundError("unknown flow node '" + node_id + "'");
   }
+  metric_injects_->Increment();
+  // Each injected message opens a fresh trace; EmitEvent captures the current
+  // trace id into the task, so the whole downstream cascade attributes here.
+  uint64_t previous = trace_recorder_->current_trace();
+  trace_recorder_->StartTrace(node_id);
   interp_->EmitEvent(it->second, "input", {std::move(msg)});
+  trace_recorder_->SetCurrentTrace(previous);
   return Status::Ok();
 }
 

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "src/interp/interp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/json.h"
 #include "src/support/status.h"
 
@@ -51,7 +53,9 @@ class FlowEngine {
   Status InstantiateFlow(const Json& flow);
 
   // Enqueues an input message for a node (the Inject-node equivalent).
-  // Call interp->RunEventLoop() to process.
+  // Call interp->RunEventLoop() to process. When the obs trace recorder is
+  // enabled, each injected message starts a new trace whose id follows the
+  // message across wires and event-loop turns.
   Status InjectInput(const std::string& node_id, Value msg);
 
   // The node instance object (for assertions), or nullptr.
@@ -60,7 +64,10 @@ class FlowEngine {
   // Registered node type names.
   std::vector<std::string> registered_types() const;
 
-  // Total node.send() deliveries routed along wires.
+  // Total node.send() deliveries routed along wires since the last
+  // InstantiateFlow (thin reads of the per-engine slice; the cumulative
+  // process-wide totals live in Metrics::Global() as "flow.messages_routed" /
+  // "flow.terminal_sends").
   int messages_routed() const { return messages_routed_; }
   // Messages sent from nodes with no outgoing wires (flow outputs).
   int terminal_sends() const { return terminal_sends_; }
@@ -76,6 +83,13 @@ class FlowEngine {
   std::unordered_map<std::string, std::vector<std::string>> wires_;
   int messages_routed_ = 0;
   int terminal_sends_ = 0;
+
+  // Observability handles (resolved once in the constructor).
+  obs::TraceRecorder* trace_recorder_ = nullptr;
+  obs::Counter* metric_routed_ = nullptr;
+  obs::Counter* metric_terminal_ = nullptr;
+  obs::Counter* metric_injects_ = nullptr;
+  obs::Counter* metric_node_inputs_ = nullptr;
 };
 
 }  // namespace turnstile

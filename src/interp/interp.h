@@ -20,6 +20,8 @@
 #include "src/interp/environment.h"
 #include "src/interp/value.h"
 #include "src/lang/ast.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 
@@ -163,6 +165,7 @@ class Interpreter {
   struct Task {
     double time = 0.0;
     uint64_t seq = 0;
+    uint64_t trace_id = 0;   // obs trace the task was enqueued under (0 = none)
     FunctionPtr fn;          // direct callback task …
     ObjectPtr emitter;       // … or an event task: listeners are resolved at
     std::string event;       //     fire time (so late .on() registration works)
@@ -186,6 +189,14 @@ class Interpreter {
   EnvPtr global_env_;
   IoWorld io_world_;
   Rng rng_{0x7457eeull};
+
+  // Observability handles, resolved once (hot paths must not hash names or
+  // call through TU boundaries per task).
+  obs::TraceRecorder* trace_recorder_ = nullptr;
+  obs::Counter* metric_macrotasks_ = nullptr;
+  obs::Counter* metric_microtasks_ = nullptr;
+  obs::Counter* metric_listeners_fired_ = nullptr;
+  obs::Histogram* metric_turn_seconds_ = nullptr;
 
   std::map<std::pair<double, uint64_t>, Task> macrotasks_;
   std::deque<Task> microtasks_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/support/stopwatch.h"
 #include "src/support/strings.h"
 
 namespace turnstile {
@@ -25,6 +26,12 @@ constexpr int kMaxCallDepth = 400;
 
 Interpreter::Interpreter() {
   global_env_ = std::make_shared<Environment>();
+  trace_recorder_ = &obs::TraceRecorder::Global();
+  obs::Metrics& metrics = obs::Metrics::Global();
+  metric_macrotasks_ = metrics.GetCounter("interp.macrotasks_executed");
+  metric_microtasks_ = metrics.GetCounter("interp.microtasks_executed");
+  metric_listeners_fired_ = metrics.GetCounter("interp.listeners_fired");
+  metric_turn_seconds_ = metrics.GetHistogram("interp.turn_seconds");
   InstallBuiltins();
   InstallIoModules();
 }
@@ -60,6 +67,7 @@ void Interpreter::EmitEvent(const ObjectPtr& emitter, const std::string& event,
   Task task;
   task.time = virtual_time_ + delay_s;
   task.seq = task_seq_++;
+  task.trace_id = trace_recorder_->current_trace();
   task.emitter = emitter;
   task.event = event;
   task.args = std::move(args);
@@ -67,7 +75,12 @@ void Interpreter::EmitEvent(const ObjectPtr& emitter, const std::string& event,
 }
 
 Status Interpreter::ExecuteTask(const Task& task) {
+  // Run the task under the trace it was enqueued from, so spans recorded by
+  // flow nodes and DIFT ops downstream attribute to the injected message.
+  obs::ScopedTrace trace_scope(*trace_recorder_, task.trace_id);
   if (task.fn != nullptr) {
+    trace_recorder_->Record(obs::SpanKind::kLoopTurn, task.fn->name, "callback",
+                            virtual_time_);
     TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(task.fn, Value::Undefined(), task.args));
     (void)unused;
     return Status::Ok();
@@ -82,6 +95,11 @@ Status Interpreter::ExecuteTask(const Task& task) {
       fire = jt->second;
     }
   }
+  if (trace_recorder_->enabled()) {
+    trace_recorder_->Record(obs::SpanKind::kLoopTurn, task.event,
+                            std::to_string(fire.size()) + " listener(s)", virtual_time_);
+  }
+  metric_listeners_fired_->Increment(fire.size());
   for (const FunctionPtr& listener : fire) {
     TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(listener, Value::Undefined(), task.args));
     (void)unused;
@@ -93,6 +111,7 @@ void Interpreter::ScheduleTask(FunctionPtr fn, std::vector<Value> args, double d
   Task task;
   task.time = virtual_time_ + delay_s;
   task.seq = task_seq_++;
+  task.trace_id = trace_recorder_->current_trace();
   task.fn = std::move(fn);
   task.args = std::move(args);
   macrotasks_[{task.time, task.seq}] = std::move(task);
@@ -102,6 +121,7 @@ void Interpreter::ScheduleMicrotask(FunctionPtr fn, std::vector<Value> args) {
   Task task;
   task.time = virtual_time_;
   task.seq = task_seq_++;
+  task.trace_id = trace_recorder_->current_trace();
   task.fn = std::move(fn);
   task.args = std::move(args);
   microtasks_.push_back(std::move(task));
@@ -115,6 +135,8 @@ Status Interpreter::DrainMicrotasks(int max_tasks) {
     }
     Task task = std::move(microtasks_.front());
     microtasks_.pop_front();
+    metric_microtasks_->Increment();
+    obs::ScopedTrace trace_scope(*trace_recorder_, task.trace_id);
     TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(task.fn, Value::Undefined(), task.args));
     (void)unused;
   }
@@ -137,7 +159,10 @@ Status Interpreter::RunEventLoop(int max_tasks) {
     if (task.time > virtual_time_) {
       virtual_time_ = task.time;
     }
+    metric_macrotasks_->Increment();
+    Stopwatch turn_watch;
     TURNSTILE_RETURN_IF_ERROR(ExecuteTask(task));
+    metric_turn_seconds_->Observe(turn_watch.ElapsedSeconds());
   }
 }
 

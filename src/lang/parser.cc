@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/lang/lexer.h"
+#include "src/obs/metrics.h"
+#include "src/support/stopwatch.h"
 
 namespace turnstile {
 
@@ -879,8 +881,13 @@ class Parser {
 }  // namespace
 
 Result<Program> ParseProgram(std::string_view source, std::string source_name) {
+  Stopwatch parse_watch;
   TURNSTILE_ASSIGN_OR_RETURN(tokens, Lex(source));
-  return Parser(std::move(tokens), std::move(source_name)).Run();
+  Result<Program> program = Parser(std::move(tokens), std::move(source_name)).Run();
+  obs::Metrics::Global()
+      .GetHistogram("lang.parse_seconds")
+      ->Observe(parse_watch.ElapsedSeconds());
+  return program;
 }
 
 int RenumberNodes(Program* program) {

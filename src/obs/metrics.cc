@@ -1,0 +1,200 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace turnstile {
+namespace obs {
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size()) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  size_t i = 0;
+  for (; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      buckets_[i].fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  if (i == bounds_.size()) {
+    inf_bucket_.fetch_add(1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size() + 1);
+  uint64_t running = 0;
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    running += bucket.load(std::memory_order_relaxed);
+    out.push_back(running);
+  }
+  out.push_back(running + inf_bucket_.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  inf_bucket_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return {1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0};
+}
+
+// --- Metrics registry --------------------------------------------------------
+
+Metrics& Metrics::Global() {
+  static Metrics* instance = new Metrics();  // never destroyed: pointers must
+  return *instance;                          // outlive static teardown order
+}
+
+Counter* Metrics::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+  }
+  return it->second.get();
+}
+
+Gauge* Metrics::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+  }
+  return it->second.get();
+}
+
+Histogram* Metrics::GetHistogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return it->second.get();
+}
+
+Json Metrics::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, Json(counter->value()));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, Json(static_cast<double>(gauge->value())));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, histogram] : histograms_) {
+    Json buckets = Json::Array();
+    std::vector<uint64_t> cumulative = histogram->CumulativeCounts();
+    for (size_t i = 0; i < histogram->bounds().size(); ++i) {
+      Json bucket = Json::Object();
+      bucket.Set("le", Json(histogram->bounds()[i]));
+      bucket.Set("count", Json(cumulative[i]));
+      buckets.Append(std::move(bucket));
+    }
+    // JSON has no infinity literal; the +Inf bound is a string, as in the
+    // Prometheus text exposition.
+    Json inf_bucket = Json::Object();
+    inf_bucket.Set("le", Json("+Inf"));
+    inf_bucket.Set("count", Json(cumulative.back()));
+    buckets.Append(std::move(inf_bucket));
+    Json entry = Json::Object();
+    entry.Set("count", Json(histogram->count()));
+    entry.Set("sum", Json(histogram->sum()));
+    entry.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(entry));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string Metrics::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::vector<uint64_t> cumulative = histogram->CumulativeCounts();
+    for (size_t i = 0; i < histogram->bounds().size(); ++i) {
+      out += prom + "_bucket{le=\"" + FormatDouble(histogram->bounds()[i]) + "\"} " +
+             std::to_string(cumulative[i]) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative.back()) + "\n";
+    out += prom + "_sum " + FormatDouble(histogram->sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+void Metrics::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace turnstile

@@ -1,0 +1,113 @@
+// Observability: the process-wide metrics registry (counters, gauges,
+// fixed-bucket latency histograms).
+//
+// Design constraints (ISSUE 1):
+//   - lock-free on the hot path: Increment/Set/Observe are relaxed atomic
+//     operations on pre-registered instruments; the registry mutex is taken
+//     only at registration and snapshot time,
+//   - instruments are never deallocated once registered, so callers cache the
+//     returned pointer (one hash lookup at setup, zero at use),
+//   - exposition in both JSON (src/support/json) and Prometheus text format,
+//     so benches can dump machine-readable snapshots alongside figure output.
+#ifndef TURNSTILE_SRC_OBS_METRICS_H_
+#define TURNSTILE_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace turnstile {
+namespace obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depths, map sizes). Signed: levels go down.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+// implicit +Inf bucket catches the rest. Observe() is a branch-light linear
+// scan over a handful of bounds plus two relaxed atomics — no locking.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  // Cumulative count per bound (Prometheus `le` semantics) + the +Inf total.
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> CumulativeCounts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  // Default latency bounds in seconds: 1us .. 1s, decade-and-a-half steps.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;                  // sorted, immutable after ctor
+  std::vector<std::atomic<uint64_t>> buckets_;  // per-bound (non-cumulative)
+  std::atomic<uint64_t> inf_bucket_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// The registry. `Metrics::Global()` is the process-wide instance every
+// subsystem (flow, interp, dift, analysis, lang) reports into; tests may
+// construct private instances.
+class Metrics {
+ public:
+  static Metrics& Global();
+
+  // Returns the named instrument, creating it on first use. Pointers are
+  // stable for the registry's lifetime. Name style: "subsystem.metric"
+  // (dots are mapped to underscores in Prometheus exposition).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` applies only on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds =
+                                                       Histogram::DefaultLatencyBounds());
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  //  buckets: [{le, count}...]}}} — keys in name order, diffable.
+  Json ToJson() const;
+  // Prometheus text exposition format (one HELP-less family per instrument).
+  std::string ToPrometheusText() const;
+
+  // Zeroes every registered instrument (pointers stay valid). Test-only.
+  void ResetAllForTest();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, never held during updates
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_OBS_METRICS_H_

@@ -1,0 +1,155 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+namespace turnstile {
+namespace obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kInject:
+      return "inject";
+    case SpanKind::kNodeEnter:
+      return "node_enter";
+    case SpanKind::kNodeSend:
+      return "node_send";
+    case SpanKind::kLoopTurn:
+      return "loop_turn";
+    case SpanKind::kDiftLabel:
+      return "dift_label";
+    case SpanKind::kDiftBinaryOp:
+      return "dift_binary_op";
+    case SpanKind::kDiftCheck:
+      return "dift_check";
+    case SpanKind::kDiftInvoke:
+      return "dift_invoke";
+    case SpanKind::kViolation:
+      return "violation";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " @%.3f (trace %llu)", vtime,
+                static_cast<unsigned long long>(trace_id));
+  std::string out = std::string(SpanKindName(kind)) + "[" + subject + "]";
+  if (!detail.empty()) {
+    out += " " + detail;
+  }
+  out += buffer;
+  return out;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+void TraceRecorder::Enable(size_t capacity) {
+  if (capacity == 0) {
+    capacity = 1;
+  }
+  if (enabled_ && capacity == capacity_) {
+    return;
+  }
+  enabled_ = true;
+  capacity_ = capacity;
+  ring_.assign(capacity_, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void TraceRecorder::Disable() {
+  enabled_ = false;
+  capacity_ = 0;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  current_ = 0;
+  next_trace_ = 1;
+  next_seq_ = 1;
+  origins_.clear();
+}
+
+void TraceRecorder::Clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  current_ = 0;
+  next_trace_ = 1;
+  next_seq_ = 1;
+  origins_.clear();
+}
+
+uint64_t TraceRecorder::StartTrace(const std::string& origin_node) {
+  if (!enabled_) {
+    return 0;
+  }
+  uint64_t id = next_trace_++;
+  origins_[id] = origin_node;
+  current_ = id;
+  TraceEvent event;
+  event.trace_id = id;
+  event.seq = next_seq_++;
+  event.kind = SpanKind::kInject;
+  event.subject = origin_node;
+  Push(std::move(event));
+  return id;
+}
+
+void TraceRecorder::Record(SpanKind kind, const std::string& subject,
+                           const std::string& detail, double vtime) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.trace_id = current_;
+  event.seq = next_seq_++;
+  event.kind = kind;
+  event.vtime = vtime;
+  event.subject = subject;
+  event.detail = detail;
+  Push(std::move(event));
+}
+
+void TraceRecorder::Push(TraceEvent event) {
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  size_t start = (head_ + capacity_ - size_) % (capacity_ == 0 ? 1 : capacity_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::EventsForTrace(uint64_t trace_id) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : Snapshot()) {
+    if (event.trace_id == trace_id) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::OriginOf(uint64_t trace_id) const {
+  auto it = origins_.find(trace_id);
+  return it == origins_.end() ? "" : it->second;
+}
+
+}  // namespace obs
+}  // namespace turnstile

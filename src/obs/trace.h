@@ -1,0 +1,129 @@
+// Observability: per-message flow tracing.
+//
+// Every message injected into a flow gets a trace id. As the message crosses
+// FlowEngine wires, interpreter event-loop turns, and DIFT operations, each
+// layer records a span against the *current* trace, which the interpreter
+// propagates through its task queues (a task fired from within trace T runs
+// under trace T). The recorder keeps a bounded ring buffer of events so a
+// long-running process never grows without limit.
+//
+// Cost discipline: the recorder is DISABLED by default. Every hot-path entry
+// point (`Record`, `StartTrace`) begins with a single branch on a plain bool
+// and returns immediately when disabled — no locking, no allocation, no
+// string formatting. Callers therefore do not need their own gating.
+#ifndef TURNSTILE_SRC_OBS_TRACE_H_
+#define TURNSTILE_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace turnstile {
+namespace obs {
+
+enum class SpanKind {
+  kInject,        // message enters a flow (subject = node id)
+  kNodeEnter,     // a node's "input" handler is about to run
+  kNodeSend,      // node.send delivery along a wire (subject = from, detail = to)
+  kLoopTurn,      // one event-loop macrotask executed
+  kDiftLabel,     // __dift.label (subject = labeller name)
+  kDiftBinaryOp,  // __dift.binaryOp (subject = operator)
+  kDiftCheck,     // __dift.check (subject = sink name)
+  kDiftInvoke,    // __dift.invoke (subject = function name)
+  kViolation,     // a policy violation was recorded (subject = sink)
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct TraceEvent {
+  uint64_t trace_id = 0;  // 0 = not attributed to any injected message
+  uint64_t seq = 0;       // global monotonic event sequence number
+  SpanKind kind = SpanKind::kLoopTurn;
+  double vtime = 0.0;     // interpreter virtual time at record time
+  std::string subject;    // kind-dependent, see SpanKind comments
+  std::string detail;
+
+  // "label[Frame] secret->public @0.25 (trace 3)" — diagnostics rendering.
+  std::string ToString() const;
+};
+
+class TraceRecorder {
+ public:
+  // The process-wide recorder all subsystems report into.
+  static TraceRecorder& Global();
+
+  // Enables recording with a ring buffer of `capacity` events. Idempotent;
+  // re-enabling with a different capacity clears recorded events.
+  void Enable(size_t capacity = 4096);
+  // Disables recording and clears state (events, trace ids).
+  void Disable();
+  bool enabled() const { return enabled_; }
+
+  // Starts a new trace for a message injected at `origin_node`; records the
+  // kInject span, makes the trace current, and returns its id. Returns 0
+  // when disabled (trace id 0 is "untraced").
+  uint64_t StartTrace(const std::string& origin_node);
+
+  // The trace the executing code is attributed to (0 = none). The
+  // interpreter stamps this across task boundaries; see ScopedTrace.
+  uint64_t current_trace() const { return enabled_ ? current_ : 0; }
+  void SetCurrentTrace(uint64_t id) { current_ = id; }
+
+  // Appends one event to the ring buffer, attributed to the current trace.
+  // One branch when disabled.
+  void Record(SpanKind kind, const std::string& subject, const std::string& detail = "",
+              double vtime = 0.0);
+
+  // Oldest-to-newest snapshot of buffered events (all traces interleaved).
+  std::vector<TraceEvent> Snapshot() const;
+  // Buffered events of one trace, oldest first.
+  std::vector<TraceEvent> EventsForTrace(uint64_t trace_id) const;
+  // Origin node of a trace ("" when unknown/evicted).
+  std::string OriginOf(uint64_t trace_id) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  // Events evicted from the ring buffer so far.
+  uint64_t dropped() const { return dropped_; }
+  uint64_t traces_started() const { return next_trace_ - 1; }
+
+  // Drops buffered events and trace bookkeeping; keeps enabled/capacity.
+  void Clear();
+
+ private:
+  void Push(TraceEvent event);
+
+  bool enabled_ = false;
+  size_t capacity_ = 0;
+  std::vector<TraceEvent> ring_;  // fixed-size once enabled
+  size_t head_ = 0;               // next write slot
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t next_trace_ = 1;
+  uint64_t next_seq_ = 1;
+  uint64_t current_ = 0;
+  std::unordered_map<uint64_t, std::string> origins_;
+};
+
+// RAII guard restoring the recorder's current trace id — used by the
+// interpreter around each task so trace context follows the event loop.
+class ScopedTrace {
+ public:
+  ScopedTrace(TraceRecorder& recorder, uint64_t trace_id)
+      : recorder_(recorder), previous_(recorder.current_trace()) {
+    recorder_.SetCurrentTrace(trace_id);
+  }
+  ~ScopedTrace() { recorder_.SetCurrentTrace(previous_); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceRecorder& recorder_;
+  uint64_t previous_;
+};
+
+}  // namespace obs
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_OBS_TRACE_H_

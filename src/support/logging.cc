@@ -1,12 +1,17 @@
 #include "src/support/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace turnstile {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+// Whether the threshold has been decided (explicitly via SetLogThreshold or
+// by reading TURNSTILE_LOG at first use). An explicit call wins over the env.
+std::atomic<bool> g_threshold_decided{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,13 +26,53 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool ParseLevel(const char* text, LogLevel* out) {
+  std::string name = text == nullptr ? "" : text;
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Seconds since the first log-related call — a monotonic clock, so lines can
+// be correlated with bench timings even when the wall clock steps.
+double MonotonicSeconds() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
 }  // namespace
 
-void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
-LogLevel GetLogThreshold() { return g_threshold.load(); }
+void SetLogThreshold(LogLevel level) {
+  g_threshold_decided.store(true);
+  g_threshold.store(level);
+}
+
+LogLevel GetLogThreshold() {
+  if (!g_threshold_decided.load()) {
+    // First use: honor TURNSTILE_LOG=debug|info|warning|error. Unset or
+    // unrecognized values keep the compiled-in default.
+    LogLevel from_env;
+    if (ParseLevel(std::getenv("TURNSTILE_LOG"), &from_env)) {
+      g_threshold.store(from_env);
+    }
+    g_threshold_decided.store(true);
+  }
+  return g_threshold.load();
+}
 
 void EmitLogLine(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[turnstile %s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "[turnstile %s +%.6f] %s\n", LevelName(level),
+               MonotonicSeconds(), message.c_str());
 }
 
 }  // namespace turnstile

@@ -132,6 +132,29 @@ TEST_P(EnforcementTest, ForbiddenDataNeverReachesTheSink) {
   // secret frame produced a violation.
   EXPECT_EQ(written, 40 - secret_count);
   EXPECT_EQ(static_cast<int>(tracker.violations().size()), secret_count);
+  // Provenance: every violation explains itself — the chain names the
+  // labeller that attached the offending label and the sink it hit, even
+  // with the trace recorder disabled (the default here).
+  for (const Violation& violation : tracker.violations()) {
+    ASSERT_FALSE(violation.provenance.empty());
+    bool names_labeller = false;
+    bool names_sink = false;
+    for (const obs::TraceEvent& event : violation.provenance) {
+      if (event.kind == obs::SpanKind::kDiftLabel && event.subject == "Frame") {
+        names_labeller = true;
+      }
+      if (event.kind == obs::SpanKind::kViolation &&
+          event.subject.find("writeFileSync") != std::string::npos) {
+        names_sink = true;
+      }
+    }
+    EXPECT_TRUE(names_labeller) << ExplainViolation(violation);
+    EXPECT_TRUE(names_sink) << ExplainViolation(violation);
+    // The rendered explanation is the user-facing artifact.
+    std::string explained = ExplainViolation(violation);
+    EXPECT_NE(explained.find("Frame"), std::string::npos) << explained;
+    EXPECT_NE(explained.find("writeFileSync"), std::string::npos) << explained;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EnforcementTest,

@@ -1,0 +1,158 @@
+// The observability metrics registry: counter/gauge/histogram semantics,
+// JSON + Prometheus exposition, and hot-path thread safety.
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace turnstile {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndDelta) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegative) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(HistogramTest, BucketSemantics) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.Observe(0.5);   // <= 1
+  h.Observe(1.0);   // <= 1 (le is inclusive)
+  h.Observe(1.5);   // <= 2
+  h.Observe(4.0);   // <= 5
+  h.Observe(100.0); // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  // Cumulative counts per bound + the +Inf total.
+  std::vector<uint64_t> cumulative = h.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 4u);
+  EXPECT_EQ(cumulative[0], 2u);
+  EXPECT_EQ(cumulative[1], 3u);
+  EXPECT_EQ(cumulative[2], 4u);
+  EXPECT_EQ(cumulative[3], 5u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreSorted) {
+  std::vector<double> bounds = Histogram::DefaultLatencyBounds();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsTest, InstrumentPointersAreStable) {
+  Metrics metrics;
+  Counter* a = metrics.GetCounter("flow.messages_routed");
+  Counter* b = metrics.GetCounter("flow.messages_routed");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(metrics.GetCounter("other"), a);
+  // Names are per-kind namespaces: a gauge may share a counter's name.
+  EXPECT_NE(static_cast<void*>(metrics.GetGauge("flow.messages_routed")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsTest, HistogramBoundsApplyOnFirstRegistrationOnly) {
+  Metrics metrics;
+  Histogram* h = metrics.GetHistogram("x", {1.0, 2.0});
+  Histogram* again = metrics.GetHistogram("x", {99.0});
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(MetricsTest, ToJsonIsValidAndComplete) {
+  Metrics metrics;
+  metrics.GetCounter("dift.checks")->Increment(7);
+  metrics.GetGauge("interp.queue_depth")->Set(3);
+  metrics.GetHistogram("analysis.taint_seconds", {0.1, 1.0})->Observe(0.05);
+
+  Json snapshot = metrics.ToJson();
+  // Round-trip through the serializer: the exposition must be valid JSON.
+  auto parsed = Json::Parse(snapshot.Dump(/*pretty=*/true));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)["counters"].GetNumber("dift.checks"), 7);
+  EXPECT_EQ((*parsed)["gauges"].GetNumber("interp.queue_depth"), 3);
+  const Json& histogram = (*parsed)["histograms"]["analysis.taint_seconds"];
+  EXPECT_EQ(histogram.GetNumber("count"), 1);
+  EXPECT_DOUBLE_EQ(histogram.GetNumber("sum"), 0.05);
+  // Two bounds + the +Inf bucket.
+  EXPECT_EQ(histogram["buckets"].array_items().size(), 3u);
+}
+
+TEST(MetricsTest, PrometheusTextFormat) {
+  Metrics metrics;
+  metrics.GetCounter("dift.label_calls")->Increment(3);
+  metrics.GetHistogram("interp.turn_seconds", {0.5})->Observe(0.25);
+
+  std::string text = metrics.ToPrometheusText();
+  // Dots are sanitized to underscores; families carry TYPE lines.
+  EXPECT_NE(text.find("# TYPE dift_label_calls counter"), std::string::npos);
+  EXPECT_NE(text.find("dift_label_calls 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE interp_turn_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("interp_turn_seconds_bucket{le=\"0.5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("interp_turn_seconds_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("interp_turn_seconds_count 1"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
+  Metrics metrics;
+  Counter* counter = metrics.GetCounter("stress.counter");
+  Histogram* histogram = metrics.GetHistogram("stress.histogram", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, histogram] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        histogram->Observe(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(histogram->count(), static_cast<uint64_t>(kThreads) * kIterations);
+  std::vector<uint64_t> cumulative = histogram->CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 2u);
+  EXPECT_EQ(cumulative[0], static_cast<uint64_t>(kThreads) * kIterations / 2);
+}
+
+TEST(MetricsTest, GlobalIsASingleton) {
+  EXPECT_EQ(&Metrics::Global(), &Metrics::Global());
+}
+
+TEST(MetricsTest, ResetAllForTestZeroesInstruments) {
+  Metrics metrics;
+  Counter* counter = metrics.GetCounter("a");
+  Gauge* gauge = metrics.GetGauge("b");
+  Histogram* histogram = metrics.GetHistogram("c", {1.0});
+  counter->Increment(5);
+  gauge->Set(5);
+  histogram->Observe(0.5);
+  metrics.ResetAllForTest();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turnstile

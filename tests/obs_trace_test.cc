@@ -1,0 +1,197 @@
+// The observability trace recorder: span recording for a wired flow, ring
+// buffer eviction, and the disabled-path no-op guarantee.
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/flow/engine.h"
+
+namespace turnstile {
+namespace {
+
+using obs::SpanKind;
+using obs::TraceEvent;
+using obs::TraceRecorder;
+
+// The flow engine and interpreter report into the global recorder, so these
+// tests drive it and restore the disabled default afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TraceRecorder::Global().Disable(); }
+};
+
+TEST_F(TraceTest, DisabledRecorderIsANoOp) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  ASSERT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.StartTrace("n1"), 0u);
+  recorder.Record(SpanKind::kNodeEnter, "n1");
+  EXPECT_EQ(recorder.current_trace(), 0u);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST_F(TraceTest, RecordsAndFiltersByTrace) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(16);
+  uint64_t first = recorder.StartTrace("a");
+  recorder.Record(SpanKind::kNodeEnter, "a");
+  uint64_t second = recorder.StartTrace("b");
+  recorder.Record(SpanKind::kNodeEnter, "b");
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(recorder.OriginOf(first), "a");
+  EXPECT_EQ(recorder.OriginOf(second), "b");
+  // Each trace: its kInject plus one kNodeEnter.
+  std::vector<TraceEvent> events = recorder.EventsForTrace(first);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, SpanKind::kInject);
+  EXPECT_EQ(events[1].kind, SpanKind::kNodeEnter);
+  EXPECT_EQ(recorder.traces_started(), 2u);
+}
+
+TEST_F(TraceTest, RingBufferEvictsOldest) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(SpanKind::kLoopTurn, "turn" + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().subject, "turn6");  // oldest surviving
+  EXPECT_EQ(events.back().subject, "turn9");
+  // Sequence numbers stay monotonic across eviction.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST_F(TraceTest, ScopedTraceRestoresPrevious) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(16);
+  uint64_t outer = recorder.StartTrace("outer");
+  {
+    obs::ScopedTrace scope(recorder, 42);
+    EXPECT_EQ(recorder.current_trace(), 42u);
+  }
+  EXPECT_EQ(recorder.current_trace(), outer);
+}
+
+constexpr const char* kPipelineModule = R"(
+  module.exports = function(RED) {
+    function PassNode(config) {
+      RED.nodes.createNode(this, config);
+      let node = this;
+      node.on("input", msg => { node.send(msg); });
+    }
+    function EndNode(config) {
+      RED.nodes.createNode(this, config);
+      let node = this;
+      node.on("input", msg => { node.send(msg); });
+    }
+    RED.nodes.registerType("pass", PassNode);
+    RED.nodes.registerType("end", EndNode);
+  };
+)";
+
+TEST_F(TraceTest, ThreeNodeFlowProducesSpans) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(256);
+
+  Interpreter interp;
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(kPipelineModule, "pipeline.js").ok());
+  auto flow = Json::Parse(R"([
+    { "id": "n1", "type": "pass", "wires": ["n2"] },
+    { "id": "n2", "type": "pass", "wires": ["n3"] },
+    { "id": "n3", "type": "end", "wires": [] }
+  ])");
+  ASSERT_TRUE(flow.ok());
+  ASSERT_TRUE(engine.InstantiateFlow(*flow).ok());
+
+  ObjectPtr msg = MakeObject();
+  msg->Set("payload", Value("ping"));
+  ASSERT_TRUE(engine.InjectInput("n1", Value(msg)).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+
+  ASSERT_EQ(recorder.traces_started(), 1u);
+  std::vector<TraceEvent> events = recorder.EventsForTrace(1);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(recorder.OriginOf(1), "n1");
+
+  // Count the structural spans: the whole cascade from one inject must be
+  // attributed to the single trace.
+  int injects = 0, enters = 0, wire_sends = 0, terminal_sends = 0;
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.trace_id, 1u);
+    switch (event.kind) {
+      case SpanKind::kInject:
+        ++injects;
+        EXPECT_EQ(event.subject, "n1");
+        break;
+      case SpanKind::kNodeEnter:
+        ++enters;
+        break;
+      case SpanKind::kNodeSend:
+        if (event.detail == "(terminal)") {
+          ++terminal_sends;
+        } else {
+          ++wire_sends;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(injects, 1);
+  EXPECT_EQ(enters, 3);         // n1, n2, n3 each saw the message
+  EXPECT_EQ(wire_sends, 2);     // n1->n2, n2->n3
+  EXPECT_EQ(terminal_sends, 1); // n3 has no wires
+
+  // A second inject opens a distinct trace.
+  ObjectPtr msg2 = MakeObject();
+  msg2->Set("payload", Value("pong"));
+  ASSERT_TRUE(engine.InjectInput("n1", Value(msg2)).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+  EXPECT_EQ(recorder.traces_started(), 2u);
+  EXPECT_FALSE(recorder.EventsForTrace(2).empty());
+}
+
+TEST_F(TraceTest, DisabledFlowStillRoutes) {
+  // With the recorder left disabled, the same flow routes normally and no
+  // events are buffered — the disabled path must not perturb execution.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  ASSERT_FALSE(recorder.enabled());
+
+  Interpreter interp;
+  FlowEngine engine(&interp);
+  ASSERT_TRUE(engine.LoadModule(kPipelineModule, "pipeline.js").ok());
+  auto flow = Json::Parse(R"([
+    { "id": "n1", "type": "pass", "wires": ["n2"] },
+    { "id": "n2", "type": "end", "wires": [] }
+  ])");
+  ASSERT_TRUE(flow.ok());
+  ASSERT_TRUE(engine.InstantiateFlow(*flow).ok());
+  ObjectPtr msg = MakeObject();
+  msg->Set("payload", Value("quiet"));
+  ASSERT_TRUE(engine.InjectInput("n1", Value(msg)).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+  EXPECT_EQ(engine.messages_routed(), 1);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.traces_started(), 0u);
+}
+
+TEST_F(TraceTest, EventToStringNamesKindAndSubject) {
+  TraceEvent event;
+  event.trace_id = 3;
+  event.kind = SpanKind::kDiftLabel;
+  event.subject = "Frame";
+  event.detail = "secret";
+  std::string rendered = event.ToString();
+  EXPECT_NE(rendered.find(obs::SpanKindName(SpanKind::kDiftLabel)), std::string::npos);
+  EXPECT_NE(rendered.find("Frame"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace turnstile
