@@ -1,0 +1,54 @@
+// Drop-in replacement for BENCHMARK_MAIN() that honours the repo-wide bench
+// contract: `--json` on the command line or TURNSTILE_BENCH_JSON=1 dumps a
+// metrics-registry snapshot after the run (see bench_util.h, which the
+// google-benchmark micro benches do not include to keep their link
+// dependencies minimal).
+#ifndef TURNSTILE_BENCH_BENCH_MAIN_H_
+#define TURNSTILE_BENCH_BENCH_MAIN_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/obs/metrics.h"
+
+namespace turnstile {
+
+inline int BenchmarkMainWithMetricsSnapshot(int argc, char** argv) {
+  bool dump = false;
+  std::vector<char*> bench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      dump = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  const char* env = std::getenv("TURNSTILE_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    dump = true;
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (dump) {
+    std::printf("%s\n", obs::Metrics::Global().ToJson().Dump(/*pretty=*/true).c_str());
+  }
+  return 0;
+}
+
+}  // namespace turnstile
+
+#define TURNSTILE_BENCHMARK_MAIN()                                  \
+  int main(int argc, char** argv) {                                 \
+    return turnstile::BenchmarkMainWithMetricsSnapshot(argc, argv); \
+  }
+
+#endif  // TURNSTILE_BENCH_BENCH_MAIN_H_

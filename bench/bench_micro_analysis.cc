@@ -6,6 +6,8 @@
 //     avoids (reported as counters)
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "src/analysis/analyzer.h"
 #include "src/baseline/querydl.h"
 #include "src/corpus/corpus.h"
@@ -152,4 +154,4 @@ BENCHMARK(BM_AblationInjectedCalls)->Iterations(1);
 }  // namespace
 }  // namespace turnstile
 
-BENCHMARK_MAIN();
+TURNSTILE_BENCHMARK_MAIN()

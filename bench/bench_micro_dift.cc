@@ -6,6 +6,8 @@
 //   - invoke() vs a plain interpreter call — the per-call tracking tax
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "src/dift/tracker.h"
 #include "src/lang/parser.h"
 
@@ -203,4 +205,4 @@ BENCHMARK(BM_TrackBoxing);
 }  // namespace
 }  // namespace turnstile
 
-BENCHMARK_MAIN();
+TURNSTILE_BENCHMARK_MAIN()

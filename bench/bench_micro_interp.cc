@@ -3,6 +3,8 @@
 // relative to.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "src/flow/engine.h"
 #include "src/flow/workload.h"
 #include "src/interp/interp.h"
@@ -213,4 +215,4 @@ BENCHMARK(BM_WorkloadGeneration);
 }  // namespace
 }  // namespace turnstile
 
-BENCHMARK_MAIN();
+TURNSTILE_BENCHMARK_MAIN()

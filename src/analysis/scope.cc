@@ -1,306 +1,70 @@
+// Thin adapter over the shared sema pass (src/lang/resolve.h).
+//
+// The analyzer historically ran its own scope walk; it now consumes the same
+// resolution the interpreter executes against, so the dataflow graph and the
+// runtime share one binding structure by construction. The only analyzer-side
+// additions are the synthesized per-function "<return>" collector bindings,
+// which are a value-flow-graph concept with no runtime storage.
 #include "src/analysis/scope.h"
+
+#include "src/lang/resolve.h"
 
 namespace turnstile {
 
-namespace {
-
-class Resolver {
- public:
-  explicit Resolver(const Program& program) {
-    result_.program = &program;
-    result_.ast_count = program.node_count;
-    result_.ast_by_id.resize(static_cast<size_t>(program.node_count));
-    ForEachNode(program.root, [this](const NodePtr& node) {
-      if (node->id >= 0 && node->id < result_.ast_count) {
-        result_.ast_by_id[static_cast<size_t>(node->id)] = node;
-      }
-    });
-  }
-
-  ResolvedProgram Run() {
-    scopes_.emplace_back();  // global scope
-    HoistFunctionDecls(result_.program->root->children);
-    WalkStatement(result_.program->root, /*fn_index=*/-1);
-    scopes_.pop_back();
-    return std::move(result_);
-  }
-
- private:
-  int NewBinding(const std::string& name, int decl_ast) {
-    int index = static_cast<int>(result_.bindings.size());
-    result_.bindings.push_back({name, decl_ast});
-    return result_.BindingNode(index);
-  }
-
-  void Define(const std::string& name, int binding_node) {
-    scopes_.back()[name] = binding_node;
-  }
-
-  int LookupBinding(const std::string& name) const {
-    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-      auto found = it->find(name);
-      if (found != it->end()) {
-        return found->second;
-      }
-    }
-    return -1;
-  }
-
-  // JS function-declaration hoisting: names of function declarations that are
-  // immediate statements of a scope are visible throughout that scope (the
-  // idiomatic helpers-after-use pattern relies on this).
-  void HoistFunctionDecls(const std::vector<NodePtr>& statements) {
-    for (const NodePtr& stmt : statements) {
-      if (stmt->kind == NodeKind::kFunctionDecl &&
-          result_.decl_binding_by_ast.find(stmt->id) == result_.decl_binding_by_ast.end()) {
-        int binding = NewBinding(stmt->str, stmt->id);
-        result_.decl_binding_by_ast[stmt->id] = binding;
-        Define(stmt->str, binding);
-      }
-    }
-  }
-
-  // Declares a function-like node and walks its body in a fresh scope.
-  int WalkFunctionLike(const NodePtr& node, int enclosing_fn) {
-    int fn_index = static_cast<int>(result_.functions.size());
-    result_.functions.emplace_back();
-    result_.function_by_ast[node->id] = fn_index;
-    {
-      FunctionScopeInfo& info = result_.functions[static_cast<size_t>(fn_index)];
-      info.ast_id = node->id;
-      info.node = node;
-      info.enclosing_function = enclosing_fn;
-      info.return_binding = NewBinding("<return>", node->id);
-      if (node->kind != NodeKind::kArrowFunction) {
-        info.this_binding = NewBinding("<this>", node->id);
-      }
-    }
-
-    scopes_.emplace_back();
-    // Named function expressions can recurse through their own name.
-    if (node->kind == NodeKind::kFunctionExpr && !node->str.empty()) {
-      int self = NewBinding(node->str, node->id);
-      Define(node->str, self);
-    }
-    const NodePtr& params = node->children[0];
-    for (const NodePtr& param : params->children) {
-      int binding = NewBinding(param->str, param->id);
-      Define(param->str, binding);
-      result_.functions[static_cast<size_t>(fn_index)].param_bindings.push_back(binding);
-    }
-    const NodePtr& body = node->children[1];
-    if (body->kind == NodeKind::kBlockStmt) {
-      HoistFunctionDecls(body->children);
-      for (const NodePtr& stmt : body->children) {
-        WalkStatement(stmt, fn_index);
-      }
-    } else {
-      WalkExpression(body, fn_index);
-    }
-    scopes_.pop_back();
-    return fn_index;
-  }
-
-  void WalkStatement(const NodePtr& node, int fn_index) {
-    switch (node->kind) {
-      case NodeKind::kProgram:
-        for (const NodePtr& stmt : node->children) {
-          WalkStatement(stmt, fn_index);
-        }
-        return;
-      case NodeKind::kVarDecl:
-        for (const NodePtr& declarator : node->children) {
-          // Init is resolved before the binding is defined (no self-reference
-          // in initializers, matching let/const temporal dead zone in spirit).
-          if (!declarator->children.empty()) {
-            WalkExpression(declarator->children[0], fn_index);
-          }
-          int binding = NewBinding(declarator->str, declarator->id);
-          result_.decl_binding_by_ast[declarator->id] = binding;
-          Define(declarator->str, binding);
-        }
-        return;
-      case NodeKind::kFunctionDecl: {
-        // The binding was created by HoistFunctionDecls when the scope was
-        // entered; nested declarations (e.g. inside if-bodies) bind here.
-        if (result_.decl_binding_by_ast.find(node->id) ==
-            result_.decl_binding_by_ast.end()) {
-          int binding = NewBinding(node->str, node->id);
-          result_.decl_binding_by_ast[node->id] = binding;
-          Define(node->str, binding);
-        }
-        WalkFunctionLike(node, fn_index);
-        return;
-      }
-      case NodeKind::kClassDecl: {
-        int binding = NewBinding(node->str, node->id);
-        result_.decl_binding_by_ast[node->id] = binding;
-        Define(node->str, binding);
-        ClassScopeInfo cls;
-        cls.name = node->str;
-        cls.ast_id = node->id;
-        if (node->children[0]->kind != NodeKind::kEmpty) {
-          cls.super_name = node->children[0]->str;
-        }
-        for (size_t i = 1; i < node->children.size(); ++i) {
-          const NodePtr& method = node->children[i];
-          int method_fn = WalkFunctionLike(method, fn_index);
-          cls.methods[method->str] = method_fn;
-        }
-        result_.class_by_name[cls.name] = static_cast<int>(result_.classes.size());
-        result_.classes.push_back(std::move(cls));
-        return;
-      }
-      case NodeKind::kBlockStmt: {
-        scopes_.emplace_back();
-        HoistFunctionDecls(node->children);
-        for (const NodePtr& stmt : node->children) {
-          WalkStatement(stmt, fn_index);
-        }
-        scopes_.pop_back();
-        return;
-      }
-      case NodeKind::kIfStmt:
-        WalkExpression(node->children[0], fn_index);
-        WalkStatement(node->children[1], fn_index);
-        if (node->children.size() > 2) {
-          WalkStatement(node->children[2], fn_index);
-        }
-        return;
-      case NodeKind::kWhileStmt:
-        WalkExpression(node->children[0], fn_index);
-        WalkStatement(node->children[1], fn_index);
-        return;
-      case NodeKind::kForStmt: {
-        scopes_.emplace_back();
-        if (node->children[0]->kind == NodeKind::kVarDecl) {
-          WalkStatement(node->children[0], fn_index);
-        } else if (node->children[0]->kind != NodeKind::kEmpty) {
-          WalkExpression(node->children[0], fn_index);
-        }
-        if (node->children[1]->kind != NodeKind::kEmpty) {
-          WalkExpression(node->children[1], fn_index);
-        }
-        if (node->children[2]->kind != NodeKind::kEmpty) {
-          WalkExpression(node->children[2], fn_index);
-        }
-        WalkStatement(node->children[3], fn_index);
-        scopes_.pop_back();
-        return;
-      }
-      case NodeKind::kForOfStmt: {
-        WalkExpression(node->children[1], fn_index);
-        scopes_.emplace_back();
-        int binding = NewBinding(node->children[0]->str, node->children[0]->id);
-        result_.decl_binding_by_ast[node->children[0]->id] = binding;
-        Define(node->children[0]->str, binding);
-        // The loop variable node itself resolves to its binding.
-        result_.use_to_binding[node->children[0]->id] = binding;
-        WalkStatement(node->children[2], fn_index);
-        scopes_.pop_back();
-        return;
-      }
-      case NodeKind::kReturnStmt:
-        if (!node->children.empty()) {
-          WalkExpression(node->children[0], fn_index);
-        }
-        return;
-      case NodeKind::kTryStmt: {
-        WalkStatement(node->children[0], fn_index);
-        if (node->children[2]->kind == NodeKind::kBlockStmt) {
-          scopes_.emplace_back();
-          if (node->children[1]->kind != NodeKind::kEmpty) {
-            int binding = NewBinding(node->children[1]->str, node->children[1]->id);
-            Define(node->children[1]->str, binding);
-            result_.use_to_binding[node->children[1]->id] = binding;
-          }
-          WalkStatement(node->children[2], fn_index);
-          scopes_.pop_back();
-        }
-        if (node->children.size() > 3 && node->children[3]->kind == NodeKind::kBlockStmt) {
-          WalkStatement(node->children[3], fn_index);
-        }
-        return;
-      }
-      case NodeKind::kThrowStmt:
-        WalkExpression(node->children[0], fn_index);
-        return;
-      case NodeKind::kExprStmt:
-        WalkExpression(node->children[0], fn_index);
-        return;
-      case NodeKind::kBreakStmt:
-      case NodeKind::kContinueStmt:
-      case NodeKind::kEmpty:
-        return;
-      default:
-        if (node->IsExpression()) {
-          WalkExpression(node, fn_index);
-        }
-        return;
-    }
-  }
-
-  void WalkExpression(const NodePtr& node, int fn_index) {
-    switch (node->kind) {
-      case NodeKind::kIdentifier: {
-        int binding = LookupBinding(node->str);
-        if (binding >= 0) {
-          result_.use_to_binding[node->id] = binding;
-        }
-        return;
-      }
-      case NodeKind::kThisExpr: {
-        // Resolve to the nearest non-arrow enclosing function's this-binding.
-        for (int fi = fn_index; fi >= 0;
-             fi = result_.functions[static_cast<size_t>(fi)].enclosing_function) {
-          const FunctionScopeInfo& info = result_.functions[static_cast<size_t>(fi)];
-          if (info.this_binding >= 0) {
-            result_.use_to_binding[node->id] = info.this_binding;
-            return;
-          }
-        }
-        return;
-      }
-      case NodeKind::kFunctionExpr:
-      case NodeKind::kArrowFunction:
-        WalkFunctionLike(node, fn_index);
-        return;
-      case NodeKind::kObjectLit:
-        for (const NodePtr& prop : node->children) {
-          if (prop->num != 0) {  // computed key
-            WalkExpression(prop->children[0], fn_index);
-            WalkExpression(prop->children[1], fn_index);
-          } else {
-            WalkExpression(prop->children[0], fn_index);
-          }
-        }
-        return;
-      case NodeKind::kMemberExpr:
-        WalkExpression(node->children[0], fn_index);
-        return;
-      default:
-        for (const NodePtr& child : node->children) {
-          if (child->kind == NodeKind::kParams || child->kind == NodeKind::kEmpty) {
-            continue;
-          }
-          if (child->IsExpression()) {
-            WalkExpression(child, fn_index);
-          } else if (child->kind == NodeKind::kBlockStmt) {
-            WalkStatement(child, fn_index);
-          }
-        }
-        return;
-    }
-  }
-
-  ResolvedProgram result_;
-  std::vector<std::unordered_map<std::string, int>> scopes_;
-};
-
-}  // namespace
-
 ResolvedProgram ResolveScopes(const Program& program) {
-  return Resolver(program).Run();
+  SemaResult sema = ResolveProgram(program);
+
+  ResolvedProgram result;
+  result.program = &program;
+  result.ast_count = sema.ast_count;
+  result.ast_by_id = std::move(sema.ast_by_id);
+
+  // Sema bindings map index-for-index; graph ids are offset by ast_count.
+  result.bindings.reserve(sema.bindings.size() + sema.functions.size());
+  for (const SemaBinding& binding : sema.bindings) {
+    result.bindings.push_back({binding.name, binding.decl_ast});
+  }
+
+  for (const auto& [use_ast, binding_index] : sema.use_to_binding) {
+    result.use_to_binding[use_ast] = result.BindingNode(binding_index);
+  }
+  for (const auto& [decl_ast, binding_index] : sema.decl_binding_by_ast) {
+    result.decl_binding_by_ast[decl_ast] = result.BindingNode(binding_index);
+  }
+
+  result.functions.reserve(sema.functions.size());
+  for (const SemaFunction& fn : sema.functions) {
+    FunctionScopeInfo info;
+    info.ast_id = fn.ast_id;
+    info.node = fn.node;
+    info.enclosing_function = fn.enclosing;
+    for (int param_binding : fn.param_bindings) {
+      info.param_bindings.push_back(result.BindingNode(param_binding));
+    }
+    if (fn.this_binding >= 0) {
+      info.this_binding = result.BindingNode(fn.this_binding);
+    }
+    // Synthesize the return-value collector the value-flow graph wires
+    // kReturnStmt edges into.
+    int return_index = static_cast<int>(result.bindings.size());
+    result.bindings.push_back({"<return>", fn.ast_id});
+    info.return_binding = result.BindingNode(return_index);
+    result.functions.push_back(std::move(info));
+  }
+  result.function_by_ast = std::move(sema.function_by_ast);
+
+  result.classes.reserve(sema.classes.size());
+  for (const SemaClass& cls : sema.classes) {
+    ClassScopeInfo info;
+    info.name = cls.name;
+    info.ast_id = cls.ast_id;
+    info.super_name = cls.super_name;
+    info.methods = cls.methods;
+    result.classes.push_back(std::move(info));
+  }
+  result.class_by_name = std::move(sema.class_by_name);
+
+  return result;
 }
 
 }  // namespace turnstile

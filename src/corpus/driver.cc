@@ -4,6 +4,8 @@
 #include "src/flow/workload.h"
 #include "src/instrument/instrumentor.h"
 #include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/lang/resolve.h"
 
 namespace turnstile {
 
@@ -98,8 +100,8 @@ Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app,
     TURNSTILE_ASSIGN_OR_RETURN(policy, Policy::FromJsonText(app.policy_json));
     runtime->policy_ = std::shared_ptr<Policy>(std::move(policy).release());
     TURNSTILE_ASSIGN_OR_RETURN(analysis, AnalyzeProgram(program));
-    InstrumentMode mode = version == AppVersion::kSelective ? InstrumentMode::kSelective
-                                                            : InstrumentMode::kExhaustive;
+    InstrumentMode mode = version == AppVersion::kExhaustive ? InstrumentMode::kExhaustive
+                                                             : InstrumentMode::kSelective;
     TURNSTILE_ASSIGN_OR_RETURN(instrumented,
                                InstrumentProgram(program, *runtime->policy_, mode, &analysis));
     // Report-only mode: the performance evaluation measures tracking cost,
@@ -110,7 +112,14 @@ Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app,
     runtime->tracker_ = std::make_unique<DiftTracker>(runtime->interp_.get(), runtime->policy_,
                                                       options);
     runtime->tracker_->Install();
-    TURNSTILE_RETURN_IF_ERROR(runtime->engine_->LoadModule(instrumented.program));
+    if (version == AppVersion::kRoundTrip) {
+      std::string printed = PrintProgram(instrumented.program);
+      TURNSTILE_ASSIGN_OR_RETURN(reparsed, ParseProgram(printed, app.name + ".printed.js"));
+      ResolveProgram(reparsed);
+      TURNSTILE_RETURN_IF_ERROR(runtime->engine_->LoadModule(reparsed));
+    } else {
+      TURNSTILE_RETURN_IF_ERROR(runtime->engine_->LoadModule(instrumented.program));
+    }
   }
 
   TURNSTILE_ASSIGN_OR_RETURN(flow, Json::Parse(app.flow_json));

@@ -17,7 +17,10 @@
 
 namespace turnstile {
 
-enum class AppVersion { kOriginal, kSelective, kExhaustive };
+// kRoundTrip is kSelective with the instrumented tree printed to source,
+// re-parsed and re-resolved before loading — the deployment path, where the
+// rewritten app ships as text rather than as an in-memory AST.
+enum class AppVersion { kOriginal, kSelective, kExhaustive, kRoundTrip };
 
 // A live, runnable instance of a corpus application.
 class AppRuntime {

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/lang/parser.h"
+#include "src/lang/resolve.h"
 #include "src/support/logging.h"
 
 namespace turnstile {
@@ -159,6 +160,9 @@ Result<FunctionPtr> DiftTracker::CompileLabelFn(const LabellerSpec* spec) {
       program.root->children[0]->kind != NodeKind::kExprStmt) {
     return PolicyError("label function must be a single expression: " + spec->fn_source);
   }
+  // Resolve so the compiled closure uses slot-indexed frames like any other
+  // program code (labellers run on every labelled value).
+  ResolveProgram(program);
   TURNSTILE_ASSIGN_OR_RETURN(
       completion,
       interp_->EvalExpression(program.root->children[0]->children[0], interp_->global_env()));
@@ -572,7 +576,7 @@ Value DiftTracker::TrackDeep(Value v, int depth) {
   }
   if (v.IsObject() && !v.AsObject()->is_box) {
     const ObjectPtr& obj = v.AsObject();
-    for (const std::string& prop_key : obj->insertion_order) {
+    for (Atom prop_key : obj->insertion_order) {
       auto it = obj->properties.find(prop_key);
       if (it == obj->properties.end() || it->second.IsFunction()) {
         continue;

@@ -67,7 +67,7 @@ ObjectPtr FlowEngine::MakeRedGlobal() {
           return msg;
         }
         ObjectPtr copy = MakeObject();
-        for (const std::string& key : msg.AsObject()->insertion_order) {
+        for (Atom key : msg.AsObject()->insertion_order) {
           if (msg.AsObject()->Has(key)) {
             copy->Set(key, msg.AsObject()->Get(key));
           }

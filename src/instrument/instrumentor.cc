@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/lang/parser.h"
+#include "src/lang/resolve.h"
 
 namespace turnstile {
 
@@ -39,6 +40,12 @@ class Instrumentor {
     ApplyLabelInjections(out.program.root);
     out.program.root = RewriteTree(std::move(out.program.root));
     RenumberNodes(&out.program);
+    // The clone kept the source tree's resolution annotations (including the
+    // root's "resolved" marker) but rewriting inserted brand-new nodes; resolve
+    // again so the rewritten tree carries a coherent set. The same invariant
+    // applies after a printer round-trip: instrumented output must re-parse
+    // *and* re-resolve before it can run.
+    ResolveProgram(out.program);
     out.stats = stats_;
     return out;
   }

@@ -42,8 +42,9 @@ Json ValueToJson(const Value& value_in, int depth = 0) {
   if (value.IsObject()) {
     Json out = Json::Object();
     const ObjectPtr& obj = value.AsObject();
-    for (const std::string& key : obj->insertion_order) {
-      auto it = obj->properties.find(key);
+    for (Atom atom : obj->insertion_order) {
+      auto it = obj->properties.find(atom);
+      const std::string& key = AtomName(atom);
       if (it != obj->properties.end() && !it->second.IsFunction() &&
           !StartsWith(key, "__")) {
         out.Set(key, ValueToJson(it->second, depth + 1));
@@ -718,8 +719,9 @@ void Interpreter::InstallBuiltins() {
         Value target = Unbox(Arg(args, 0));
         std::vector<Value> keys;
         if (target.IsObject()) {
-          for (const std::string& key : target.AsObject()->insertion_order) {
-            if (target.AsObject()->Has(key) && !StartsWith(key, "__")) {
+          for (Atom atom : target.AsObject()->insertion_order) {
+            const std::string& key = AtomName(atom);
+            if (target.AsObject()->Has(atom) && !StartsWith(key, "__")) {
               keys.push_back(Value(key));
             }
           }
@@ -731,9 +733,9 @@ void Interpreter::InstallBuiltins() {
         Value target = Unbox(Arg(args, 0));
         std::vector<Value> values;
         if (target.IsObject()) {
-          for (const std::string& key : target.AsObject()->insertion_order) {
-            if (target.AsObject()->Has(key) && !StartsWith(key, "__")) {
-              values.push_back(target.AsObject()->Get(key));
+          for (Atom atom : target.AsObject()->insertion_order) {
+            if (target.AsObject()->Has(atom) && !StartsWith(AtomName(atom), "__")) {
+              values.push_back(target.AsObject()->Get(atom));
             }
           }
         }
@@ -748,9 +750,12 @@ void Interpreter::InstallBuiltins() {
         for (size_t i = 1; i < args.size(); ++i) {
           Value source = Unbox(args[i]);
           if (source.IsObject()) {
-            for (const std::string& key : source.AsObject()->insertion_order) {
-              if (source.AsObject()->Has(key)) {
-                target.AsObject()->Set(key, source.AsObject()->Get(key));
+            // Copy the key list first: Set on the target may fire proxy traps,
+            // and self-assign would otherwise mutate the list being iterated.
+            std::vector<Atom> source_keys = source.AsObject()->insertion_order;
+            for (Atom atom : source_keys) {
+              if (source.AsObject()->Has(atom)) {
+                target.AsObject()->Set(atom, source.AsObject()->Get(atom));
               }
             }
           }

@@ -124,9 +124,13 @@ class Interpreter {
   Result<Completion> EvalStatement(const NodePtr& node, const EnvPtr& env);
   Result<Completion> EvalExpression(const NodePtr& node, const EnvPtr& env);
 
-  // Property access helpers shared with native modules.
+  // Property access helpers shared with native modules. The Atom overloads are
+  // the fast path for statically-known keys (resolved member expressions and
+  // object-literal keys); they avoid re-hashing the key string on objects.
   Result<Value> GetProperty(const Value& object, const std::string& key);
+  Result<Value> GetProperty(const Value& object, Atom key);
   Status SetProperty(const Value& object, const std::string& key, Value value);
+  Status SetProperty(const Value& object, Atom key, Value value);
 
   // Creates a MiniScript error object ({ message }).
   Value MakeError(const std::string& message);
@@ -182,6 +186,12 @@ class Interpreter {
                               std::vector<Value>* out);
   FunctionPtr MakeClosure(const NodePtr& node, const EnvPtr& env);
   Status DrainMicrotasks(int max_tasks = 100000);
+
+  // Locates the storage for an identifier use, honoring the resolver's
+  // annotations: slot-indexed frame access for resolved locals, a direct
+  // global-map probe for kHopsGlobal, and the dynamic name-chain walk for
+  // unresolved trees. Returns nullptr for unbound names.
+  Value* ResolveIdentPtr(const NodePtr& node, const EnvPtr& env);
 
   void InstallBuiltins();   // builtins.cc
   void InstallIoModules();  // modules.cc

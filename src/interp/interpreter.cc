@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/lang/resolve.h"
 #include "src/support/stopwatch.h"
 #include "src/support/strings.h"
 
@@ -39,6 +40,12 @@ Interpreter::Interpreter() {
 Interpreter::~Interpreter() = default;
 
 Status Interpreter::RunProgram(const Program& program) {
+  // Parsed (and instrumented/re-parsed) trees carry no resolution annotations
+  // until someone runs the sema pass; do it here so every execution path —
+  // harnesses, the flow engine, DIFT labellers — gets slot-indexed frames.
+  if (!IsResolved(program)) {
+    ResolveProgram(program);
+  }
   TURNSTILE_ASSIGN_OR_RETURN(completion, EvalStatement(program.root, global_env_));
   if (completion.kind == Completion::Kind::kThrow) {
     return RuntimeError("uncaught exception: " + completion.value.ToDisplayString());
@@ -196,6 +203,10 @@ FunctionPtr Interpreter::MakeClosure(const NodePtr& node, const EnvPtr& env) {
   fn->params = node->children[0];
   fn->body = node->children[1];
   fn->closure = env;
+  fn->frame_size = node->frame_size;
+  // Only function *expressions* carry a self-binding slot; on declarations
+  // `slot` is the name's slot in the enclosing scope.
+  fn->self_slot = node->kind == NodeKind::kFunctionExpr ? node->slot : -1;
   fn->is_arrow = node->kind == NodeKind::kArrowFunction;
   fn->is_async = node->num != 0;
   return fn;
@@ -213,15 +224,22 @@ Result<Value> Interpreter::CallFunction(const FunctionPtr& fn, const Value& this
     --call_depth_;
     return RuntimeError("maximum call depth exceeded in " + fn->name);
   }
-  EnvPtr call_env = Environment::MakeChild(fn->closure);
+  EnvPtr call_env = Environment::MakeChild(fn->closure, fn->frame_size);
   // `this`: regular functions bind it per call; arrows inherit lexically (no
   // binding defined here, so lookup reaches the defining scope's binding).
+  // Resolved frames keep `this` at slot 0 (see resolve.h).
   if (!fn->is_arrow) {
-    if (fn->has_bound_this) {
-      call_env->Define("this", fn->bound_this);
+    const Value& this_binding = fn->has_bound_this ? fn->bound_this : this_value;
+    if (fn->frame_size > 0) {
+      call_env->slots[0] = this_binding;
     } else {
-      call_env->Define("this", this_value);
+      call_env->Define("this", this_binding);
     }
+  }
+  // Named function expressions see themselves; parameters are written after so
+  // a parameter reusing the name wins.
+  if (fn->self_slot >= 0) {
+    call_env->slots[static_cast<size_t>(fn->self_slot)] = Value(fn);
   }
   const auto& params = fn->params->children;
   size_t arg_index = 0;
@@ -229,11 +247,20 @@ Result<Value> Interpreter::CallFunction(const FunctionPtr& fn, const Value& this
     if (param->kind == NodeKind::kRestParam) {
       std::vector<Value> rest(args.begin() + static_cast<long>(std::min(arg_index, args.size())),
                               args.end());
-      call_env->Define(param->str, Value(MakeArray(std::move(rest))));
+      Value rest_array = Value(MakeArray(std::move(rest)));
+      if (param->slot >= 0) {
+        call_env->slots[static_cast<size_t>(param->slot)] = std::move(rest_array);
+      } else {
+        call_env->Define(param->str, std::move(rest_array));
+      }
       break;
     }
-    call_env->Define(param->str,
-                     arg_index < args.size() ? args[arg_index] : Value::Undefined());
+    Value arg = arg_index < args.size() ? args[arg_index] : Value::Undefined();
+    if (param->slot >= 0) {
+      call_env->slots[static_cast<size_t>(param->slot)] = std::move(arg);
+    } else {
+      call_env->Define(param->str, std::move(arg));
+    }
     ++arg_index;
   }
   Result<Completion> body_result =
@@ -278,6 +305,28 @@ FunctionPtr GetArrayMethod(const std::string& name);
 FunctionPtr GetStringMethod(const std::string& name);
 FunctionPtr GetFunctionMethod(const std::string& name);
 
+Result<Value> Interpreter::GetProperty(const Value& object, Atom key) {
+  if (object.IsObject()) {
+    const ObjectPtr& obj = object.AsObject();
+    if (obj->is_box) {
+      return GetProperty(obj->box_payload, key);
+    }
+    auto it = obj->properties.find(key);
+    if (it != obj->properties.end()) {
+      return it->second;
+    }
+    if (obj->class_info != nullptr) {
+      FunctionPtr method = obj->class_info->FindMethod(AtomName(key));
+      if (method != nullptr) {
+        return Value(method);
+      }
+    }
+    return Value::Undefined();
+  }
+  // Arrays/strings/functions key their synthetic properties by name.
+  return GetProperty(object, AtomName(key));
+}
+
 Result<Value> Interpreter::GetProperty(const Value& object, const std::string& key) {
   if (object.IsObject()) {
     const ObjectPtr& obj = object.AsObject();
@@ -285,9 +334,12 @@ Result<Value> Interpreter::GetProperty(const Value& object, const std::string& k
       // Forward property access to the payload (e.g. boxedString.length).
       return GetProperty(obj->box_payload, key);
     }
-    auto it = obj->properties.find(key);
-    if (it != obj->properties.end()) {
-      return it->second;
+    Atom atom = AtomTable::Global().Find(key);
+    if (atom != kAtomInvalid) {
+      auto it = obj->properties.find(atom);
+      if (it != obj->properties.end()) {
+        return it->second;
+      }
     }
     if (obj->class_info != nullptr) {
       FunctionPtr method = obj->class_info->FindMethod(key);
@@ -340,6 +392,18 @@ Result<Value> Interpreter::GetProperty(const Value& object, const std::string& k
   return Value::Undefined();  // number/bool property access
 }
 
+Status Interpreter::SetProperty(const Value& object, Atom key, Value value) {
+  if (object.IsObject()) {
+    const ObjectPtr& obj = object.AsObject();
+    if (obj->is_box) {
+      return SetProperty(obj->box_payload, key, std::move(value));
+    }
+    obj->Set(key, std::move(value));
+    return Status::Ok();
+  }
+  return SetProperty(object, AtomName(key), std::move(value));
+}
+
 Status Interpreter::SetProperty(const Value& object, const std::string& key, Value value) {
   if (object.IsObject()) {
     const ObjectPtr& obj = object.AsObject();
@@ -377,6 +441,26 @@ Value Interpreter::MakeError(const std::string& message) {
   return Value(err);
 }
 
+// --- identifier storage ------------------------------------------------------
+
+Value* Interpreter::ResolveIdentPtr(const NodePtr& node, const EnvPtr& env) {
+  if (node->hops >= 0) {
+    // Resolved local: the frame chain mirrors the static scope chain by
+    // construction, so `hops` parents up there is a frame with `slot` in range.
+    Environment* frame = env.get();
+    for (int32_t i = 0; i < node->hops; ++i) {
+      frame = frame->parent.get();
+    }
+    return &frame->slots[static_cast<size_t>(node->slot)];
+  }
+  if (node->hops == kHopsGlobal) {
+    // Globals (and unbound names — builtins, implicit globals) live in the
+    // name-keyed global environment; probe it without walking the chain.
+    return global_env_->LookupLocal(node->atom);
+  }
+  return env->Lookup(node->str);
+}
+
 // --- expression evaluation ---------------------------------------------------
 
 Result<Completion> Interpreter::EvalArgs(const NodePtr& call, size_t first_index,
@@ -409,7 +493,9 @@ Result<Completion> Interpreter::EvalCall(const NodePtr& node, const EnvPtr& env)
     if (callee->num != 0 && object.IsNullish()) {  // optional call a?.b()
       return Completion::Normal(Value::Undefined());
     }
-    TURNSTILE_ASSIGN_OR_RETURN(member, GetProperty(object, callee->str));
+    TURNSTILE_ASSIGN_OR_RETURN(member, callee->atom != kAtomEmpty
+                                           ? GetProperty(object, callee->atom)
+                                           : GetProperty(object, callee->str));
     this_value = object;
     fn_value = member;
   } else if (callee->kind == NodeKind::kIndexExpr) {
@@ -609,19 +695,24 @@ Result<Completion> Interpreter::EvalAssignment(const NodePtr& node, const EnvPtr
   };
 
   if (target->kind == NodeKind::kIdentifier) {
+    // Resolve the storage location once; binding pointers stay valid across
+    // the RHS evaluation (see environment.h), so the write needs no second
+    // chain walk.
+    Value* binding = ResolveIdentPtr(target, env);
     Value old_value;
     if (op != "=") {
-      Value* slot = env->Lookup(target->str);
-      if (slot == nullptr) {
+      if (binding == nullptr) {
         return RuntimeError("assignment to undeclared variable " + target->str);
       }
-      old_value = *slot;
+      old_value = *binding;
     }
     TURNSTILE_ASSIGN_OR_RETURN(c, compute(old_value));
     if (c.IsAbrupt()) {
       return c;
     }
-    if (!env->Assign(target->str, c.value)) {
+    if (binding != nullptr) {
+      *binding = c.value;
+    } else {
       // Implicit global definition (sloppy-mode JS); corpus apps rely on it
       // for framework-injected globals.
       global_env_->Define(target->str, c.value);
@@ -667,16 +758,23 @@ Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr
     case NodeKind::kUndefinedLit:
       return Completion::Normal(Value::Undefined());
     case NodeKind::kThisExpr: {
+      if (node->hops >= 0) {
+        Environment* frame = env.get();
+        for (int32_t i = 0; i < node->hops; ++i) {
+          frame = frame->parent.get();
+        }
+        return Completion::Normal(frame->slots[0]);
+      }
       Value* slot = env->Lookup("this");
       return Completion::Normal(slot != nullptr ? *slot : Value::Undefined());
     }
     case NodeKind::kIdentifier: {
-      Value* slot = env->Lookup(node->str);
-      if (slot == nullptr) {
+      Value* binding = ResolveIdentPtr(node, env);
+      if (binding == nullptr) {
         return RuntimeError("reference to undeclared variable " + node->str + " at " +
                             node->loc.ToString());
       }
-      return Completion::Normal(*slot);
+      return Completion::Normal(*binding);
     }
     case NodeKind::kArrayLit: {
       std::vector<Value> elements;
@@ -700,18 +798,20 @@ Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr
     case NodeKind::kObjectLit: {
       ObjectPtr object = MakeObject();
       for (const NodePtr& prop : node->children) {
-        std::string key;
-        const NodePtr* value_node = nullptr;
         if (prop->num != 0) {  // computed
           TS_EVAL(key_value, prop->children[0], env);
-          key = Unbox(key_value).ToDisplayString();
-          value_node = &prop->children[1];
+          TS_EVAL(computed, prop->children[1], env);
+          object->Set(Unbox(key_value).ToDisplayString(), std::move(computed));
         } else {
-          key = prop->str;
-          value_node = &prop->children[0];
+          TS_EVAL(v, prop->children[0], env);
+          // Static keys are pre-interned by the resolver; "" interns to
+          // kAtomEmpty so the fallback is also correct for empty-string keys.
+          if (prop->atom != kAtomEmpty) {
+            object->Set(prop->atom, std::move(v));
+          } else {
+            object->Set(prop->str, std::move(v));
+          }
         }
-        TS_EVAL(v, *value_node, env);
-        object->Set(key, std::move(v));
       }
       return Completion::Normal(Value(object));
     }
@@ -726,6 +826,10 @@ Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr
       TS_EVAL(object, node->children[0], env);
       if (node->num != 0 && object.IsNullish()) {  // optional chaining
         return Completion::Normal(Value::Undefined());
+      }
+      if (node->atom != kAtomEmpty) {
+        TURNSTILE_ASSIGN_OR_RETURN(v, GetProperty(object, node->atom));
+        return Completion::Normal(v);
       }
       TURNSTILE_ASSIGN_OR_RETURN(v, GetProperty(object, node->str));
       return Completion::Normal(v);
@@ -761,10 +865,14 @@ Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr
     }
     case NodeKind::kUnaryExpr: {
       if (node->str == "typeof") {
-        // typeof tolerates undeclared identifiers.
-        if (node->children[0]->kind == NodeKind::kIdentifier &&
-            env->Lookup(node->children[0]->str) == nullptr) {
-          return Completion::Normal(Value("undefined"));
+        // typeof tolerates undeclared identifiers; resolve the storage once
+        // instead of a lookup followed by a full re-evaluation.
+        if (node->children[0]->kind == NodeKind::kIdentifier) {
+          Value* binding = ResolveIdentPtr(node->children[0], env);
+          if (binding == nullptr) {
+            return Completion::Normal(Value("undefined"));
+          }
+          return Completion::Normal(Value(Unbox(*binding).TypeName()));
         }
         TS_EVAL(v, node->children[0], env);
         return Completion::Normal(Value(Unbox(v).TypeName()));
@@ -813,14 +921,14 @@ Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr
       // Desugar: evaluate old, compute new = old ± 1, store, return per fixity.
       Value old_value;
       if (target->kind == NodeKind::kIdentifier) {
-        Value* slot = env->Lookup(target->str);
-        if (slot == nullptr) {
+        Value* binding = ResolveIdentPtr(target, env);
+        if (binding == nullptr) {
           return RuntimeError("update of undeclared variable " + target->str);
         }
-        old_value = *slot;
+        old_value = *binding;
         double n = Unbox(old_value).ToNumber();
         double updated = node->str == "++" ? n + 1 : n - 1;
-        *slot = Value(updated);
+        *binding = Value(updated);
         return Completion::Normal(Value(node->num != 0 ? updated : n));
       }
       TS_EVAL(object, target->children[0], env);
@@ -885,7 +993,19 @@ static void HoistFunctionDeclarations(Interpreter& interp, const NodePtr& scope_
                                       const EnvPtr& env);
 
 Result<Completion> Interpreter::EvalBlock(const NodePtr& block, const EnvPtr& env) {
-  EnvPtr scope = Environment::MakeChild(env);
+  // A resolved block that allocated no slots is transparent: the resolver did
+  // not count it as a hop, so no Environment may be created for it. (It also
+  // cannot contain function declarations, so skipping the hoist is safe.)
+  if (block->slot == 0 && block->frame_size == 0) {
+    for (const NodePtr& stmt : block->children) {
+      TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(stmt, env));
+      if (c.IsAbrupt()) {
+        return c;
+      }
+    }
+    return Completion::Normal();
+  }
+  EnvPtr scope = Environment::MakeChild(env, block->frame_size);
   HoistFunctionDeclarations(*this, block, scope);
   for (const NodePtr& stmt : block->children) {
     TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(stmt, scope));
@@ -919,7 +1039,11 @@ Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr&
             init.AsFunction()->name = declarator->str;
           }
         }
-        env->Define(declarator->str, std::move(init));
+        if (declarator->slot >= 0) {
+          env->slots[static_cast<size_t>(declarator->slot)] = std::move(init);
+        } else {
+          env->Define(declarator->str, std::move(init));
+        }
       }
       return Completion::Normal();
     }
@@ -953,7 +1077,11 @@ Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr&
       }
     }
     case NodeKind::kForStmt: {
-      EnvPtr scope = Environment::MakeChild(env);
+      // Transparent for-header (no declarations): reuse the enclosing scope,
+      // mirroring the resolver's hop counting.
+      EnvPtr scope = node->slot == 0 && node->frame_size == 0
+                         ? env
+                         : Environment::MakeChild(env, node->frame_size);
       if (node->children[0]->kind != NodeKind::kEmpty) {
         TURNSTILE_ASSIGN_OR_RETURN(init, EvalStatement(node->children[0], scope));
         if (init.IsAbrupt()) {
@@ -993,9 +1121,14 @@ Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr&
       } else {
         return TypeError("for-of target is not iterable");
       }
+      const NodePtr& loop_var = node->children[0];
       for (const Value& item : items) {
-        EnvPtr scope = Environment::MakeChild(env);
-        scope->Define(node->children[0]->str, item);
+        EnvPtr scope = Environment::MakeChild(env, node->frame_size);
+        if (loop_var->slot >= 0) {
+          scope->slots[static_cast<size_t>(loop_var->slot)] = item;
+        } else {
+          scope->Define(loop_var->str, item);
+        }
         TURNSTILE_ASSIGN_OR_RETURN(c, EvalStatement(node->children[2], scope));
         if (c.kind == Completion::Kind::kBreak) {
           return Completion::Normal();
@@ -1020,14 +1153,19 @@ Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr&
     case NodeKind::kEmpty:
       return Completion::Normal();
     case NodeKind::kFunctionDecl: {
-      env->Define(node->str, Value(MakeClosure(node, env)));
+      Value closure = Value(MakeClosure(node, env));
+      if (node->slot >= 0) {
+        env->slots[static_cast<size_t>(node->slot)] = std::move(closure);
+      } else {
+        env->Define(node->str, std::move(closure));
+      }
       return Completion::Normal();
     }
     case NodeKind::kClassDecl: {
       auto info = std::make_shared<ClassInfo>();
       info->name = node->str;
       if (node->children[0]->kind != NodeKind::kEmpty) {
-        Value* super = env->Lookup(node->children[0]->str);
+        Value* super = ResolveIdentPtr(node->children[0], env);
         if (super == nullptr || !super->IsFunction() ||
             super->AsFunction()->construct_class == nullptr) {
           return TypeError("superclass " + node->children[0]->str + " is not a class");
@@ -1049,7 +1187,11 @@ Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr&
                                   std::vector<Value>&) -> Result<Value> {
         return Interpreter::TypeError("class " + class_name + " must be called with new");
       };
-      env->Define(node->str, Value(ctor));
+      if (node->slot >= 0) {
+        env->slots[static_cast<size_t>(node->slot)] = Value(ctor);
+      } else {
+        env->Define(node->str, Value(ctor));
+      }
       return Completion::Normal();
     }
     case NodeKind::kTryStmt: {
@@ -1057,9 +1199,15 @@ Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr&
       Completion outcome = result;
       if (outcome.kind == Completion::Kind::kThrow &&
           node->children[2]->kind == NodeKind::kBlockStmt) {
-        EnvPtr catch_env = Environment::MakeChild(env);
-        if (node->children[1]->kind != NodeKind::kEmpty) {
-          catch_env->Define(node->children[1]->str, outcome.value);
+        // The try node carries the catch frame's size (see resolve.h).
+        EnvPtr catch_env = Environment::MakeChild(env, node->frame_size);
+        const NodePtr& param = node->children[1];
+        if (param->kind != NodeKind::kEmpty) {
+          if (param->slot >= 0) {
+            catch_env->slots[static_cast<size_t>(param->slot)] = outcome.value;
+          } else {
+            catch_env->Define(param->str, outcome.value);
+          }
         }
         TURNSTILE_ASSIGN_OR_RETURN(catch_result, EvalBlock(node->children[2], catch_env));
         outcome = catch_result;

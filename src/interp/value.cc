@@ -119,7 +119,7 @@ std::string Value::ToDisplayString() const {
   }
   std::string out = "{ ";
   bool first = true;
-  for (const std::string& key : obj->insertion_order) {
+  for (Atom key : obj->insertion_order) {
     auto it = obj->properties.find(key);
     if (it == obj->properties.end()) {
       continue;
@@ -128,7 +128,7 @@ std::string Value::ToDisplayString() const {
       out += ", ";
     }
     first = false;
-    out += key;
+    out += AtomName(key);
     out += ": ";
     if (it->second.IsString()) {
       out += "\"" + it->second.AsString() + "\"";

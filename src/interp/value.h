@@ -113,9 +113,15 @@ struct ClassInfo {
 // A heap object: ordered-insertion property map plus optional class metadata
 // and optional proxy traps (used by the DIFT tracker to observe dynamic
 // property creation/deletion, mirroring the paper's use of JS Proxy).
+//
+// Property keys are interned atoms: the map hashes a uint32_t and the
+// insertion-order vector stores 4-byte handles instead of duplicating every
+// key string. String-keyed convenience overloads intern on write and do a
+// non-inserting table probe on read (a key that was never interned anywhere
+// cannot be present).
 struct Object {
-  std::unordered_map<std::string, Value> properties;
-  std::vector<std::string> insertion_order;  // keys in first-set order
+  std::unordered_map<Atom, Value> properties;
+  std::vector<Atom> insertion_order;  // keys in first-set order
   std::shared_ptr<ClassInfo> class_info;
 
   // Proxy traps: when set, property reads/writes are reported to the trap
@@ -132,21 +138,32 @@ struct Object {
   // used for diagnostics.
   std::string debug_tag;
 
-  bool Has(const std::string& key) const { return properties.count(key) > 0; }
-  Value Get(const std::string& key) const {
+  bool Has(Atom key) const { return properties.count(key) > 0; }
+  bool Has(const std::string& key) const {
+    Atom atom = AtomTable::Global().Find(key);
+    return atom != kAtomInvalid && Has(atom);
+  }
+  Value Get(Atom key) const {
     auto it = properties.find(key);
     return it == properties.end() ? Value::Undefined() : it->second;
   }
-  void Set(const std::string& key, Value value) {
+  Value Get(const std::string& key) const {
+    Atom atom = AtomTable::Global().Find(key);
+    return atom == kAtomInvalid ? Value::Undefined() : Get(atom);
+  }
+  void Set(Atom key, Value value) {
     auto [it, inserted] = properties.insert_or_assign(key, std::move(value));
     if (inserted) {
       insertion_order.push_back(key);
     }
     if (set_trap) {
-      set_trap(*this, key, it->second);
+      set_trap(*this, AtomName(key), it->second);
     }
   }
-  void Delete(const std::string& key) {
+  void Set(const std::string& key, Value value) {
+    Set(InternAtom(key), std::move(value));
+  }
+  void Delete(Atom key) {
     if (properties.erase(key) > 0) {
       for (auto it = insertion_order.begin(); it != insertion_order.end(); ++it) {
         if (*it == key) {
@@ -155,8 +172,14 @@ struct Object {
         }
       }
       if (delete_trap) {
-        delete_trap(*this, key);
+        delete_trap(*this, AtomName(key));
       }
+    }
+  }
+  void Delete(const std::string& key) {
+    Atom atom = AtomTable::Global().Find(key);
+    if (atom != kAtomInvalid) {
+      Delete(atom);
     }
   }
 };
@@ -172,6 +195,13 @@ struct FunctionObject {
   NodePtr params;            // kParams (closures only)
   NodePtr body;              // kBlockStmt or expression (closures only)
   EnvPtr closure;            // captured environment (closures only)
+  // Resolution annotations copied from the function-like node (resolve.h):
+  // frame_size > 0 means the call frame is slot-indexed (`this` at slot 0 for
+  // non-arrows, parameters at their annotated slots). 0 means the dynamic
+  // name-keyed calling convention (hand-built ASTs, resolved empty arrows —
+  // both conventions coincide at zero slots).
+  uint32_t frame_size = 0;
+  int32_t self_slot = -1;    // named function expressions bind themselves here
   bool is_arrow = false;     // arrows inherit `this` from the closure
   bool is_async = false;     // async functions wrap returns in a promise
   Value bound_this;          // captured `this` for arrows / bound methods

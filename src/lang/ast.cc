@@ -201,6 +201,10 @@ NodePtr CloneTree(const NodePtr& node) {
   copy->loc = node->loc;
   copy->str = node->str;
   copy->num = node->num;
+  copy->atom = node->atom;
+  copy->hops = node->hops;
+  copy->slot = node->slot;
+  copy->frame_size = node->frame_size;
   copy->children.reserve(node->children.size());
   for (const NodePtr& child : node->children) {
     copy->children.push_back(CloneTree(child));

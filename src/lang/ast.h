@@ -51,11 +51,13 @@
 #ifndef TURNSTILE_SRC_LANG_AST_H_
 #define TURNSTILE_SRC_LANG_AST_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/lang/atoms.h"
 #include "src/lang/token.h"
 
 namespace turnstile {
@@ -114,12 +116,29 @@ const char* NodeKindName(NodeKind kind);
 struct Node;
 using NodePtr = std::shared_ptr<Node>;
 
+// Resolution annotations (written by ResolveProgram in src/lang/resolve.h).
+//
+// `hops` on a kIdentifier / kThisExpr:
+//   >= 0             walk that many Environment parents, read slots[slot]
+//   kHopsGlobal      name lives in the (name-keyed) global environment
+//   kHopsUnresolved  no static information; fall back to the dynamic
+//                    name-chain walk (hand-built ASTs, typeof probes, ...)
+inline constexpr int32_t kHopsUnresolved = -1;
+inline constexpr int32_t kHopsGlobal = -2;
+
 struct Node {
   NodeKind kind;
   int id = -1;  // unique within a parsed Program; -1 for synthesized nodes
   SourceLocation loc;
   std::string str;   // see per-kind layout above
   double num = 0.0;  // see per-kind layout above
+
+  // --- resolution annotations (see resolve.h; 0 / defaults = unresolved) ---
+  Atom atom = kAtomEmpty;          // interned `str` for identifier-ish kinds
+  int32_t hops = kHopsUnresolved;  // scope hops for kIdentifier/kThisExpr uses
+  int32_t slot = -1;               // slot index (use sites and decl sites)
+  uint32_t frame_size = 0;         // on scope-owning nodes: slots to allocate
+
   std::vector<NodePtr> children;
 
   explicit Node(NodeKind k) : kind(k) {}

@@ -1,0 +1,37 @@
+#include "src/lang/atoms.h"
+
+namespace turnstile {
+
+AtomTable& AtomTable::Global() {
+  static AtomTable* table = new AtomTable();
+  return *table;
+}
+
+AtomTable::AtomTable() {
+  // Atom 0 == "".
+  names_.emplace_back();
+  index_.emplace(std::string_view(names_.back()), kAtomEmpty);
+}
+
+Atom AtomTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  Atom atom = static_cast<Atom>(names_.size());
+  names_.emplace_back(name);
+  // Key the index by the deque-owned storage: deque push_back never moves
+  // existing elements, so the view stays valid forever.
+  index_.emplace(std::string_view(names_.back()), atom);
+  return atom;
+}
+
+const std::string& AtomTable::NameOf(Atom atom) const {
+  static const std::string kEmpty;
+  if (atom >= names_.size()) {
+    return kEmpty;
+  }
+  return names_[atom];
+}
+
+}  // namespace turnstile

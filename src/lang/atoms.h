@@ -1,0 +1,63 @@
+#ifndef TURNSTILE_LANG_ATOMS_H_
+#define TURNSTILE_LANG_ATOMS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace turnstile {
+
+// Interned identifier / property-name handle. Atom 0 is always the empty
+// string, so a zero-initialized Node trivially means "not yet interned".
+using Atom = uint32_t;
+
+inline constexpr Atom kAtomEmpty = 0;
+
+// Returned by AtomTable::Find for strings that were never interned.
+inline constexpr Atom kAtomInvalid = 0xFFFFFFFFu;
+
+// Process-wide intern table. Identifier and property-name strings are interned
+// once; everywhere downstream (AST annotations, environment bindings, object
+// property maps, DIFT labeller keys) compares 32-bit atoms instead of hashing
+// full strings. The table only grows — like the DIFT label space, entries live
+// for the process lifetime. Not thread-safe; the runtime is single-threaded.
+class AtomTable {
+ public:
+  static AtomTable& Global();
+
+  Atom Intern(std::string_view name);
+
+  // Non-inserting probe: the atom for `name`, or kAtomInvalid if it was never
+  // interned. Lets read paths (property Has/Get with dynamic keys) avoid
+  // growing the table.
+  Atom Find(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kAtomInvalid : it->second;
+  }
+
+  // Returns the canonical string for an atom. The reference is stable for the
+  // process lifetime (storage is a deque, never reallocated element-wise).
+  const std::string& NameOf(Atom atom) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  AtomTable();
+
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, Atom> index_;
+};
+
+inline Atom InternAtom(std::string_view name) {
+  return AtomTable::Global().Intern(name);
+}
+
+inline const std::string& AtomName(Atom atom) {
+  return AtomTable::Global().NameOf(atom);
+}
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_LANG_ATOMS_H_

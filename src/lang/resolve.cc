@@ -1,0 +1,529 @@
+#include "src/lang/resolve.h"
+
+namespace turnstile {
+
+namespace {
+
+// One static scope per runtime Environment the interpreter creates. The walk
+// order below mirrors the interpreter exactly: a call frame per function-like
+// node (its block body then opens a nested block scope, as EvalBlock does), a
+// scope per block, one per for-header, one per for-of iteration, and one per
+// catch clause.
+struct Scope {
+  NodePtr owner;               // node that carries frame_size
+  bool is_global = false;
+  bool is_function = false;    // call frame
+  bool is_arrow = false;
+  bool transparent = false;    // zero-slot block/for scope: no runtime env
+  int function_index = -1;     // for call frames
+  uint32_t next_slot = 0;
+  std::unordered_map<Atom, int> names;  // atom -> binding index
+};
+
+class Resolver {
+ public:
+  explicit Resolver(const Program& program) : program_(program) {
+    result_.ast_count = program.node_count;
+    result_.ast_by_id.resize(static_cast<size_t>(program.node_count));
+    ForEachNode(program.root, [this](const NodePtr& node) {
+      if (node->id >= 0 && node->id < result_.ast_count) {
+        result_.ast_by_id[static_cast<size_t>(node->id)] = node;
+      }
+    });
+  }
+
+  SemaResult Run() {
+    Scope global;
+    global.is_global = true;
+    global.owner = program_.root;
+    scopes_.push_back(std::move(global));
+    HoistInto(program_.root->children);
+    for (const NodePtr& stmt : program_.root->children) {
+      WalkStatement(stmt);
+    }
+    scopes_.pop_back();
+    program_.root->frame_size = 0;
+    program_.root->slot = 0;  // resolved marker (see IsResolved)
+    return std::move(result_);
+  }
+
+ private:
+  // --- bindings --------------------------------------------------------------
+
+  int Declare(Atom atom, const std::string& name, int decl_ast, BindingKind kind) {
+    Scope& scope = scopes_.back();
+    auto it = scope.names.find(atom);
+    if (it != scope.names.end()) {
+      // Redeclaration in the same scope reuses the slot and the binding.
+      return it->second;
+    }
+    SemaBinding binding;
+    binding.atom = atom;
+    binding.name = name;
+    binding.decl_ast = decl_ast;
+    binding.is_global = scope.is_global;
+    binding.slot = scope.is_global ? -1 : static_cast<int32_t>(scope.next_slot++);
+    binding.kind = kind;
+    int index = static_cast<int>(result_.bindings.size());
+    result_.bindings.push_back(std::move(binding));
+    scope.names.emplace(atom, index);
+    return index;
+  }
+
+  // `this` lives at slot 0 of every non-arrow call frame but is not a name
+  // (identifiers cannot be spelled "this"), so it skips the name map.
+  int DeclareThis(int decl_ast) {
+    Scope& scope = scopes_.back();
+    SemaBinding binding;
+    binding.atom = InternAtom("this");
+    binding.name = "<this>";
+    binding.decl_ast = decl_ast;
+    binding.slot = static_cast<int32_t>(scope.next_slot++);
+    binding.kind = BindingKind::kThis;
+    int index = static_cast<int>(result_.bindings.size());
+    result_.bindings.push_back(std::move(binding));
+    return index;
+  }
+
+  // --- hoisting --------------------------------------------------------------
+  //
+  // Declares every name the interpreter would Define into the scope currently
+  // on top of the stack. Follows exactly the statements that execute in this
+  // scope's environment: nested blocks, for/for-of headers and function bodies
+  // own their declarations, while bare (non-block) if/while branches execute
+  // here and so declare here.
+
+  void HoistInto(const std::vector<NodePtr>& statements) {
+    for (const NodePtr& stmt : statements) {
+      HoistStatement(stmt);
+    }
+  }
+
+  void HoistStatement(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kVarDecl:
+        for (const NodePtr& declarator : node->children) {
+          int binding = Declare(InternAtom(declarator->str), declarator->str,
+                                declarator->id, BindingKind::kVar);
+          RecordDecl(declarator->id, binding);
+        }
+        return;
+      case NodeKind::kFunctionDecl: {
+        int binding =
+            Declare(InternAtom(node->str), node->str, node->id, BindingKind::kFunction);
+        RecordDecl(node->id, binding);
+        return;  // the body is its own scope
+      }
+      case NodeKind::kClassDecl: {
+        int binding =
+            Declare(InternAtom(node->str), node->str, node->id, BindingKind::kClass);
+        RecordDecl(node->id, binding);
+        return;  // method bodies are their own scopes
+      }
+      case NodeKind::kIfStmt:
+        HoistBranch(node->children[1]);
+        if (node->children.size() > 2) {
+          HoistBranch(node->children[2]);
+        }
+        return;
+      case NodeKind::kWhileStmt:
+        HoistBranch(node->children[1]);
+        return;
+      default:
+        return;  // blocks/loops/functions own their declarations
+    }
+  }
+
+  void HoistBranch(const NodePtr& stmt) {
+    // A block branch owns its own scope; a bare statement executes in ours.
+    if (stmt->kind != NodeKind::kBlockStmt) {
+      HoistStatement(stmt);
+    }
+  }
+
+  void RecordDecl(int ast_id, int binding) {
+    if (ast_id >= 0) {
+      result_.decl_binding_by_ast[ast_id] = binding;
+    }
+  }
+
+  // --- scope plumbing --------------------------------------------------------
+
+  void PushScope(NodePtr owner) {
+    Scope scope;
+    scope.owner = std::move(owner);
+    scopes_.push_back(std::move(scope));
+  }
+
+  // Called after hoisting, before walking the body: a block or for-header that
+  // allocated no slots gets no runtime Environment (and does not count as a
+  // hop). The owner's slot doubles as the marker the interpreter checks.
+  void FinalizeBlockish(const NodePtr& owner) {
+    Scope& scope = scopes_.back();
+    scope.transparent = scope.next_slot == 0;
+    owner->slot = scope.transparent ? 0 : -1;
+  }
+
+  void PopScopeInto(const NodePtr& owner) {
+    owner->frame_size = scopes_.back().next_slot;
+    scopes_.pop_back();
+  }
+
+  // --- uses ------------------------------------------------------------------
+
+  void ResolveUse(const NodePtr& node, bool record_use = true) {
+    node->atom = InternAtom(node->str);
+    int env_hops = 0;
+    for (size_t i = scopes_.size(); i-- > 0;) {
+      Scope& scope = scopes_[i];
+      auto it = scope.names.find(node->atom);
+      if (it != scope.names.end()) {
+        const SemaBinding& binding = result_.bindings[static_cast<size_t>(it->second)];
+        if (scope.is_global) {
+          node->hops = kHopsGlobal;
+          node->slot = -1;
+        } else {
+          node->hops = env_hops;
+          node->slot = binding.slot;
+        }
+        if (record_use && node->id >= 0) {
+          result_.use_to_binding[node->id] = it->second;
+        }
+        return;
+      }
+      if (!scope.transparent && !scope.is_global) {
+        ++env_hops;
+      }
+    }
+    // Unbound: builtins, framework globals, implicit globals. The interpreter
+    // probes the name-keyed global environment directly.
+    node->hops = kHopsGlobal;
+    node->slot = -1;
+  }
+
+  void ResolveThis(const NodePtr& node) {
+    int env_hops = 0;
+    for (size_t i = scopes_.size(); i-- > 0;) {
+      Scope& scope = scopes_[i];
+      if (scope.is_function && !scope.is_arrow) {
+        node->hops = env_hops;
+        node->slot = 0;
+        if (node->id >= 0) {
+          int this_binding =
+              result_.functions[static_cast<size_t>(scope.function_index)].this_binding;
+          if (this_binding >= 0) {
+            result_.use_to_binding[node->id] = this_binding;
+          }
+        }
+        return;
+      }
+      if (!scope.transparent && !scope.is_global) {
+        ++env_hops;
+      }
+    }
+    // `this` outside any non-arrow function: dynamic lookup (undefined).
+    node->hops = kHopsUnresolved;
+    node->slot = -1;
+  }
+
+  // --- functions -------------------------------------------------------------
+
+  int WalkFunctionLike(const NodePtr& node) {
+    int fn_index = static_cast<int>(result_.functions.size());
+    result_.functions.emplace_back();
+    result_.function_by_ast[node->id] = fn_index;
+    result_.functions[static_cast<size_t>(fn_index)].ast_id = node->id;
+    result_.functions[static_cast<size_t>(fn_index)].node = node;
+    result_.functions[static_cast<size_t>(fn_index)].enclosing = current_function_;
+
+    PushScope(node);
+    Scope& scope = scopes_.back();
+    scope.is_function = true;
+    scope.is_arrow = node->kind == NodeKind::kArrowFunction;
+    scope.function_index = fn_index;
+    int saved_function = current_function_;
+    current_function_ = fn_index;
+
+    if (!scope.is_arrow) {
+      result_.functions[static_cast<size_t>(fn_index)].this_binding = DeclareThis(node->id);
+    }
+    // kFunctionDecl keeps the declaration-name slot its statement case wrote;
+    // kFunctionExpr carries its self-binding slot; others carry none.
+    if (node->kind == NodeKind::kFunctionExpr) {
+      node->slot = -1;
+      if (!node->str.empty()) {
+        int self = Declare(InternAtom(node->str), node->str, node->id, BindingKind::kSelf);
+        result_.functions[static_cast<size_t>(fn_index)].self_binding = self;
+        node->slot = result_.bindings[static_cast<size_t>(self)].slot;
+      }
+    } else if (node->kind != NodeKind::kFunctionDecl) {
+      node->slot = -1;
+    }
+    for (const NodePtr& param : node->children[0]->children) {
+      Atom atom = InternAtom(param->str);
+      BindingKind kind = param->kind == NodeKind::kRestParam ? BindingKind::kRest
+                                                             : BindingKind::kParam;
+      int binding = Declare(atom, param->str, param->id, kind);
+      param->atom = atom;
+      param->slot = result_.bindings[static_cast<size_t>(binding)].slot;
+      result_.functions[static_cast<size_t>(fn_index)].param_bindings.push_back(binding);
+    }
+
+    const NodePtr& body = node->children[1];
+    if (body->kind == NodeKind::kBlockStmt) {
+      WalkStatement(body);  // opens the body-block scope, like EvalBlock does
+    } else {
+      WalkExpression(body);
+    }
+
+    current_function_ = saved_function;
+    PopScopeInto(node);
+    return fn_index;
+  }
+
+  // --- statements ------------------------------------------------------------
+
+  void WalkStatement(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kProgram:
+        for (const NodePtr& stmt : node->children) {
+          WalkStatement(stmt);
+        }
+        return;
+      case NodeKind::kVarDecl: {
+        for (const NodePtr& declarator : node->children) {
+          declarator->atom = InternAtom(declarator->str);
+          // Re-fetch the scope each iteration: walking an initializer can
+          // push scopes and reallocate the stack.
+          Scope& scope = scopes_.back();
+          auto it = scope.names.find(declarator->atom);
+          declarator->slot =
+              it == scope.names.end()
+                  ? -1
+                  : result_.bindings[static_cast<size_t>(it->second)].slot;
+          if (!declarator->children.empty()) {
+            WalkExpression(declarator->children[0]);
+          }
+        }
+        return;
+      }
+      case NodeKind::kFunctionDecl: {
+        node->atom = InternAtom(node->str);
+        Scope& scope = scopes_.back();
+        auto it = scope.names.find(node->atom);
+        node->slot = it == scope.names.end()
+                         ? -1
+                         : result_.bindings[static_cast<size_t>(it->second)].slot;
+        WalkFunctionLike(node);
+        return;
+      }
+      case NodeKind::kClassDecl: {
+        node->atom = InternAtom(node->str);
+        Scope& scope = scopes_.back();
+        auto it = scope.names.find(node->atom);
+        node->slot = it == scope.names.end()
+                         ? -1
+                         : result_.bindings[static_cast<size_t>(it->second)].slot;
+        SemaClass cls;
+        cls.name = node->str;
+        cls.ast_id = node->id;
+        if (node->children[0]->kind != NodeKind::kEmpty) {
+          cls.super_name = node->children[0]->str;
+          // Annotate the superclass use for the interpreter, but keep it out
+          // of use_to_binding: the dataflow graph wires classes by name.
+          ResolveUse(node->children[0], /*record_use=*/false);
+        }
+        for (size_t i = 1; i < node->children.size(); ++i) {
+          const NodePtr& method = node->children[i];
+          int method_fn = WalkFunctionLike(method);
+          cls.methods[method->str] = method_fn;
+        }
+        result_.class_by_name[cls.name] = static_cast<int>(result_.classes.size());
+        result_.classes.push_back(std::move(cls));
+        return;
+      }
+      case NodeKind::kBlockStmt: {
+        PushScope(node);
+        HoistInto(node->children);
+        FinalizeBlockish(node);
+        for (const NodePtr& stmt : node->children) {
+          WalkStatement(stmt);
+        }
+        PopScopeInto(node);
+        return;
+      }
+      case NodeKind::kIfStmt:
+        WalkExpression(node->children[0]);
+        WalkStatement(node->children[1]);
+        if (node->children.size() > 2) {
+          WalkStatement(node->children[2]);
+        }
+        return;
+      case NodeKind::kWhileStmt:
+        WalkExpression(node->children[0]);
+        WalkStatement(node->children[1]);
+        return;
+      case NodeKind::kForStmt: {
+        PushScope(node);
+        if (node->children[0]->kind == NodeKind::kVarDecl) {
+          HoistStatement(node->children[0]);
+        }
+        HoistBranch(node->children[3]);
+        FinalizeBlockish(node);
+        WalkStatement(node->children[0]);
+        if (node->children[1]->kind != NodeKind::kEmpty) {
+          WalkExpression(node->children[1]);
+        }
+        if (node->children[2]->kind != NodeKind::kEmpty) {
+          WalkExpression(node->children[2]);
+        }
+        WalkStatement(node->children[3]);
+        PopScopeInto(node);
+        return;
+      }
+      case NodeKind::kForOfStmt: {
+        WalkExpression(node->children[1]);  // iterable evaluates in the outer scope
+        PushScope(node);
+        const NodePtr& loop_var = node->children[0];
+        loop_var->atom = InternAtom(loop_var->str);
+        int binding =
+            Declare(loop_var->atom, loop_var->str, loop_var->id, BindingKind::kForOf);
+        RecordDecl(loop_var->id, binding);
+        if (loop_var->id >= 0) {
+          result_.use_to_binding[loop_var->id] = binding;
+        }
+        loop_var->slot = result_.bindings[static_cast<size_t>(binding)].slot;
+        loop_var->hops = 0;
+        HoistBranch(node->children[2]);
+        node->slot = -1;  // per-iteration frames always materialize
+        WalkStatement(node->children[2]);
+        PopScopeInto(node);
+        return;
+      }
+      case NodeKind::kReturnStmt:
+        if (!node->children.empty()) {
+          WalkExpression(node->children[0]);
+        }
+        return;
+      case NodeKind::kTryStmt: {
+        WalkStatement(node->children[0]);
+        node->slot = -1;
+        if (node->children[2]->kind == NodeKind::kBlockStmt) {
+          PushScope(node);
+          const NodePtr& param = node->children[1];
+          if (param->kind != NodeKind::kEmpty) {
+            param->atom = InternAtom(param->str);
+            int binding = Declare(param->atom, param->str, param->id, BindingKind::kCatch);
+            if (param->id >= 0) {
+              result_.use_to_binding[param->id] = binding;
+            }
+            param->slot = result_.bindings[static_cast<size_t>(binding)].slot;
+            param->hops = 0;
+          }
+          WalkStatement(node->children[2]);
+          PopScopeInto(node);  // the catch frame lives on the try node
+        } else {
+          node->frame_size = 0;
+        }
+        if (node->children.size() > 3 && node->children[3]->kind == NodeKind::kBlockStmt) {
+          WalkStatement(node->children[3]);
+        }
+        return;
+      }
+      case NodeKind::kThrowStmt:
+        WalkExpression(node->children[0]);
+        return;
+      case NodeKind::kExprStmt:
+        WalkExpression(node->children[0]);
+        return;
+      case NodeKind::kBreakStmt:
+      case NodeKind::kContinueStmt:
+      case NodeKind::kEmpty:
+        return;
+      default:
+        WalkExpression(node);
+        return;
+    }
+  }
+
+  // --- expressions -----------------------------------------------------------
+
+  void WalkExpression(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kIdentifier:
+        ResolveUse(node);
+        return;
+      case NodeKind::kThisExpr:
+        ResolveThis(node);
+        return;
+      case NodeKind::kFunctionExpr:
+      case NodeKind::kArrowFunction:
+        WalkFunctionLike(node);
+        return;
+      case NodeKind::kObjectLit:
+        for (const NodePtr& prop : node->children) {
+          if (prop->num != 0) {  // computed key
+            WalkExpression(prop->children[0]);
+            WalkExpression(prop->children[1]);
+          } else {
+            prop->atom = InternAtom(prop->str);
+            WalkExpression(prop->children[0]);
+          }
+        }
+        return;
+      case NodeKind::kMemberExpr:
+        node->atom = InternAtom(node->str);
+        WalkExpression(node->children[0]);
+        return;
+      case NodeKind::kNumberLit:
+      case NodeKind::kStringLit:
+      case NodeKind::kBoolLit:
+      case NodeKind::kNullLit:
+      case NodeKind::kUndefinedLit:
+      case NodeKind::kEmpty:
+        return;
+      case NodeKind::kArrayLit:
+      case NodeKind::kCallExpr:
+      case NodeKind::kNewExpr:
+      case NodeKind::kIndexExpr:
+      case NodeKind::kBinaryExpr:
+      case NodeKind::kLogicalExpr:
+      case NodeKind::kUnaryExpr:
+      case NodeKind::kUpdateExpr:
+      case NodeKind::kAssignExpr:
+      case NodeKind::kConditionalExpr:
+      case NodeKind::kSpreadElement:
+      case NodeKind::kAwaitExpr:
+      case NodeKind::kSequenceExpr:
+        for (const NodePtr& child : node->children) {
+          WalkExpression(child);
+        }
+        return;
+      default:
+        // Defensive: a statement-ish node in expression position. Keep every
+        // identifier under it annotated (a missed one would name-walk past
+        // slot-only frames at runtime).
+        for (const NodePtr& child : node->children) {
+          if (child->kind == NodeKind::kBlockStmt) {
+            WalkStatement(child);
+          } else if (child->IsExpression()) {
+            WalkExpression(child);
+          }
+        }
+        return;
+    }
+  }
+
+  const Program& program_;
+  SemaResult result_;
+  std::vector<Scope> scopes_;
+  int current_function_ = -1;
+};
+
+}  // namespace
+
+SemaResult ResolveProgram(const Program& program) {
+  return Resolver(program).Run();
+}
+
+}  // namespace turnstile

@@ -1,0 +1,119 @@
+// Static name resolution ("sema") for MiniScript programs.
+//
+// ResolveProgram walks a parsed AST once and annotates it in place:
+//   - every kIdentifier / kThisExpr use gets (hops, slot) coordinates that the
+//     interpreter turns into direct frame indexing (src/interp/environment.h):
+//       hops >= 0        walk that many Environment parents, read slots[slot]
+//       kHopsGlobal      the name lives in the name-keyed global environment
+//       kHopsUnresolved  no static info; dynamic name-chain walk (hand-built
+//                        ASTs that never went through ResolveProgram)
+//   - every declaration site (declarators, params, rest params, catch params,
+//     for-of loop variables, function/class names) gets its defining slot
+//   - every scope-owning node gets frame_size, the number of value slots its
+//     runtime Environment must allocate:
+//       function-like nodes   the call frame (slot 0 = `this` for non-arrows,
+//                             then the self-binding of named function
+//                             expressions, then parameters)
+//       kBlockStmt            the block frame
+//       kForStmt              the loop-header frame (init declarations)
+//       kForOfStmt            the per-iteration frame (the loop variable)
+//       kTryStmt              the catch frame (the catch parameter)
+//   - identifier-ish payload strings (identifiers, member-access property
+//     names, static object-literal keys) are interned into the atom table
+//
+// The scope structure mirrors the interpreter's runtime environment creation
+// sites exactly — one static scope per Environment the interpreter makes — so
+// hop counts line up with the runtime parent chain. Blocks and for-headers
+// that end up with zero slots are marked "transparent" (node->slot == 0 with
+// frame_size == 0): the interpreter skips creating an Environment for them and
+// the resolver skips them when counting hops.
+//
+// Binding visibility is hoisted: every declaration in a scope is visible (and
+// has a slot) from scope entry, initialized to undefined. This matches JS var
+// hoisting and function-declaration hoisting; for let/const it diverges from
+// a strict TDZ (reads before the declaration yield undefined instead of an
+// error). The analyzer adapter (src/analysis/scope.cc) consumes the SemaResult
+// tables below, so the analyzer and the interpreter share one binding
+// structure by construction.
+//
+// Re-resolution: ResolveProgram overwrites every annotation it is responsible
+// for, so it is safe (and required) to re-run it after the instrumentor
+// rewrites a tree or after a printer round-trip re-parses one. Instrumented
+// output must re-parse *and* re-resolve before it can run.
+#ifndef TURNSTILE_SRC_LANG_RESOLVE_H_
+#define TURNSTILE_SRC_LANG_RESOLVE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace turnstile {
+
+enum class BindingKind {
+  kVar,       // let / const / var declarator
+  kParam,     // function parameter
+  kRest,      // rest parameter
+  kCatch,     // catch clause parameter
+  kForOf,     // for-of loop variable
+  kFunction,  // function declaration name
+  kClass,     // class declaration name
+  kThis,      // the `this` pseudo-binding of a non-arrow function
+  kSelf,      // self-binding of a named function expression
+};
+
+struct SemaBinding {
+  Atom atom = kAtomEmpty;
+  std::string name;    // "<this>" for kThis bindings
+  int decl_ast = -1;   // id of the node that introduced the binding
+  int32_t slot = -1;   // slot in the owning frame; -1 for global bindings
+  bool is_global = false;
+  BindingKind kind = BindingKind::kVar;
+};
+
+struct SemaFunction {
+  int ast_id = -1;
+  NodePtr node;
+  int enclosing = -1;                // index into SemaResult::functions
+  std::vector<int> param_bindings;   // indices into SemaResult::bindings
+  int this_binding = -1;             // index into bindings (-1 for arrows)
+  int self_binding = -1;             // named function expressions only
+};
+
+struct SemaClass {
+  std::string name;
+  int ast_id = -1;
+  std::string super_name;                        // "" when no extends clause
+  std::unordered_map<std::string, int> methods;  // method name -> fn index
+};
+
+struct SemaResult {
+  int ast_count = 0;
+  std::vector<NodePtr> ast_by_id;  // indexed by Node::id
+  std::vector<SemaBinding> bindings;
+  // Use-site AST id -> binding index. Entries exist only for uses bound to a
+  // program-declared name (unbound builtins like `console` have none), for
+  // kThisExpr uses, for for-of loop variables and for catch parameters —
+  // matching what the dataflow analyzer consumes.
+  std::unordered_map<int, int> use_to_binding;
+  std::vector<SemaFunction> functions;
+  std::unordered_map<int, int> function_by_ast;  // fn ast id -> function index
+  std::vector<SemaClass> classes;
+  std::unordered_map<std::string, int> class_by_name;
+  std::unordered_map<int, int> decl_binding_by_ast;  // decl ast id -> binding
+};
+
+// Resolves (and annotates) `program`. Never fails on valid parses. Mutates the
+// AST nodes through their shared pointers; the Program itself is untouched.
+SemaResult ResolveProgram(const Program& program);
+
+// True once ResolveProgram has run over this tree (the root carries a marker).
+// Cloned trees keep their annotations; rewritten trees must re-resolve.
+inline bool IsResolved(const Program& program) {
+  return program.root != nullptr && program.root->slot >= 0;
+}
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_LANG_RESOLVE_H_

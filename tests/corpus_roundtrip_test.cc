@@ -8,6 +8,7 @@
 #include "src/analysis/analyzer.h"
 #include "src/baseline/querydl.h"
 #include "src/corpus/corpus.h"
+#include "src/corpus/driver.h"
 #include "src/instrument/instrumentor.h"
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
@@ -74,6 +75,34 @@ TEST(CorpusRoundTripTest, AnalysisIsStableUnderReprinting) {
     auto after = AnalyzeProgram(*reprinted);
     ASSERT_TRUE(before.ok() && after.ok());
     EXPECT_EQ(before->paths.size(), after->paths.size()) << app.name;
+  }
+}
+
+TEST(CorpusRoundTripTest, RoundTrippedInstrumentationPreservesBehaviourOnEveryApp) {
+  // The deployment invariant: instrument -> print -> re-parse -> re-resolve ->
+  // run produces the same sink traffic and the same violation set as running
+  // the in-memory instrumented tree, on every corpus app.
+  for (const CorpusApp& app : Corpus()) {
+    std::vector<std::string> outcome[2];
+    int index = 0;
+    for (AppVersion version : {AppVersion::kSelective, AppVersion::kRoundTrip}) {
+      auto runtime = AppRuntime::Create(app, version);
+      ASSERT_TRUE(runtime.ok()) << app.name << ": " << runtime.status().ToString();
+      Rng rng(977u);
+      for (int seq = 0; seq < 3; ++seq) {
+        ASSERT_TRUE((*runtime)->DriveMessage(&rng, seq).ok()) << app.name;
+      }
+      std::vector<std::string>& summary = outcome[index++];
+      for (const IoRecord& record : (*runtime)->interp().io_world().records) {
+        summary.push_back(record.channel + "|" + record.op + "|" + record.detail + "|" +
+                          record.payload);
+      }
+      for (const Violation& violation : (*runtime)->tracker()->violations()) {
+        summary.push_back("violation|" + violation.sink + "|" + violation.data_labels + "|" +
+                          violation.receiver_labels);
+      }
+    }
+    EXPECT_EQ(outcome[0], outcome[1]) << app.name;
   }
 }
 

@@ -8,6 +8,7 @@
 #include "src/dift/tracker.h"
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
+#include "src/lang/resolve.h"
 
 namespace turnstile {
 namespace {
@@ -219,6 +220,55 @@ TEST(InstrumentorTest, EndToEndEnforcementBlocksViolatingFlow) {
   EXPECT_EQ(archive_writes, 1);
   ASSERT_EQ(run.tracker->violations().size(), 1u);
   EXPECT_EQ(run.tracker->violations()[0].data_labels, "{visitor}");
+}
+
+TEST(InstrumentorTest, PrintedOutputReResolvesAndEnforcesIdentically) {
+  // The invariant: instrumented output survives print → re-parse → re-resolve
+  // and enforces the same policy decisions as the in-memory tree.
+  auto program = ParseProgram(kCameraApp, "app.js");
+  ASSERT_TRUE(program.ok());
+  auto policy = std::shared_ptr<Policy>(MustPolicy(kCameraPolicy).release());
+  auto analysis = AnalyzeProgram(*program);
+  ASSERT_TRUE(analysis.ok());
+  auto instrumented =
+      InstrumentProgram(*program, *policy, InstrumentMode::kSelective, &*analysis);
+  ASSERT_TRUE(instrumented.ok()) << instrumented.status().ToString();
+  EXPECT_TRUE(IsResolved(instrumented->program));
+
+  std::string printed = PrintProgram(instrumented->program);
+  auto reparsed = ParseProgram(printed, "app.js");
+  ASSERT_TRUE(reparsed.ok()) << printed << "\n" << reparsed.status().ToString();
+  EXPECT_FALSE(IsResolved(*reparsed));  // the printer drops all annotations
+  ResolveProgram(*reparsed);
+
+  auto Drive = [&policy](const Program& prog) {
+    std::vector<std::string> summary;
+    Interpreter interp;
+    DiftTracker tracker(&interp, policy);
+    tracker.Install();
+    EXPECT_TRUE(interp.RunProgram(prog).ok());
+    EXPECT_TRUE(interp.RunEventLoop().ok());
+    auto& sockets = interp.io_world().emitters["net.socket"];
+    EXPECT_EQ(sockets.size(), 1u);
+    interp.EmitEvent(sockets[0], "data", {Value("employee-frame-1")});
+    interp.EmitEvent(sockets[0], "data", {Value("visitor-frame-2")});
+    EXPECT_TRUE(interp.RunEventLoop().ok());
+    for (const IoRecord& record : interp.io_world().records) {
+      if (record.channel == "fs") {
+        summary.push_back("write:" + record.payload);
+      }
+    }
+    for (const Violation& violation : tracker.violations()) {
+      summary.push_back("violation:" + violation.data_labels);
+    }
+    return summary;
+  };
+
+  std::vector<std::string> direct = Drive(instrumented->program);
+  std::vector<std::string> round_tripped = Drive(*reparsed);
+  EXPECT_EQ(direct, round_tripped);
+  ASSERT_FALSE(direct.empty());
+  EXPECT_EQ(direct.back(), "violation:{visitor}");
 }
 
 TEST(InstrumentorTest, UnmanagedAndManagedAgreeWhenPolicyAllows) {

@@ -117,6 +117,68 @@ TEST(SemanticsTest, HoistedFunctionUsableBeforeDeclaration) {
                    42);
 }
 
+TEST(SemanticsTest, ShadowingAcrossNestedClosuresReadsNearestBinding) {
+  // Three distinct `x` bindings: the slot-resolved reads must each hit their
+  // own scope, and the inner writes must not leak outward.
+  EXPECT_EQ(RunAndGet(R"(
+    let x = "g";
+    function outer() {
+      let x = "o";
+      function inner() {
+        let x = "i";
+        x = x + "!";
+        return x;
+      }
+      return inner() + x;
+    }
+    let result = outer() + x;
+  )").ToDisplayString(),
+            "i!og");
+}
+
+TEST(SemanticsTest, CatchParamShadowsWithoutLeaking) {
+  // The catch parameter lives in its own one-slot frame; the outer binding
+  // with the same name is untouched by writes inside the handler.
+  EXPECT_EQ(RunAndGet(R"(
+    let e = "outer";
+    let seen = "";
+    try {
+      throw "thrown";
+    } catch (e) {
+      e = e + "+edited";
+      seen = e;
+    }
+    let result = seen + "/" + e;
+  )").ToDisplayString(),
+            "thrown+edited/outer");
+}
+
+TEST(SemanticsTest, NamedFunctionExpressionSelfReferenceRecurses) {
+  // The resolver gives named function expressions a self-binding slot inside
+  // their own frame, visible even when the outer variable is reassigned.
+  EXPECT_DOUBLE_EQ(RunAndGet(R"(
+    let f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); };
+    let g = f;
+    f = null;
+    let result = g(5);
+  )").AsNumber(),
+                   120);
+}
+
+TEST(SemanticsTest, ForOfIterableEvaluatesInOuterScope) {
+  // The loop variable's per-iteration frame must not be in scope while the
+  // iterable expression itself evaluates.
+  EXPECT_EQ(RunAndGet(R"(
+    let item = "outer";
+    let out = [];
+    for (let item of [item + "1", item + "2"]) {
+      out.push(item);
+    }
+    let result = out.join(",");
+  )").ToDisplayString(),
+            "outer1,outer2");
+}
+
 TEST(SemanticsTest, MethodExtractedLosesThisButBindRestores) {
   EXPECT_DOUBLE_EQ(RunAndGet(R"(
     class Box {

@@ -96,11 +96,11 @@ TEST(ValueTest, ObjectInsertionOrderAndDelete) {
   obj->Set("a", Value(2.0));
   obj->Set("b", Value(3.0));  // overwrite keeps position
   ASSERT_EQ(obj->insertion_order.size(), 2u);
-  EXPECT_EQ(obj->insertion_order[0], "b");
+  EXPECT_EQ(AtomName(obj->insertion_order[0]), "b");
   obj->Delete("b");
   EXPECT_FALSE(obj->Has("b"));
   ASSERT_EQ(obj->insertion_order.size(), 1u);
-  EXPECT_EQ(obj->insertion_order[0], "a");
+  EXPECT_EQ(AtomName(obj->insertion_order[0]), "a");
 }
 
 TEST(ValueTest, ObjectTrapsFire) {

@@ -1,0 +1,291 @@
+// The shared name-resolution ("sema") pass: slot/hops annotations, frame
+// sizes, hoisting, shadowing, catch/for-of scoping, transparency of empty
+// blocks, and the re-resolution invariant after printer round-trips.
+#include "src/lang/resolve.h"
+
+#include <gtest/gtest.h>
+
+#include "src/interp/interp.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace turnstile {
+namespace {
+
+Program MustParse(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+// First identifier node with the given name on the given line (0 = any line).
+NodePtr FindIdent(const Program& program, const std::string& name, int line = 0) {
+  NodePtr found;
+  ForEachNode(program.root, [&](const NodePtr& node) {
+    if (found == nullptr && node->kind == NodeKind::kIdentifier && node->str == name &&
+        (line == 0 || node->loc.line == line)) {
+      found = node;
+    }
+  });
+  return found;
+}
+
+NodePtr FindKind(const Program& program, NodeKind kind) {
+  NodePtr found;
+  ForEachNode(program.root, [&](const NodePtr& node) {
+    if (found == nullptr && node->kind == kind) {
+      found = node;
+    }
+  });
+  return found;
+}
+
+TEST(ResolveTest, MarksProgramResolved) {
+  Program program = MustParse("let a = 1;\nlet b = a;");
+  EXPECT_FALSE(IsResolved(program));
+  ResolveProgram(program);
+  EXPECT_TRUE(IsResolved(program));
+  // Top-level declarations live in the name-keyed global environment.
+  NodePtr use = FindIdent(program, "a", 2);
+  ASSERT_NE(use, nullptr);
+  EXPECT_EQ(use->hops, kHopsGlobal);
+  EXPECT_EQ(use->atom, InternAtom("a"));
+}
+
+TEST(ResolveTest, ShadowingAcrossNestedClosures) {
+  Program program = MustParse(
+      "let x = 1;\n"
+      "function outer() {\n"
+      "  let x = 2;\n"
+      "  function inner() {\n"
+      "    let x = 3;\n"
+      "    return x;\n"        // line 6: innermost x
+      "  }\n"
+      "  return inner() + x;\n"  // line 8: outer()'s x
+      "}\n"
+      "let result = outer() + x;\n");  // line 10: global x
+  SemaResult sema = ResolveProgram(program);
+
+  NodePtr innermost = FindIdent(program, "x", 6);
+  NodePtr middle = FindIdent(program, "x", 8);
+  NodePtr global = FindIdent(program, "x", 10);
+  ASSERT_NE(innermost, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(global, nullptr);
+
+  // Each use resolves into its own scope: same-frame slot reads for the two
+  // locals, a global-map probe for the top-level one.
+  EXPECT_EQ(innermost->hops, 0);
+  EXPECT_EQ(middle->hops, 0);
+  EXPECT_EQ(global->hops, kHopsGlobal);
+
+  // And to three distinct bindings.
+  int b_inner = sema.use_to_binding.at(innermost->id);
+  int b_middle = sema.use_to_binding.at(middle->id);
+  EXPECT_NE(b_inner, b_middle);
+  EXPECT_EQ(sema.use_to_binding.count(global->id), 1u);
+  EXPECT_NE(sema.use_to_binding.at(global->id), b_inner);
+  EXPECT_TRUE(sema.bindings[static_cast<size_t>(
+      sema.use_to_binding.at(global->id))].is_global);
+}
+
+TEST(ResolveTest, FunctionHoistingBeforeDeclaration) {
+  Program program = MustParse(
+      "function wrapper() {\n"
+      "  let a = helper();\n"   // use precedes the declaration
+      "  function helper() { return 42; }\n"
+      "  return a;\n"
+      "}\n"
+      "let result = wrapper();\n");
+  SemaResult sema = ResolveProgram(program);
+  NodePtr use = FindIdent(program, "helper", 2);
+  ASSERT_NE(use, nullptr);
+  EXPECT_GE(use->slot, 0);
+  NodePtr decl;
+  ForEachNode(program.root, [&](const NodePtr& node) {
+    if (node->kind == NodeKind::kFunctionDecl && node->str == "helper") {
+      decl = node;
+    }
+  });
+  ASSERT_NE(decl, nullptr);
+  // The pre-declaration use binds to the hoisted declaration.
+  EXPECT_EQ(sema.use_to_binding.at(use->id), sema.decl_binding_by_ast.at(decl->id));
+  EXPECT_EQ(use->slot, decl->slot);
+
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunProgram(program).ok());
+  Value* result = interp.global_env()->Lookup("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_DOUBLE_EQ(result->AsNumber(), 42.0);
+}
+
+TEST(ResolveTest, CatchParamScoping) {
+  Program program = MustParse(
+      "let e = \"outer\";\n"
+      "let seen = \"\";\n"
+      "try {\n"
+      "  throw \"thrown\";\n"
+      "} catch (e) {\n"
+      "  seen = e;\n"          // line 6: the catch parameter, not the global
+      "}\n"
+      "let after = e;\n");     // line 8: the global again
+  SemaResult sema = ResolveProgram(program);
+
+  NodePtr try_node = FindKind(program, NodeKind::kTryStmt);
+  ASSERT_NE(try_node, nullptr);
+  EXPECT_EQ(try_node->frame_size, 1u);  // the catch frame holds exactly `e`
+  const NodePtr& param = try_node->children[1];
+  EXPECT_EQ(param->slot, 0);
+
+  NodePtr inside = FindIdent(program, "e", 6);
+  NodePtr outside = FindIdent(program, "e", 8);
+  ASSERT_NE(inside, nullptr);
+  ASSERT_NE(outside, nullptr);
+  EXPECT_GE(inside->hops, 0);  // slot-indexed catch frame
+  EXPECT_EQ(inside->slot, 0);
+  EXPECT_EQ(outside->hops, kHopsGlobal);
+  EXPECT_EQ(sema.use_to_binding.at(inside->id), sema.use_to_binding.at(param->id));
+
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunProgram(program).ok());
+  EXPECT_EQ(interp.global_env()->Lookup("seen")->ToDisplayString(), "thrown");
+  EXPECT_EQ(interp.global_env()->Lookup("after")->ToDisplayString(), "outer");
+}
+
+TEST(ResolveTest, ForOfLoopVariableCapture) {
+  Program program = MustParse(
+      "let item = \"outer\";\n"
+      "let fns = [];\n"
+      "for (let item of [item + \"1\", item + \"2\"]) {\n"
+      "  fns.push(() => item);\n"
+      "}\n"
+      "let result = fns.map(f => f()).join(\",\");\n");
+  SemaResult sema = ResolveProgram(program);
+
+  NodePtr for_of = FindKind(program, NodeKind::kForOfStmt);
+  ASSERT_NE(for_of, nullptr);
+  EXPECT_EQ(for_of->frame_size, 1u);  // per-iteration frame: just the loop var
+  const NodePtr& loop_var = for_of->children[0];
+  EXPECT_EQ(loop_var->slot, 0);
+
+  // The iterable evaluates in the OUTER scope: `item` inside the array
+  // literal is the global, not the loop variable.
+  NodePtr iterable_use;
+  ForEachNode(for_of->children[1], [&](const NodePtr& node) {
+    if (iterable_use == nullptr && node->kind == NodeKind::kIdentifier &&
+        node->str == "item") {
+      iterable_use = node;
+    }
+  });
+  ASSERT_NE(iterable_use, nullptr);
+  EXPECT_EQ(iterable_use->hops, kHopsGlobal);
+
+  // The closure captures the loop variable across the arrow's call frame.
+  NodePtr captured = FindIdent(program, "item", 4);
+  ASSERT_NE(captured, nullptr);
+  EXPECT_GT(captured->hops, 0);
+  EXPECT_EQ(sema.use_to_binding.at(captured->id), sema.use_to_binding.at(loop_var->id));
+
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunProgram(program).ok());
+  ASSERT_TRUE(interp.RunEventLoop().ok());
+  EXPECT_EQ(interp.global_env()->Lookup("result")->ToDisplayString(), "outer1,outer2");
+}
+
+TEST(ResolveTest, TransparentBlocksDoNotCountAsHops) {
+  Program program = MustParse(
+      "function f(a) {\n"
+      "  {\n"
+      "    out = a;\n"          // line 3: through two transparent blocks
+      "  }\n"
+      "  return out;\n"
+      "}\n"
+      "function g(a) {\n"
+      "  let pad = 0;\n"
+      "  { let inner = 1; use2 = a + inner; }\n"  // line 9: two real frames
+      "  return pad;\n"
+      "}\n");
+  ResolveProgram(program);
+
+  // f's body block and the inner block both declare nothing, so neither
+  // materializes a frame: `a` is 0 hops away, at slot 1 (slot 0 is `this`).
+  NodePtr through_transparent = FindIdent(program, "a", 3);
+  ASSERT_NE(through_transparent, nullptr);
+  EXPECT_EQ(through_transparent->hops, 0);
+  EXPECT_EQ(through_transparent->slot, 1);
+
+  // g's body block (pad) and inner block (inner) each own a frame.
+  NodePtr through_frames = FindIdent(program, "a", 9);
+  ASSERT_NE(through_frames, nullptr);
+  EXPECT_EQ(through_frames->hops, 2);
+  EXPECT_EQ(through_frames->slot, 1);
+}
+
+TEST(ResolveTest, NamedFunctionExpressionSelfBinding) {
+  Program program = MustParse(
+      "let f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); };\n"
+      "let result = f(5);\n");
+  ResolveProgram(program);
+  NodePtr fn = FindKind(program, NodeKind::kFunctionExpr);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_GE(fn->slot, 0);  // the self-binding's slot in its own frame
+  NodePtr self_use = FindIdent(program, "fact");
+  ASSERT_NE(self_use, nullptr);
+  EXPECT_EQ(self_use->hops, 0);
+  EXPECT_EQ(self_use->slot, fn->slot);
+
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunProgram(program).ok());
+  EXPECT_DOUBLE_EQ(interp.global_env()->Lookup("result")->AsNumber(), 120.0);
+}
+
+TEST(ResolveTest, ReResolutionAfterPrinterRoundTrip) {
+  const char* source =
+      "function make(n) {\n"
+      "  let acc = [];\n"
+      "  for (let i of [1, 2, 3]) {\n"
+      "    acc.push(() => n * i);\n"
+      "  }\n"
+      "  return acc.map(f => f()).join(\",\");\n"
+      "}\n"
+      "let result = make(10);\n";
+  Program original = MustParse(source);
+  ResolveProgram(original);
+  EXPECT_TRUE(IsResolved(original));
+
+  // A printer round-trip drops every annotation; the re-parsed tree must be
+  // re-resolved before it can run on slot-indexed frames.
+  std::string printed = PrintProgram(original);
+  Program reparsed = MustParse(printed);
+  EXPECT_FALSE(IsResolved(reparsed));
+  ResolveProgram(reparsed);
+  EXPECT_TRUE(IsResolved(reparsed));
+
+  Interpreter a;
+  Interpreter b;
+  ASSERT_TRUE(a.RunProgram(original).ok());
+  ASSERT_TRUE(b.RunProgram(reparsed).ok());
+  EXPECT_EQ(a.global_env()->Lookup("result")->ToDisplayString(),
+            b.global_env()->Lookup("result")->ToDisplayString());
+  EXPECT_EQ(a.global_env()->Lookup("result")->ToDisplayString(), "10,20,30");
+}
+
+TEST(ResolveTest, ResolutionIsIdempotent) {
+  Program program = MustParse(
+      "let x = 1;\n"
+      "function f(y) { let z = x + y; return z; }\n"
+      "let result = f(2);\n");
+  ResolveProgram(program);
+  NodePtr fn = FindKind(program, NodeKind::kFunctionDecl);
+  ASSERT_NE(fn, nullptr);
+  uint32_t first_frame = fn->frame_size;
+  ResolveProgram(program);  // overwrite every annotation
+  EXPECT_EQ(fn->frame_size, first_frame);
+
+  Interpreter interp;
+  ASSERT_TRUE(interp.RunProgram(program).ok());
+  EXPECT_DOUBLE_EQ(interp.global_env()->Lookup("result")->AsNumber(), 3.0);
+}
+
+}  // namespace
+}  // namespace turnstile
