@@ -1,13 +1,11 @@
 // Drop-in replacement for BENCHMARK_MAIN() that honours the repo-wide bench
-// contract: `--json` on the command line or TURNSTILE_BENCH_JSON=1 dumps a
-// metrics-registry snapshot after the run (see bench_util.h, which the
-// google-benchmark micro benches do not include to keep their link
-// dependencies minimal).
+// contract: `--json[=PATH]` on the command line or TURNSTILE_BENCH_JSON in
+// the environment dumps a metrics-registry snapshot after the run (see
+// obs::MaybeWriteMetricsSnapshot; bench_util.h is not included here to keep
+// the google-benchmark micro benches' link dependencies minimal).
 #ifndef TURNSTILE_BENCH_BENCH_MAIN_H_
 #define TURNSTILE_BENCH_BENCH_MAIN_H_
 
-#include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,18 +16,17 @@
 namespace turnstile {
 
 inline int BenchmarkMainWithMetricsSnapshot(int argc, char** argv) {
-  bool dump = false;
+  // Keep the snapshot flags away from google-benchmark's argv parsing; the
+  // filtered-out ones are replayed to the snapshot writer afterwards.
   std::vector<char*> bench_args = {argv[0]};
+  std::vector<char*> snapshot_args = {argv[0]};
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      dump = true;
+    std::string arg = argv[i] == nullptr ? "" : argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      snapshot_args.push_back(argv[i]);
     } else {
       bench_args.push_back(argv[i]);
     }
-  }
-  const char* env = std::getenv("TURNSTILE_BENCH_JSON");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
-    dump = true;
   }
   int bench_argc = static_cast<int>(bench_args.size());
   benchmark::Initialize(&bench_argc, bench_args.data());
@@ -38,9 +35,8 @@ inline int BenchmarkMainWithMetricsSnapshot(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (dump) {
-    std::printf("%s\n", obs::Metrics::Global().ToJson().Dump(/*pretty=*/true).c_str());
-  }
+  obs::MaybeWriteMetricsSnapshot(static_cast<int>(snapshot_args.size()),
+                                 snapshot_args.data());
   return 0;
 }
 

@@ -108,8 +108,8 @@ void BM_FlowCheckUncached(benchmark::State& state) {
     for (int i = 0; i + 1 < depth; ++i) {
       graph.AddRule("L" + std::to_string(i), "L" + std::to_string(i + 1));
     }
-    LabelId from = static_cast<LabelId>(space.Find("L0"));
-    LabelId to = static_cast<LabelId>(space.Find("L" + std::to_string(depth - 1)));
+    LabelId from = *space.Find("L0");
+    LabelId to = *space.Find("L" + std::to_string(depth - 1));
     state.ResumeTiming();
     benchmark::DoNotOptimize(graph.CanFlowLabel(from, to));
   }
@@ -123,8 +123,8 @@ void BM_FlowCheckCached(benchmark::State& state) {
   for (int i = 0; i + 1 < depth; ++i) {
     graph.AddRule("L" + std::to_string(i), "L" + std::to_string(i + 1));
   }
-  LabelId from = static_cast<LabelId>(space.Find("L0"));
-  LabelId to = static_cast<LabelId>(space.Find("L" + std::to_string(depth - 1)));
+  LabelId from = *space.Find("L0");
+  LabelId to = *space.Find("L" + std::to_string(depth - 1));
   graph.CanFlowLabel(from, to);  // warm the cache
   for (auto _ : state) {
     benchmark::DoNotOptimize(graph.CanFlowLabel(from, to));

@@ -129,24 +129,12 @@ inline std::vector<OverheadMeasurement> MeasureAllOverheads(int messages) {
   return out;
 }
 
-// Dumps the global metrics registry as pretty JSON to stdout when requested
-// via `--json` on the command line or TURNSTILE_BENCH_JSON=1 in the
-// environment. Call at the end of main(), after the bench has run.
+// Dumps the global metrics registry as pretty JSON when requested via
+// `--json[=PATH]` on the command line or TURNSTILE_BENCH_JSON in the
+// environment ("1" = stdout, a path = pure-JSON file, keeping stdout free
+// for figure output). Call at the end of main(), after the bench has run.
 inline void MaybeDumpMetricsSnapshot(int argc = 0, char** argv = nullptr) {
-  bool dump = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      dump = true;
-    }
-  }
-  const char* env = std::getenv("TURNSTILE_BENCH_JSON");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
-    dump = true;
-  }
-  if (!dump) {
-    return;
-  }
-  std::printf("%s\n", obs::Metrics::Global().ToJson().Dump(/*pretty=*/true).c_str());
+  obs::MaybeWriteMetricsSnapshot(argc, argv);
 }
 
 // Median of a (copied) vector.

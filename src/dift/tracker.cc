@@ -1,7 +1,6 @@
 #include "src/dift/tracker.h"
 
-#include <map>
-#include <unordered_set>
+#include <utility>
 
 #include "src/lang/parser.h"
 #include "src/lang/resolve.h"
@@ -20,7 +19,10 @@ DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy)
     : DiftTracker(interp, std::move(policy), Options()) {}
 
 DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Options options)
-    : interp_(interp), policy_(std::move(policy)), options_(options) {
+    : interp_(interp),
+      policy_(std::move(policy)),
+      pool_(&policy_->pool()),
+      options_(options) {
   trace_recorder_ = &obs::TraceRecorder::Global();
   obs::Metrics& metrics = obs::Metrics::Global();
   metric_label_calls_ = metrics.GetCounter("dift.label_calls");
@@ -30,6 +32,39 @@ DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Op
   metric_boxes_created_ = metrics.GetCounter("dift.boxes_created");
   metric_violations_ = metrics.GetCounter("dift.violations");
   metric_labeller_fn_evals_ = metrics.GetCounter("dift.labeller_fn_evals");
+}
+
+DiftTracker::~DiftTracker() {
+  // The proxy traps installed on tracked objects capture `this`, and the
+  // objects usually outlive the tracker (they live on in the interpreter's
+  // environments). Clear the traps so no dangling tracker pointer can ever
+  // fire, and release the anchors eagerly so the tracker stops pinning object
+  // graphs — anchored objects can reach closure environments and, through
+  // them, the `__dift` bridge object whose natives point back here.
+  store_.ForEach([](LabelStore::Entry& entry) {
+    if (entry.proxied && entry.anchor.IsObject()) {
+      Object& object = *entry.anchor.AsObject();
+      object.set_trap = nullptr;
+      object.delete_trap = nullptr;
+    }
+    entry.anchor = Value();
+  });
+}
+
+void DiftTracker::LabelStore::Grow() {
+  std::vector<Entry> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Entry{});
+  size_t mask = slots_.size() - 1;
+  for (Entry& entry : old) {
+    if (entry.key == nullptr) {
+      continue;
+    }
+    size_t i = Hash(entry.key) & mask;
+    while (slots_[i].key != nullptr) {
+      i = (i + 1) & mask;
+    }
+    slots_[i] = std::move(entry);
+  }
 }
 
 void DiftTracker::PublishMetrics() {
@@ -52,11 +87,11 @@ const DiftTracker::LabelOrigin* DiftTracker::OriginOf(LabelId id) const {
   return it == label_origins_.end() ? nullptr : &it->second;
 }
 
-void DiftTracker::RecordOrigins(const LabelSet& labels, const std::string& labeller_name) {
-  if (!options_.record_provenance || labels.empty()) {
+void DiftTracker::RecordOrigins(LabelSetRef labels, const std::string& labeller_name) {
+  if (!options_.record_provenance || labels == kEmptyLabelSetRef) {
     return;
   }
-  for (LabelId id : labels.ids()) {
+  for (LabelId id : pool_->Ids(labels)) {
     auto [it, inserted] = label_origins_.try_emplace(id);
     if (!inserted) {
       continue;  // first attachment wins: that is where the label came from
@@ -71,62 +106,131 @@ void DiftTracker::RecordOrigins(const LabelSet& labels, const std::string& label
 
 // --- label plumbing ----------------------------------------------------------
 
-LabelSet DiftTracker::GetLabel(const Value& v) const {
+LabelSetRef DiftTracker::GetLabelRef(const Value& v) const {
+  if (v.IsObject()) {
+    // Boxes carry their labels inline (they are tracker-created temporaries;
+    // going through the store would accumulate one dead entry per boxed
+    // result). The handle is only meaningful against the pool that wrote it.
+    const Object* obj = v.AsObject().get();
+    if (obj->is_box && obj->box_label_pool == pool_) {
+      return obj->box_labels;
+    }
+  }
   const void* key = v.IdentityKey();
   if (key == nullptr) {
-    return LabelSet();
+    return kEmptyLabelSetRef;
   }
-  auto it = labels_.find(key);
-  return it == labels_.end() ? LabelSet() : it->second;
+  const LabelStore::Entry* entry = store_.Find(key);
+  return entry == nullptr ? kEmptyLabelSetRef : entry->labels;
 }
 
-void DiftTracker::AttachLabel(const Value& v, const LabelSet& labels) {
+void DiftTracker::AttachLabelRef(const Value& v, LabelSetRef labels) {
   const void* key = v.IdentityKey();
-  if (key == nullptr || labels.empty()) {
+  if (key == nullptr || labels == kEmptyLabelSetRef) {
     return;
   }
-  label_anchors_.try_emplace(key, v);
-  LabelSet& slot = labels_[key];
-  slot.UnionWith(labels);
+  if (v.IsObject()) {
+    Object* obj = v.AsObject().get();
+    if (obj->is_box &&
+        (obj->box_label_pool == nullptr || obj->box_label_pool == pool_)) {
+      obj->box_label_pool = pool_;
+      LabelSetRef merged = pool_->Union(obj->box_labels, labels);
+      if (merged != obj->box_labels) {
+        obj->box_labels = merged;
+        ++mutation_epoch_;  // deep-label memo entries may now be stale
+      }
+      return;
+    }
+  }
+  LabelStore::Entry& entry = store_.FindOrInsert(key);
+  if (entry.anchor.IsUndefined()) {
+    entry.anchor = v;
+  }
+  LabelSetRef merged = pool_->Union(entry.labels, labels);
+  if (merged != entry.labels) {
+    entry.labels = merged;
+    ++mutation_epoch_;  // deep-label memo entries may now be stale
+  }
 }
 
-void DiftTracker::DeepLabelInto(const Value& v, LabelSet* out,
-                                std::unordered_set<const void*>* visited, int depth) const {
+void DiftTracker::DeepLabelInto(const Value& v, LabelSetRef* out, int depth) const {
   if (depth < 0) {
+    return;
+  }
+  if (v.IsObject() && v.AsObject()->is_box) {
+    // A box carries exactly one value-type payload: its inline labels are
+    // the whole contribution, no visited-set bookkeeping needed (a value
+    // payload cannot cycle).
+    *out = pool_->Union(*out, GetLabelRef(v));
     return;
   }
   const void* key = v.IdentityKey();
   if (key != nullptr) {
-    if (!visited->insert(key).second) {
+    if (!deep_visited_.insert(key).second) {
       return;
     }
-    auto it = labels_.find(key);
-    if (it != labels_.end()) {
-      out->UnionWith(it->second);
+    const LabelStore::Entry* entry = store_.Find(key);
+    if (entry != nullptr && entry->labels != kEmptyLabelSetRef) {
+      *out = pool_->Union(*out, entry->labels);
     }
   }
   if (v.IsObject()) {
     const ObjectPtr& obj = v.AsObject();
-    if (obj->is_box) {
-      DeepLabelInto(obj->box_payload, out, visited, depth);  // boxes are free
-      return;
-    }
     for (const auto& [prop_key, prop_value] : obj->properties) {
       (void)prop_key;
-      DeepLabelInto(prop_value, out, visited, depth - 1);
+      DeepLabelInto(prop_value, out, depth - 1);
     }
   } else if (v.IsArray()) {
     for (const Value& element : v.AsArray()->elements) {
-      DeepLabelInto(element, out, visited, depth - 1);
+      DeepLabelInto(element, out, depth - 1);
     }
   }
 }
 
-LabelSet DiftTracker::DeepLabel(const Value& v, int max_depth) const {
-  LabelSet out;
-  std::unordered_set<const void*> visited;
-  DeepLabelInto(v, &out, &visited, max_depth);
+LabelSetRef DiftTracker::DeepLabelRef(const Value& v, int max_depth) const {
+  if (v.IsObject() && v.AsObject()->is_box) {
+    // A box wraps one value-type payload: its labels are the whole deep
+    // union. Skip the memo — the inline read is cheaper than the probe.
+    return GetLabelRef(v);
+  }
+  const void* key = v.IdentityKey();
+  if (key == nullptr) {
+    return kEmptyLabelSetRef;  // value types carry labels only via boxes
+  }
+  // The memo is valid for exactly one combined epoch: any label-map mutation
+  // (tracker side) or heap shape/allocation change (interpreter side, see
+  // HeapWriteEpoch) could alter a deep union or recycle an identity pointer.
+  uint64_t epoch = mutation_epoch_ + HeapWriteEpoch();
+  if (deep_memo_epoch_ != epoch) {
+    deep_memo_.clear();
+    deep_memo_epoch_ = epoch;
+  }
+  // Identity pointers never use the top byte (canonical user-space
+  // addresses), so depth fits there without colliding two keys.
+  uint64_t memo_key =
+      reinterpret_cast<uint64_t>(key) ^ (static_cast<uint64_t>(max_depth) << 56);
+  auto it = deep_memo_.find(memo_key);
+  if (it != deep_memo_.end()) {
+    ++stats_.deep_label_memo_hits;
+    return it->second;
+  }
+  deep_visited_.clear();  // keeps its buckets: no per-walk allocation
+  LabelSetRef out = kEmptyLabelSetRef;
+  DeepLabelInto(v, &out, max_depth);
+  deep_memo_.emplace(memo_key, out);
   return out;
+}
+
+LabelSet DiftTracker::GetLabel(const Value& v) const {
+  return pool_->Materialize(GetLabelRef(v));
+}
+
+LabelSet DiftTracker::DeepLabel(const Value& v, int max_depth) const {
+  return pool_->Materialize(DeepLabelRef(v, max_depth));
+}
+
+void DiftTracker::AttachLabel(const Value& v, const LabelSet& labels) {
+  AttachLabelRef(v, pool_->Intern(labels));
 }
 
 void DiftTracker::InstallProxy(const ObjectPtr& object) {
@@ -137,12 +241,25 @@ void DiftTracker::InstallProxy(const ObjectPtr& object) {
   // a tracked object, the property value's label is folded into the object's
   // own label so sink checks on the container observe it. Deletion keeps the
   // container label (conservative — labels only grow, as in the paper).
+  //
+  // Anchor the object now: the trap is keyed by identity pointer, and an
+  // unanchored key could be recycled by a later allocation.
+  LabelStore::Entry& entry = store_.FindOrInsert(object.get());
+  if (entry.anchor.IsUndefined()) {
+    entry.anchor = Value(object);
+  }
+  entry.proxied = true;
   DiftTracker* tracker = this;
-  const void* object_key = object.get();
-  object->set_trap = [tracker, object_key](Object&, const std::string&, const Value& value) {
-    LabelSet value_labels = tracker->GetLabel(value);
-    if (!value_labels.empty()) {
-      tracker->labels_[object_key].UnionWith(value_labels);
+  // weak_ptr, not ObjectPtr: a strong capture would make the object retain
+  // its own trap retain the object — an uncollectable cycle.
+  std::weak_ptr<Object> weak = object;
+  object->set_trap = [tracker, weak](Object&, const std::string&, const Value& value) {
+    LabelSetRef value_labels = tracker->GetLabelRef(value);
+    if (value_labels == kEmptyLabelSetRef) {
+      return;
+    }
+    if (ObjectPtr self = weak.lock()) {
+      tracker->AttachLabelRef(Value(std::move(self)), value_labels);
     }
   };
   object->delete_trap = [](Object&, const std::string&) {};
@@ -174,46 +291,59 @@ Result<FunctionPtr> DiftTracker::CompileLabelFn(const LabellerSpec* spec) {
   return completion.value.AsFunction();
 }
 
-Result<LabelSet> DiftTracker::LabelsFromValue(const Value& v) {
-  LabelSet out;
+Result<LabelSetRef> DiftTracker::LabelsFromValue(const Value& v) {
   Value unboxed = UnboxDeep(v);
   if (unboxed.IsNullish()) {
-    return out;  // labeller declined to label
+    return kEmptyLabelSetRef;  // labeller declined to label
   }
+  std::vector<LabelId> ids;
   if (unboxed.IsArray()) {
+    ids.reserve(unboxed.AsArray()->elements.size());
     for (const Value& element : unboxed.AsArray()->elements) {
       Value e = UnboxDeep(element);
       if (!e.IsNullish()) {
-        out.Insert(policy_->space().Intern(e.ToDisplayString()));
+        ids.push_back(policy_->space().Intern(e.ToDisplayString()));
       }
     }
-    return out;
+  } else {
+    ids.push_back(policy_->space().Intern(unboxed.ToDisplayString()));
   }
-  out.Insert(policy_->space().Intern(unboxed.ToDisplayString()));
-  return out;
+  return pool_->Intern(std::move(ids));
+}
+
+LabelSetRef DiftTracker::ConstLabels(const LabellerSpec* spec) {
+  auto it = const_label_refs_.find(spec);
+  if (it != const_label_refs_.end()) {
+    return it->second;
+  }
+  std::vector<LabelId> ids;
+  ids.reserve(spec->const_labels.size());
+  for (const std::string& name : spec->const_labels) {
+    ids.push_back(policy_->space().Intern(name));
+  }
+  LabelSetRef ref = pool_->Intern(std::move(ids));
+  const_label_refs_[spec] = ref;
+  return ref;
 }
 
 Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
-                                     LabelSet* out_labels,
+                                     LabelSetRef* out_labels,
                                      const std::string& labeller_name) {
   switch (spec->kind) {
     case LabellerSpec::Kind::kConst: {
-      LabelSet labels;
-      for (const std::string& name : spec->const_labels) {
-        labels.Insert(policy_->space().Intern(name));
-      }
+      LabelSetRef labels = ConstLabels(spec);
       RecordOrigins(labels, labeller_name);
-      out_labels->UnionWith(labels);
+      *out_labels = pool_->Union(*out_labels, labels);
       if (target.IsValueType()) {
         ObjectPtr box = MakeObject();
         box->is_box = true;
         box->box_payload = target;
         ++stats_.boxes_created;
         Value boxed(box);
-        AttachLabel(boxed, labels);
+        AttachLabelRef(boxed, labels);
         return boxed;
       }
-      AttachLabel(target, labels);
+      AttachLabelRef(target, labels);
       if (target.IsObject()) {
         InstallProxy(target.AsObject());
       }
@@ -226,9 +356,9 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
           result, interp_->CallFunction(fn, Value::Undefined(), {UnboxDeep(target)}));
       TURNSTILE_ASSIGN_OR_RETURN(labels, LabelsFromValue(result));
       RecordOrigins(labels, labeller_name);
-      out_labels->UnionWith(labels);
+      *out_labels = pool_->Union(*out_labels, labels);
       if (target.IsValueType()) {
-        if (labels.empty()) {
+        if (labels == kEmptyLabelSetRef) {
           return target;  // nothing to track
         }
         ObjectPtr box = MakeObject();
@@ -236,10 +366,10 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
         box->box_payload = target;
         ++stats_.boxes_created;
         Value boxed(box);
-        AttachLabel(boxed, labels);
+        AttachLabelRef(boxed, labels);
         return boxed;
       }
-      AttachLabel(target, labels);
+      AttachLabelRef(target, labels);
       if (target.IsObject()) {
         InstallProxy(target.AsObject());
       }
@@ -250,18 +380,18 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
       if (!unboxed.IsArray()) {
         return target;  // $map on a non-array is a no-op (value may be absent)
       }
-      LabelSet element_union;
+      LabelSetRef element_union = kEmptyLabelSetRef;
       auto& elements = unboxed.AsArray()->elements;
       for (Value& element : elements) {
-        LabelSet element_labels;
+        LabelSetRef element_labels = kEmptyLabelSetRef;
         TURNSTILE_ASSIGN_OR_RETURN(
             replacement,
             ApplySpec(spec->element.get(), element, &element_labels, labeller_name));
         element = replacement;
-        element_union.UnionWith(element_labels);
+        element_union = pool_->Union(element_union, element_labels);
       }
-      AttachLabel(unboxed, element_union);
-      out_labels->UnionWith(element_union);
+      AttachLabelRef(unboxed, element_union);
+      *out_labels = pool_->Union(*out_labels, element_union);
       return target;
     }
     case LabellerSpec::Kind::kObject: {
@@ -270,37 +400,38 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
         return target;
       }
       const ObjectPtr& obj = unboxed.AsObject();
-      LabelSet field_union;
+      LabelSetRef field_union = kEmptyLabelSetRef;
       for (const auto& [field, sub_spec] : spec->fields) {
         if (sub_spec->kind == LabellerSpec::Kind::kInvoke) {
           // Call-time labeller for obj.field(...): registered, not evaluated.
-          invoke_labellers_[{obj.get(), field}] = {sub_spec.get(), labeller_name};
+          invoke_labellers_[{obj.get(), InternAtom(field)}] = {sub_spec.get(),
+                                                              labeller_name};
           continue;
         }
         Value field_value = obj->Get(field);
         if (field_value.IsUndefined()) {
           continue;
         }
-        LabelSet field_labels;
+        LabelSetRef field_labels = kEmptyLabelSetRef;
         TURNSTILE_ASSIGN_OR_RETURN(
             replacement, ApplySpec(sub_spec.get(), field_value, &field_labels, labeller_name));
         if (replacement.IdentityKey() != field_value.IdentityKey() ||
             replacement.IsObject() != field_value.IsObject()) {
           obj->Set(field, replacement);
         }
-        field_union.UnionWith(field_labels);
+        field_union = pool_->Union(field_union, field_labels);
       }
-      AttachLabel(unboxed, field_union);
+      AttachLabelRef(unboxed, field_union);
       InstallProxy(obj);
-      out_labels->UnionWith(field_union);
+      *out_labels = pool_->Union(*out_labels, field_union);
       return target;
     }
     case LabellerSpec::Kind::kInvoke: {
       // Top-level $invoke: applies to direct calls of the target function or
-      // to any method of the target object.
+      // to any method of the target object (kAtomEmpty = wildcard method).
       const void* key = target.IdentityKey();
       if (key != nullptr) {
-        invoke_labellers_[{key, ""}] = {spec, labeller_name};
+        invoke_labellers_[{key, kAtomEmpty}] = {spec, labeller_name};
       }
       return target;
     }
@@ -314,12 +445,12 @@ Result<Value> DiftTracker::Label(Value target, const std::string& labeller_name)
   if (spec == nullptr) {
     return PolicyError("unknown labeller '" + labeller_name + "'");
   }
-  LabelSet labels;
+  LabelSetRef labels = kEmptyLabelSetRef;
   TURNSTILE_ASSIGN_OR_RETURN(result, ApplySpec(spec, std::move(target), &labels,
                                                labeller_name));
   if (trace_recorder_->enabled()) {
-    trace_recorder_->Record(obs::SpanKind::kDiftLabel, labeller_name,
-                            labels.ToString(policy_->space()), interp_->VirtualNow());
+    trace_recorder_->Record(obs::SpanKind::kDiftLabel, labeller_name, pool_->Render(labels),
+                            interp_->VirtualNow());
   }
   return result;
 }
@@ -329,19 +460,19 @@ Result<Value> DiftTracker::Label(Value target, const std::string& labeller_name)
 Result<Value> DiftTracker::BinaryOp(const std::string& op, const Value& left,
                                     const Value& right) {
   ++stats_.binary_ops;
-  LabelSet labels = LabelSet::Union(GetLabel(left), GetLabel(right));
+  LabelSetRef labels = pool_->Union(GetLabelRef(left), GetLabelRef(right));
   // Cheap stack check first: the unlabelled fast path must not even touch
   // the recorder's cache line.
-  if (!labels.empty() && trace_recorder_->enabled()) {
-    trace_recorder_->Record(obs::SpanKind::kDiftBinaryOp, op,
-                            labels.ToString(policy_->space()), interp_->VirtualNow());
+  if (labels != kEmptyLabelSetRef && trace_recorder_->enabled()) {
+    trace_recorder_->Record(obs::SpanKind::kDiftBinaryOp, op, pool_->Render(labels),
+                            interp_->VirtualNow());
   }
   TURNSTILE_ASSIGN_OR_RETURN(completion, interp_->EvalBinary(op, left, right));
   if (completion.IsAbrupt()) {
     return RuntimeError("binaryOp threw: " + completion.value.ToDisplayString());
   }
   Value result = completion.value;
-  if (labels.empty()) {
+  if (labels == kEmptyLabelSetRef) {
     return result;
   }
   if (result.IsValueType()) {
@@ -351,23 +482,23 @@ Result<Value> DiftTracker::BinaryOp(const std::string& op, const Value& left,
     ++stats_.boxes_created;
     result = Value(box);
   }
-  AttachLabel(result, labels);
+  AttachLabelRef(result, labels);
   return result;
 }
 
-void DiftTracker::RecordViolation(const std::string& sink, const LabelSet& data,
-                                  const LabelSet& receiver) {
+void DiftTracker::RecordViolation(const std::string& sink, LabelSetRef data,
+                                  LabelSetRef receiver) {
   ++stats_.violations;
   Violation violation;
   violation.time = interp_->VirtualNow();
   violation.sink = sink;
-  violation.data_labels = data.ToString(policy_->space());
-  violation.receiver_labels = receiver.ToString(policy_->space());
+  violation.data_labels = pool_->Render(data);
+  violation.receiver_labels = pool_->Render(receiver);
   violation.trace_id = trace_recorder_->current_trace();
   violation.origin_node = trace_recorder_->OriginOf(violation.trace_id);
 
   // Provenance chain, oldest first: where each offending label came from ...
-  for (LabelId id : data.ids()) {
+  for (LabelId id : pool_->Ids(data)) {
     const LabelOrigin* origin = OriginOf(id);
     if (origin == nullptr) {
       continue;
@@ -408,28 +539,39 @@ void DiftTracker::RecordViolation(const std::string& sink, const LabelSet& data,
   PublishMetrics();  // violations are rare: keep the registry fresh for free
 }
 
+const std::string& DiftTracker::CheckDetail(LabelSetRef data, LabelSetRef receiver) {
+  uint64_t key = (static_cast<uint64_t>(data) << 32) | receiver;
+  auto it = check_detail_cache_.find(key);
+  if (it != check_detail_cache_.end()) {
+    return it->second;
+  }
+  std::string detail = pool_->Render(data) + " vs " + pool_->Render(receiver);
+  return check_detail_cache_.emplace(key, std::move(detail)).first->second;
+}
+
 Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
                                 const std::string& sink_name) {
   ++stats_.checks;
-  LabelSet data_labels = DeepLabel(data);
-  LabelSet receiver_labels = GetLabel(receiver);
+  LabelSetRef data_labels = DeepLabelRef(data);
+  LabelSetRef receiver_labels = GetLabelRef(receiver);
   if (trace_recorder_->enabled()) {
+    // The detail string is memoized per handle pair: a traced run pays one
+    // flat lookup per check, not a label-name render.
     trace_recorder_->Record(obs::SpanKind::kDiftCheck, sink_name,
-                            data_labels.ToString(policy_->space()) + " vs " +
-                                receiver_labels.ToString(policy_->space()),
+                            CheckDetail(data_labels, receiver_labels),
                             interp_->VirtualNow());
   }
-  if (data_labels.empty()) {
+  if (data_labels == kEmptyLabelSetRef) {
     return true;
   }
-  if (receiver_labels.empty()) {
+  if (receiver_labels == kEmptyLabelSetRef) {
     if (options_.strict_unlabeled_receivers) {
       RecordViolation(sink_name, data_labels, receiver_labels);
       return false;
     }
     return true;
   }
-  bool allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels);
+  bool allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels, *pool_);
   if (!allowed) {
     RecordViolation(sink_name, data_labels, receiver_labels);
   }
@@ -449,18 +591,24 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   }
 
   // Receiver label: a registered $invoke labeller wins; otherwise any label
-  // already attached to the receiver object or the function itself.
-  LabelSet receiver_labels;
+  // already attached to the receiver object or the function itself. The
+  // method name probe is a non-inserting atom lookup — a name that was never
+  // interned anywhere cannot have been registered.
+  LabelSetRef receiver_labels = kEmptyLabelSetRef;
   bool receiver_has_labeller = false;
   const LabellerSpec* invoke_spec = nullptr;
   const std::string* invoke_labeller_name = nullptr;
   const void* target_key = target.IdentityKey();
-  auto it = invoke_labellers_.find({target_key, func});
+  Atom func_atom = AtomTable::Global().Find(func);
+  auto it = invoke_labellers_.end();
+  if (target_key != nullptr && func_atom != kAtomInvalid) {
+    it = invoke_labellers_.find({target_key, func_atom});
+  }
   if (it == invoke_labellers_.end()) {
-    it = invoke_labellers_.find({fn_unboxed.IdentityKey(), ""});
+    it = invoke_labellers_.find({fn_unboxed.IdentityKey(), kAtomEmpty});
   }
   if (it == invoke_labellers_.end() && target_key != nullptr) {
-    it = invoke_labellers_.find({target_key, ""});
+    it = invoke_labellers_.find({target_key, kAtomEmpty});
   }
   if (it != invoke_labellers_.end()) {
     invoke_spec = it->second.spec;
@@ -483,7 +631,7 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
     RecordOrigins(labels, *invoke_labeller_name);
     receiver_labels = labels;
   } else {
-    receiver_labels = LabelSet::Union(GetLabel(target), GetLabel(fn_value));
+    receiver_labels = pool_->Union(GetLabelRef(target), GetLabelRef(fn_value));
   }
 
   // Data label: union over all arguments. Containers tracked by the proxy
@@ -491,17 +639,17 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   // suffices to cover explicitly nested payloads (msg.payload) without
   // scanning whole object graphs on every call — except for *untracked*
   // large containers, which exhaustive instrumentation pays for (§6.2).
-  LabelSet data_labels;
+  LabelSetRef data_labels = kEmptyLabelSetRef;
   for (const Value& arg : args) {
-    data_labels.UnionWith(DeepLabel(arg, 2));
+    data_labels = pool_->Union(data_labels, DeepLabelRef(arg, 2));
   }
 
   bool allowed = true;
-  if (!data_labels.empty()) {
-    if (receiver_labels.empty()) {
+  if (data_labels != kEmptyLabelSetRef) {
+    if (receiver_labels == kEmptyLabelSetRef) {
       allowed = !(receiver_has_labeller || options_.strict_unlabeled_receivers);
     } else {
-      allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels);
+      allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels, *pool_);
     }
   }
   if (!allowed) {
@@ -527,7 +675,7 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
                              interp_->CallFunction(fn_unboxed.AsFunction(), target,
                                                    std::move(call_args)));
   // Fig. 5 (invoke): the returned value carries the union of argument labels.
-  if (!data_labels.empty()) {
+  if (data_labels != kEmptyLabelSetRef) {
     if (result.IsValueType()) {
       if (!result.IsNullish()) {
         ObjectPtr box = MakeObject();
@@ -535,10 +683,10 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
         box->box_payload = result;
         ++stats_.boxes_created;
         result = Value(box);
-        AttachLabel(result, data_labels);
+        AttachLabelRef(result, data_labels);
       }
     } else {
-      AttachLabel(result, data_labels);
+      AttachLabelRef(result, data_labels);
     }
   }
   return result;
@@ -561,8 +709,10 @@ Value DiftTracker::Track(Value v) {
   // tracker pays the bookkeeping cost of managing them.
   const void* key = v.IdentityKey();
   if (key != nullptr) {
-    labels_.try_emplace(key);
-    label_anchors_.try_emplace(key, v);
+    LabelStore::Entry& entry = store_.FindOrInsert(key);
+    if (entry.anchor.IsUndefined()) {
+      entry.anchor = v;
+    }
     if (v.IsObject() && !v.AsObject()->is_box) {
       InstallProxy(v.AsObject());
     }
@@ -645,9 +795,9 @@ void DiftTracker::Install() {
   dift->Set("labelsOf", Value(MakeNativeFunction(
       "__dift.labelsOf",
       [tracker](Interpreter&, const Value&, std::vector<Value>& args) -> Result<Value> {
-        LabelSet labels = tracker->DeepLabel(ArgAt(args, 0));
+        LabelSetRef labels = tracker->DeepLabelRef(ArgAt(args, 0));
         std::vector<Value> names;
-        for (LabelId id : labels.ids()) {
+        for (LabelId id : tracker->pool_->Ids(labels)) {
           names.push_back(Value(tracker->policy_->space().NameOf(id)));
         }
         return Value(MakeArray(std::move(names)));

@@ -13,10 +13,16 @@
 //                         identity; value types are boxed
 //   invoke(f, v...)    —  check ∀args ⊑ receiver, call, result ↦ ∪ Pi
 //   check(d, r)        —  rule query without a call
+//
+// Hot-path representation: every label set the tracker carries is interned in
+// the policy's LabelSetPool and handled as a LabelSetRef, so per-op unions,
+// subset tests and rule checks are handle compares / flat-cache lookups with
+// no per-op allocation. The label map itself is one open-addressed table
+// keyed by identity pointer holding {labels, anchor} — a single probe per op
+// where the old design probed two unordered_maps.
 #ifndef TURNSTILE_SRC_DIFT_TRACKER_H_
 #define TURNSTILE_SRC_DIFT_TRACKER_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -26,6 +32,7 @@
 
 #include "src/ifc/policy.h"
 #include "src/interp/interp.h"
+#include "src/lang/atoms.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -58,6 +65,7 @@ struct TrackerStats {
   uint64_t boxes_created = 0;
   uint64_t violations = 0;
   uint64_t labeller_fn_evals = 0;
+  uint64_t deep_label_memo_hits = 0;  // DeepLabel answered from the memo
 };
 
 class DiftTracker {
@@ -80,6 +88,11 @@ class DiftTracker {
 
   DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy);
   DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Options options);
+  // Breaks tracker-side anchor cycles: clears the proxy traps installed on
+  // every anchored object (they point back into this tracker) and releases
+  // the anchors, so a destroyed tracker neither dangles from surviving
+  // objects nor keeps closure graphs (which can reach `__dift`) alive.
+  ~DiftTracker();
 
   // Defines the `__dift` global. Call once before running the program.
   void Install();
@@ -111,19 +124,25 @@ class DiftTracker {
 
   // --- label plumbing --------------------------------------------------------
 
-  // Label attached directly to `v` (empty when untracked).
-  LabelSet GetLabel(const Value& v) const;
+  // Interned-handle API (the hot path). Handles belong to policy().pool().
+  LabelSetRef GetLabelRef(const Value& v) const;
   // Label of `v` including labels reachable through its properties/elements,
-  // down to `max_depth`. Containers labelled via label()/proxies already
-  // carry their children's union at depth 0; the default covers explicitly
-  // nested data (msg.payload) without walking entire object graphs.
+  // down to `max_depth` (must be < 64). Memoized per identity pointer; the
+  // memo is dropped whenever the tracker's label map or the interpreter heap
+  // mutates (see HeapWriteEpoch in src/interp/value.h), so repeated checks of
+  // the same message between mutations cost one flat lookup.
+  LabelSetRef DeepLabelRef(const Value& v, int max_depth = 8) const;
+  void AttachLabelRef(const Value& v, LabelSetRef labels);
+
+  // Materializing compatibility wrappers over the handle API.
+  LabelSet GetLabel(const Value& v) const;
   LabelSet DeepLabel(const Value& v, int max_depth = 8) const;
   void AttachLabel(const Value& v, const LabelSet& labels);
 
   const std::vector<Violation>& violations() const { return violations_; }
   const TrackerStats& stats() const { return stats_; }
   Policy& policy() { return *policy_; }
-  size_t tracked_count() const { return labels_.size(); }
+  size_t tracked_count() const { return store_.size(); }
 
   // Flushes the per-tracker stats deltas into the global metrics registry
   // ("dift.*" counters). The hot-path ops deliberately bump only the plain
@@ -143,40 +162,137 @@ class DiftTracker {
   const LabelOrigin* OriginOf(LabelId id) const;
 
  private:
-  Result<Value> ApplySpec(const LabellerSpec* spec, Value target, LabelSet* out_labels,
+  // One open-addressed, identity-keyed table holding everything the tracker
+  // knows about a tracked value: its interned label set and the anchoring
+  // Value. Anchors retain the tracked value itself: identity keys are raw
+  // addresses, and without retention a freed object's entry could be
+  // inherited by a new allocation at the same address. (JavaScript's Map has
+  // the same strong-retention semantics the paper relies on.) Entries are
+  // never removed while the tracker lives — labels only grow — so linear
+  // probing needs no tombstones.
+  class LabelStore {
+   public:
+    struct Entry {
+      const void* key = nullptr;
+      LabelSetRef labels = kEmptyLabelSetRef;
+      bool proxied = false;  // this tracker installed the object's traps
+      Value anchor;
+    };
+
+    LabelStore() : slots_(kInitialCapacity) {}
+
+    Entry* Find(const void* key) {
+      size_t mask = slots_.size() - 1;
+      for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+        Entry& slot = slots_[i];
+        if (slot.key == key) {
+          return &slot;
+        }
+        if (slot.key == nullptr) {
+          return nullptr;
+        }
+      }
+    }
+    const Entry* Find(const void* key) const {
+      return const_cast<LabelStore*>(this)->Find(key);
+    }
+    // Returns the entry for `key`, inserting an empty one if absent. The
+    // caller anchors fresh entries.
+    Entry& FindOrInsert(const void* key) {
+      if ((size_ + 1) * 4 > slots_.size() * 3) {
+        Grow();
+      }
+      size_t mask = slots_.size() - 1;
+      for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+        Entry& slot = slots_[i];
+        if (slot.key == key) {
+          return slot;
+        }
+        if (slot.key == nullptr) {
+          slot.key = key;
+          ++size_;
+          return slot;
+        }
+      }
+    }
+    size_t size() const { return size_; }
+    template <typename Fn>
+    void ForEach(Fn&& fn) {
+      for (Entry& slot : slots_) {
+        if (slot.key != nullptr) {
+          fn(slot);
+        }
+      }
+    }
+
+   private:
+    static constexpr size_t kInitialCapacity = 64;  // power of two
+    static size_t Hash(const void* key) {
+      uint64_t x = reinterpret_cast<uint64_t>(key);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+    void Grow();
+
+    std::vector<Entry> slots_;
+    size_t size_ = 0;
+  };
+
+  Result<Value> ApplySpec(const LabellerSpec* spec, Value target, LabelSetRef* out_labels,
                           const std::string& labeller_name);
-  void RecordOrigins(const LabelSet& labels, const std::string& labeller_name);
+  LabelSetRef ConstLabels(const LabellerSpec* spec);
+  void RecordOrigins(LabelSetRef labels, const std::string& labeller_name);
   Result<FunctionPtr> CompileLabelFn(const LabellerSpec* spec);
-  Result<LabelSet> LabelsFromValue(const Value& v);  // fn result -> LabelSet
-  void DeepLabelInto(const Value& v, LabelSet* out,
-                     std::unordered_set<const void*>* visited, int depth) const;
-  void RecordViolation(const std::string& sink, const LabelSet& data,
-                       const LabelSet& receiver);
+  Result<LabelSetRef> LabelsFromValue(const Value& v);  // fn result -> interned set
+  void DeepLabelInto(const Value& v, LabelSetRef* out, int depth) const;
+  void RecordViolation(const std::string& sink, LabelSetRef data, LabelSetRef receiver);
+  // "{a} vs {b}" for check-trace events, built once per handle pair and
+  // reused — enabled-tracing runs pay a flat lookup per check instead of
+  // re-rendering label names (see obs_trace_test coverage).
+  const std::string& CheckDetail(LabelSetRef data, LabelSetRef receiver);
   // Installs the set-trap proxy on a tracked object (dynamic property
   // support, §4.4).
   void InstallProxy(const ObjectPtr& object);
 
   Interpreter* interp_;
   std::shared_ptr<Policy> policy_;
+  LabelSetPool* pool_;  // = &policy_->pool(); shared by all trackers on a policy
   Options options_;
-  // The global label map (§4.4), keyed by object identity. Entries retain the
-  // tracked value itself: identity keys are raw addresses, and without
-  // retention a freed object's entry could be inherited by a new allocation
-  // at the same address. (JavaScript's Map has the same strong-retention
-  // semantics the paper relies on.)
-  std::unordered_map<const void*, LabelSet> labels_;
-  std::unordered_map<const void*, Value> label_anchors_;
-  // ($invoke labellers) keyed by object identity + method name; the value
-  // keeps the owning labeller's name for provenance.
+  // The global label map (§4.4): single identity-keyed open-addressed table.
+  LabelStore store_;
+  // ($invoke labellers) keyed by object identity + interned method name
+  // (kAtomEmpty = "any method"); the value keeps the owning labeller's name
+  // for provenance.
   struct InvokeLabeller {
     const LabellerSpec* spec = nullptr;
     std::string labeller_name;
   };
-  std::map<std::pair<const void*, std::string>, InvokeLabeller> invoke_labellers_;
+  struct InvokeKeyHash {
+    size_t operator()(const std::pair<const void*, Atom>& key) const {
+      uint64_t x = reinterpret_cast<uint64_t>(key.first) ^
+                   (uint64_t{key.second} * 0x9E3779B97F4A7C15ull);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+  std::unordered_map<std::pair<const void*, Atom>, InvokeLabeller, InvokeKeyHash>
+      invoke_labellers_;
   std::unordered_map<const LabellerSpec*, FunctionPtr> compiled_fns_;
+  std::unordered_map<const LabellerSpec*, LabelSetRef> const_label_refs_;
   std::vector<Violation> violations_;
-  TrackerStats stats_;
+  mutable TrackerStats stats_;  // const read paths bump memo-hit counters
   TrackerStats published_;  // last state flushed by PublishMetrics()
+
+  // DeepLabel machinery: a reusable scratch visited-set (cleared, not
+  // reallocated, per walk) and a per-(identity, depth) memo valid for one
+  // combined tracker+heap epoch.
+  mutable std::unordered_set<const void*> deep_visited_;
+  mutable std::unordered_map<uint64_t, LabelSetRef> deep_memo_;
+  mutable uint64_t deep_memo_epoch_ = 0;
+  uint64_t mutation_epoch_ = 1;  // bumped whenever the label map changes
+
+  // Memoized "{data} vs {receiver}" renderings for check-trace events.
+  std::unordered_map<uint64_t, std::string> check_detail_cache_;
 
   // Provenance: first labeller attachment per label id.
   std::unordered_map<LabelId, LabelOrigin> label_origins_;

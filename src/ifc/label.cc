@@ -15,9 +15,12 @@ LabelId LabelSpace::Intern(const std::string& name) {
   return id;
 }
 
-int LabelSpace::Find(const std::string& name) const {
+std::optional<LabelId> LabelSpace::Find(const std::string& name) const {
   auto it = ids_.find(name);
-  return it == ids_.end() ? -1 : static_cast<int>(it->second);
+  if (it == ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
 }
 
 LabelSet::LabelSet(std::vector<LabelId> ids) : ids_(std::move(ids)) {

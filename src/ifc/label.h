@@ -7,6 +7,7 @@
 #define TURNSTILE_SRC_IFC_LABEL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,8 +21,9 @@ class LabelSpace {
  public:
   // Returns the id for `name`, interning it on first use.
   LabelId Intern(const std::string& name);
-  // Returns the id for `name` or -1 when unknown.
-  int Find(const std::string& name) const;
+  // Returns the id for `name`, or nullopt when unknown. (An id is a dense
+  // handle; a -1 sentinel would silently narrow once stored back into one.)
+  std::optional<LabelId> Find(const std::string& name) const;
   const std::string& NameOf(LabelId id) const { return names_[id]; }
   size_t size() const { return names_.size(); }
 

@@ -18,6 +18,7 @@ void RuleGraph::AddRule(const std::string& from, const std::string& to) {
   out.push_back(to_id);
   ++edge_total_;
   reach_cache_.clear();
+  set_cache_.clear();
 }
 
 Status RuleGraph::AddRuleChain(const std::string& chain) {
@@ -111,6 +112,42 @@ bool RuleGraph::CanFlowLabel(LabelId from, LabelId to) const {
   }
   reach_cache_[key] = reachable;
   return reachable;
+}
+
+bool RuleGraph::CanFlowSet(LabelSetRef data, LabelSetRef receiver,
+                           const LabelSetPool& pool) const {
+  if (data == kEmptyLabelSetRef) {
+    return true;
+  }
+  if (receiver == kEmptyLabelSetRef) {
+    return false;
+  }
+  // Subset special case (X ⊑ Y iff X ⊆ Y): identity paths need no DAG walk,
+  // and on inline handles this is two ALU ops.
+  if (pool.IsSubsetOf(data, receiver)) {
+    return true;
+  }
+  uint64_t key = (uint64_t{data} << 32) | receiver;
+  auto cached = set_cache_.find(key);
+  if (cached != set_cache_.end()) {
+    return cached->second;
+  }
+  bool allowed = true;
+  for (LabelId from : pool.Ids(data)) {
+    bool ok = false;
+    for (LabelId to : pool.Ids(receiver)) {
+      if (CanFlowLabel(from, to)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      allowed = false;
+      break;
+    }
+  }
+  set_cache_[key] = allowed;
+  return allowed;
 }
 
 bool RuleGraph::CanFlowSet(const LabelSet& data, const LabelSet& receiver) const {

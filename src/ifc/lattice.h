@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/ifc/label.h"
+#include "src/ifc/labelset_pool.h"
 #include "src/support/status.h"
 
 namespace turnstile {
@@ -38,8 +39,16 @@ class RuleGraph {
   // `data` set never flows into an empty `receiver` set.
   bool CanFlowSet(const LabelSet& data, const LabelSet& receiver) const;
 
+  // Interned-set variant: the whole query is memoized per (data, receiver)
+  // handle pair, so repeated checks of the same compound flow are one flat
+  // lookup. The memo (like the pairwise reachability cache) is invalidated
+  // whenever the rule graph mutates; interned sets themselves are immutable,
+  // so handles stay valid across mutation.
+  bool CanFlowSet(LabelSetRef data, LabelSetRef receiver, const LabelSetPool& pool) const;
+
   size_t edge_count() const { return edge_total_; }
   size_t cache_size() const { return reach_cache_.size(); }
+  size_t set_cache_size() const { return set_cache_.size(); }
   const std::vector<LabelId>& successors(LabelId id) const;
   LabelSpace* space() { return space_; }
 
@@ -49,6 +58,8 @@ class RuleGraph {
   size_t edge_total_ = 0;
   // (from << 16 | to) -> reachable. Mutable: queries are logically const.
   mutable std::unordered_map<uint32_t, bool> reach_cache_;
+  // (data ref << 32 | receiver ref) -> allowed, for the interned-set overload.
+  mutable std::unordered_map<uint64_t, bool> set_cache_;
 };
 
 }  // namespace turnstile

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/ifc/labelset_pool.h"
 #include "src/ifc/lattice.h"
 #include "src/support/json.h"
 #include "src/support/status.h"
@@ -53,7 +54,7 @@ struct Injection {
 
 class Policy {
  public:
-  Policy() : rules_(&space_) {}
+  Policy() : rules_(&space_), pool_(&space_) {}
 
   // Parses the JSON policy format of Fig. 4 / Fig. 7 and validates the rule
   // DAG (cycles are a policy error).
@@ -66,6 +67,10 @@ class Policy {
   const RuleGraph& rules() const { return rules_; }
   LabelSpace& space() { return space_; }
   const LabelSpace& space() const { return space_; }
+  // Per-policy hash-consing pool: every label set the DIFT tracker carries is
+  // interned here, so set identity is handle identity.
+  LabelSetPool& pool() { return pool_; }
+  const LabelSetPool& pool() const { return pool_; }
 
   // Builds a LabelSet from label names, interning as needed.
   LabelSet MakeLabelSet(const std::vector<std::string>& names);
@@ -77,6 +82,7 @@ class Policy {
  private:
   LabelSpace space_;
   RuleGraph rules_;
+  LabelSetPool pool_;
   std::unordered_map<std::string, std::shared_ptr<LabellerSpec>> labellers_;
   std::vector<Injection> injections_;
 };

@@ -202,6 +202,7 @@ std::unordered_map<std::string, FunctionPtr> BuildArrayMethods() {
 
   add("push", [](Interpreter&, const Value& self, std::vector<Value>& args) -> Result<Value> {
     TURNSTILE_ASSIGN_OR_RETURN(array, RequireArrayThis(self, "push"));
+    BumpHeapWriteEpoch();
     for (Value& arg : args) {
       array.AsArray()->elements.push_back(std::move(arg));
     }
@@ -209,6 +210,7 @@ std::unordered_map<std::string, FunctionPtr> BuildArrayMethods() {
   });
   add("pop", [](Interpreter&, const Value& self, std::vector<Value>&) -> Result<Value> {
     TURNSTILE_ASSIGN_OR_RETURN(array, RequireArrayThis(self, "pop"));
+    BumpHeapWriteEpoch();
     auto& elements = array.AsArray()->elements;
     if (elements.empty()) {
       return Value::Undefined();
@@ -219,6 +221,7 @@ std::unordered_map<std::string, FunctionPtr> BuildArrayMethods() {
   });
   add("shift", [](Interpreter&, const Value& self, std::vector<Value>&) -> Result<Value> {
     TURNSTILE_ASSIGN_OR_RETURN(array, RequireArrayThis(self, "shift"));
+    BumpHeapWriteEpoch();
     auto& elements = array.AsArray()->elements;
     if (elements.empty()) {
       return Value::Undefined();
@@ -229,6 +232,7 @@ std::unordered_map<std::string, FunctionPtr> BuildArrayMethods() {
   });
   add("unshift", [](Interpreter&, const Value& self, std::vector<Value>& args) -> Result<Value> {
     TURNSTILE_ASSIGN_OR_RETURN(array, RequireArrayThis(self, "unshift"));
+    BumpHeapWriteEpoch();
     auto& elements = array.AsArray()->elements;
     elements.insert(elements.begin(), args.begin(), args.end());
     return Value(static_cast<double>(elements.size()));
@@ -599,6 +603,7 @@ std::unordered_map<std::string, FunctionPtr> BuildFunctionMethods() {
         if (!fn.IsFunction()) {
           return Interpreter::TypeError("bind target is not a function");
         }
+        BumpHeapWriteEpoch();
         FunctionPtr bound = std::make_shared<FunctionObject>(*fn.AsFunction());
         bound->bound_this = Arg(args, 0);
         bound->has_bound_this = true;

@@ -198,6 +198,7 @@ Result<Value> Interpreter::RequireModule(const std::string& name) {
 // --- functions ---------------------------------------------------------------
 
 FunctionPtr Interpreter::MakeClosure(const NodePtr& node, const EnvPtr& env) {
+  BumpHeapWriteEpoch();  // fresh identity (see value.h epoch contract)
   FunctionPtr fn = std::make_shared<FunctionObject>();
   fn->name = node->str;
   fn->params = node->children[0];
@@ -414,6 +415,7 @@ Status Interpreter::SetProperty(const Value& object, const std::string& key, Val
     return Status::Ok();
   }
   if (object.IsArray()) {
+    BumpHeapWriteEpoch();
     auto& elements = object.AsArray()->elements;
     if (key == "length") {
       size_t new_size = static_cast<size_t>(value.ToNumber());
@@ -1177,6 +1179,7 @@ Result<Completion> Interpreter::EvalStatement(const NodePtr& node, const EnvPtr&
         FunctionPtr method = MakeClosure(method_node, env);
         info->methods[method_node->str] = method;
       }
+      BumpHeapWriteEpoch();
       FunctionPtr ctor = std::make_shared<FunctionObject>();
       ctor->name = node->str;
       ctor->construct_class = info;

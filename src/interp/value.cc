@@ -184,7 +184,9 @@ bool Value::StrictEquals(const Value& other) const {
   return false;
 }
 
-ObjectPtr MakeObject() { return std::make_shared<Object>(); }
+ObjectPtr MakeObject() {
+  return std::make_shared<Object>();
+}
 
 ArrayPtr MakeArray(std::vector<Value> elements) {
   ArrayPtr array = std::make_shared<ArrayObject>();

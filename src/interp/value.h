@@ -36,6 +36,20 @@ using EnvPtr = std::shared_ptr<Environment>;
 using NativeFn =
     std::function<Result<Value>(Interpreter&, const Value& this_value, std::vector<Value>& args)>;
 
+// Process-wide heap-mutation epoch. Bumped on every object property
+// write/delete, array element mutation, and reference-type *destruction*
+// (destruction rather than allocation: a recycled address must not inherit a
+// stale cache entry keyed by its predecessor's identity pointer, and an
+// address cannot be recycled without a free first — so bumping in the
+// destructor covers reuse while letting caches survive pure allocation). The
+// DIFT tracker's deep-label memo is valid only within one epoch; anything
+// that mutates reachable heap shape through a path the tracker cannot
+// observe must call BumpHeapWriteEpoch(). Single-threaded by design, like
+// the interpreter itself — one relaxed increment on the write path.
+inline uint64_t g_heap_write_epoch = 0;
+inline void BumpHeapWriteEpoch() { ++g_heap_write_epoch; }
+inline uint64_t HeapWriteEpoch() { return g_heap_write_epoch; }
+
 struct UndefinedTag {
   bool operator==(const UndefinedTag&) const { return true; }
 };
@@ -120,6 +134,8 @@ struct ClassInfo {
 // non-inserting table probe on read (a key that was never interned anywhere
 // cannot be present).
 struct Object {
+  ~Object() { BumpHeapWriteEpoch(); }  // this address may now be recycled
+
   std::unordered_map<Atom, Value> properties;
   std::vector<Atom> insertion_order;  // keys in first-set order
   std::shared_ptr<ClassInfo> class_info;
@@ -130,9 +146,16 @@ struct Object {
   std::function<void(Object&, const std::string& key, const Value& value)> set_trap;
   std::function<void(Object&, const std::string& key)> delete_trap;
 
-  // DIFT boxing support: a box carries exactly one value-type payload.
+  // DIFT boxing support: a box carries exactly one value-type payload. Box
+  // labels live inline on the box itself rather than in the tracker's label
+  // store — boxes are tracker-created temporaries, so the store would only
+  // accumulate dead entries. `box_labels` is an interned label-set handle
+  // meaningful to the pool identified by `box_label_pool`; both are opaque
+  // at this layer.
   bool is_box = false;
   Value box_payload;
+  uint32_t box_labels = 0;
+  const void* box_label_pool = nullptr;
 
   // Set for objects created by simulated I/O modules ("socket", "mqtt", ...),
   // used for diagnostics.
@@ -152,6 +175,7 @@ struct Object {
     return atom == kAtomInvalid ? Value::Undefined() : Get(atom);
   }
   void Set(Atom key, Value value) {
+    BumpHeapWriteEpoch();
     auto [it, inserted] = properties.insert_or_assign(key, std::move(value));
     if (inserted) {
       insertion_order.push_back(key);
@@ -164,6 +188,7 @@ struct Object {
     Set(InternAtom(key), std::move(value));
   }
   void Delete(Atom key) {
+    BumpHeapWriteEpoch();
     if (properties.erase(key) > 0) {
       for (auto it = insertion_order.begin(); it != insertion_order.end(); ++it) {
         if (*it == key) {
@@ -186,11 +211,13 @@ struct Object {
 
 // A JS-style array with identity.
 struct ArrayObject {
+  ~ArrayObject() { BumpHeapWriteEpoch(); }  // this address may now be recycled
   std::vector<Value> elements;
 };
 
 // A callable: either a MiniScript closure or a native function.
 struct FunctionObject {
+  ~FunctionObject() { BumpHeapWriteEpoch(); }  // this address may now be recycled
   std::string name;          // for diagnostics
   NodePtr params;            // kParams (closures only)
   NodePtr body;              // kBlockStmt or expression (closures only)

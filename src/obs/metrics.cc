@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace turnstile {
 namespace obs {
@@ -194,6 +195,45 @@ void Metrics::ResetAllForTest() {
   for (auto& [name, histogram] : histograms_) {
     histogram->Reset();
   }
+}
+
+bool MaybeWriteMetricsSnapshot(int argc, char** argv) {
+  bool requested = false;
+  std::string destination;  // empty = stdout
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i] == nullptr ? "" : argv[i];
+    if (arg == "--json") {
+      requested = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      requested = true;
+      destination = arg.substr(7);
+    }
+  }
+  const char* env = std::getenv("TURNSTILE_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    requested = true;
+    if (std::string(env) != "1") {
+      destination = env;
+    }
+  }
+  if (!requested) {
+    return false;
+  }
+  std::string snapshot = Metrics::Global().ToJson().Dump(/*pretty=*/true);
+  if (destination.empty()) {
+    std::printf("%s\n", snapshot.c_str());
+    return true;
+  }
+  std::FILE* file = std::fopen(destination.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "metrics snapshot: cannot open '%s' for writing\n",
+                 destination.c_str());
+    return true;
+  }
+  std::fprintf(file, "%s\n", snapshot.c_str());
+  std::fclose(file);
+  std::fprintf(stderr, "metrics snapshot written to %s\n", destination.c_str());
+  return true;
 }
 
 }  // namespace obs

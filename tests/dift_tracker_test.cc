@@ -361,5 +361,89 @@ TEST_F(TrackerTest, StoreWithDisconnectedLabelBlocksLabelledScenes) {
   EXPECT_GE(tracker_->violations().size(), 1u);
 }
 
+TEST_F(TrackerTest, ViolationRenderingIsByteIdenticalToLabelSetToString) {
+  // The interned-pool renderings feed the violation report verbatim; they
+  // must stay byte-identical to the LabelSet::ToString format so recorded
+  // violations and provenance do not change across the interning layer.
+  RunSource(R"(
+    let data = __dift.label({ v: 1 }, "multi");
+    __dift.label(data, "secret");
+    let receiver = __dift.label({ sinkish: true }, "public");
+    __dift.check(data, receiver, "store");
+  )");
+  ASSERT_EQ(tracker_->violations().size(), 1u);
+  const Violation& violation = tracker_->violations()[0];
+  // Label ids follow rules-interning order (secret precedes A and B).
+  EXPECT_EQ(violation.data_labels, "{secret, A, B}");
+  EXPECT_EQ(violation.data_labels,
+            tracker_->DeepLabel(Global("data")).ToString(policy_->space()));
+  EXPECT_EQ(violation.receiver_labels, "{public}");
+  EXPECT_EQ(violation.receiver_labels,
+            tracker_->GetLabel(Global("receiver")).ToString(policy_->space()));
+  // Provenance: one attachment event per data label (in label-id order),
+  // then the violation itself with the same renderings.
+  ASSERT_EQ(violation.provenance.size(), 4u);
+  EXPECT_EQ(violation.provenance[0].subject, "secret");
+  EXPECT_EQ(violation.provenance[0].detail, "attached 'secret'");
+  EXPECT_EQ(violation.provenance[1].subject, "multi");
+  EXPECT_EQ(violation.provenance[1].detail, "attached 'A'");
+  EXPECT_EQ(violation.provenance[2].subject, "multi");
+  EXPECT_EQ(violation.provenance[2].detail, "attached 'B'");
+  EXPECT_EQ(violation.provenance[3].detail, "{secret, A, B} cannot flow to {public}");
+}
+
+TEST_F(TrackerTest, DeepLabelMemoIsInvalidatedByHeapWrites) {
+  // Repeated checks of an unchanged message are answered from the deep-label
+  // memo; a plain property write on the (untracked) container — which the
+  // tracker never observes directly — must invalidate it.
+  RunSource(R"(
+    let receiver = __dift.label({ name: "store" }, "public");
+    let msg = { topic: "frames", payload: "plain" };
+    let before = __dift.check(msg, receiver);
+    let beforeAgain = __dift.check(msg, receiver);
+    msg.payload = __dift.label("face", "secret");
+    let after = __dift.check(msg, receiver);
+  )");
+  EXPECT_TRUE(Global("before").AsBool());
+  EXPECT_TRUE(Global("beforeAgain").AsBool());
+  EXPECT_FALSE(Global("after").AsBool());
+}
+
+TEST_F(TrackerTest, DeepLabelMemoHitsBetweenUnchangedChecks) {
+  RunSource(R"(
+    let receiver = __dift.label({ name: "store" }, "secret");
+    let msg = { payload: __dift.label("face", "public") };
+  )");
+  Value msg = Global("msg");
+  Value receiver = Global("receiver");
+  ASSERT_TRUE(tracker_->Check(msg, receiver, "store").ok());
+  uint64_t hits = tracker_->stats().deep_label_memo_hits;
+  // No interpreter activity between these checks: every repeat is a memo hit.
+  ASSERT_TRUE(tracker_->Check(msg, receiver, "store").ok());
+  ASSERT_TRUE(tracker_->Check(msg, receiver, "store").ok());
+  EXPECT_EQ(tracker_->stats().deep_label_memo_hits, hits + 2);
+  // AttachLabel mutates the label map, which must drop the memo.
+  tracker_->AttachLabel(msg, LabelSet({policy_->space().Intern("employee")}));
+  hits = tracker_->stats().deep_label_memo_hits;
+  LabelSet after = tracker_->DeepLabel(msg);
+  EXPECT_EQ(tracker_->stats().deep_label_memo_hits, hits);  // recomputed
+  EXPECT_TRUE(after.Contains(*policy_->space().Find("employee")));
+}
+
+TEST_F(TrackerTest, TrackerDestructionClearsItsProxyTraps) {
+  // The traps capture the owning tracker; a destroyed tracker must not leave
+  // them dangling on objects that live on in the interpreter.
+  ObjectPtr object = MakeObject();
+  object->Set("v", Value(1.0));
+  {
+    DiftTracker ephemeral(&interp_, policy_);
+    ASSERT_TRUE(ephemeral.Label(Value(object), "secret").ok());
+    EXPECT_TRUE(static_cast<bool>(object->set_trap));
+  }
+  EXPECT_FALSE(static_cast<bool>(object->set_trap));
+  EXPECT_FALSE(static_cast<bool>(object->delete_trap));
+  object->Set("later", Value(2.0));  // must not touch the dead tracker
+}
+
 }  // namespace
 }  // namespace turnstile

@@ -18,11 +18,12 @@ TEST(LabelSpaceTest, InternIsIdempotent) {
   EXPECT_EQ(space.NameOf(a), "employee");
 }
 
-TEST(LabelSpaceTest, FindReturnsMinusOneForUnknown) {
+TEST(LabelSpaceTest, FindReturnsNulloptForUnknown) {
   LabelSpace space;
   space.Intern("a");
-  EXPECT_EQ(space.Find("a"), 0);
-  EXPECT_EQ(space.Find("zzz"), -1);
+  ASSERT_TRUE(space.Find("a").has_value());
+  EXPECT_EQ(*space.Find("a"), 0u);
+  EXPECT_EQ(space.Find("zzz"), std::nullopt);
 }
 
 TEST(LabelSetTest, ConstructionSortsAndDedups) {

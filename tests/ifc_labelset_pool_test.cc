@@ -1,0 +1,144 @@
+// Hash-consed label sets: canonicalization, inline-mask vs spilled
+// representation equivalence, memoized unions and memoized set-level flow
+// checks surviving rule-graph mutation.
+#include "src/ifc/labelset_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ifc/lattice.h"
+
+namespace turnstile {
+namespace {
+
+TEST(LabelSetPoolTest, InternCanonicalizesToOneHandle) {
+  LabelSpace space;
+  LabelSetPool pool(&space);
+  EXPECT_EQ(pool.Intern(std::vector<LabelId>{}), kEmptyLabelSetRef);
+  LabelSetRef ab = pool.Intern(std::vector<LabelId>{0, 1});
+  EXPECT_NE(ab, kEmptyLabelSetRef);
+  // Order and duplicates do not matter: same set, same handle.
+  EXPECT_EQ(pool.Intern(std::vector<LabelId>{1, 0}), ab);
+  EXPECT_EQ(pool.Intern(std::vector<LabelId>{1, 0, 1, 0}), ab);
+  EXPECT_EQ(pool.Intern(LabelSet({0, 1})), ab);
+  // A different set gets a different handle.
+  EXPECT_NE(pool.Intern(std::vector<LabelId>{0, 2}), ab);
+  // {}, {0,1}, {0,2}: three distinct sets plus nothing else.
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(LabelSetPoolTest, SingleAndInsertBuildTheSameSets) {
+  LabelSpace space;
+  LabelSetPool pool(&space);
+  LabelSetRef a = pool.Single(3);
+  EXPECT_EQ(a, pool.Intern(std::vector<LabelId>{3}));
+  EXPECT_EQ(pool.Single(3), a);  // memoized
+  LabelSetRef ab = pool.Insert(a, 7);
+  EXPECT_EQ(ab, pool.Intern(std::vector<LabelId>{3, 7}));
+  EXPECT_EQ(pool.Insert(ab, 3), ab);  // already present: same handle back
+}
+
+TEST(LabelSetPoolTest, InlineAndSpilledRepresentationsAgree) {
+  LabelSpace space;
+  LabelSetPool pool(&space);
+  // All ids < 64: inline mask.
+  LabelSetRef small = pool.Intern(std::vector<LabelId>{1, 5, 63});
+  EXPECT_TRUE(pool.IsInline(small));
+  EXPECT_EQ(pool.MaskOf(small),
+            (uint64_t{1} << 1) | (uint64_t{1} << 5) | (uint64_t{1} << 63));
+  // An id >= 64 spills the set to the sorted-vector representation.
+  LabelSetRef big = pool.Intern(std::vector<LabelId>{1, 5, 64});
+  EXPECT_FALSE(pool.IsInline(big));
+
+  // Contains agrees across representations.
+  for (LabelId id : {1u, 5u, 63u, 64u, 2u}) {
+    EXPECT_EQ(pool.Contains(small, id), LabelSet({1, 5, 63}).Contains(id)) << id;
+    EXPECT_EQ(pool.Contains(big, id), LabelSet({1, 5, 64}).Contains(id)) << id;
+  }
+  // IsSubsetOf agrees whether the pair is inline/inline, inline/spilled or
+  // spilled/spilled.
+  LabelSetRef small_sub = pool.Intern(std::vector<LabelId>{1, 5});
+  LabelSetRef big_sub = pool.Intern(std::vector<LabelId>{5, 64});
+  EXPECT_TRUE(pool.IsSubsetOf(small_sub, small));
+  EXPECT_FALSE(pool.IsSubsetOf(small, small_sub));
+  EXPECT_TRUE(pool.IsSubsetOf(small_sub, big));
+  EXPECT_FALSE(pool.IsSubsetOf(big_sub, small));
+  EXPECT_TRUE(pool.IsSubsetOf(big_sub, big));
+  // Union across the representation boundary interns the right set.
+  EXPECT_EQ(pool.Union(small, big), pool.Intern(std::vector<LabelId>{1, 5, 63, 64}));
+  EXPECT_EQ(pool.Materialize(pool.Union(small, big)).ids(),
+            (std::vector<LabelId>{1, 5, 63, 64}));
+}
+
+TEST(LabelSetPoolTest, UnionIsMemoizedAndAbsorptionSkipsTheCache) {
+  LabelSpace space;
+  LabelSetPool pool(&space);
+  LabelSetRef a = pool.Intern(std::vector<LabelId>{0, 1});
+  LabelSetRef b = pool.Intern(std::vector<LabelId>{2});
+  LabelSetRef ab = pool.Union(a, b);
+  EXPECT_EQ(ab, pool.Intern(std::vector<LabelId>{0, 1, 2}));
+  uint64_t hits = pool.union_cache_hits();
+  EXPECT_EQ(pool.Union(a, b), ab);
+  EXPECT_EQ(pool.Union(b, a), ab);  // symmetric key
+  EXPECT_EQ(pool.union_cache_hits(), hits + 2);
+  // Absorption (a ∪ sub = a) is answered from the masks without touching the
+  // cache; identity and empty unions short-circuit too.
+  LabelSetRef sub = pool.Intern(std::vector<LabelId>{1});
+  hits = pool.union_cache_hits();
+  EXPECT_EQ(pool.Union(a, sub), a);
+  EXPECT_EQ(pool.Union(a, a), a);
+  EXPECT_EQ(pool.Union(a, kEmptyLabelSetRef), a);
+  EXPECT_EQ(pool.Union(kEmptyLabelSetRef, a), a);
+  EXPECT_EQ(pool.union_cache_hits(), hits);
+}
+
+TEST(LabelSetPoolTest, RenderMatchesLabelSetToStringAndIsCached) {
+  LabelSpace space;
+  LabelId employee = space.Intern("employee");
+  LabelId customer = space.Intern("customer");
+  LabelSetPool pool(&space);
+  LabelSetRef both = pool.Intern(std::vector<LabelId>{customer, employee});
+  EXPECT_EQ(pool.Render(both), LabelSet({employee, customer}).ToString(space));
+  EXPECT_EQ(pool.Render(both), "{employee, customer}");
+  EXPECT_EQ(pool.Render(kEmptyLabelSetRef), "{}");
+  uint64_t computed = pool.renders_computed();
+  pool.Render(both);
+  pool.Render(both);
+  EXPECT_EQ(pool.renders_computed(), computed);  // cached after first render
+}
+
+TEST(LabelSetPoolTest, SetFlowMemoSurvivesRuleGraphMutation) {
+  LabelSpace space;
+  RuleGraph graph(&space);
+  LabelSetPool pool(&space);
+  ASSERT_TRUE(graph.AddRuleChain("a -> b").ok());
+  LabelSetRef a = pool.Single(*space.Find("a"));
+  LabelSetRef b = pool.Single(*space.Find("b"));
+  LabelSetRef c = pool.Single(space.Intern("c"));
+
+  EXPECT_TRUE(graph.CanFlowSet(a, b, pool));
+  EXPECT_FALSE(graph.CanFlowSet(a, c, pool));
+  EXPECT_EQ(graph.set_cache_size(), 2u);
+  // Repeat queries are answered from the memo (size does not grow).
+  EXPECT_TRUE(graph.CanFlowSet(a, b, pool));
+  EXPECT_EQ(graph.set_cache_size(), 2u);
+
+  // Mutating the rule graph must invalidate the memo: a -> c was forbidden
+  // above and becomes allowed, even though the handles are unchanged.
+  ASSERT_TRUE(graph.AddRuleChain("a -> c").ok());
+  EXPECT_EQ(graph.set_cache_size(), 0u);
+  EXPECT_TRUE(graph.CanFlowSet(a, c, pool));
+  EXPECT_TRUE(graph.CanFlowSet(a, b, pool));
+
+  // Subset flows (X ⊆ Y) short-circuit before the memo.
+  size_t cached = graph.set_cache_size();
+  LabelSetRef ab = pool.Union(a, b);
+  EXPECT_TRUE(graph.CanFlowSet(a, ab, pool));
+  EXPECT_EQ(graph.set_cache_size(), cached);
+
+  // Empty-set edge cases mirror the LabelSet overload.
+  EXPECT_TRUE(graph.CanFlowSet(kEmptyLabelSetRef, c, pool));
+  EXPECT_FALSE(graph.CanFlowSet(a, kEmptyLabelSetRef, pool));
+}
+
+}  // namespace
+}  // namespace turnstile

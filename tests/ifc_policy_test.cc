@@ -54,9 +54,8 @@ TEST(PolicyTest, ParsesFig4Policy) {
 
   // Rule hierarchy: employee -> customer -> internal.
   LabelSpace& space = (*policy)->space();
-  EXPECT_TRUE((*policy)->rules().CanFlowLabel(
-      static_cast<LabelId>(space.Find("employee")),
-      static_cast<LabelId>(space.Find("internal"))));
+  EXPECT_TRUE((*policy)->rules().CanFlowLabel(*space.Find("employee"),
+                                              *space.Find("internal")));
 }
 
 TEST(PolicyTest, ParsesFig7Policy) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/dift/tracker.h"
 #include "src/flow/engine.h"
 
 namespace turnstile {
@@ -180,6 +181,49 @@ TEST_F(TraceTest, DisabledFlowStillRoutes) {
   EXPECT_EQ(engine.messages_routed(), 1);
   EXPECT_EQ(recorder.size(), 0u);
   EXPECT_EQ(recorder.traces_started(), 0u);
+}
+
+TEST_F(TraceTest, DiftCheckSpansCarryMemoizedLabelDetail) {
+  // With tracing enabled, every __dift check records a kDiftCheck span whose
+  // detail renders both label sets. The rendering is memoized per interned
+  // handle pair: repeated checks of the same sets reuse one string instead of
+  // re-formatting label names per event.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(64);
+
+  Interpreter interp;
+  auto policy = Policy::FromJsonText(R"json({
+    "labellers": { "secret": { "$const": "secret" },
+                   "public": { "$const": "public" } },
+    "rules": ["public -> secret"]
+  })json");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  std::shared_ptr<Policy> shared(std::move(*policy).release());
+  DiftTracker tracker(&interp, shared);
+
+  auto data = tracker.Label(Value("payload"), "secret");
+  ASSERT_TRUE(data.ok());
+  ObjectPtr sink = MakeObject();
+  auto receiver = tracker.Label(Value(sink), "public");
+  ASSERT_TRUE(receiver.ok());
+
+  uint64_t renders_before = shared->pool().renders_computed();
+  ASSERT_TRUE(tracker.Check(*data, *receiver, "store").ok());
+  ASSERT_TRUE(tracker.Check(*data, *receiver, "store").ok());
+  ASSERT_TRUE(tracker.Check(*data, *receiver, "store").ok());
+  // The label sets were rendered at most once each across all three checks.
+  EXPECT_LE(shared->pool().renders_computed() - renders_before, 2u);
+
+  int check_spans = 0;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    if (event.kind != SpanKind::kDiftCheck) {
+      continue;
+    }
+    ++check_spans;
+    EXPECT_EQ(event.subject, "store");
+    EXPECT_EQ(event.detail, "{secret} vs {public}");
+  }
+  EXPECT_EQ(check_spans, 3);
 }
 
 TEST_F(TraceTest, EventToStringNamesKindAndSubject) {
