@@ -1,42 +1,29 @@
 // Drop-in replacement for BENCHMARK_MAIN() that honours the repo-wide bench
 // contract: `--json[=PATH]` on the command line or TURNSTILE_BENCH_JSON in
-// the environment dumps a metrics-registry snapshot after the run (see
-// obs::MaybeWriteMetricsSnapshot; bench_util.h is not included here to keep
-// the google-benchmark micro benches' link dependencies minimal).
+// the environment dumps a metrics-registry snapshot after the run. All of
+// the flag plumbing lives in bench_snapshot.h, shared with the table/figure
+// bench mains.
 #ifndef TURNSTILE_BENCH_BENCH_MAIN_H_
 #define TURNSTILE_BENCH_BENCH_MAIN_H_
 
-#include <string>
-#include <vector>
-
 #include <benchmark/benchmark.h>
 
-#include "src/obs/metrics.h"
+#include "bench/bench_snapshot.h"
 
 namespace turnstile {
 
 inline int BenchmarkMainWithMetricsSnapshot(int argc, char** argv) {
   // Keep the snapshot flags away from google-benchmark's argv parsing; the
   // filtered-out ones are replayed to the snapshot writer afterwards.
-  std::vector<char*> bench_args = {argv[0]};
-  std::vector<char*> snapshot_args = {argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i] == nullptr ? "" : argv[i];
-    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
-      snapshot_args.push_back(argv[i]);
-    } else {
-      bench_args.push_back(argv[i]);
-    }
-  }
-  int bench_argc = static_cast<int>(bench_args.size());
-  benchmark::Initialize(&bench_argc, bench_args.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+  BenchArgs args = SplitSnapshotArgs(argc, argv);
+  int bench_argc = static_cast<int>(args.bench.size());
+  benchmark::Initialize(&bench_argc, args.bench.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.bench.data())) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  obs::MaybeWriteMetricsSnapshot(static_cast<int>(snapshot_args.size()),
-                                 snapshot_args.data());
+  MaybeDumpMetricsSnapshot(static_cast<int>(args.snapshot.size()), args.snapshot.data());
   return 0;
 }
 

@@ -13,12 +13,21 @@
 namespace turnstile {
 namespace {
 
-// Runs `source`, then repeatedly calls the global function `tick()`.
+// Runs `source`, then repeatedly calls the global function `tick()`. The
+// default-constructed form inherits the interpreter's default execution tier
+// (bytecode, unless TURNSTILE_EXEC_TIER overrides it); pass a tier to pin it.
 struct TickFixture {
   Interpreter interp;
   FunctionPtr tick;
 
-  explicit TickFixture(const char* source) {
+  explicit TickFixture(const char* source) { Init(source); }
+
+  TickFixture(const char* source, ExecTier tier) {
+    interp.set_exec_tier(tier);
+    Init(source);
+  }
+
+  void Init(const char* source) {
     auto program = ParseProgram(source);
     if (!program.ok() || !interp.RunProgram(*program).ok()) {
       std::abort();
@@ -197,6 +206,135 @@ void BM_FlowMessageRouting(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowMessageRouting);
+
+// --- Per-opcode dispatch microbenches ----------------------------------------
+// Each tick() keeps one bytecode operation family hot so the dispatch cost of
+// that op dominates the sample. All are tier-parameterized (tier:0 =
+// tree-walker oracle, tier:1 = bytecode VM) so the per-op dispatch gap between
+// the two execution tiers is directly visible in one run.
+
+void RunTierBench(benchmark::State& state, const char* source, int ops_per_tick) {
+  TickFixture f(source, state.range(0) == 0 ? ExecTier::kTreeWalk : ExecTier::kBytecode);
+  f.Run(state);
+  state.SetItemsProcessed(state.iterations() * ops_per_tick);
+}
+
+#define TURNSTILE_TIER_BENCH(name) BENCHMARK(name)->ArgName("tier")->Arg(0)->Arg(1)
+
+// kLoadSlot / kStoreSlot: local variable shuffle, no arithmetic to speak of.
+void BM_OpLoadStoreSlot(benchmark::State& state) {
+  RunTierBench(state, R"(
+    function tick() {
+      let a = 1; let b = 2; let t = 0;
+      for (let i = 0; i < 100; i++) {
+        t = a; a = b; b = t;
+      }
+      return a;
+    }
+  )", 300);
+}
+TURNSTILE_TIER_BENCH(BM_OpLoadStoreSlot);
+
+// kBinary number fast path: add/mul/mod on doubles.
+void BM_OpBinaryArith(benchmark::State& state) {
+  RunTierBench(state, R"(
+    function tick() {
+      let acc = 1;
+      for (let i = 0; i < 100; i++) {
+        acc = (acc * 7 + 3) % 1000003;
+      }
+      return acc;
+    }
+  )", 300);
+}
+TURNSTILE_TIER_BENCH(BM_OpBinaryArith);
+
+// kBinary compare + kJumpIfFalse: branchy code, both arms taken.
+void BM_OpCompareBranch(benchmark::State& state) {
+  RunTierBench(state, R"(
+    function tick() {
+      let lo = 0; let hi = 0;
+      for (let i = 0; i < 100; i++) {
+        if (i < 50) { lo = lo + 1; } else { hi = hi + 1; }
+      }
+      return lo + hi;
+    }
+  )", 100);
+}
+TURNSTILE_TIER_BENCH(BM_OpCompareBranch);
+
+// kLoadGlobal: reads resolved to the global frame from inside a function.
+void BM_OpGlobalLoad(benchmark::State& state) {
+  RunTierBench(state, R"(
+    let base = 17;
+    function tick() {
+      let acc = 0;
+      for (let i = 0; i < 100; i++) {
+        acc = acc + base;
+      }
+      return acc;
+    }
+  )", 100);
+}
+TURNSTILE_TIER_BENCH(BM_OpGlobalLoad);
+
+// kCall with the contiguous register-window argument convention.
+void BM_OpCallWindow(benchmark::State& state) {
+  RunTierBench(state, R"(
+    function mix(a, b, c) { return a + b * c; }
+    function tick() {
+      let acc = 0;
+      for (let i = 0; i < 100; i++) {
+        acc = mix(acc, i, 3);
+      }
+      return acc;
+    }
+  )", 100);
+}
+TURNSTILE_TIER_BENCH(BM_OpCallWindow);
+
+// kEnvPush / kEnvPop: a non-transparent block per iteration.
+void BM_OpEnvPushPop(benchmark::State& state) {
+  RunTierBench(state, R"(
+    function tick() {
+      let acc = 0;
+      for (let i = 0; i < 100; i++) {
+        let captured = () => i;
+        acc = acc + captured();
+      }
+      return acc;
+    }
+  )", 100);
+}
+TURNSTILE_TIER_BENCH(BM_OpEnvPushPop);
+
+// kIterNew / kIterNext / kIterPop: for-of over a pre-built array.
+void BM_OpIterNext(benchmark::State& state) {
+  RunTierBench(state, R"(
+    let data = [];
+    for (let i = 0; i < 100; i++) { data.push(i); }
+    function tick() {
+      let acc = 0;
+      for (let x of data) { acc = acc + x; }
+      return acc;
+    }
+  )", 100);
+}
+TURNSTILE_TIER_BENCH(BM_OpIterNext);
+
+// kGetPropAtom / kSetProp: member reads and writes on a stable shape.
+void BM_OpPropAtom(benchmark::State& state) {
+  RunTierBench(state, R"(
+    let box = { n: 0 };
+    function tick() {
+      for (let i = 0; i < 100; i++) {
+        box.n = box.n + 1;
+      }
+      return box.n;
+    }
+  )", 200);
+}
+TURNSTILE_TIER_BENCH(BM_OpPropAtom);
 
 void BM_WorkloadGeneration(benchmark::State& state) {
   auto tmpl = Json::Parse(R"({ "payload": "$frame", "topic": "$topic", "seq": "$seq" })");

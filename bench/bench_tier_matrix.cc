@@ -1,0 +1,94 @@
+// Execution-tier matrix over the corpus: drives every Part-2 app through the
+// deployment path (kRoundTrip: instrument -> print -> re-parse -> re-resolve
+// -> compile -> run) under both execution tiers and reports per-message
+// processing time per tier. Per-tier timing lands in the metrics registry
+// (`corpus.tier.{treewalk,bytecode}.*`), so `--json` snapshots carry it.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace turnstile {
+namespace {
+
+std::vector<double> MeasureTier(const CorpusApp& app, ExecTier tier, int messages) {
+  auto runtime = AppRuntime::Create(app, AppVersion::kRoundTrip, tier);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "FATAL: %s setup failed: %s\n", app.name.c_str(),
+                 runtime.status().ToString().c_str());
+    std::exit(1);
+  }
+  Rng rng(0xBE11C0DE);
+  for (int seq = 0; seq < 20; ++seq) {  // warm-up: caches, compiled chunks
+    if (!(*runtime)->DriveMessage(&rng, seq).ok()) {
+      std::fprintf(stderr, "FATAL: %s warm-up failed\n", app.name.c_str());
+      std::exit(1);
+    }
+  }
+  std::vector<double> proc;
+  proc.reserve(static_cast<size_t>(messages));
+  for (int seq = 0; seq < messages; ++seq) {
+    Stopwatch watch;
+    Status status = (*runtime)->DriveMessage(&rng, 100 + seq);
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL: %s message %d failed: %s\n", app.name.c_str(), seq,
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    proc.push_back(watch.ElapsedSeconds());
+  }
+  return proc;
+}
+
+int Main() {
+  int messages = BenchMessageCount();
+  std::printf("Execution-tier matrix: kRoundTrip per-message processing time "
+              "(%d messages per run)\n\n",
+              messages);
+  std::printf("%-18s | %14s %14s | %8s\n", "application", "treewalk (us)", "bytecode (us)",
+              "speedup");
+  std::printf("-------------------+-------------------------------+---------\n");
+
+  obs::Histogram* hist[2] = {
+      obs::Metrics::Global().GetHistogram("corpus.tier.treewalk.proc_seconds"),
+      obs::Metrics::Global().GetHistogram("corpus.tier.bytecode.proc_seconds"),
+  };
+  double median_sum[2] = {0.0, 0.0};
+  int app_count = 0;
+  for (const CorpusApp& app : Corpus()) {
+    if (app.bucket != CorpusBucket::kTurnstileOnly && app.bucket != CorpusBucket::kBothFind) {
+      continue;
+    }
+    constexpr ExecTier kTiers[] = {ExecTier::kTreeWalk, ExecTier::kBytecode};
+    double medians[2] = {0.0, 0.0};
+    for (int t = 0; t < 2; ++t) {
+      std::vector<double> proc = MeasureTier(app, kTiers[t], messages);
+      for (double seconds : proc) {
+        hist[t]->Observe(seconds);
+      }
+      medians[t] = Median(proc);
+      median_sum[t] += medians[t];
+    }
+    ++app_count;
+    std::printf("%-18s | %14.2f %14.2f | %7.2fx\n", app.name.c_str(), medians[0] * 1e6,
+                medians[1] * 1e6, medians[1] > 0 ? medians[0] / medians[1] : 0.0);
+  }
+  obs::Metrics::Global()
+      .GetGauge("corpus.tier.treewalk.median_proc_ns_total")
+      ->Set(static_cast<int64_t>(median_sum[0] * 1e9));
+  obs::Metrics::Global()
+      .GetGauge("corpus.tier.bytecode.median_proc_ns_total")
+      ->Set(static_cast<int64_t>(median_sum[1] * 1e9));
+  std::printf("\n%d apps; summed medians: treewalk %.2f us, bytecode %.2f us (%.2fx)\n",
+              app_count, median_sum[0] * 1e6, median_sum[1] * 1e6,
+              median_sum[1] > 0 ? median_sum[0] / median_sum[1] : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace turnstile
+
+int main(int argc, char** argv) {
+  int rc = turnstile::Main();
+  turnstile::MaybeDumpMetricsSnapshot(argc, argv);
+  return rc;
+}

@@ -8,10 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_snapshot.h"
 #include "src/corpus/corpus.h"
 #include "src/corpus/driver.h"
 #include "src/flow/workload.h"
-#include "src/obs/metrics.h"
 #include "src/support/stopwatch.h"
 
 namespace turnstile {
@@ -127,14 +127,6 @@ inline std::vector<OverheadMeasurement> MeasureAllOverheads(int messages) {
     out.push_back(MeasureInterleaved(app, messages));
   }
   return out;
-}
-
-// Dumps the global metrics registry as pretty JSON when requested via
-// `--json[=PATH]` on the command line or TURNSTILE_BENCH_JSON in the
-// environment ("1" = stdout, a path = pure-JSON file, keeping stdout free
-// for figure output). Call at the end of main(), after the bench has run.
-inline void MaybeDumpMetricsSnapshot(int argc = 0, char** argv = nullptr) {
-  obs::MaybeWriteMetricsSnapshot(argc, argv);
 }
 
 // Median of a (copied) vector.

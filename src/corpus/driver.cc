@@ -82,11 +82,14 @@ Value MakeHttpResponse(Interpreter& interp) {
 
 }  // namespace
 
-Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app,
-                                                       AppVersion version) {
+Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, AppVersion version,
+                                                       std::optional<ExecTier> tier) {
   auto runtime = std::unique_ptr<AppRuntime>(new AppRuntime());
   runtime->app_ = &app;
   runtime->interp_ = std::make_unique<Interpreter>();
+  if (tier.has_value()) {
+    runtime->interp_->set_exec_tier(*tier);
+  }
   runtime->engine_ = std::make_unique<FlowEngine>(runtime->interp_.get());
 
   TURNSTILE_ASSIGN_OR_RETURN(message_template, Json::Parse(app.message_template));

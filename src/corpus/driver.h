@@ -5,6 +5,7 @@
 #define TURNSTILE_SRC_CORPUS_DRIVER_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/corpus/corpus.h"
@@ -27,8 +28,11 @@ class AppRuntime {
  public:
   // Parses, (optionally) analyzes + instruments, loads the module into a
   // fresh interpreter/flow engine, instantiates the flow, and installs the
-  // framework-injected runtime objects bucket-D apps rely on.
-  static Result<std::unique_ptr<AppRuntime>> Create(const CorpusApp& app, AppVersion version);
+  // framework-injected runtime objects bucket-D apps rely on. `tier` pins the
+  // execution tier; nullopt keeps the interpreter's default (bytecode, unless
+  // TURNSTILE_EXEC_TIER overrides it).
+  static Result<std::unique_ptr<AppRuntime>> Create(const CorpusApp& app, AppVersion version,
+                                                    std::optional<ExecTier> tier = std::nullopt);
 
   // Delivers one generated message through the app's entry point and drains
   // the event loop. Returns an error if the app throws.

@@ -27,6 +27,10 @@
 
 namespace turnstile {
 
+namespace vm {
+class Vm;  // src/vm/vm.h — the bytecode dispatch loop
+}  // namespace vm
+
 // One observable side effect produced through a simulated I/O module (the
 // runtime equivalent of a taint sink).
 struct IoRecord {
@@ -51,6 +55,29 @@ struct IoWorld {
                        std::move(payload)});
   }
 };
+
+// Execution tiers. The bytecode tier (default) compiles resolved function
+// bodies to register bytecode (src/vm) and runs them through a flat dispatch
+// loop; the tree-walker is retained unchanged as the reference oracle (and as
+// the escape hatch the VM uses for try/catch and class declarations).
+// Selected per interpreter via the TURNSTILE_EXEC_TIER environment variable
+// ("treewalk" / "bytecode") or set_exec_tier().
+enum class ExecTier { kBytecode, kTreeWalk };
+
+// Binary operators pre-decoded from their source spelling. Shared by the
+// tree-walker (which decodes once per evaluation) and the bytecode compiler
+// (which decodes once per compile and bakes the enum into the instruction).
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kPow,
+  kLooseEq, kLooseNe, kStrictEq, kStrictNe,
+  kLt, kGt, kLe, kGe,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kIn,
+  kInvalid,
+};
+
+// kInvalid for unknown spellings.
+BinaryOp BinaryOpFromString(const std::string& op);
 
 // Statement/expression completion record (JS-style abrupt completions).
 struct Completion {
@@ -139,6 +166,29 @@ class Interpreter {
   // Exposed for the DIFT tracker's binaryOp API.
   Result<Completion> EvalBinary(const std::string& op, const Value& left, const Value& right);
 
+  // Pre-decoded variant; the hot path for both tiers.
+  Result<Completion> EvalBinaryOp(BinaryOp op, const Value& left, const Value& right);
+
+  // --- tier-shared runtime helpers (used by the bytecode VM) ----------------
+
+  // Unboxes `fn_value`, checks callability (TypeError names `callee_name`)
+  // and calls it, keeping MiniScript `throw`s as throw completions.
+  Result<Completion> InvokeValue(const Value& fn_value, const Value& this_value,
+                                 std::vector<Value> args, const std::string& callee_name);
+  // `new callee(...args)`: class construction or plain-function construction
+  // with the returned-object-wins rule.
+  Result<Completion> ConstructValue(const Value& callee, std::vector<Value> args);
+  // `await operand`: settled promises yield their value (draining microtasks
+  // first); anything else awaits to itself.
+  Result<Completion> AwaitValue(const Value& operand);
+  // Creates a closure from a function-like node capturing `env`.
+  FunctionPtr MakeClosure(const NodePtr& node, const EnvPtr& env);
+
+  // Execution-tier selection (see ExecTier). Affects RunProgram and calls to
+  // MiniScript closures; EvalStatement/EvalExpression always tree-walk.
+  ExecTier exec_tier() const { return exec_tier_; }
+  void set_exec_tier(ExecTier tier) { exec_tier_ = tier; }
+
   // Throws a host-level error carrying a MiniScript-visible message.
   static Status TypeError(const std::string& message) {
     return RuntimeError("TypeError: " + message);
@@ -166,6 +216,8 @@ class Interpreter {
   }
 
  private:
+  friend class vm::Vm;  // the bytecode dispatch loop shares the runtime internals
+
   struct Task {
     double time = 0.0;
     uint64_t seq = 0;
@@ -184,7 +236,6 @@ class Interpreter {
   Result<Completion> EvalAssignment(const NodePtr& node, const EnvPtr& env);
   Result<Completion> EvalArgs(const NodePtr& call, size_t first_index, const EnvPtr& env,
                               std::vector<Value>* out);
-  FunctionPtr MakeClosure(const NodePtr& node, const EnvPtr& env);
   Status DrainMicrotasks(int max_tasks = 100000);
 
   // Locates the storage for an identifier use, honoring the resolver's
@@ -214,6 +265,7 @@ class Interpreter {
   double virtual_time_ = 0.0;
   uint64_t eval_count_ = 0;
   int call_depth_ = 0;
+  ExecTier exec_tier_ = ExecTier::kBytecode;
   Value pending_throw_;
   bool has_pending_throw_ = false;
 

@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/lang/resolve.h"
 #include "src/support/stopwatch.h"
 #include "src/support/strings.h"
+#include "src/vm/vm.h"
 
 namespace turnstile {
 
@@ -26,6 +29,12 @@ constexpr int kMaxCallDepth = 400;
 }  // namespace
 
 Interpreter::Interpreter() {
+  // TURNSTILE_EXEC_TIER=treewalk forces the reference tier (differential
+  // testing, CI oracle job); anything else keeps the bytecode default.
+  const char* tier = std::getenv("TURNSTILE_EXEC_TIER");
+  if (tier != nullptr && std::strcmp(tier, "treewalk") == 0) {
+    exec_tier_ = ExecTier::kTreeWalk;
+  }
   global_env_ = std::make_shared<Environment>();
   trace_recorder_ = &obs::TraceRecorder::Global();
   obs::Metrics& metrics = obs::Metrics::Global();
@@ -46,7 +55,10 @@ Status Interpreter::RunProgram(const Program& program) {
   if (!IsResolved(program)) {
     ResolveProgram(program);
   }
-  TURNSTILE_ASSIGN_OR_RETURN(completion, EvalStatement(program.root, global_env_));
+  TURNSTILE_ASSIGN_OR_RETURN(completion,
+                             exec_tier_ == ExecTier::kBytecode
+                                 ? vm::Vm::ExecuteProgram(*this, program.root, global_env_)
+                                 : EvalStatement(program.root, global_env_));
   if (completion.kind == Completion::Kind::kThrow) {
     return RuntimeError("uncaught exception: " + completion.value.ToDisplayString());
   }
@@ -265,9 +277,10 @@ Result<Value> Interpreter::CallFunction(const FunctionPtr& fn, const Value& this
     ++arg_index;
   }
   Result<Completion> body_result =
-      fn->body->kind == NodeKind::kBlockStmt
-          ? EvalBlock(fn->body, call_env)
-          : EvalExpression(fn->body, call_env);
+      exec_tier_ == ExecTier::kBytecode
+          ? vm::Vm::ExecuteFunctionBody(*this, *fn, call_env)
+          : fn->body->kind == NodeKind::kBlockStmt ? EvalBlock(fn->body, call_env)
+                                                   : EvalExpression(fn->body, call_env);
   --call_depth_;
   TURNSTILE_ASSIGN_OR_RETURN(completion, std::move(body_result));
   // Async functions deliver their result through an (already settled) promise.
@@ -517,10 +530,15 @@ Result<Completion> Interpreter::EvalCall(const NodePtr& node, const EnvPtr& env)
       return c;
     }
   }
+  return InvokeValue(fn_value, this_value, std::move(args), callee->str);
+}
+
+Result<Completion> Interpreter::InvokeValue(const Value& fn_value, const Value& this_value,
+                                            std::vector<Value> args,
+                                            const std::string& callee_name) {
   Value fn_unboxed = Unbox(fn_value);
   if (!fn_unboxed.IsFunction()) {
-    std::string name = callee->kind == NodeKind::kMemberExpr ? callee->str : callee->str;
-    return TypeError("'" + name + "' is not a function (it is " +
+    return TypeError("'" + callee_name + "' is not a function (it is " +
                      std::string(fn_unboxed.TypeName()) + ")");
   }
   return CallAsCompletion(*this, fn_unboxed.AsFunction(), this_value, std::move(args));
@@ -535,6 +553,10 @@ Result<Completion> Interpreter::EvalNew(const NodePtr& node, const EnvPtr& env) 
       return c;
     }
   }
+  return ConstructValue(callee, std::move(args));
+}
+
+Result<Completion> Interpreter::ConstructValue(const Value& callee, std::vector<Value> args) {
   Value fn_unboxed = Unbox(callee);
   if (!fn_unboxed.IsFunction()) {
     return TypeError("new target is not constructible");
@@ -594,83 +616,124 @@ int64_t ToInt(const Value& v) {
 
 }  // namespace
 
+BinaryOp BinaryOpFromString(const std::string& op) {
+  switch (op.size()) {
+    case 1:
+      switch (op[0]) {
+        case '+': return BinaryOp::kAdd;
+        case '-': return BinaryOp::kSub;
+        case '*': return BinaryOp::kMul;
+        case '/': return BinaryOp::kDiv;
+        case '%': return BinaryOp::kMod;
+        case '<': return BinaryOp::kLt;
+        case '>': return BinaryOp::kGt;
+        case '&': return BinaryOp::kBitAnd;
+        case '|': return BinaryOp::kBitOr;
+        case '^': return BinaryOp::kBitXor;
+        default: return BinaryOp::kInvalid;
+      }
+    case 2:
+      if (op == "**") return BinaryOp::kPow;
+      if (op == "==") return BinaryOp::kLooseEq;
+      if (op == "!=") return BinaryOp::kLooseNe;
+      if (op == "<=") return BinaryOp::kLe;
+      if (op == ">=") return BinaryOp::kGe;
+      if (op == "<<") return BinaryOp::kShl;
+      if (op == ">>") return BinaryOp::kShr;
+      if (op == "in") return BinaryOp::kIn;
+      return BinaryOp::kInvalid;
+    case 3:
+      if (op == "===") return BinaryOp::kStrictEq;
+      if (op == "!==") return BinaryOp::kStrictNe;
+      return BinaryOp::kInvalid;
+    default:
+      return BinaryOp::kInvalid;
+  }
+}
+
 Result<Completion> Interpreter::EvalBinary(const std::string& op, const Value& left_in,
                                            const Value& right_in) {
+  BinaryOp decoded = BinaryOpFromString(op);
+  if (decoded == BinaryOp::kInvalid) {
+    return UnimplementedError("binary operator " + op);
+  }
+  return EvalBinaryOp(decoded, left_in, right_in);
+}
+
+Result<Completion> Interpreter::EvalBinaryOp(BinaryOp op, const Value& left_in,
+                                             const Value& right_in) {
   // Boxes are transparent to operators (the DIFT binaryOp API relies on this
   // when re-dispatching an instrumented operation).
   Value left = Unbox(left_in);
   Value right = Unbox(right_in);
-  if (op == "+") {
-    if (left.IsString() || right.IsString()) {
-      return Completion::Normal(Value(left.ToDisplayString() + right.ToDisplayString()));
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (left.IsString() || right.IsString()) {
+        return Completion::Normal(Value(left.ToDisplayString() + right.ToDisplayString()));
+      }
+      return Completion::Normal(Value(left.ToNumber() + right.ToNumber()));
+    case BinaryOp::kSub:
+      return Completion::Normal(Value(left.ToNumber() - right.ToNumber()));
+    case BinaryOp::kMul:
+      return Completion::Normal(Value(left.ToNumber() * right.ToNumber()));
+    case BinaryOp::kDiv:
+      return Completion::Normal(Value(left.ToNumber() / right.ToNumber()));
+    case BinaryOp::kMod:
+      return Completion::Normal(Value(std::fmod(left.ToNumber(), right.ToNumber())));
+    case BinaryOp::kPow:
+      return Completion::Normal(Value(std::pow(left.ToNumber(), right.ToNumber())));
+    case BinaryOp::kLooseEq:
+      return Completion::Normal(Value(LooseEquals(left, right)));
+    case BinaryOp::kLooseNe:
+      return Completion::Normal(Value(!LooseEquals(left, right)));
+    case BinaryOp::kStrictEq:
+      return Completion::Normal(Value(left.StrictEquals(right)));
+    case BinaryOp::kStrictNe:
+      return Completion::Normal(Value(!left.StrictEquals(right)));
+    case BinaryOp::kLt:
+    case BinaryOp::kGt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGe: {
+      bool result = false;
+      if (left.IsString() && right.IsString()) {
+        int cmp = left.AsString().compare(right.AsString());
+        result = op == BinaryOp::kLt   ? cmp < 0
+                 : op == BinaryOp::kGt ? cmp > 0
+                 : op == BinaryOp::kLe ? cmp <= 0
+                                       : cmp >= 0;
+      } else {
+        double l = left.ToNumber();
+        double r = right.ToNumber();
+        result = op == BinaryOp::kLt   ? l < r
+                 : op == BinaryOp::kGt ? l > r
+                 : op == BinaryOp::kLe ? l <= r
+                                       : l >= r;
+      }
+      return Completion::Normal(Value(result));
     }
-    return Completion::Normal(Value(left.ToNumber() + right.ToNumber()));
+    case BinaryOp::kBitAnd:
+      return Completion::Normal(Value(static_cast<double>(ToInt(left) & ToInt(right))));
+    case BinaryOp::kBitOr:
+      return Completion::Normal(Value(static_cast<double>(ToInt(left) | ToInt(right))));
+    case BinaryOp::kBitXor:
+      return Completion::Normal(Value(static_cast<double>(ToInt(left) ^ ToInt(right))));
+    case BinaryOp::kShl:
+      return Completion::Normal(Value(static_cast<double>(ToInt(left) << (ToInt(right) & 63))));
+    case BinaryOp::kShr:
+      return Completion::Normal(Value(static_cast<double>(ToInt(left) >> (ToInt(right) & 63))));
+    case BinaryOp::kIn:
+      if (right.IsObject()) {
+        return Completion::Normal(Value(right.AsObject()->Has(left.ToDisplayString())));
+      }
+      if (right.IsArray()) {
+        size_t index = static_cast<size_t>(left.ToNumber());
+        return Completion::Normal(Value(index < right.AsArray()->elements.size()));
+      }
+      return TypeError("'in' requires an object operand");
+    case BinaryOp::kInvalid:
+      break;
   }
-  if (op == "-") {
-    return Completion::Normal(Value(left.ToNumber() - right.ToNumber()));
-  }
-  if (op == "*") {
-    return Completion::Normal(Value(left.ToNumber() * right.ToNumber()));
-  }
-  if (op == "/") {
-    return Completion::Normal(Value(left.ToNumber() / right.ToNumber()));
-  }
-  if (op == "%") {
-    return Completion::Normal(Value(std::fmod(left.ToNumber(), right.ToNumber())));
-  }
-  if (op == "**") {
-    return Completion::Normal(Value(std::pow(left.ToNumber(), right.ToNumber())));
-  }
-  if (op == "==") {
-    return Completion::Normal(Value(LooseEquals(left, right)));
-  }
-  if (op == "!=") {
-    return Completion::Normal(Value(!LooseEquals(left, right)));
-  }
-  if (op == "===") {
-    return Completion::Normal(Value(left.StrictEquals(right)));
-  }
-  if (op == "!==") {
-    return Completion::Normal(Value(!left.StrictEquals(right)));
-  }
-  if (op == "<" || op == ">" || op == "<=" || op == ">=") {
-    bool result = false;
-    if (left.IsString() && right.IsString()) {
-      int cmp = left.AsString().compare(right.AsString());
-      result = op == "<" ? cmp < 0 : op == ">" ? cmp > 0 : op == "<=" ? cmp <= 0 : cmp >= 0;
-    } else {
-      double l = left.ToNumber();
-      double r = right.ToNumber();
-      result = op == "<" ? l < r : op == ">" ? l > r : op == "<=" ? l <= r : l >= r;
-    }
-    return Completion::Normal(Value(result));
-  }
-  if (op == "&") {
-    return Completion::Normal(Value(static_cast<double>(ToInt(left) & ToInt(right))));
-  }
-  if (op == "|") {
-    return Completion::Normal(Value(static_cast<double>(ToInt(left) | ToInt(right))));
-  }
-  if (op == "^") {
-    return Completion::Normal(Value(static_cast<double>(ToInt(left) ^ ToInt(right))));
-  }
-  if (op == "<<") {
-    return Completion::Normal(Value(static_cast<double>(ToInt(left) << (ToInt(right) & 63))));
-  }
-  if (op == ">>") {
-    return Completion::Normal(Value(static_cast<double>(ToInt(left) >> (ToInt(right) & 63))));
-  }
-  if (op == "in") {
-    if (right.IsObject()) {
-      return Completion::Normal(Value(right.AsObject()->Has(left.ToDisplayString())));
-    }
-    if (right.IsArray()) {
-      size_t index = static_cast<size_t>(left.ToNumber());
-      return Completion::Normal(Value(index < right.AsArray()->elements.size()));
-    }
-    return TypeError("'in' requires an object operand");
-  }
-  return UnimplementedError("binary operator " + op);
+  return UnimplementedError("binary operator");
 }
 
 Result<Completion> Interpreter::EvalAssignment(const NodePtr& node, const EnvPtr& env) {
@@ -957,22 +1020,7 @@ Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr
       return TypeError("spread element outside call/array context");
     case NodeKind::kAwaitExpr: {
       TS_EVAL(operand, node->children[0], env);
-      // Promises are pass-through (matching the paper's dataflow treatment):
-      // a settled promise yields its value; anything else awaits to itself.
-      Value v = Unbox(operand);
-      if (v.IsObject() && v.AsObject()->Has("__promiseState")) {
-        TURNSTILE_RETURN_IF_ERROR(DrainMicrotasks());
-        const ObjectPtr& promise = v.AsObject();
-        std::string state = promise->Get("__promiseState").ToDisplayString();
-        if (state == "fulfilled") {
-          return Completion::Normal(promise->Get("__promiseValue"));
-        }
-        if (state == "rejected") {
-          return Completion::Throw(promise->Get("__promiseValue"));
-        }
-        return RuntimeError("await on a pending promise (unsupported)");
-      }
-      return Completion::Normal(operand);
+      return AwaitValue(operand);
     }
     case NodeKind::kSequenceExpr: {
       Value last;
@@ -985,6 +1033,25 @@ Result<Completion> Interpreter::EvalExpression(const NodePtr& node, const EnvPtr
     default:
       return InternalError(std::string("EvalExpression on ") + NodeKindName(node->kind));
   }
+}
+
+Result<Completion> Interpreter::AwaitValue(const Value& operand) {
+  // Promises are pass-through (matching the paper's dataflow treatment):
+  // a settled promise yields its value; anything else awaits to itself.
+  Value v = Unbox(operand);
+  if (v.IsObject() && v.AsObject()->Has("__promiseState")) {
+    TURNSTILE_RETURN_IF_ERROR(DrainMicrotasks());
+    const ObjectPtr& promise = v.AsObject();
+    std::string state = promise->Get("__promiseState").ToDisplayString();
+    if (state == "fulfilled") {
+      return Completion::Normal(promise->Get("__promiseValue"));
+    }
+    if (state == "rejected") {
+      return Completion::Throw(promise->Get("__promiseValue"));
+    }
+    return RuntimeError("await on a pending promise (unsupported)");
+  }
+  return Completion::Normal(operand);
 }
 
 // --- statement evaluation ----------------------------------------------------

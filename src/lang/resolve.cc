@@ -523,6 +523,9 @@ class Resolver {
 }  // namespace
 
 SemaResult ResolveProgram(const Program& program) {
+  // Slots may move under re-resolution (the instrumentor rewrites trees in
+  // place); any bytecode compiled against the old coordinates is stale.
+  ForEachNode(program.root, [](const NodePtr& node) { node->compiled_chunk.reset(); });
   return Resolver(program).Run();
 }
 

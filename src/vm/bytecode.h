@@ -1,0 +1,152 @@
+// Register-bytecode definitions for the compiled execution tier.
+//
+// A Chunk is the compiled form of one function body (or program top level).
+// Instructions address a per-activation register file holding expression
+// temporaries only; variables stay in the same slot-indexed Environment
+// frames the tree-walker uses (src/interp/environment.h), addressed by the
+// (hops, slot) coordinates the resolver annotated onto the AST. Sharing the
+// frame layout is what lets the two tiers interoperate: a closure compiled
+// here can capture an environment built by the tree-walker and vice versa,
+// and the escape-hatch instructions (kEvalNode / kEvalExpr) can hand any
+// subtree back to the tree-walker mid-chunk with full scope fidelity.
+//
+// Operand conventions:
+//   - registers are indices into the activation's register file
+//   - jump targets always live in operand `a` (the patching invariant)
+//   - `atom` operands are interned atoms (src/lang/atoms.h)
+//   - `name`/`msg` operands index Chunk::names (keys and precomputed
+//     diagnostic strings); `node` operands index Chunk::nodes
+#ifndef TURNSTILE_SRC_VM_BYTECODE_H_
+#define TURNSTILE_SRC_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/interp/value.h"
+#include "src/lang/ast.h"
+
+namespace turnstile {
+namespace vm {
+
+enum class Op : uint8_t {
+  // --- moves and constants ---------------------------------------------------
+  kLoadConst,        // r[a] = constants[b]
+  kMove,             // r[a] = r[b]
+
+  // --- variable access (shared Environment frames) ---------------------------
+  kLoadSlot,         // r[a] = frame(b hops up).slots[c]
+  kStoreSlot,        // frame(a hops up).slots[b] = r[c]
+  kLoadGlobal,       // r[a] = global.bindings[atom b]; unbound -> RuntimeError names[c]
+  kLoadGlobalSoft,   // r[a] = global.bindings[atom b], undefined when unbound (typeof)
+  kStoreGlobal,      // global.bindings[atom a] = r[b] (defines when unbound)
+  kLoadDyn,          // r[a] = name-chain lookup of atom b; unbound -> RuntimeError names[c]
+  kLoadDynSoft,      // r[a] = name-chain lookup of atom b, undefined when unbound
+  kStoreDyn,         // chain-assign atom a = r[b]; unbound -> implicit global define
+  kDefineCur,        // cur_env.Define(atom a, r[b])  (unresolved declarations)
+  kLoadThisDyn,      // r[a] = name-chain lookup of `this` (atom b), undefined when unbound
+  kSetFnName,        // if r[a] is an unnamed function, set its name to names[b]
+
+  // --- operators -------------------------------------------------------------
+  kBinary,           // r[a] = EvalBinaryOp(BinaryOp b, r[c], r[d])
+  kUnary,            // r[a] = UnaryOp b applied to Unbox(r[c])
+  kTypeof,           // r[a] = typeof Unbox(r[b])
+
+  // --- control flow ----------------------------------------------------------
+  kJump,             // pc = a
+  kJumpIfFalse,      // if (!r[b].Truthy()) pc = a
+  kJumpIfTrue,       // if (r[b].Truthy()) pc = a
+  kJumpIfNullish,    // if (r[b].IsNullish()) pc = a
+  kJumpIfNotNullish, // if (!r[b].IsNullish()) pc = a
+
+  // --- property access -------------------------------------------------------
+  kGetProp,          // r[a] = GetProperty(r[b], atom c)
+  kGetPropName,      // r[a] = GetProperty(r[b], names[c])
+  kGetIndex,         // r[a] = GetProperty(r[b], Unbox(r[c]).ToDisplayString())
+  kSetProp,          // SetProperty(r[a], atom b, r[c])
+  kSetPropName,      // SetProperty(r[a], names[b], r[c])
+  kSetIndex,         // SetProperty(r[a], Unbox(r[b]).ToDisplayString(), r[c])
+  kDeleteProp,       // if Unbox(r[a]) is an object, delete key names[b]
+  kDeleteIndex,      // if Unbox(r[a]) is an object, delete key Unbox(r[b]).ToDisplayString()
+
+  // --- object / array construction ------------------------------------------
+  kObjNew,           // r[a] = {}
+  kObjSetAtom,       // r[a].AsObject()->Set(atom b, r[c])   (static literal key)
+  kObjSetName,       // r[a].AsObject()->Set(names[b], r[c]) (empty-atom fallback)
+  kObjSetComputed,   // r[a].AsObject()->Set(Unbox(r[b]).ToDisplayString(), r[c])
+  kArray,            // r[a] = [r[b] .. r[b+c])
+  kArrayV,           // r[a] = array from the popped argument buffer (spread literals)
+
+  // --- calls -----------------------------------------------------------------
+  // Spread-free calls take their arguments from a contiguous register window;
+  // calls with spread build a variable-length argument buffer first.
+  kArgStart,         // push a fresh argument buffer
+  kArgPush,          // buffer.push(r[a])
+  kArgSpread,        // append elements of Unbox(r[a]); b: 0 = call ("argument"
+                     //   in the TypeError), 1 = array literal ("element")
+  kCall,             // r[a] = call r[b] (this = r[c], or undefined when c < 0)
+                     //   with args r[d] .. r[d+e); callee name = names[f]
+  kCallV,            // like kCall but args = popped buffer
+  kNew,              // r[a] = construct r[b] with args r[c] .. r[c+d)
+  kNewV,             // like kNew but args = popped buffer
+
+  // --- closures and scopes ---------------------------------------------------
+  kClosure,          // r[a] = MakeClosure(nodes[b], cur_env)
+  kEnvPush,          // cur_env = Environment::MakeChild(cur_env, frame_size a)
+  kEnvPop,           // cur_env = cur_env.parent
+  kEnvPopN,          // pop a environments (break/continue unwinding)
+
+  // --- iteration (for-of) ----------------------------------------------------
+  kIterNew,          // push an iteration frame over Unbox(r[b]); TypeError when
+                     //   not an array or string (arrays are copied, matching
+                     //   the tree-walker's mutation-safe snapshot)
+  kIterNext,         // r[b] = next item; when exhausted pop the frame and pc = a
+  kIterPop,          // pop the top iteration frame (break paths)
+
+  // --- escape hatches (tree-walker oracle) -----------------------------------
+  kEvalNode,         // interp.EvalStatement(nodes[a], cur_env); on break: pop c
+                     //   envs (+ the top iteration frame when d != 0) and pc = b;
+                     //   on continue: pop f envs and pc = e; b/e < 0 propagate
+                     //   the completion out of the chunk
+  kEvalExpr,         // r[a] = interp.EvalExpression(nodes[b], cur_env)
+
+  // --- completions -----------------------------------------------------------
+  kAwait,            // r[a] = await r[b]
+  kThrow,            // return Throw(r[a])
+  kReturn,           // return Return(r[a])
+  kHalt,             // return Normal(undefined)  (block body fell off the end)
+  kHaltValue,        // return Normal(r[a])       (expression-body arrows)
+  kComplete,         // return Break (a = 0) / Continue (a = 1) with no target
+                     //   loop in this chunk (top-level or function-body break)
+};
+
+// Operand of Op::kUnary.
+enum class UnaryOp : uint8_t { kNot, kNeg, kPlus, kBitNot };
+
+struct Insn {
+  Op op;
+  int32_t a = 0, b = 0, c = 0, d = 0, e = 0, f = 0;
+};
+
+// One compiled function body / program top level.
+struct Chunk {
+  std::vector<Insn> code;
+  std::vector<Value> constants;
+  std::vector<NodePtr> nodes;       // closure bodies and escape-hatch subtrees
+  std::vector<std::string> names;   // property keys and precompiled diagnostics
+  uint32_t num_regs = 0;            // register-file size
+
+  // Source node of each instruction, parallel to `code` (diagnostics only).
+  std::vector<const Node*> debug_nodes;
+};
+
+using ChunkPtr = std::shared_ptr<const Chunk>;
+
+// Human-readable opcode name, e.g. "LoadSlot".
+const char* OpName(Op op);
+
+}  // namespace vm
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_VM_BYTECODE_H_

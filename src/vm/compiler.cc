@@ -1,0 +1,1088 @@
+#include "src/vm/compiler.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/obs/metrics.h"
+
+namespace turnstile {
+namespace vm {
+
+namespace {
+
+// The compiler mirrors the tree-walker's evaluation order and environment
+// discipline instruction for instruction: every Environment::MakeChild site in
+// the tree-walker has a matching kEnvPush here (and transparent blocks are
+// skipped under the same `slot == 0 && frame_size == 0` test), so the runtime
+// parent chain — and with it every (hops, slot) coordinate and every
+// escape-hatch hand-off — lines up between tiers.
+class Compiler {
+ public:
+  explicit Compiler(Chunk* chunk) : chunk_(chunk) {}
+
+  void CompileProgram(const NodePtr& root) {
+    // Function-declaration hoisting: same double-definition the tree-walker
+    // performs (hoist pass + textual position).
+    for (const NodePtr& stmt : root->children) {
+      if (stmt->kind == NodeKind::kFunctionDecl) {
+        CompileStmt(stmt);
+      }
+    }
+    for (const NodePtr& stmt : root->children) {
+      CompileStmt(stmt);
+    }
+    Emit(root.get(), Op::kHalt);
+    Finish();
+  }
+
+  void CompileFunctionBody(const NodePtr& body) {
+    if (body->kind == NodeKind::kBlockStmt) {
+      CompileBlock(body);
+      Emit(body.get(), Op::kHalt);
+    } else {
+      RegScope scope(this);
+      int r = AllocReg();
+      CompileExprInto(r, body);
+      Emit(body.get(), Op::kHaltValue, r);
+    }
+    Finish();
+  }
+
+ private:
+  // --- registers -------------------------------------------------------------
+
+  struct RegScope {
+    explicit RegScope(Compiler* c) : c_(c), saved_(c->next_reg_) {}
+    ~RegScope() { c_->next_reg_ = saved_; }
+    Compiler* c_;
+    int saved_;
+  };
+
+  int AllocReg() {
+    int r = next_reg_++;
+    if (next_reg_ > max_regs_) {
+      max_regs_ = next_reg_;
+    }
+    return r;
+  }
+
+  // --- emission and pools ----------------------------------------------------
+
+  size_t Emit(const Node* dbg, Op op, int32_t a = 0, int32_t b = 0, int32_t c = 0,
+              int32_t d = 0, int32_t e = 0, int32_t f = 0) {
+    chunk_->code.push_back(Insn{op, a, b, c, d, e, f});
+    chunk_->debug_nodes.push_back(dbg);
+    return chunk_->code.size() - 1;
+  }
+
+  int Here() const { return static_cast<int>(chunk_->code.size()); }
+
+  // Jump targets always live in operand `a` (bytecode.h invariant).
+  void PatchJump(size_t insn, int target) {
+    chunk_->code[insn].a = target;
+  }
+
+  int ConstIdx(Value v) {
+    chunk_->constants.push_back(std::move(v));
+    return static_cast<int>(chunk_->constants.size() - 1);
+  }
+
+  int UndefConstIdx() {
+    if (undef_const_ < 0) {
+      undef_const_ = ConstIdx(Value::Undefined());
+    }
+    return undef_const_;
+  }
+
+  int NameIdx(const std::string& name) {
+    auto it = name_indices_.find(name);
+    if (it != name_indices_.end()) {
+      return it->second;
+    }
+    chunk_->names.push_back(name);
+    int idx = static_cast<int>(chunk_->names.size() - 1);
+    name_indices_.emplace(name, idx);
+    return idx;
+  }
+
+  int NodeIdx(const NodePtr& node) {
+    chunk_->nodes.push_back(node);
+    return static_cast<int>(chunk_->nodes.size() - 1);
+  }
+
+  void EmitLoadUndef(const Node* dbg, int dst) {
+    Emit(dbg, Op::kLoadConst, dst, UndefConstIdx());
+  }
+
+  static int32_t AtomOf(const NodePtr& node) {
+    Atom atom = node->atom != kAtomEmpty || node->str.empty() ? node->atom
+                                                              : InternAtom(node->str);
+    return static_cast<int32_t>(atom);
+  }
+
+  // --- loops -----------------------------------------------------------------
+
+  struct LoopCtx {
+    int break_env_depth;     // env depth at the break landing site
+    int continue_env_depth;  // env depth at the continue landing site
+    bool pops_iter_on_break;
+    std::vector<size_t> break_jumps;       // kJump -> patch .a
+    std::vector<size_t> break_eval_nodes;  // kEvalNode -> patch .b
+    std::vector<size_t> cont_jumps;        // kJump -> patch .a
+    std::vector<size_t> cont_eval_nodes;   // kEvalNode -> patch .e
+  };
+
+  void PatchLoop(LoopCtx& loop, int break_pc, int cont_pc) {
+    for (size_t insn : loop.break_jumps) {
+      chunk_->code[insn].a = break_pc;
+    }
+    for (size_t insn : loop.break_eval_nodes) {
+      chunk_->code[insn].b = break_pc;
+    }
+    for (size_t insn : loop.cont_jumps) {
+      chunk_->code[insn].a = cont_pc;
+    }
+    for (size_t insn : loop.cont_eval_nodes) {
+      chunk_->code[insn].e = cont_pc;
+    }
+  }
+
+  void EmitBreak(const Node* dbg) {
+    if (loops_.empty()) {
+      // No enclosing loop in this chunk: surface the abrupt completion to the
+      // caller (CallFunction reports the function-boundary error; a top-level
+      // break simply stops the program, as in the tree-walker).
+      Emit(dbg, Op::kComplete, 0);
+      return;
+    }
+    LoopCtx& loop = loops_.back();
+    int pops = env_depth_ - loop.break_env_depth;
+    if (pops > 0) {
+      Emit(dbg, Op::kEnvPopN, pops);
+    }
+    if (loop.pops_iter_on_break) {
+      Emit(dbg, Op::kIterPop);
+    }
+    loop.break_jumps.push_back(Emit(dbg, Op::kJump, -1));
+  }
+
+  void EmitContinue(const Node* dbg) {
+    if (loops_.empty()) {
+      Emit(dbg, Op::kComplete, 1);
+      return;
+    }
+    LoopCtx& loop = loops_.back();
+    int pops = env_depth_ - loop.continue_env_depth;
+    if (pops > 0) {
+      Emit(dbg, Op::kEnvPopN, pops);
+    }
+    loop.cont_jumps.push_back(Emit(dbg, Op::kJump, -1));
+  }
+
+  // Hands a statement subtree to the tree-walking oracle. Inside a loop the
+  // instruction carries break/continue trampolines (landing pc + how many
+  // environments to unwind from this site); outside, abrupt loop completions
+  // propagate out of the chunk.
+  void EmitEvalNode(const NodePtr& node) {
+    size_t insn = Emit(node.get(), Op::kEvalNode, NodeIdx(node), -1, 0, 0, -1, 0);
+    if (!loops_.empty()) {
+      LoopCtx& loop = loops_.back();
+      chunk_->code[insn].c = env_depth_ - loop.break_env_depth;
+      chunk_->code[insn].d = loop.pops_iter_on_break ? 1 : 0;
+      chunk_->code[insn].f = env_depth_ - loop.continue_env_depth;
+      loop.break_eval_nodes.push_back(insn);
+      loop.cont_eval_nodes.push_back(insn);
+    }
+  }
+
+  void EmitEvalExpr(int dst, const NodePtr& node) {
+    Emit(node.get(), Op::kEvalExpr, dst, NodeIdx(node));
+  }
+
+  // --- identifiers -----------------------------------------------------------
+
+  void EmitLoadIdent(int dst, const NodePtr& node, const char* error_verb) {
+    if (node->hops >= 0) {
+      Emit(node.get(), Op::kLoadSlot, dst, node->hops, node->slot);
+      return;
+    }
+    // Unbound-name diagnostics are precomputed: the failure message is fixed
+    // at compile time, so the dispatch loop never builds strings.
+    int msg = NameIdx(std::string(error_verb) + " undeclared variable " + node->str +
+                      (error_verb[0] == 'r' ? " at " + node->loc.ToString() : ""));
+    if (node->hops == kHopsGlobal) {
+      Emit(node.get(), Op::kLoadGlobal, dst, AtomOf(node), msg);
+    } else {
+      Emit(node.get(), Op::kLoadDyn, dst, static_cast<int32_t>(InternAtom(node->str)), msg);
+    }
+  }
+
+  void EmitStoreIdent(const NodePtr& node, int src) {
+    if (node->hops >= 0) {
+      Emit(node.get(), Op::kStoreSlot, node->hops, node->slot, src);
+    } else if (node->hops == kHopsGlobal) {
+      Emit(node.get(), Op::kStoreGlobal, AtomOf(node), src);
+    } else {
+      Emit(node.get(), Op::kStoreDyn, static_cast<int32_t>(InternAtom(node->str)), src);
+    }
+  }
+
+  // --- expressions -----------------------------------------------------------
+
+  void CompileExprInto(int dst, const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kNumberLit:
+        Emit(node.get(), Op::kLoadConst, dst, ConstIdx(Value(node->num)));
+        return;
+      case NodeKind::kStringLit:
+        Emit(node.get(), Op::kLoadConst, dst, ConstIdx(Value(node->str)));
+        return;
+      case NodeKind::kBoolLit:
+        Emit(node.get(), Op::kLoadConst, dst, ConstIdx(Value(node->num != 0)));
+        return;
+      case NodeKind::kNullLit:
+        Emit(node.get(), Op::kLoadConst, dst, ConstIdx(Value::Null()));
+        return;
+      case NodeKind::kUndefinedLit:
+        EmitLoadUndef(node.get(), dst);
+        return;
+      case NodeKind::kThisExpr:
+        if (node->hops >= 0) {
+          Emit(node.get(), Op::kLoadSlot, dst, node->hops, 0);
+        } else {
+          Emit(node.get(), Op::kLoadThisDyn, dst, static_cast<int32_t>(InternAtom("this")));
+        }
+        return;
+      case NodeKind::kIdentifier:
+        EmitLoadIdent(dst, node, "reference to");
+        return;
+      case NodeKind::kArrayLit:
+        CompileArrayLit(dst, node);
+        return;
+      case NodeKind::kObjectLit:
+        CompileObjectLit(dst, node);
+        return;
+      case NodeKind::kFunctionExpr:
+      case NodeKind::kArrowFunction:
+        Emit(node.get(), Op::kClosure, dst, NodeIdx(node));
+        return;
+      case NodeKind::kCallExpr:
+        CompileCall(dst, node);
+        return;
+      case NodeKind::kNewExpr:
+        CompileNew(dst, node);
+        return;
+      case NodeKind::kMemberExpr: {
+        RegScope scope(this);
+        int obj = AllocReg();
+        CompileExprInto(obj, node->children[0]);
+        size_t skip = SIZE_MAX;
+        if (node->num != 0) {  // optional chaining
+          skip = Emit(node.get(), Op::kJumpIfNullish, -1, obj);
+        }
+        EmitGetMember(dst, obj, node);
+        if (skip != SIZE_MAX) {
+          size_t done = Emit(node.get(), Op::kJump, -1);
+          PatchJump(skip, Here());
+          EmitLoadUndef(node.get(), dst);
+          PatchJump(done, Here());
+        }
+        return;
+      }
+      case NodeKind::kIndexExpr: {
+        RegScope scope(this);
+        int obj = AllocReg();
+        CompileExprInto(obj, node->children[0]);
+        int key = AllocReg();
+        CompileExprInto(key, node->children[1]);
+        Emit(node.get(), Op::kGetIndex, dst, obj, key);
+        return;
+      }
+      case NodeKind::kBinaryExpr: {
+        BinaryOp op = BinaryOpFromString(node->str);
+        if (op == BinaryOp::kInvalid) {
+          EmitEvalExpr(dst, node);
+          return;
+        }
+        RegScope scope(this);
+        int left = AllocReg();
+        CompileExprInto(left, node->children[0]);
+        int right = AllocReg();
+        CompileExprInto(right, node->children[1]);
+        Emit(node.get(), Op::kBinary, dst, static_cast<int32_t>(op), left, right);
+        return;
+      }
+      case NodeKind::kLogicalExpr: {
+        CompileExprInto(dst, node->children[0]);
+        Op jump = node->str == "&&"   ? Op::kJumpIfFalse
+                  : node->str == "||" ? Op::kJumpIfTrue
+                                      : Op::kJumpIfNotNullish;  // ??
+        size_t shortcut = Emit(node.get(), jump, -1, dst);
+        CompileExprInto(dst, node->children[1]);
+        PatchJump(shortcut, Here());
+        return;
+      }
+      case NodeKind::kUnaryExpr:
+        CompileUnary(dst, node);
+        return;
+      case NodeKind::kUpdateExpr:
+        CompileUpdate(dst, node);
+        return;
+      case NodeKind::kAssignExpr:
+        CompileAssign(dst, node);
+        return;
+      case NodeKind::kConditionalExpr: {
+        size_t to_else;
+        {
+          RegScope scope(this);
+          int cond = AllocReg();
+          CompileExprInto(cond, node->children[0]);
+          to_else = Emit(node.get(), Op::kJumpIfFalse, -1, cond);
+        }
+        CompileExprInto(dst, node->children[1]);
+        size_t to_end = Emit(node.get(), Op::kJump, -1);
+        PatchJump(to_else, Here());
+        CompileExprInto(dst, node->children[2]);
+        PatchJump(to_end, Here());
+        return;
+      }
+      case NodeKind::kAwaitExpr: {
+        RegScope scope(this);
+        int operand = AllocReg();
+        CompileExprInto(operand, node->children[0]);
+        Emit(node.get(), Op::kAwait, dst, operand);
+        return;
+      }
+      case NodeKind::kSequenceExpr:
+        if (node->children.empty()) {
+          EmitLoadUndef(node.get(), dst);
+          return;
+        }
+        for (const NodePtr& part : node->children) {
+          CompileExprInto(dst, part);
+        }
+        return;
+      default:
+        // kSpreadElement outside call/array context and anything the compiler
+        // does not know: the oracle produces the exact runtime error.
+        EmitEvalExpr(dst, node);
+        return;
+    }
+  }
+
+  void EmitGetMember(int dst, int obj, const NodePtr& member) {
+    if (member->atom != kAtomEmpty) {
+      Emit(member.get(), Op::kGetProp, dst, obj, static_cast<int32_t>(member->atom));
+    } else {
+      Emit(member.get(), Op::kGetPropName, dst, obj, NameIdx(member->str));
+    }
+  }
+
+  void CompileArrayLit(int dst, const NodePtr& node) {
+    bool has_spread = false;
+    for (const NodePtr& element : node->children) {
+      if (element->kind == NodeKind::kSpreadElement) {
+        has_spread = true;
+        break;
+      }
+    }
+    if (!has_spread) {
+      RegScope scope(this);
+      int base = next_reg_;
+      for (const NodePtr& element : node->children) {
+        int r = AllocReg();
+        CompileExprInto(r, element);
+      }
+      Emit(node.get(), Op::kArray, dst, base, static_cast<int32_t>(node->children.size()));
+      return;
+    }
+    Emit(node.get(), Op::kArgStart);
+    for (const NodePtr& element : node->children) {
+      RegScope scope(this);
+      int r = AllocReg();
+      if (element->kind == NodeKind::kSpreadElement) {
+        CompileExprInto(r, element->children[0]);
+        Emit(element.get(), Op::kArgSpread, r, 1);
+      } else {
+        CompileExprInto(r, element);
+        Emit(element.get(), Op::kArgPush, r);
+      }
+    }
+    Emit(node.get(), Op::kArrayV, dst);
+  }
+
+  void CompileObjectLit(int dst, const NodePtr& node) {
+    Emit(node.get(), Op::kObjNew, dst);
+    for (const NodePtr& prop : node->children) {
+      RegScope scope(this);
+      if (prop->num != 0) {  // computed key
+        int key = AllocReg();
+        CompileExprInto(key, prop->children[0]);
+        int value = AllocReg();
+        CompileExprInto(value, prop->children[1]);
+        Emit(prop.get(), Op::kObjSetComputed, dst, key, value);
+      } else {
+        int value = AllocReg();
+        CompileExprInto(value, prop->children[0]);
+        if (prop->atom != kAtomEmpty) {
+          Emit(prop.get(), Op::kObjSetAtom, dst, static_cast<int32_t>(prop->atom), value);
+        } else {
+          Emit(prop.get(), Op::kObjSetName, dst, NameIdx(prop->str), value);
+        }
+      }
+    }
+  }
+
+  // Compiles the arguments of a call/new/array-literal region. Returns true
+  // and leaves a populated argument buffer when spread is involved; otherwise
+  // fills a contiguous register window starting at *base.
+  bool CompileArgs(const NodePtr& node, size_t first, int* base, int* count) {
+    bool has_spread = false;
+    for (size_t i = first; i < node->children.size(); ++i) {
+      if (node->children[i]->kind == NodeKind::kSpreadElement) {
+        has_spread = true;
+        break;
+      }
+    }
+    if (!has_spread) {
+      *base = next_reg_;
+      *count = static_cast<int>(node->children.size() - first);
+      for (size_t i = first; i < node->children.size(); ++i) {
+        int r = AllocReg();
+        CompileExprInto(r, node->children[i]);
+      }
+      return false;
+    }
+    Emit(node.get(), Op::kArgStart);
+    for (size_t i = first; i < node->children.size(); ++i) {
+      const NodePtr& arg = node->children[i];
+      RegScope scope(this);
+      int r = AllocReg();
+      if (arg->kind == NodeKind::kSpreadElement) {
+        CompileExprInto(r, arg->children[0]);
+        Emit(arg.get(), Op::kArgSpread, r, 0);
+      } else {
+        CompileExprInto(r, arg);
+        Emit(arg.get(), Op::kArgPush, r);
+      }
+    }
+    return true;
+  }
+
+  void CompileCall(int dst, const NodePtr& node) {
+    const NodePtr& callee = node->children[0];
+    int name = NameIdx(callee->str);
+    RegScope scope(this);
+    int fn = AllocReg();
+    int this_reg = -1;
+    size_t skip = SIZE_MAX;
+    if (callee->kind == NodeKind::kMemberExpr) {
+      this_reg = AllocReg();
+      CompileExprInto(this_reg, callee->children[0]);
+      if (callee->num != 0) {  // optional call a?.b(...): nullish skips args too
+        skip = Emit(callee.get(), Op::kJumpIfNullish, -1, this_reg);
+      }
+      EmitGetMember(fn, this_reg, callee);
+    } else if (callee->kind == NodeKind::kIndexExpr) {
+      this_reg = AllocReg();
+      CompileExprInto(this_reg, callee->children[0]);
+      {
+        RegScope key_scope(this);
+        int key = AllocReg();
+        CompileExprInto(key, callee->children[1]);
+        Emit(callee.get(), Op::kGetIndex, fn, this_reg, key);
+      }
+    } else {
+      CompileExprInto(fn, callee);
+    }
+    int base = 0;
+    int count = 0;
+    if (CompileArgs(node, 1, &base, &count)) {
+      Emit(node.get(), Op::kCallV, dst, fn, this_reg, 0, 0, name);
+    } else {
+      Emit(node.get(), Op::kCall, dst, fn, this_reg, base, count, name);
+    }
+    if (skip != SIZE_MAX) {
+      size_t done = Emit(node.get(), Op::kJump, -1);
+      PatchJump(skip, Here());
+      EmitLoadUndef(node.get(), dst);
+      PatchJump(done, Here());
+    }
+  }
+
+  void CompileNew(int dst, const NodePtr& node) {
+    RegScope scope(this);
+    int fn = AllocReg();
+    CompileExprInto(fn, node->children[0]);
+    int base = 0;
+    int count = 0;
+    if (CompileArgs(node, 1, &base, &count)) {
+      Emit(node.get(), Op::kNewV, dst, fn);
+    } else {
+      Emit(node.get(), Op::kNew, dst, fn, base, count);
+    }
+  }
+
+  void CompileUnary(int dst, const NodePtr& node) {
+    const std::string& op = node->str;
+    if (op == "typeof") {
+      const NodePtr& operand = node->children[0];
+      RegScope scope(this);
+      int r = AllocReg();
+      if (operand->kind == NodeKind::kIdentifier) {
+        // typeof tolerates unbound names: soft loads yield undefined, whose
+        // TypeName matches the tree-walker's literal "undefined".
+        if (operand->hops >= 0) {
+          Emit(operand.get(), Op::kLoadSlot, r, operand->hops, operand->slot);
+        } else if (operand->hops == kHopsGlobal) {
+          Emit(operand.get(), Op::kLoadGlobalSoft, r, AtomOf(operand));
+        } else {
+          Emit(operand.get(), Op::kLoadDynSoft, r,
+               static_cast<int32_t>(InternAtom(operand->str)));
+        }
+      } else {
+        CompileExprInto(r, operand);
+      }
+      Emit(node.get(), Op::kTypeof, dst, r);
+      return;
+    }
+    if (op == "delete") {
+      const NodePtr& target = node->children[0];
+      if (target->kind == NodeKind::kMemberExpr || target->kind == NodeKind::kIndexExpr) {
+        RegScope scope(this);
+        int obj = AllocReg();
+        CompileExprInto(obj, target->children[0]);
+        if (target->kind == NodeKind::kMemberExpr) {
+          Emit(target.get(), Op::kDeleteProp, obj, NameIdx(target->str));
+        } else {
+          int key = AllocReg();
+          CompileExprInto(key, target->children[1]);
+          Emit(target.get(), Op::kDeleteIndex, obj, key);
+        }
+        Emit(node.get(), Op::kLoadConst, dst, ConstIdx(Value(true)));
+        return;
+      }
+      // Non-member delete targets are not evaluated; the result is false.
+      Emit(node.get(), Op::kLoadConst, dst, ConstIdx(Value(false)));
+      return;
+    }
+    UnaryOp decoded;
+    if (op == "!") {
+      decoded = UnaryOp::kNot;
+    } else if (op == "-") {
+      decoded = UnaryOp::kNeg;
+    } else if (op == "+") {
+      decoded = UnaryOp::kPlus;
+    } else if (op == "~") {
+      decoded = UnaryOp::kBitNot;
+    } else {
+      EmitEvalExpr(dst, node);  // unknown unary -> oracle's UnimplementedError
+      return;
+    }
+    RegScope scope(this);
+    int r = AllocReg();
+    CompileExprInto(r, node->children[0]);
+    Emit(node.get(), Op::kUnary, dst, static_cast<int32_t>(decoded), r);
+  }
+
+  void CompileUpdate(int dst, const NodePtr& node) {
+    const NodePtr& target = node->children[0];
+    BinaryOp step = node->str == "++" ? BinaryOp::kAdd : BinaryOp::kSub;
+    bool prefix = node->num != 0;
+    if (target->kind == NodeKind::kIdentifier) {
+      RegScope scope(this);
+      int old_raw = AllocReg();
+      if (target->hops >= 0) {
+        Emit(target.get(), Op::kLoadSlot, old_raw, target->hops, target->slot);
+      } else {
+        int msg = NameIdx("update of undeclared variable " + target->str);
+        if (target->hops == kHopsGlobal) {
+          Emit(target.get(), Op::kLoadGlobal, old_raw, AtomOf(target), msg);
+        } else {
+          Emit(target.get(), Op::kLoadDyn, old_raw,
+               static_cast<int32_t>(InternAtom(target->str)), msg);
+        }
+      }
+      EmitUpdateArithmetic(node, target, step, prefix, dst, old_raw,
+                           /*obj=*/-1, /*key=*/-1, /*member=*/nullptr);
+      return;
+    }
+    if (target->kind == NodeKind::kMemberExpr || target->kind == NodeKind::kIndexExpr) {
+      RegScope scope(this);
+      int obj = AllocReg();
+      CompileExprInto(obj, target->children[0]);
+      int key = -1;
+      if (target->kind == NodeKind::kIndexExpr) {
+        key = AllocReg();
+        CompileExprInto(key, target->children[1]);
+      }
+      int old_raw = AllocReg();
+      if (target->kind == NodeKind::kMemberExpr) {
+        EmitGetMember(old_raw, obj, target);
+      } else {
+        Emit(target.get(), Op::kGetIndex, old_raw, obj, key);
+      }
+      EmitUpdateArithmetic(node, target, step, prefix, dst, old_raw, obj, key, target.get());
+      return;
+    }
+    EmitEvalExpr(dst, node);  // invalid update target -> oracle's TypeError
+  }
+
+  // Shared tail of kUpdateExpr: coerce, step by one, store, pick the result
+  // per fixity (the *coerced* old number for postfix, matching the oracle).
+  void EmitUpdateArithmetic(const NodePtr& node, const NodePtr& target, BinaryOp step,
+                            bool prefix, int dst, int old_raw, int obj, int key,
+                            const Node* member) {
+    int old_num = AllocReg();
+    Emit(node.get(), Op::kUnary, old_num, static_cast<int32_t>(UnaryOp::kPlus), old_raw);
+    int one = AllocReg();
+    Emit(node.get(), Op::kLoadConst, one, ConstIdx(Value(1.0)));
+    int updated = AllocReg();
+    Emit(node.get(), Op::kBinary, updated, static_cast<int32_t>(step), old_num, one);
+    if (member == nullptr) {
+      EmitStoreIdent(target, updated);
+    } else if (member->kind == NodeKind::kMemberExpr) {
+      EmitSetMember(obj, target, updated);
+    } else {
+      Emit(member, Op::kSetIndex, obj, key, updated);
+    }
+    Emit(node.get(), Op::kMove, dst, prefix ? updated : old_num);
+  }
+
+  void EmitSetMember(int obj, const NodePtr& member, int src) {
+    if (member->atom != kAtomEmpty) {
+      Emit(member.get(), Op::kSetProp, obj, static_cast<int32_t>(member->atom), src);
+    } else {
+      Emit(member.get(), Op::kSetPropName, obj, NameIdx(member->str), src);
+    }
+  }
+
+  void CompileAssign(int dst, const NodePtr& node) {
+    const NodePtr& target = node->children[0];
+    const std::string& op = node->str;
+    bool plain = op == "=";
+    bool logical = op == "&&=" || op == "||=" || op == "?\?=";
+    BinaryOp compound = BinaryOp::kInvalid;
+    if (!plain && !logical) {
+      compound = BinaryOpFromString(op.substr(0, op.size() - 1));
+      if (compound == BinaryOp::kInvalid) {
+        EmitEvalExpr(dst, node);
+        return;
+      }
+    }
+    if (target->kind == NodeKind::kIdentifier) {
+      RegScope scope(this);
+      int old_raw = -1;
+      if (!plain) {
+        old_raw = AllocReg();
+        if (target->hops >= 0) {
+          Emit(target.get(), Op::kLoadSlot, old_raw, target->hops, target->slot);
+        } else {
+          int msg = NameIdx("assignment to undeclared variable " + target->str);
+          if (target->hops == kHopsGlobal) {
+            Emit(target.get(), Op::kLoadGlobal, old_raw, AtomOf(target), msg);
+          } else {
+            Emit(target.get(), Op::kLoadDyn, old_raw,
+                 static_cast<int32_t>(InternAtom(target->str)), msg);
+          }
+        }
+      }
+      EmitAssignValue(node, plain, logical, compound, dst, old_raw);
+      EmitStoreIdent(target, dst);
+      return;
+    }
+    if (target->kind == NodeKind::kMemberExpr || target->kind == NodeKind::kIndexExpr) {
+      RegScope scope(this);
+      int obj = AllocReg();
+      CompileExprInto(obj, target->children[0]);
+      int key = -1;
+      if (target->kind == NodeKind::kIndexExpr) {
+        key = AllocReg();
+        CompileExprInto(key, target->children[1]);
+      }
+      int old_raw = -1;
+      if (!plain) {
+        old_raw = AllocReg();
+        if (target->kind == NodeKind::kMemberExpr) {
+          EmitGetMember(old_raw, obj, target);
+        } else {
+          Emit(target.get(), Op::kGetIndex, old_raw, obj, key);
+        }
+      }
+      EmitAssignValue(node, plain, logical, compound, dst, old_raw);
+      if (target->kind == NodeKind::kMemberExpr) {
+        EmitSetMember(obj, target, dst);
+      } else {
+        Emit(target.get(), Op::kSetIndex, obj, key, dst);
+      }
+      return;
+    }
+    EmitEvalExpr(dst, node);  // invalid assignment target -> oracle's TypeError
+  }
+
+  // Computes the stored value of an assignment into `dst`. The RHS is always
+  // evaluated — including for short-circuit spellings — matching the oracle's
+  // EvalAssignment exactly.
+  void EmitAssignValue(const NodePtr& node, bool plain, bool logical, BinaryOp compound,
+                       int dst, int old_raw) {
+    const std::string& op = node->str;
+    if (plain) {
+      CompileExprInto(dst, node->children[1]);
+      return;
+    }
+    if (logical) {
+      CompileExprInto(dst, node->children[1]);
+      Op keep_rhs = op == "&&="   ? Op::kJumpIfTrue
+                    : op == "||=" ? Op::kJumpIfFalse
+                                  : Op::kJumpIfNullish;  // ??=
+      size_t jump = Emit(node.get(), keep_rhs, -1, old_raw);
+      Emit(node.get(), Op::kMove, dst, old_raw);
+      PatchJump(jump, Here());
+      return;
+    }
+    RegScope scope(this);
+    int rhs = AllocReg();
+    CompileExprInto(rhs, node->children[1]);
+    Emit(node.get(), Op::kBinary, dst, static_cast<int32_t>(compound), old_raw, rhs);
+  }
+
+  // --- statements ------------------------------------------------------------
+
+  void CompileStmt(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kVarDecl:
+        for (const NodePtr& declarator : node->children) {
+          RegScope scope(this);
+          int r = AllocReg();
+          if (!declarator->children.empty()) {
+            CompileExprInto(r, declarator->children[0]);
+            // Anonymous function initializers inherit the declared name.
+            Emit(declarator.get(), Op::kSetFnName, r, NameIdx(declarator->str));
+          } else {
+            EmitLoadUndef(declarator.get(), r);
+          }
+          if (declarator->slot >= 0) {
+            Emit(declarator.get(), Op::kStoreSlot, 0, declarator->slot, r);
+          } else {
+            Emit(declarator.get(), Op::kDefineCur,
+                 static_cast<int32_t>(InternAtom(declarator->str)), r);
+          }
+        }
+        return;
+      case NodeKind::kExprStmt: {
+        RegScope scope(this);
+        int r = AllocReg();
+        CompileExprInto(r, node->children[0]);
+        return;
+      }
+      case NodeKind::kBlockStmt:
+        CompileBlock(node);
+        return;
+      case NodeKind::kIfStmt: {
+        size_t to_else;
+        {
+          RegScope scope(this);
+          int cond = AllocReg();
+          CompileExprInto(cond, node->children[0]);
+          to_else = Emit(node.get(), Op::kJumpIfFalse, -1, cond);
+        }
+        CompileStmt(node->children[1]);
+        if (node->children.size() > 2) {
+          size_t to_end = Emit(node.get(), Op::kJump, -1);
+          PatchJump(to_else, Here());
+          CompileStmt(node->children[2]);
+          PatchJump(to_end, Here());
+        } else {
+          PatchJump(to_else, Here());
+        }
+        return;
+      }
+      case NodeKind::kWhileStmt:
+        CompileWhile(node);
+        return;
+      case NodeKind::kForStmt:
+        CompileFor(node);
+        return;
+      case NodeKind::kForOfStmt:
+        CompileForOf(node);
+        return;
+      case NodeKind::kReturnStmt: {
+        RegScope scope(this);
+        int r = AllocReg();
+        if (node->children.empty()) {
+          EmitLoadUndef(node.get(), r);
+        } else {
+          CompileExprInto(r, node->children[0]);
+        }
+        Emit(node.get(), Op::kReturn, r);
+        return;
+      }
+      case NodeKind::kThrowStmt: {
+        RegScope scope(this);
+        int r = AllocReg();
+        CompileExprInto(r, node->children[0]);
+        Emit(node.get(), Op::kThrow, r);
+        return;
+      }
+      case NodeKind::kBreakStmt:
+        EmitBreak(node.get());
+        return;
+      case NodeKind::kContinueStmt:
+        EmitContinue(node.get());
+        return;
+      case NodeKind::kEmpty:
+        return;
+      case NodeKind::kFunctionDecl: {
+        RegScope scope(this);
+        int r = AllocReg();
+        Emit(node.get(), Op::kClosure, r, NodeIdx(node));
+        if (node->slot >= 0) {
+          Emit(node.get(), Op::kStoreSlot, 0, node->slot, r);
+        } else {
+          Emit(node.get(), Op::kDefineCur, static_cast<int32_t>(InternAtom(node->str)), r);
+        }
+        return;
+      }
+      case NodeKind::kTryStmt:
+      case NodeKind::kClassDecl:
+        // Exception handling and class construction run through the oracle:
+        // both are cold, and try/catch in particular would otherwise need an
+        // in-VM handler stack for no measurable gain.
+        EmitEvalNode(node);
+        return;
+      default:
+        if (node->IsExpression()) {
+          RegScope scope(this);
+          int r = AllocReg();
+          CompileExprInto(r, node);
+          return;
+        }
+        EmitEvalNode(node);
+        return;
+    }
+  }
+
+  void CompileBlock(const NodePtr& block) {
+    // Transparent blocks (no frame) get no Environment and no hoist pass,
+    // exactly like the tree-walker's EvalBlock.
+    bool transparent = block->slot == 0 && block->frame_size == 0;
+    if (!transparent) {
+      Emit(block.get(), Op::kEnvPush, static_cast<int32_t>(block->frame_size));
+      ++env_depth_;
+      for (const NodePtr& stmt : block->children) {
+        if (stmt->kind == NodeKind::kFunctionDecl) {
+          CompileStmt(stmt);  // hoist: same double definition as the oracle
+        }
+      }
+    }
+    for (const NodePtr& stmt : block->children) {
+      CompileStmt(stmt);
+    }
+    if (!transparent) {
+      Emit(block.get(), Op::kEnvPop);
+      --env_depth_;
+    }
+  }
+
+  void CompileWhile(const NodePtr& node) {
+    loops_.push_back(LoopCtx{env_depth_, env_depth_, false, {}, {}, {}, {}});
+    int start = Here();
+    size_t exit_jump;
+    {
+      RegScope scope(this);
+      int cond = AllocReg();
+      CompileExprInto(cond, node->children[0]);
+      exit_jump = Emit(node.get(), Op::kJumpIfFalse, -1, cond);
+    }
+    CompileStmt(node->children[1]);
+    Emit(node.get(), Op::kJump, start);
+    int exit = Here();
+    PatchJump(exit_jump, exit);
+    PatchLoop(loops_.back(), exit, start);
+    loops_.pop_back();
+  }
+
+  void CompileFor(const NodePtr& node) {
+    bool header = !(node->slot == 0 && node->frame_size == 0);
+    if (header) {
+      Emit(node.get(), Op::kEnvPush, static_cast<int32_t>(node->frame_size));
+      ++env_depth_;
+    }
+    if (node->children[0]->kind != NodeKind::kEmpty) {
+      CompileStmt(node->children[0]);
+    }
+    loops_.push_back(LoopCtx{env_depth_, env_depth_, false, {}, {}, {}, {}});
+    int start = Here();
+    size_t exit_jump = SIZE_MAX;
+    if (node->children[1]->kind != NodeKind::kEmpty) {
+      RegScope scope(this);
+      int cond = AllocReg();
+      CompileExprInto(cond, node->children[1]);
+      exit_jump = Emit(node.get(), Op::kJumpIfFalse, -1, cond);
+    }
+    CompileStmt(node->children[3]);
+    int cont = Here();
+    if (node->children[2]->kind != NodeKind::kEmpty) {
+      RegScope scope(this);
+      int update = AllocReg();
+      CompileExprInto(update, node->children[2]);
+    }
+    Emit(node.get(), Op::kJump, start);
+    int exit = Here();
+    if (exit_jump != SIZE_MAX) {
+      PatchJump(exit_jump, exit);
+    }
+    PatchLoop(loops_.back(), exit, cont);
+    loops_.pop_back();
+    if (header) {
+      Emit(node.get(), Op::kEnvPop);
+      --env_depth_;
+    }
+  }
+
+  void CompileForOf(const NodePtr& node) {
+    RegScope scope(this);  // keeps the item register alive across the loop
+    {
+      RegScope iterable_scope(this);
+      int iterable = AllocReg();
+      CompileExprInto(iterable, node->children[1]);  // evaluated in outer scope
+      Emit(node.get(), Op::kIterNew, 0, iterable);
+    }
+    int item = AllocReg();
+    // The per-iteration environment sits one deeper than the break landing
+    // site; the iteration frame must be popped on break (kIterNext pops it on
+    // normal exhaustion).
+    loops_.push_back(LoopCtx{env_depth_, env_depth_ + 1, true, {}, {}, {}, {}});
+    int start = Here();
+    size_t next = Emit(node.get(), Op::kIterNext, -1, item);
+    Emit(node.get(), Op::kEnvPush, static_cast<int32_t>(node->frame_size));
+    ++env_depth_;
+    const NodePtr& loop_var = node->children[0];
+    if (loop_var->slot >= 0) {
+      Emit(loop_var.get(), Op::kStoreSlot, 0, loop_var->slot, item);
+    } else {
+      Emit(loop_var.get(), Op::kDefineCur, static_cast<int32_t>(InternAtom(loop_var->str)),
+           item);
+    }
+    CompileStmt(node->children[2]);
+    int cont = Here();
+    Emit(node.get(), Op::kEnvPop);
+    --env_depth_;
+    Emit(node.get(), Op::kJump, start);
+    int exit = Here();
+    PatchJump(next, exit);
+    PatchLoop(loops_.back(), exit, cont);
+    loops_.pop_back();
+  }
+
+  void Finish() {
+    chunk_->num_regs = static_cast<uint32_t>(max_regs_ > 0 ? max_regs_ : 1);
+  }
+
+  Chunk* chunk_;
+  int next_reg_ = 0;
+  int max_regs_ = 0;
+  int env_depth_ = 0;
+  std::vector<LoopCtx> loops_;
+  std::unordered_map<std::string, int> name_indices_;
+  int undef_const_ = -1;
+};
+
+obs::Counter* ChunksCompiledCounter() {
+  static obs::Counter* counter = obs::Metrics::Global().GetCounter("vm.chunks_compiled");
+  return counter;
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kLoadConst: return "LoadConst";
+    case Op::kMove: return "Move";
+    case Op::kLoadSlot: return "LoadSlot";
+    case Op::kStoreSlot: return "StoreSlot";
+    case Op::kLoadGlobal: return "LoadGlobal";
+    case Op::kLoadGlobalSoft: return "LoadGlobalSoft";
+    case Op::kStoreGlobal: return "StoreGlobal";
+    case Op::kLoadDyn: return "LoadDyn";
+    case Op::kLoadDynSoft: return "LoadDynSoft";
+    case Op::kStoreDyn: return "StoreDyn";
+    case Op::kDefineCur: return "DefineCur";
+    case Op::kLoadThisDyn: return "LoadThisDyn";
+    case Op::kSetFnName: return "SetFnName";
+    case Op::kBinary: return "Binary";
+    case Op::kUnary: return "Unary";
+    case Op::kTypeof: return "Typeof";
+    case Op::kJump: return "Jump";
+    case Op::kJumpIfFalse: return "JumpIfFalse";
+    case Op::kJumpIfTrue: return "JumpIfTrue";
+    case Op::kJumpIfNullish: return "JumpIfNullish";
+    case Op::kJumpIfNotNullish: return "JumpIfNotNullish";
+    case Op::kGetProp: return "GetProp";
+    case Op::kGetPropName: return "GetPropName";
+    case Op::kGetIndex: return "GetIndex";
+    case Op::kSetProp: return "SetProp";
+    case Op::kSetPropName: return "SetPropName";
+    case Op::kSetIndex: return "SetIndex";
+    case Op::kDeleteProp: return "DeleteProp";
+    case Op::kDeleteIndex: return "DeleteIndex";
+    case Op::kObjNew: return "ObjNew";
+    case Op::kObjSetAtom: return "ObjSetAtom";
+    case Op::kObjSetName: return "ObjSetName";
+    case Op::kObjSetComputed: return "ObjSetComputed";
+    case Op::kArray: return "Array";
+    case Op::kArrayV: return "ArrayV";
+    case Op::kArgStart: return "ArgStart";
+    case Op::kArgPush: return "ArgPush";
+    case Op::kArgSpread: return "ArgSpread";
+    case Op::kCall: return "Call";
+    case Op::kCallV: return "CallV";
+    case Op::kNew: return "New";
+    case Op::kNewV: return "NewV";
+    case Op::kClosure: return "Closure";
+    case Op::kEnvPush: return "EnvPush";
+    case Op::kEnvPop: return "EnvPop";
+    case Op::kEnvPopN: return "EnvPopN";
+    case Op::kIterNew: return "IterNew";
+    case Op::kIterNext: return "IterNext";
+    case Op::kIterPop: return "IterPop";
+    case Op::kEvalNode: return "EvalNode";
+    case Op::kEvalExpr: return "EvalExpr";
+    case Op::kAwait: return "Await";
+    case Op::kThrow: return "Throw";
+    case Op::kReturn: return "Return";
+    case Op::kHalt: return "Halt";
+    case Op::kHaltValue: return "HaltValue";
+    case Op::kComplete: return "Complete";
+  }
+  return "?";
+}
+
+ChunkPtr GetOrCompileProgram(const NodePtr& root) {
+  if (root->compiled_chunk != nullptr) {
+    return std::static_pointer_cast<const Chunk>(root->compiled_chunk);
+  }
+  auto chunk = std::make_shared<Chunk>();
+  Compiler(chunk.get()).CompileProgram(root);
+  ChunksCompiledCounter()->Increment();
+  root->compiled_chunk = chunk;
+  return chunk;
+}
+
+ChunkPtr GetOrCompileFunctionBody(const NodePtr& body) {
+  if (body->compiled_chunk != nullptr) {
+    return std::static_pointer_cast<const Chunk>(body->compiled_chunk);
+  }
+  auto chunk = std::make_shared<Chunk>();
+  Compiler(chunk.get()).CompileFunctionBody(body);
+  ChunksCompiledCounter()->Increment();
+  body->compiled_chunk = chunk;
+  return chunk;
+}
+
+}  // namespace vm
+}  // namespace turnstile

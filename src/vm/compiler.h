@@ -1,0 +1,35 @@
+// Lowers resolved MiniScript ASTs to register bytecode (see bytecode.h).
+//
+// Compilation is per function body, on first execution, *after* any
+// instrumentation rewrite: the instrumentor re-resolves the tree it rewrote,
+// re-resolution clears the per-node chunk cache (src/lang/resolve.cc), and
+// the injected `__dift.*` calls are ordinary member calls by the time they
+// reach the compiler. Compilation never fails: statements the compiler does
+// not lower natively (try/catch, class declarations, anything unknown) are
+// emitted as kEvalNode escape hatches that run the subtree through the
+// tree-walking oracle with the current environment.
+#ifndef TURNSTILE_SRC_VM_COMPILER_H_
+#define TURNSTILE_SRC_VM_COMPILER_H_
+
+#include "src/lang/ast.h"
+#include "src/vm/bytecode.h"
+
+namespace turnstile {
+namespace vm {
+
+// Compiles (or returns the cached chunk of) a kProgram root: hoisted function
+// declarations, top-level statements, kHalt. The cache lives on the node
+// (Node::compiled_chunk) and is invalidated by ResolveProgram.
+ChunkPtr GetOrCompileProgram(const NodePtr& root);
+
+// Compiles (or returns the cached chunk of) a function body: a kBlockStmt
+// lowers like any block (ending in kHalt); an expression body lowers to the
+// expression followed by kHaltValue. The caller (Interpreter::CallFunction)
+// owns frame setup — `this`, self binding, parameters — exactly as for the
+// tree-walked tier, so the chunk starts with the call environment current.
+ChunkPtr GetOrCompileFunctionBody(const NodePtr& body);
+
+}  // namespace vm
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_VM_COMPILER_H_

@@ -1,0 +1,41 @@
+// The bytecode dispatch loop: executes Chunks (bytecode.h) against the same
+// runtime the tree-walker uses — Value, Environment frames, builtins, the
+// event-loop task queue — via the Interpreter's tier-shared helpers.
+#ifndef TURNSTILE_SRC_VM_VM_H_
+#define TURNSTILE_SRC_VM_VM_H_
+
+#include "src/interp/environment.h"
+#include "src/interp/interp.h"
+#include "src/interp/value.h"
+#include "src/lang/ast.h"
+#include "src/support/status.h"
+#include "src/vm/bytecode.h"
+
+namespace turnstile {
+namespace vm {
+
+class Vm {
+ public:
+  // Compiles (cached) and runs a kProgram root in `env` (the global scope).
+  // Mirrors Interpreter::EvalStatement on the root for completion semantics.
+  static Result<Completion> ExecuteProgram(Interpreter& interp, const NodePtr& root,
+                                           const EnvPtr& env);
+
+  // Compiles (cached) and runs a function body in the already-populated call
+  // environment (Interpreter::CallFunction owns frame setup for both tiers).
+  // Returns the same Completion shapes the tree-walked body dispatch does:
+  // Normal(undefined) for a block body falling off the end, Normal(value) for
+  // expression-body arrows, Return/Throw/Break/Continue passed through.
+  static Result<Completion> ExecuteFunctionBody(Interpreter& interp, const FunctionObject& fn,
+                                                const EnvPtr& call_env);
+
+  // Runs one chunk. Host errors surface as Status; MiniScript throws as
+  // Completion::Throw. Never handles exceptions itself — try/catch runs in
+  // the tree-walking oracle via the kEvalNode escape hatch.
+  static Result<Completion> Execute(Interpreter& interp, const Chunk& chunk, EnvPtr env);
+};
+
+}  // namespace vm
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_VM_VM_H_

@@ -79,20 +79,33 @@ TEST(CorpusRoundTripTest, AnalysisIsStableUnderReprinting) {
 }
 
 TEST(CorpusRoundTripTest, RoundTrippedInstrumentationPreservesBehaviourOnEveryApp) {
-  // The deployment invariant: instrument -> print -> re-parse -> re-resolve ->
-  // run produces the same sink traffic and the same violation set as running
-  // the in-memory instrumented tree, on every corpus app.
+  // The deployment invariant, extended to a version x tier matrix: instrument
+  // -> print -> re-parse -> re-resolve -> (compile ->) run produces the same
+  // sink traffic and the same violation set as running the in-memory
+  // instrumented tree, on every corpus app, under both execution tiers.
+  struct Cell {
+    AppVersion version;
+    ExecTier tier;
+    const char* name;
+  };
+  constexpr Cell kMatrix[] = {
+      {AppVersion::kSelective, ExecTier::kTreeWalk, "selective/treewalk"},
+      {AppVersion::kSelective, ExecTier::kBytecode, "selective/bytecode"},
+      {AppVersion::kRoundTrip, ExecTier::kTreeWalk, "roundtrip/treewalk"},
+      {AppVersion::kRoundTrip, ExecTier::kBytecode, "roundtrip/bytecode"},
+  };
   for (const CorpusApp& app : Corpus()) {
-    std::vector<std::string> outcome[2];
-    int index = 0;
-    for (AppVersion version : {AppVersion::kSelective, AppVersion::kRoundTrip}) {
-      auto runtime = AppRuntime::Create(app, version);
-      ASSERT_TRUE(runtime.ok()) << app.name << ": " << runtime.status().ToString();
+    std::vector<std::string> baseline;
+    for (const Cell& cell : kMatrix) {
+      auto runtime = AppRuntime::Create(app, cell.version, cell.tier);
+      ASSERT_TRUE(runtime.ok()) << app.name << " [" << cell.name
+                                << "]: " << runtime.status().ToString();
       Rng rng(977u);
       for (int seq = 0; seq < 3; ++seq) {
-        ASSERT_TRUE((*runtime)->DriveMessage(&rng, seq).ok()) << app.name;
+        ASSERT_TRUE((*runtime)->DriveMessage(&rng, seq).ok()) << app.name << " [" << cell.name
+                                                              << "]";
       }
-      std::vector<std::string>& summary = outcome[index++];
+      std::vector<std::string> summary;
       for (const IoRecord& record : (*runtime)->interp().io_world().records) {
         summary.push_back(record.channel + "|" + record.op + "|" + record.detail + "|" +
                           record.payload);
@@ -101,8 +114,12 @@ TEST(CorpusRoundTripTest, RoundTrippedInstrumentationPreservesBehaviourOnEveryAp
         summary.push_back("violation|" + violation.sink + "|" + violation.data_labels + "|" +
                           violation.receiver_labels);
       }
+      if (&cell == &kMatrix[0]) {
+        baseline = std::move(summary);
+      } else {
+        EXPECT_EQ(baseline, summary) << app.name << " [" << cell.name << "]";
+      }
     }
-    EXPECT_EQ(outcome[0], outcome[1]) << app.name;
   }
 }
 

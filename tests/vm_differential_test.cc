@@ -1,0 +1,483 @@
+// Differential testing of the two execution tiers: every program runs once
+// under the bytecode VM and once under the tree-walking oracle, and the
+// observable outcomes — run/loop status, final values, simulated I/O records,
+// DIFT violation reports — must be identical. The program corpus replays the
+// sources of interp_eval_test and interp_semantics_test plus DIFT-heavy
+// programs, so a semantic divergence introduced in either tier fails here
+// with the offending program named.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dift/tracker.h"
+#include "src/interp/interp.h"
+#include "src/lang/parser.h"
+
+namespace turnstile {
+namespace {
+
+struct DiffProgram {
+  const char* name;
+  const char* source;
+};
+
+// Everything a MiniScript program can observably produce through the runtime.
+struct TierOutcome {
+  std::string run_status;    // "" when ok
+  std::string loop_status;   // "" when ok
+  std::string result;        // display string of the global `result`
+  std::string io;            // rendered io_world records (sink writes)
+  std::string violations;    // rendered DIFT violation reports
+  bool evals_counted = false;
+
+  bool operator==(const TierOutcome& other) const {
+    return run_status == other.run_status && loop_status == other.loop_status &&
+           result == other.result && io == other.io && violations == other.violations &&
+           evals_counted == other.evals_counted;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const TierOutcome& o) {
+  return os << "run_status=\"" << o.run_status << "\" loop_status=\"" << o.loop_status
+            << "\" result=\"" << o.result << "\" io=\"" << o.io << "\" violations=\""
+            << o.violations << "\" evals_counted=" << o.evals_counted;
+}
+
+// The basic policy from dift_tracker_test: value-dependent labellers plus
+// rules that make secret->public flows (and invoke-labelled sinks) violate.
+constexpr const char* kDiftPolicy = R"json({
+  "labellers": {
+    "employeeOrCustomer": {
+      "$fn": "item => (item.employeeID ? \"employee\" : \"customer\")" },
+    "secret": { "$const": "secret" },
+    "public": { "$const": "public" },
+    "mailerByRecipient": { "send": {
+      "$invoke": "(obj, args) => (args[0] === \"boss\" ? \"secret\" : \"public\")" } }
+  },
+  "rules": ["employee -> customer", "public -> secret"]
+})json";
+
+TierOutcome RunTier(const std::string& source, ExecTier tier, bool with_tracker) {
+  TierOutcome outcome;
+  Interpreter interp;
+  interp.set_exec_tier(tier);
+
+  std::shared_ptr<Policy> policy;
+  std::unique_ptr<DiftTracker> tracker;
+  if (with_tracker) {
+    auto parsed = Policy::FromJsonText(kDiftPolicy);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    policy = std::shared_ptr<Policy>(std::move(parsed).value().release());
+    tracker = std::make_unique<DiftTracker>(&interp, policy);
+    tracker->Install();
+  }
+
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  if (!program.ok()) {
+    return outcome;
+  }
+  Status run = interp.RunProgram(*program);
+  outcome.run_status = run.ok() ? "" : run.ToString();
+  Status loop = interp.RunEventLoop();
+  outcome.loop_status = loop.ok() ? "" : loop.ToString();
+
+  Value* slot = interp.global_env()->Lookup("result");
+  outcome.result = slot != nullptr ? slot->ToDisplayString() : "<unset>";
+
+  std::ostringstream io;
+  for (const IoRecord& record : interp.io_world().records) {
+    io << record.channel << "/" << record.op << "/" << record.detail << "/" << record.payload
+       << "\n";
+  }
+  outcome.io = io.str();
+
+  if (tracker != nullptr) {
+    std::ostringstream violations;
+    for (const Violation& v : tracker->violations()) {
+      violations << v.sink << " " << v.data_labels << " -> " << v.receiver_labels << "\n";
+    }
+    outcome.violations = violations.str();
+  }
+  outcome.evals_counted = interp.eval_count() > 0;
+  return outcome;
+}
+
+void ExpectTiersAgree(const DiffProgram* programs, size_t count, bool with_tracker) {
+  for (size_t i = 0; i < count; ++i) {
+    SCOPED_TRACE(programs[i].name);
+    TierOutcome bytecode = RunTier(programs[i].source, ExecTier::kBytecode, with_tracker);
+    TierOutcome treewalk = RunTier(programs[i].source, ExecTier::kTreeWalk, with_tracker);
+    EXPECT_EQ(bytecode, treewalk);
+  }
+}
+
+// --- interp_eval_test programs -----------------------------------------------
+
+constexpr DiffProgram kEvalPrograms[] = {
+    {"arith-precedence", "let result = 1 + 2 * 3;"},
+    {"arith-paren", "let result = (1 + 2) * 3;"},
+    {"arith-mod", "let result = 10 % 3;"},
+    {"arith-pow", "let result = 2 ** 10;"},
+    {"arith-div", "let result = 7 / 2;"},
+    {"concat-str", "let result = \"a\" + \"b\" + 1;"},
+    {"concat-num-first", "let result = 1 + 2 + \"x\";"},
+    {"cmp-num", "let result = 1 < 2;"},
+    {"cmp-str", "let result = \"a\" < \"b\";"},
+    {"loose-eq", "let result = 1 == \"1\";"},
+    {"strict-eq", "let result = 1 === \"1\";"},
+    {"null-loose", "let result = null == undefined;"},
+    {"null-strict", "let result = null === undefined;"},
+    {"obj-identity", "let result = {} === {};"},
+    {"obj-alias", "let a = {}; let b = a; let result = a === b;"},
+    {"shortcircuit-and",
+     "let hits = 0; function f() { hits = hits + 1; return true; } "
+     "let x = false && f(); let result = hits;"},
+    {"nullish-null", "let result = null ?? 5;"},
+    {"nullish-zero", "let result = 0 ?? 5;"},
+    {"or-zero", "let result = 0 || 5;"},
+    {"ternary", "let result = 2 > 1 ? \"yes\" : \"no\";"},
+    {"not-zero", "let result = !0;"},
+    {"typeof-string", "let result = typeof \"s\";"},
+    {"typeof-missing", "let result = typeof missing;"},
+    {"postfix-value", "let i = 5; let result = i++;"},
+    {"postfix-effect", "let i = 5; i++; let result = i;"},
+    {"prefix-value", "let i = 5; let result = ++i;"},
+    {"member-update", "let o = { n: 1 }; o.n++; let result = o.n;"},
+    {"compound-assign", "let x = 2; x += 3; x *= 4; let result = x;"},
+    {"compound-concat", "let s = \"a\"; s += \"b\"; let result = s;"},
+    {"member-chain", "let o = { a: 1, b: { c: 2 } }; let result = o.a + o.b.c;"},
+    {"member-set", "let o = {}; o.x = 9; let result = o.x;"},
+    {"index-get", "let o = { k: 4 }; let key = \"k\"; let result = o[key];"},
+    {"computed-key", "let k = \"dyn\"; let o = { [k]: \"v\" }; let result = o.dyn;"},
+    {"shorthand-prop", "let a = 7; let o = { a }; let result = o.a;"},
+    {"delete-prop", "let o = { a: 1 }; delete o.a; let result = typeof o.a;"},
+    {"array-index", "let a = [1, 2, 3]; let result = a[0] + a[2];"},
+    {"array-length", "let a = [1, 2, 3]; let result = a.length;"},
+    {"array-grow", "let a = []; a[4] = 1; let result = a.length;"},
+    {"array-spread", "let a = [1, ...[2, 3], 4]; let result = a.length;"},
+    {"fn-decl", "function add(a, b) { return a + b; } let result = add(2, 3);"},
+    {"arrow-curry",
+     "let make = x => (y => x + y); let add2 = make(2); let result = add2(40);"},
+    {"closure-counter",
+     "function counter() { let n = 0; return () => { n = n + 1; return n; }; } "
+     "let c = counter(); c(); c(); let result = c();"},
+    {"rest-args",
+     "function f(a, ...rest) { return rest.length; } let result = f(1, 2, 3, 4);"},
+    {"spread-args",
+     "function f(a, b, c) { return a + b + c; } let args = [1, 2, 3]; "
+     "let result = f(...args);"},
+    {"missing-args", "function f(a, b) { return typeof b; } let result = f(1);"},
+    {"for-sum", "let s = 0; for (let i = 1; i <= 10; i++) { s += i; } let result = s;"},
+    {"while-continue",
+     "let s = 0; let i = 0; while (i < 5) { i++; if (i === 3) { continue; } s += i; } "
+     "let result = s;"},
+    {"for-break",
+     "let s = 0; for (let i = 0; ; i++) { if (i === 4) { break; } s += i; } let result = s;"},
+    {"for-of-sum", "let s = 0; for (let x of [10, 20, 30]) { s += x; } let result = s;"},
+    {"for-of-string", "let n = 0; for (let c of \"abc\") { n++; } let result = n;"},
+    {"block-scope", "let x = 1; { let x = 2; } let result = x;"},
+    {"try-catch",
+     "let result = \"none\"; try { throw \"boom\"; } catch (e) { result = e; }"},
+    {"try-finally",
+     "let result = \"\"; try { result += \"t\"; } catch (e) { result += \"c\"; } "
+     "finally { result += \"f\"; }"},
+    {"catch-across-call",
+     "function risky() { throw { message: \"inner\" }; } let result = \"\"; "
+     "try { risky(); } catch (e) { result = e.message; }"},
+    {"uncaught-throw", "throw \"kaboom\";"},
+    {"class-counter", R"(
+      class Counter {
+        constructor(start) { this.n = start; }
+        bump() { this.n = this.n + 1; return this.n; }
+      }
+      let c = new Counter(10);
+      c.bump();
+      let result = c.bump();
+    )"},
+    {"class-inheritance", R"(
+      class Device {
+        describe() { return "device:" + this.id; }
+      }
+      class Camera extends Device {
+        constructor(id) { this.id = id; }
+      }
+      let cam = new Camera("c1");
+      let result = cam.describe();
+    )"},
+    {"method-override", R"(
+      class A { who() { return "A"; } }
+      class B extends A { who() { return "B"; } }
+      let result = new B().who();
+    )"},
+    {"class-without-new", "class A {} A();"},
+    {"this-in-arrow", R"(
+      class Box {
+        constructor() { this.v = 5; }
+        total(items) {
+          let sum = 0;
+          items.forEach(x => { sum += x + this.v; });
+          return sum;
+        }
+      }
+      let result = new Box().total([1, 2]);
+    )"},
+    {"sequence-comma", "let result = (1, 2, 3);"},
+    {"optional-nullish", "let o = null; let result = typeof o?.a;"},
+    {"optional-chain", "let o = { a: { b: 3 } }; let result = o?.a?.b;"},
+    {"in-present", "let result = \"a\" in { a: 1 };"},
+    {"in-absent", "let result = \"b\" in { a: 1 };"},
+    {"undeclared-ref", "let x = neverDeclared + 1;"},
+    {"recursion-bound", "function f() { return f(); } f();"},
+};
+
+// --- interp_semantics_test programs ------------------------------------------
+
+constexpr DiffProgram kSemanticsPrograms[] = {
+    {"for-of-fresh-binding", R"(
+      let fns = [];
+      for (let i of [1, 2, 3]) {
+        fns.push(() => i);
+      }
+      let result = fns.map(f => f()).join(",");
+    )"},
+    {"shared-capture", R"(
+      function makePair() {
+        let n = 0;
+        return { inc: () => { n = n + 1; }, get: () => n };
+      }
+      let pair = makePair();
+      pair.inc();
+      pair.inc();
+      let result = pair.get();
+    )"},
+    {"finally-overrides-return", R"(
+      function f() {
+        try {
+          return "try";
+        } finally {
+          out.push("finally ran");
+        }
+      }
+      out = [];
+      let result = f() + "/" + out.length;
+    )"},
+    {"catch-rethrow", R"(
+      let result = "";
+      try {
+        try {
+          throw "inner";
+        } catch (e) {
+          throw e + "+rethrown";
+        }
+      } catch (e) {
+        result = e;
+      }
+    )"},
+    {"throw-across-calls", R"(
+      function deep(n) {
+        if (n === 0) {
+          throw { code: 42 };
+        }
+        return deep(n - 1);
+      }
+      let result = 0;
+      try {
+        deep(5);
+      } catch (e) {
+        result = e.code;
+      }
+    )"},
+    {"spread-into-rest", R"(
+      function gather(first, ...rest) {
+        return first + ":" + rest.join("");
+      }
+      let parts = [1, 2, 3, 4];
+      let result = gather(...parts);
+    )"},
+    {"hoisted-function", R"(
+      let result = later(20);
+      function later(x) { return x * 2 + 2; }
+    )"},
+    {"nested-shadowing", R"(
+      let x = "g";
+      function outer() {
+        let x = "o";
+        function inner() {
+          let x = "i";
+          x = x + "!";
+          return x;
+        }
+        return inner() + x;
+      }
+      let result = outer() + x;
+    )"},
+    {"catch-param-shadow", R"(
+      let e = "outer";
+      let seen = "";
+      try {
+        throw "thrown";
+      } catch (e) {
+        e = e + "+edited";
+        seen = e;
+      }
+      let result = seen + "/" + e;
+    )"},
+    {"named-fn-expr-self", R"(
+      let f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); };
+      let g = f;
+      f = null;
+      let result = g(5);
+    )"},
+    {"for-of-outer-scope", R"(
+      let item = "outer";
+      let out = [];
+      for (let item of [item + "1", item + "2"]) {
+        out.push(item);
+      }
+      let result = out.join(",");
+    )"},
+    {"bind-restores-this", R"(
+      class Box {
+        constructor() { this.v = 7; }
+        get2() { return this.v; }
+      }
+      let box = new Box();
+      let bound = box.get2.bind(box);
+      let result = bound();
+    )"},
+    {"promise-order", R"(
+      let order = [];
+      new Promise(res => { res(1); }).then(v => { order.push("p1:" + v); });
+      new Promise(res => { res(2); }).then(v => { order.push("p2:" + v); });
+      setTimeout(() => { order.push("timer"); }, 0);
+      let result = order;
+    )"},
+    {"implicit-global", R"(
+      function init() { counter = 10; }
+      init();
+      counter = counter + 1;
+      let result = counter;
+    )"},
+    {"await-resolved", R"(
+      async function get() { return 7; }
+      async function main() { let v = await get(); hold = v + 1; }
+      main();
+      let result = typeof hold;
+    )"},
+    {"console-io", R"(
+      console.log("plain", 1 + 1);
+      for (let i of [1, 2]) { console.log("line" + i); }
+      let result = "logged";
+    )"},
+    {"logical-assign", R"(
+      let a = 0; a ||= 5;
+      let b = 1; b &&= 7;
+      let c = null; c ??= 9;
+      let result = a + "/" + b + "/" + c;
+    )"},
+    {"update-in-loop-closure", R"(
+      let total = 0;
+      for (let i = 0; i < 3; i++) {
+        let bump = () => { total += i; };
+        bump();
+      }
+      let result = total;
+    )"},
+};
+
+// --- DIFT programs (tracker installed, violations compared) ------------------
+
+constexpr DiffProgram kDiftPrograms[] = {
+    {"boxed-string-methods", R"(
+      let s = __dift.label("Secret Data", "secret");
+      let result = s.toLowerCase() + "/" + s.length + "/" + s.includes("Data");
+    )"},
+    {"boxed-in-arrays", R"(
+      let x = __dift.label("b", "secret");
+      let xs = ["a", x, "c"];
+      let result = xs.join("-") + "/" + xs.indexOf(x);
+    )"},
+    {"boxed-number-branches", R"(
+      let n = __dift.label(5, "secret");
+      let result = (n > 3 ? "big" : "small") + "/" + (n === 5);
+    )"},
+    {"boxed-key-index", R"(
+      let key = __dift.label("door", "secret");
+      let state = { door: "locked" };
+      let result = state[key];
+    )"},
+    {"json-unwraps-boxes", R"(
+      let v = __dift.label("x", "secret");
+      let result = JSON.stringify({ field: v });
+    )"},
+    {"check-allowed-flow", R"(
+      let data = __dift.label({ id: 1 }, "public");
+      let receiver = __dift.label({ sinkish: true }, "secret");
+      let result = __dift.check(data, receiver);
+    )"},
+    {"check-forbidden-flow", R"(
+      let data = __dift.label({ id: 1 }, "secret");
+      let receiver = __dift.label({ sinkish: true }, "public");
+      let result = __dift.check(data, receiver);
+    )"},
+    {"invoke-blocks-violation", R"(
+      let sent = [];
+      let mailer = { send: (to, body) => { sent.push(to); return "ok"; } };
+      __dift.label(mailer, "mailerByRecipient");
+      let frame = __dift.label("face-frame", "secret");
+      __dift.invoke(mailer, "send", ["boss", frame]);
+      __dift.invoke(mailer, "send", ["intern", frame]);
+      let result = sent;
+    )"},
+    {"binary-op-compound-label", R"(
+      let a = __dift.label("le", "secret");
+      let b = __dift.label("ak", "public");
+      let joined = __dift.binaryOp("+", a, b);
+      let result = __dift.labelsOf(joined);
+    )"},
+    {"labels-flow-in-loops", R"(
+      let acc = "";
+      for (let part of [__dift.label("a", "secret"), "b"]) {
+        acc = acc + part;
+      }
+      let result = acc + "/" + __dift.labelsOf(acc);
+    )"},
+};
+
+TEST(VmDifferentialTest, EvalProgramsAgreeAcrossTiers) {
+  ExpectTiersAgree(kEvalPrograms, sizeof(kEvalPrograms) / sizeof(kEvalPrograms[0]),
+                   /*with_tracker=*/false);
+}
+
+TEST(VmDifferentialTest, SemanticsProgramsAgreeAcrossTiers) {
+  ExpectTiersAgree(kSemanticsPrograms,
+                   sizeof(kSemanticsPrograms) / sizeof(kSemanticsPrograms[0]),
+                   /*with_tracker=*/false);
+}
+
+TEST(VmDifferentialTest, DiftProgramsAgreeAcrossTiers) {
+  ExpectTiersAgree(kDiftPrograms, sizeof(kDiftPrograms) / sizeof(kDiftPrograms[0]),
+                   /*with_tracker=*/true);
+}
+
+// The same Program object (and therefore the same cached chunks) must be
+// runnable by both tiers: compiled chunks capture resolver coordinates, not a
+// particular Interpreter or tier.
+TEST(VmDifferentialTest, SharedProgramRunsUnderBothTiers) {
+  auto program = ParseProgram(
+      "function twice(x) { return x * 2; } let result = twice(20) + 2;");
+  ASSERT_TRUE(program.ok());
+  for (ExecTier tier : {ExecTier::kBytecode, ExecTier::kTreeWalk, ExecTier::kBytecode}) {
+    Interpreter interp;
+    interp.set_exec_tier(tier);
+    ASSERT_TRUE(interp.RunProgram(*program).ok());
+    EXPECT_EQ(interp.global_env()->Lookup("result")->ToDisplayString(), "42");
+  }
+}
+
+}  // namespace
+}  // namespace turnstile
