@@ -81,6 +81,32 @@ int Main() {
   std::printf("\n%d apps; summed medians: treewalk %.2f us, bytecode %.2f us (%.2fx)\n",
               app_count, median_sum[0] * 1e6, median_sum[1] * 1e6,
               median_sum[1] > 0 ? median_sum[0] / median_sum[1] : 0.0);
+
+  // Monitor-vs-app attribution per tier: how much of each tier's wall time
+  // the DIFT monitor consumes, aggregated over the Part-2 apps.
+  int split_messages = std::min(messages, 200);
+  constexpr ExecTier kTiers[] = {ExecTier::kTreeWalk, ExecTier::kBytecode};
+  const char* tier_names[] = {"treewalk", "bytecode"};
+  std::printf("\nDIFT overhead fraction per tier (%d messages per app):\n", split_messages);
+  for (int t = 0; t < 2; ++t) {
+    double app_total = 0.0;
+    double monitor_total = 0.0;
+    for (const CorpusApp& app : Corpus()) {
+      if (app.bucket != CorpusBucket::kTurnstileOnly && app.bucket != CorpusBucket::kBothFind) {
+        continue;
+      }
+      OverheadSplitMeasurement split = MeasureOverheadSplit(app, split_messages, kTiers[t]);
+      app_total += split.app_seconds;
+      monitor_total += split.monitor_seconds;
+    }
+    double fraction =
+        app_total + monitor_total > 0 ? monitor_total / (app_total + monitor_total) : 0.0;
+    obs::Metrics::Global()
+        .GetFloatGauge(obs::MetricWithLabel("dift.overhead_fraction", "tier", tier_names[t]))
+        ->Set(fraction);
+    std::printf("  %-9s monitor %.1f ms / total %.1f ms -> fraction %.4f\n", tier_names[t],
+                monitor_total * 1e3, (app_total + monitor_total) * 1e3, fraction);
+  }
   return 0;
 }
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "src/corpus/corpus.h"
 #include "src/corpus/driver.h"
 #include "src/flow/workload.h"
+#include "src/obs/profiler.h"
 #include "src/support/stopwatch.h"
 
 namespace turnstile {
@@ -127,6 +129,59 @@ inline std::vector<OverheadMeasurement> MeasureAllOverheads(int messages) {
     out.push_back(MeasureInterleaved(app, messages));
   }
   return out;
+}
+
+// Monitor-vs-app wall-time split for one app, measured by enabling the span
+// profiler only around the driven messages. Prefers the selective version
+// (the deployment configuration); apps whose analysis finds no paths or that
+// carry no usable policy fall back to the original program, whose split is
+// all-app by construction (fraction 0).
+struct OverheadSplitMeasurement {
+  std::string app;
+  double app_seconds = 0.0;
+  double monitor_seconds = 0.0;
+  double fraction = 0.0;
+  bool instrumented = false;  // false = fell back to the original version
+};
+
+inline OverheadSplitMeasurement MeasureOverheadSplit(const CorpusApp& app, int messages,
+                                                     std::optional<ExecTier> tier = std::nullopt) {
+  OverheadSplitMeasurement m;
+  m.app = app.name;
+  auto runtime = AppRuntime::Create(app, AppVersion::kSelective, tier);
+  if (runtime.ok()) {
+    m.instrumented = true;
+  } else {
+    runtime = AppRuntime::Create(app, AppVersion::kOriginal, tier);
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "FATAL: %s setup failed: %s\n", app.name.c_str(),
+                   runtime.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  Rng rng(0xBE11C0DE);
+  for (int seq = 0; seq < 20; ++seq) {  // warm-up outside the profiled window
+    if (!(*runtime)->DriveMessage(&rng, seq).ok()) {
+      std::fprintf(stderr, "FATAL: %s warm-up failed\n", app.name.c_str());
+      std::exit(1);
+    }
+  }
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Enable();
+  for (int seq = 0; seq < messages; ++seq) {
+    Status status = (*runtime)->DriveMessage(&rng, 100 + seq);
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL: %s message %d failed: %s\n", app.name.c_str(), seq,
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  obs::OverheadSplit split = profiler.split();
+  profiler.Disable();
+  m.app_seconds = split.app_s;
+  m.monitor_seconds = split.monitor_s;
+  m.fraction = split.fraction();
+  return m;
 }
 
 // Median of a (copied) vector.

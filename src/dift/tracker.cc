@@ -24,6 +24,7 @@ DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Op
       pool_(&policy_->pool()),
       options_(options) {
   trace_recorder_ = &obs::TraceRecorder::Global();
+  profiler_ = &obs::Profiler::Global();
   obs::Metrics& metrics = obs::Metrics::Global();
   metric_label_calls_ = metrics.GetCounter("dift.label_calls");
   metric_binary_ops_ = metrics.GetCounter("dift.binary_ops");
@@ -441,6 +442,13 @@ Result<Value> DiftTracker::ApplySpec(const LabellerSpec* spec, Value target,
 
 Result<Value> DiftTracker::Label(Value target, const std::string& labeller_name) {
   ++stats_.label_calls;
+  // Monitor-time span: everything under a __dift.* op bills to the monitor
+  // side of the overhead split (invoke's app-callee window excepted).
+  obs::ScopedProfileSpan profile_span;
+  if (profiler_->enabled()) {
+    profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftLabel,
+                                          "__dift.label:" + labeller_name, /*monitor=*/true);
+  }
   const LabellerSpec* spec = policy_->FindLabeller(labeller_name);
   if (spec == nullptr) {
     return PolicyError("unknown labeller '" + labeller_name + "'");
@@ -460,6 +468,11 @@ Result<Value> DiftTracker::Label(Value target, const std::string& labeller_name)
 Result<Value> DiftTracker::BinaryOp(const std::string& op, const Value& left,
                                     const Value& right) {
   ++stats_.binary_ops;
+  obs::ScopedProfileSpan profile_span;
+  if (profiler_->enabled()) {
+    profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftBinaryOp,
+                                          "__dift.binaryOp:" + op, /*monitor=*/true);
+  }
   LabelSetRef labels = pool_->Union(GetLabelRef(left), GetLabelRef(right));
   // Cheap stack check first: the unlabelled fast path must not even touch
   // the recorder's cache line.
@@ -552,6 +565,11 @@ const std::string& DiftTracker::CheckDetail(LabelSetRef data, LabelSetRef receiv
 Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
                                 const std::string& sink_name) {
   ++stats_.checks;
+  obs::ScopedProfileSpan profile_span;
+  if (profiler_->enabled()) {
+    profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftCheck,
+                                          "__dift.check:" + sink_name, /*monitor=*/true);
+  }
   LabelSetRef data_labels = DeepLabelRef(data);
   LabelSetRef receiver_labels = GetLabelRef(receiver);
   if (trace_recorder_->enabled()) {
@@ -581,6 +599,11 @@ Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
 Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
                                   std::vector<Value> args) {
   ++stats_.invokes;
+  obs::ScopedProfileSpan profile_span;
+  if (profiler_->enabled()) {
+    profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftInvoke,
+                                          "__dift.invoke:" + func, /*monitor=*/true);
+  }
   if (trace_recorder_->enabled()) {
     trace_recorder_->Record(obs::SpanKind::kDiftInvoke, func, "", interp_->VirtualNow());
   }
@@ -671,9 +694,12 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   } else {
     call_args = std::move(args);
   }
-  TURNSTILE_ASSIGN_OR_RETURN(result,
-                             interp_->CallFunction(fn_unboxed.AsFunction(), target,
-                                                   std::move(call_args)));
+  // The dispatched callee is the *app's* function: its wall time must not be
+  // billed to the monitor even though this frame is a __dift.invoke span.
+  obs::ScopedAppAccounting app_window(profiler_);
+  TURNSTILE_ASSIGN_OR_RETURN(
+      result, interp_->CallFunction(fn_unboxed.AsFunction(), target, std::move(call_args)));
+  app_window.End();
   // Fig. 5 (invoke): the returned value carries the union of argument labels.
   if (data_labels != kEmptyLabelSetRef) {
     if (result.IsValueType()) {

@@ -300,6 +300,7 @@ class DiftTracker {
 
   // Observability handles (resolved once in the constructor).
   obs::TraceRecorder* trace_recorder_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   obs::Counter* metric_label_calls_ = nullptr;
   obs::Counter* metric_binary_ops_ = nullptr;
   obs::Counter* metric_checks_ = nullptr;

@@ -13,6 +13,7 @@ Value ArgAt(const std::vector<Value>& args, size_t i) {
 
 FlowEngine::FlowEngine(Interpreter* interp) : interp_(interp) {
   trace_recorder_ = &obs::TraceRecorder::Global();
+  profiler_ = &obs::Profiler::Global();
   obs::Metrics& metrics = obs::Metrics::Global();
   metric_routed_ = metrics.GetCounter("flow.messages_routed");
   metric_terminal_ = metrics.GetCounter("flow.terminal_sends");
@@ -165,6 +166,14 @@ ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
                            engine->metric_node_inputs_->Increment();
                            engine->trace_recorder_->Record(obs::SpanKind::kNodeEnter, id, "",
                                                            in.VirtualNow());
+                           if (engine->profiler_->enabled()) {
+                             // Instant marker: the handler's duration is the
+                             // enclosing turn span; this pins node identity
+                             // inside it.
+                             engine->profiler_->EndSpan(engine->profiler_->BeginSpan(
+                                 obs::SpanKind::kNodeEnter, "node_enter:" + id,
+                                 /*monitor=*/false));
+                           }
                            return Value::Undefined();
                          }));
   return node;
@@ -234,7 +243,12 @@ Status FlowEngine::InjectInput(const std::string& node_id, Value msg) {
   // Each injected message opens a fresh trace; EmitEvent captures the current
   // trace id into the task, so the whole downstream cascade attributes here.
   uint64_t previous = trace_recorder_->current_trace();
-  trace_recorder_->StartTrace(node_id);
+  uint64_t trace_id = trace_recorder_->StartTrace(node_id);
+  if (profiler_->enabled()) {
+    // Root of this message's span tree; turn/dift spans enqueue under it via
+    // the captured trace id and close it as they finish.
+    profiler_->BeginMessage(trace_id, node_id);
+  }
   interp_->EmitEvent(it->second, "input", {std::move(msg)});
   trace_recorder_->SetCurrentTrace(previous);
   return Status::Ok();

@@ -86,6 +86,7 @@ class FlowEngine {
 
   // Observability handles (resolved once in the constructor).
   obs::TraceRecorder* trace_recorder_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   obs::Counter* metric_routed_ = nullptr;
   obs::Counter* metric_terminal_ = nullptr;
   obs::Counter* metric_injects_ = nullptr;

@@ -21,6 +21,7 @@
 #include "src/interp/value.h"
 #include "src/lang/ast.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
@@ -254,6 +255,7 @@ class Interpreter {
   // Observability handles, resolved once (hot paths must not hash names or
   // call through TU boundaries per task).
   obs::TraceRecorder* trace_recorder_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   obs::Counter* metric_macrotasks_ = nullptr;
   obs::Counter* metric_microtasks_ = nullptr;
   obs::Counter* metric_listeners_fired_ = nullptr;

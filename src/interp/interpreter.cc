@@ -36,7 +36,11 @@ Interpreter::Interpreter() {
     exec_tier_ = ExecTier::kTreeWalk;
   }
   global_env_ = std::make_shared<Environment>();
+  // Honor TURNSTILE_TRACE / TURNSTILE_PROFILE before resolving handles so any
+  // binary that constructs an interpreter picks up env-driven observability.
+  obs::ApplyEnvObsConfig();
   trace_recorder_ = &obs::TraceRecorder::Global();
+  profiler_ = &obs::Profiler::Global();
   obs::Metrics& metrics = obs::Metrics::Global();
   metric_macrotasks_ = metrics.GetCounter("interp.macrotasks_executed");
   metric_microtasks_ = metrics.GetCounter("interp.microtasks_executed");
@@ -100,6 +104,12 @@ Status Interpreter::ExecuteTask(const Task& task) {
   if (task.fn != nullptr) {
     trace_recorder_->Record(obs::SpanKind::kLoopTurn, task.fn->name, "callback",
                             virtual_time_);
+    obs::ScopedProfileSpan turn_span;
+    if (profiler_->enabled()) {
+      turn_span = obs::ScopedProfileSpan(
+          profiler_, obs::SpanKind::kLoopTurn,
+          task.fn->name.empty() ? "<anonymous>" : task.fn->name, /*monitor=*/false, "callback");
+    }
     TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(task.fn, Value::Undefined(), task.args));
     (void)unused;
     return Status::Ok();
@@ -117,6 +127,22 @@ Status Interpreter::ExecuteTask(const Task& task) {
   if (trace_recorder_->enabled()) {
     trace_recorder_->Record(obs::SpanKind::kLoopTurn, task.event,
                             std::to_string(fire.size()) + " listener(s)", virtual_time_);
+  }
+  obs::ScopedProfileSpan turn_span;
+  if (profiler_->enabled()) {
+    // Name flow-node turns "node:<id>" so per-node latency histograms (and
+    // Perfetto lanes) key on the node; other emitters use their debug tag.
+    std::string name;
+    if (task.emitter != nullptr && task.emitter->debug_tag == "rednode") {
+      name = "node:" + task.emitter->Get("id").ToDisplayString();
+    } else if (task.emitter != nullptr && !task.emitter->debug_tag.empty()) {
+      name = task.emitter->debug_tag + ":" + task.event;
+    } else {
+      name = "event:" + task.event;
+    }
+    turn_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kLoopTurn, std::move(name),
+                                       /*monitor=*/false,
+                                       std::to_string(fire.size()) + " listener(s)");
   }
   metric_listeners_fired_->Increment(fire.size());
   for (const FunctionPtr& listener : fire) {
@@ -156,6 +182,12 @@ Status Interpreter::DrainMicrotasks(int max_tasks) {
     microtasks_.pop_front();
     metric_microtasks_->Increment();
     obs::ScopedTrace trace_scope(*trace_recorder_, task.trace_id);
+    obs::ScopedProfileSpan turn_span;
+    if (profiler_->enabled()) {
+      turn_span = obs::ScopedProfileSpan(
+          profiler_, obs::SpanKind::kLoopTurn,
+          task.fn->name.empty() ? "<anonymous>" : task.fn->name, /*monitor=*/false, "microtask");
+    }
     TURNSTILE_ASSIGN_OR_RETURN(unused, CallFunction(task.fn, Value::Undefined(), task.args));
     (void)unused;
   }
@@ -229,6 +261,14 @@ Result<Value> Interpreter::CallFunction(const FunctionPtr& fn, const Value& this
                                         std::vector<Value> args) {
   if (fn == nullptr) {
     return TypeError("value is not a function");
+  }
+  // Instrumenting profiler frame hook: one branch when disabled. Covers
+  // natives (__dift.* dispatch included) and both execution tiers — this is
+  // the single funnel every call goes through.
+  obs::ScopedProfileFrame profile_frame;
+  if (profiler_->enabled()) {
+    profile_frame.Begin(profiler_, fn.get(), fn->name,
+                        fn->body != nullptr ? static_cast<int>(fn->body->loc.line) : 0);
   }
   if (fn->IsNative()) {
     return fn->native(*this, this_value, args);

@@ -10,6 +10,48 @@ namespace obs {
 
 namespace {
 
+std::string FormatDouble(double value) {
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+// Splits a registry key made by MetricWithLabel back into family and label
+// block: "a.b{x=\"y\"}" -> ("a.b", "{x=\"y\"}"). Unlabeled keys return an
+// empty label block. Only the family part is sanitized for exposition — the
+// label block already carries escaped values.
+std::pair<std::string, std::string> SplitLabels(const std::string& key) {
+  size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    return {key, ""};
+  }
+  return {key.substr(0, brace), key.substr(brace)};
+}
+
+// Renders a possibly-labeled registry key for exposition, with optional
+// extra label content merged inside the block (used for histogram `le`).
+std::string PrometheusSeries(const std::string& key, const std::string& suffix = "",
+                             const std::string& extra_label = "") {
+  auto [family, labels] = SplitLabels(key);
+  std::string out = PrometheusName(family) + suffix;
+  if (labels.empty()) {
+    if (!extra_label.empty()) {
+      out += "{" + extra_label + "}";
+    }
+    return out;
+  }
+  if (extra_label.empty()) {
+    return out + labels;
+  }
+  // Inject before the closing brace: {a="b"} + le="x" -> {a="b",le="x"}.
+  return out + labels.substr(0, labels.size() - 1) + "," + extra_label + "}";
+}
+
+}  // namespace
+
 // Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
 std::string PrometheusName(const std::string& name) {
   std::string out;
@@ -25,16 +67,31 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
-std::string FormatDouble(double value) {
-  if (std::isinf(value)) {
-    return value > 0 ? "+Inf" : "-Inf";
+std::string PrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
   }
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
-  return buffer;
+  return out;
 }
 
-}  // namespace
+std::string MetricWithLabel(const std::string& family, const std::string& label,
+                            const std::string& value) {
+  return family + "{" + label + "=\"" + PrometheusLabelValue(value) + "\"}";
+}
 
 // --- Histogram ---------------------------------------------------------------
 
@@ -79,6 +136,34 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> cumulative = CumulativeCounts();
+  uint64_t total = cumulative.back();
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  double rank = q * static_cast<double>(total);
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (static_cast<double>(cumulative[i]) >= rank) {
+      double lower_bound = i == 0 ? 0.0 : bounds_[i - 1];
+      uint64_t lower_count = i == 0 ? 0 : cumulative[i - 1];
+      uint64_t in_bucket = cumulative[i] - lower_count;
+      if (in_bucket == 0) {
+        return bounds_[i];
+      }
+      double fraction = (rank - static_cast<double>(lower_count)) / static_cast<double>(in_bucket);
+      return lower_bound + fraction * (bounds_[i] - lower_bound);
+    }
+  }
+  // Rank falls in +Inf: no upper bound to interpolate towards, clamp to the
+  // largest finite bound (or fall back to mean when there are no bounds).
+  if (bounds_.empty()) {
+    return sum() / static_cast<double>(total);
+  }
+  return bounds_.back();
+}
+
 std::vector<double> Histogram::DefaultLatencyBounds() {
   return {1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0};
 }
@@ -108,6 +193,15 @@ Gauge* Metrics::GetGauge(const std::string& name) {
   return it->second.get();
 }
 
+FloatGauge* Metrics::GetFloatGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = float_gauges_.try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<FloatGauge>();
+  }
+  return it->second.get();
+}
+
 Histogram* Metrics::GetHistogram(const std::string& name, std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = histograms_.try_emplace(name);
@@ -126,6 +220,9 @@ Json Metrics::ToJson() const {
   Json gauges = Json::Object();
   for (const auto& [name, gauge] : gauges_) {
     gauges.Set(name, Json(static_cast<double>(gauge->value())));
+  }
+  for (const auto& [name, gauge] : float_gauges_) {
+    gauges.Set(name, Json(gauge->value()));
   }
   Json histograms = Json::Object();
   for (const auto& [name, histogram] : histograms_) {
@@ -146,6 +243,9 @@ Json Metrics::ToJson() const {
     Json entry = Json::Object();
     entry.Set("count", Json(histogram->count()));
     entry.Set("sum", Json(histogram->sum()));
+    entry.Set("p50", Json(histogram->Quantile(0.50)));
+    entry.Set("p90", Json(histogram->Quantile(0.90)));
+    entry.Set("p99", Json(histogram->Quantile(0.99)));
     entry.Set("buckets", std::move(buckets));
     histograms.Set(name, std::move(entry));
   }
@@ -160,26 +260,29 @@ std::string Metrics::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
-    std::string prom = PrometheusName(name);
-    out += "# TYPE " + prom + " counter\n";
-    out += prom + " " + std::to_string(counter->value()) + "\n";
+    out += "# TYPE " + PrometheusName(SplitLabels(name).first) + " counter\n";
+    out += PrometheusSeries(name) + " " + std::to_string(counter->value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
-    std::string prom = PrometheusName(name);
-    out += "# TYPE " + prom + " gauge\n";
-    out += prom + " " + std::to_string(gauge->value()) + "\n";
+    out += "# TYPE " + PrometheusName(SplitLabels(name).first) + " gauge\n";
+    out += PrometheusSeries(name) + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : float_gauges_) {
+    out += "# TYPE " + PrometheusName(SplitLabels(name).first) + " gauge\n";
+    out += PrometheusSeries(name) + " " + FormatDouble(gauge->value()) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
-    std::string prom = PrometheusName(name);
-    out += "# TYPE " + prom + " histogram\n";
+    out += "# TYPE " + PrometheusName(SplitLabels(name).first) + " histogram\n";
     std::vector<uint64_t> cumulative = histogram->CumulativeCounts();
     for (size_t i = 0; i < histogram->bounds().size(); ++i) {
-      out += prom + "_bucket{le=\"" + FormatDouble(histogram->bounds()[i]) + "\"} " +
-             std::to_string(cumulative[i]) + "\n";
+      out += PrometheusSeries(name, "_bucket",
+                              "le=\"" + FormatDouble(histogram->bounds()[i]) + "\"") +
+             " " + std::to_string(cumulative[i]) + "\n";
     }
-    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative.back()) + "\n";
-    out += prom + "_sum " + FormatDouble(histogram->sum()) + "\n";
-    out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+    out += PrometheusSeries(name, "_bucket", "le=\"+Inf\"") + " " +
+           std::to_string(cumulative.back()) + "\n";
+    out += PrometheusSeries(name, "_sum") + " " + FormatDouble(histogram->sum()) + "\n";
+    out += PrometheusSeries(name, "_count") + " " + std::to_string(histogram->count()) + "\n";
   }
   return out;
 }
@@ -190,6 +293,9 @@ void Metrics::ResetAllForTest() {
     counter->Reset();
   }
   for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, gauge] : float_gauges_) {
     gauge->Reset();
   }
   for (auto& [name, histogram] : histograms_) {

@@ -48,6 +48,19 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+// Instantaneous floating-point level (ratios, fractions, medians). The
+// integer Gauge stays the default; this exists for derived values like
+// `dift.overhead_fraction` that lose all meaning when truncated.
+class FloatGauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 // Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
 // implicit +Inf bucket catches the rest. Observe() is a branch-light linear
 // scan over a handful of bounds plus two relaxed atomics — no locking.
@@ -62,6 +75,12 @@ class Histogram {
   std::vector<uint64_t> CumulativeCounts() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Estimated q-quantile (q in [0,1]) by linear interpolation within the
+  // bucket that crosses rank q*count, assuming uniform spread inside the
+  // bucket (the Prometheus `histogram_quantile` rule). The first bucket
+  // interpolates from 0; a rank landing in +Inf clamps to the largest finite
+  // bound. Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
   void Reset();
 
   // Default latency bounds in seconds: 1us .. 1s, decade-and-a-half steps.
@@ -87,12 +106,14 @@ class Metrics {
   // (dots are mapped to underscores in Prometheus exposition).
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
+  FloatGauge* GetFloatGauge(const std::string& name);
   // `bounds` applies only on first registration of `name`.
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds =
                                                        Histogram::DefaultLatencyBounds());
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  //  buckets: [{le, count}...]}}} — keys in name order, diffable.
+  //  p50, p90, p99, buckets: [{le, count}...]}}} — keys in name order,
+  //  diffable. Float gauges merge into "gauges".
   Json ToJson() const;
   // Prometheus text exposition format (one HELP-less family per instrument).
   std::string ToPrometheusText() const;
@@ -104,8 +125,26 @@ class Metrics {
   mutable std::mutex mu_;  // guards the maps, never held during updates
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FloatGauge>> float_gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+// Sanitizes a metric-family name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* (invalid characters become '_', a leading digit
+// gains a '_' prefix). Labels appended by MetricWithLabel are sanitized
+// separately — only the part before '{' goes through this.
+std::string PrometheusName(const std::string& name);
+
+// Escapes a label value per the Prometheus text exposition rules:
+// backslash, double-quote and newline become \\, \" and \n.
+std::string PrometheusLabelValue(const std::string& value);
+
+// Builds a registry key carrying one label: `family{label="escaped value"}`.
+// JSON snapshots keep the key verbatim; the Prometheus exposition renders it
+// as a labeled series of the (sanitized) family. Registered instruments with
+// the same family but different label values are distinct series.
+std::string MetricWithLabel(const std::string& family, const std::string& label,
+                            const std::string& value);
 
 // The repo-wide bench snapshot contract, shared by every bench main: a
 // snapshot of the global registry is requested with `--json` (pretty JSON to

@@ -139,6 +139,11 @@ struct Chunk {
 
   // Source node of each instruction, parallel to `code` (diagnostics only).
   std::vector<const Node*> debug_nodes;
+
+  // 1-based source line of each instruction, parallel to `code` (0 = no
+  // source position). Derived from debug_nodes at Finish(); drives the
+  // profiler's per-line attribution clock in the dispatch loop.
+  std::vector<int32_t> lines;
 };
 
 using ChunkPtr = std::shared_ptr<const Chunk>;

@@ -981,6 +981,10 @@ class Compiler {
 
   void Finish() {
     chunk_->num_regs = static_cast<uint32_t>(max_regs_ > 0 ? max_regs_ : 1);
+    chunk_->lines.reserve(chunk_->debug_nodes.size());
+    for (const Node* node : chunk_->debug_nodes) {
+      chunk_->lines.push_back(node != nullptr ? static_cast<int32_t>(node->loc.line) : 0);
+    }
   }
 
   Chunk* chunk_;

@@ -7,44 +7,11 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/vm/compiler.h"
 
 namespace turnstile {
 namespace vm {
-
-namespace {
-
-// Mirrors the tree-walker's (TU-local) ToInt for the kBitNot operand.
-int64_t BitwiseInt(const Value& v) {
-  double n = v.ToNumber();
-  if (std::isnan(n) || std::isinf(n)) {
-    return 0;
-  }
-  return static_cast<int64_t>(n);
-}
-
-// Active for-of iteration: a mutation-safe snapshot of the items plus a
-// cursor. Kept on a VM-side stack (not the heap) so iterating never bumps the
-// heap write epoch.
-struct IterFrame {
-  std::vector<Value> items;
-  size_t next = 0;
-};
-
-struct VmMetrics {
-  obs::Counter* ops_executed;
-  obs::Histogram* activation_ops;
-
-  static VmMetrics& Get() {
-    static VmMetrics metrics{
-        obs::Metrics::Global().GetCounter("vm.ops_executed"),
-        obs::Metrics::Global().GetHistogram("vm.activation_ops"),
-    };
-    return metrics;
-  }
-};
-
-}  // namespace
 
 Result<Completion> Vm::ExecuteProgram(Interpreter& interp, const NodePtr& root,
                                       const EnvPtr& env) {
@@ -58,410 +25,26 @@ Result<Completion> Vm::ExecuteFunctionBody(Interpreter& interp, const FunctionOb
   return Execute(interp, *chunk, call_env);
 }
 
+// The profiled instantiation is compiled in vm_profiled.cc; keeping it out
+// of this TU preserves the inlining budget for the disabled loop.
+extern template Result<Completion> Vm::ExecuteImpl<true>(Interpreter&, const Chunk&, EnvPtr);
+
 Result<Completion> Vm::Execute(Interpreter& interp, const Chunk& chunk, EnvPtr env) {
-  std::vector<Value> regs(chunk.num_regs);
-  std::vector<IterFrame> iters;
-  std::vector<std::vector<Value>> arg_stack;
-
-  // Instructions are counted locally and flushed once per activation: into the
-  // obs registry, and into eval_count_ so the interpreter's deterministic work
-  // metric stays meaningful under the bytecode tier.
-  uint64_t ops = 0;
-  struct MetricsFlush {
-    Interpreter& interp;
-    const uint64_t& ops;
-    ~MetricsFlush() {
-      interp.eval_count_ += ops;
-      VmMetrics& metrics = VmMetrics::Get();
-      metrics.ops_executed->Increment(ops);
-      metrics.activation_ops->Observe(static_cast<double>(ops));
-    }
-  } flush{interp, ops};
-
-  const Insn* code = chunk.code.data();
-  size_t pc = 0;
-  while (true) {
-    const Insn& in = code[pc];
-    ++pc;
-    ++ops;
-    switch (in.op) {
-      case Op::kLoadConst:
-        regs[in.a] = chunk.constants[in.b];
-        break;
-      case Op::kMove:
-        regs[in.a] = regs[in.b];
-        break;
-      case Op::kLoadSlot: {
-        Environment* frame = env.get();
-        for (int32_t i = 0; i < in.b; ++i) {
-          frame = frame->parent.get();
-        }
-        regs[in.a] = frame->slots[static_cast<size_t>(in.c)];
-        break;
-      }
-      case Op::kStoreSlot: {
-        Environment* frame = env.get();
-        for (int32_t i = 0; i < in.a; ++i) {
-          frame = frame->parent.get();
-        }
-        frame->slots[static_cast<size_t>(in.b)] = regs[in.c];
-        break;
-      }
-      case Op::kLoadGlobal: {
-        Value* binding = interp.global_env_->LookupLocal(static_cast<Atom>(in.b));
-        if (binding == nullptr) {
-          return RuntimeError(chunk.names[in.c]);
-        }
-        regs[in.a] = *binding;
-        break;
-      }
-      case Op::kLoadGlobalSoft: {
-        Value* binding = interp.global_env_->LookupLocal(static_cast<Atom>(in.b));
-        regs[in.a] = binding != nullptr ? *binding : Value::Undefined();
-        break;
-      }
-      case Op::kStoreGlobal:
-        // Assign-or-define collapses to Define on the atom-keyed global map.
-        interp.global_env_->Define(static_cast<Atom>(in.a), regs[in.b]);
-        break;
-      case Op::kLoadDyn: {
-        Value* binding = env->Lookup(static_cast<Atom>(in.b));
-        if (binding == nullptr) {
-          return RuntimeError(chunk.names[in.c]);
-        }
-        regs[in.a] = *binding;
-        break;
-      }
-      case Op::kLoadDynSoft: {
-        Value* binding = env->Lookup(static_cast<Atom>(in.b));
-        regs[in.a] = binding != nullptr ? *binding : Value::Undefined();
-        break;
-      }
-      case Op::kStoreDyn: {
-        Value* binding = env->Lookup(static_cast<Atom>(in.a));
-        if (binding != nullptr) {
-          *binding = regs[in.b];
-        } else {
-          // Implicit global definition (sloppy-mode JS), as in EvalAssignment.
-          interp.global_env_->Define(static_cast<Atom>(in.a), regs[in.b]);
-        }
-        break;
-      }
-      case Op::kDefineCur:
-        env->Define(static_cast<Atom>(in.a), regs[in.b]);
-        break;
-      case Op::kLoadThisDyn: {
-        Value* binding = env->Lookup(static_cast<Atom>(in.b));
-        regs[in.a] = binding != nullptr ? *binding : Value::Undefined();
-        break;
-      }
-      case Op::kSetFnName: {
-        Value& v = regs[in.a];
-        if (v.IsFunction() && v.AsFunction()->name.empty()) {
-          v.AsFunction()->name = chunk.names[in.b];
-        }
-        break;
-      }
-      case Op::kBinary: {
-        const Value& left = regs[in.c];
-        const Value& right = regs[in.d];
-        const BinaryOp bop = static_cast<BinaryOp>(in.b);
-        if (left.IsNumber() && right.IsNumber()) {
-          // Number-number fast path, inline; identical results to
-          // EvalBinaryOp (strict/loose equality coincide on numbers).
-          const double l = left.AsNumber();
-          const double r = right.AsNumber();
-          bool handled = true;
-          Value out;
-          switch (bop) {
-            case BinaryOp::kAdd: out = Value(l + r); break;
-            case BinaryOp::kSub: out = Value(l - r); break;
-            case BinaryOp::kMul: out = Value(l * r); break;
-            case BinaryOp::kDiv: out = Value(l / r); break;
-            case BinaryOp::kLt: out = Value(l < r); break;
-            case BinaryOp::kGt: out = Value(l > r); break;
-            case BinaryOp::kLe: out = Value(l <= r); break;
-            case BinaryOp::kGe: out = Value(l >= r); break;
-            case BinaryOp::kStrictEq:
-            case BinaryOp::kLooseEq: out = Value(l == r); break;
-            case BinaryOp::kStrictNe:
-            case BinaryOp::kLooseNe: out = Value(l != r); break;
-            default: handled = false; break;
-          }
-          if (handled) {
-            regs[in.a] = std::move(out);
-            break;
-          }
-        }
-        TURNSTILE_ASSIGN_OR_RETURN(c, interp.EvalBinaryOp(bop, left, right));
-        regs[in.a] = std::move(c.value);
-        break;
-      }
-      case Op::kUnary: {
-        Value v = Unbox(regs[in.c]);
-        switch (static_cast<UnaryOp>(in.b)) {
-          case UnaryOp::kNot:
-            regs[in.a] = Value(!v.Truthy());
-            break;
-          case UnaryOp::kNeg:
-            regs[in.a] = Value(-v.ToNumber());
-            break;
-          case UnaryOp::kPlus:
-            regs[in.a] = Value(v.ToNumber());
-            break;
-          case UnaryOp::kBitNot:
-            regs[in.a] = Value(static_cast<double>(~BitwiseInt(v)));
-            break;
-        }
-        break;
-      }
-      case Op::kTypeof:
-        regs[in.a] = Value(Unbox(regs[in.b]).TypeName());
-        break;
-      case Op::kJump:
-        pc = static_cast<size_t>(in.a);
-        break;
-      case Op::kJumpIfFalse:
-        if (!regs[in.b].Truthy()) {
-          pc = static_cast<size_t>(in.a);
-        }
-        break;
-      case Op::kJumpIfTrue:
-        if (regs[in.b].Truthy()) {
-          pc = static_cast<size_t>(in.a);
-        }
-        break;
-      case Op::kJumpIfNullish:
-        if (regs[in.b].IsNullish()) {
-          pc = static_cast<size_t>(in.a);
-        }
-        break;
-      case Op::kJumpIfNotNullish:
-        if (!regs[in.b].IsNullish()) {
-          pc = static_cast<size_t>(in.a);
-        }
-        break;
-      case Op::kGetProp: {
-        TURNSTILE_ASSIGN_OR_RETURN(v, interp.GetProperty(regs[in.b], static_cast<Atom>(in.c)));
-        regs[in.a] = std::move(v);
-        break;
-      }
-      case Op::kGetPropName: {
-        TURNSTILE_ASSIGN_OR_RETURN(v, interp.GetProperty(regs[in.b], chunk.names[in.c]));
-        regs[in.a] = std::move(v);
-        break;
-      }
-      case Op::kGetIndex: {
-        TURNSTILE_ASSIGN_OR_RETURN(
-            v, interp.GetProperty(regs[in.b], Unbox(regs[in.c]).ToDisplayString()));
-        regs[in.a] = std::move(v);
-        break;
-      }
-      case Op::kSetProp:
-        TURNSTILE_RETURN_IF_ERROR(
-            interp.SetProperty(regs[in.a], static_cast<Atom>(in.b), regs[in.c]));
-        break;
-      case Op::kSetPropName:
-        TURNSTILE_RETURN_IF_ERROR(interp.SetProperty(regs[in.a], chunk.names[in.b], regs[in.c]));
-        break;
-      case Op::kSetIndex:
-        TURNSTILE_RETURN_IF_ERROR(
-            interp.SetProperty(regs[in.a], Unbox(regs[in.b]).ToDisplayString(), regs[in.c]));
-        break;
-      case Op::kDeleteProp: {
-        Value object = Unbox(regs[in.a]);
-        if (object.IsObject()) {
-          object.AsObject()->Delete(chunk.names[in.b]);
-        }
-        break;
-      }
-      case Op::kDeleteIndex: {
-        Value object = Unbox(regs[in.a]);
-        if (object.IsObject()) {
-          object.AsObject()->Delete(Unbox(regs[in.b]).ToDisplayString());
-        }
-        break;
-      }
-      case Op::kObjNew:
-        regs[in.a] = Value(MakeObject());
-        break;
-      case Op::kObjSetAtom:
-        regs[in.a].AsObject()->Set(static_cast<Atom>(in.b), regs[in.c]);
-        break;
-      case Op::kObjSetName:
-        regs[in.a].AsObject()->Set(chunk.names[in.b], regs[in.c]);
-        break;
-      case Op::kObjSetComputed:
-        regs[in.a].AsObject()->Set(Unbox(regs[in.b]).ToDisplayString(), regs[in.c]);
-        break;
-      case Op::kArray: {
-        std::vector<Value> elements(regs.begin() + in.b, regs.begin() + in.b + in.c);
-        regs[in.a] = Value(MakeArray(std::move(elements)));
-        break;
-      }
-      case Op::kArrayV:
-        regs[in.a] = Value(MakeArray(std::move(arg_stack.back())));
-        arg_stack.pop_back();
-        break;
-      case Op::kArgStart:
-        arg_stack.emplace_back();
-        break;
-      case Op::kArgPush:
-        arg_stack.back().push_back(regs[in.a]);
-        break;
-      case Op::kArgSpread: {
-        Value spread = Unbox(regs[in.a]);
-        if (!spread.IsArray()) {
-          return Interpreter::TypeError(in.b != 0 ? "spread element is not an array"
-                                                  : "spread argument is not an array");
-        }
-        std::vector<Value>& buffer = arg_stack.back();
-        for (const Value& element : spread.AsArray()->elements) {
-          buffer.push_back(element);
-        }
-        break;
-      }
-      case Op::kCall: {
-        std::vector<Value> args(regs.begin() + in.d, regs.begin() + in.d + in.e);
-        TURNSTILE_ASSIGN_OR_RETURN(
-            c, interp.InvokeValue(regs[in.b],
-                                  in.c >= 0 ? regs[in.c] : Value::Undefined(),
-                                  std::move(args), chunk.names[in.f]));
-        if (c.IsAbrupt()) {
-          return c;
-        }
-        regs[in.a] = std::move(c.value);
-        break;
-      }
-      case Op::kCallV: {
-        std::vector<Value> args = std::move(arg_stack.back());
-        arg_stack.pop_back();
-        TURNSTILE_ASSIGN_OR_RETURN(
-            c, interp.InvokeValue(regs[in.b],
-                                  in.c >= 0 ? regs[in.c] : Value::Undefined(),
-                                  std::move(args), chunk.names[in.f]));
-        if (c.IsAbrupt()) {
-          return c;
-        }
-        regs[in.a] = std::move(c.value);
-        break;
-      }
-      case Op::kNew: {
-        std::vector<Value> args(regs.begin() + in.c, regs.begin() + in.c + in.d);
-        TURNSTILE_ASSIGN_OR_RETURN(c, interp.ConstructValue(regs[in.b], std::move(args)));
-        if (c.IsAbrupt()) {
-          return c;
-        }
-        regs[in.a] = std::move(c.value);
-        break;
-      }
-      case Op::kNewV: {
-        std::vector<Value> args = std::move(arg_stack.back());
-        arg_stack.pop_back();
-        TURNSTILE_ASSIGN_OR_RETURN(c, interp.ConstructValue(regs[in.b], std::move(args)));
-        if (c.IsAbrupt()) {
-          return c;
-        }
-        regs[in.a] = std::move(c.value);
-        break;
-      }
-      case Op::kClosure:
-        regs[in.a] = Value(interp.MakeClosure(chunk.nodes[in.b], env));
-        break;
-      case Op::kEnvPush:
-        env = Environment::MakeChild(std::move(env), static_cast<uint32_t>(in.a));
-        break;
-      case Op::kEnvPop:
-        env = env->parent;
-        break;
-      case Op::kEnvPopN:
-        for (int32_t i = 0; i < in.a; ++i) {
-          env = env->parent;
-        }
-        break;
-      case Op::kIterNew: {
-        Value iterable = Unbox(regs[in.b]);
-        IterFrame frame;
-        if (iterable.IsArray()) {
-          frame.items = iterable.AsArray()->elements;  // copy: body may mutate
-        } else if (iterable.IsString()) {
-          for (char ch : iterable.AsString()) {
-            frame.items.push_back(Value(std::string(1, ch)));
-          }
-        } else {
-          return Interpreter::TypeError("for-of target is not iterable");
-        }
-        iters.push_back(std::move(frame));
-        break;
-      }
-      case Op::kIterNext: {
-        IterFrame& frame = iters.back();
-        if (frame.next >= frame.items.size()) {
-          iters.pop_back();
-          pc = static_cast<size_t>(in.a);
-        } else {
-          regs[in.b] = frame.items[frame.next++];
-        }
-        break;
-      }
-      case Op::kIterPop:
-        iters.pop_back();
-        break;
-      case Op::kEvalNode: {
-        TURNSTILE_ASSIGN_OR_RETURN(c, interp.EvalStatement(chunk.nodes[in.a], env));
-        if (c.kind == Completion::Kind::kBreak) {
-          if (in.b < 0) {
-            return c;
-          }
-          for (int32_t i = 0; i < in.c; ++i) {
-            env = env->parent;
-          }
-          if (in.d != 0) {
-            iters.pop_back();
-          }
-          pc = static_cast<size_t>(in.b);
-        } else if (c.kind == Completion::Kind::kContinue) {
-          if (in.e < 0) {
-            return c;
-          }
-          for (int32_t i = 0; i < in.f; ++i) {
-            env = env->parent;
-          }
-          pc = static_cast<size_t>(in.e);
-        } else if (c.IsAbrupt()) {
-          return c;  // return / throw propagate out of the chunk
-        }
-        break;
-      }
-      case Op::kEvalExpr: {
-        TURNSTILE_ASSIGN_OR_RETURN(c, interp.EvalExpression(chunk.nodes[in.b], env));
-        if (c.IsAbrupt()) {
-          return c;
-        }
-        regs[in.a] = std::move(c.value);
-        break;
-      }
-      case Op::kAwait: {
-        TURNSTILE_ASSIGN_OR_RETURN(c, interp.AwaitValue(regs[in.b]));
-        if (c.IsAbrupt()) {
-          return c;
-        }
-        regs[in.a] = std::move(c.value);
-        break;
-      }
-      case Op::kThrow:
-        return Completion::Throw(regs[in.a]);
-      case Op::kReturn:
-        return Completion::Return(regs[in.a]);
-      case Op::kHalt:
-        return Completion::Normal();
-      case Op::kHaltValue:
-        return Completion::Normal(regs[in.a]);
-      case Op::kComplete:
-        return in.a == 0 ? Completion::Break() : Completion::Continue();
-    }
+  // interp.profiler_ caches &Profiler::Global(), avoiding the function-local
+  // static guard on every activation.
+  if (interp.profiler_->enabled() && !chunk.lines.empty()) {
+    return ExecuteImpl<true>(interp, chunk, std::move(env));
   }
+  return ExecuteImpl<false>(interp, chunk, std::move(env));
 }
 
+}  // namespace vm
+}  // namespace turnstile
+
+#include "src/vm/vm_execute.inc"
+
+namespace turnstile {
+namespace vm {
+template Result<Completion> Vm::ExecuteImpl<false>(Interpreter&, const Chunk&, EnvPtr);
 }  // namespace vm
 }  // namespace turnstile

@@ -33,6 +33,13 @@ class Vm {
   // Completion::Throw. Never handles exceptions itself — try/catch runs in
   // the tree-walking oracle via the kEvalNode escape hatch.
   static Result<Completion> Execute(Interpreter& interp, const Chunk& chunk, EnvPtr env);
+
+ private:
+  // The dispatch loop is compiled twice: the kProfiled=false instantiation
+  // carries no per-instruction profiling code at all, so the disabled-path
+  // cost is the single tier-selection branch in Execute.
+  template <bool kProfiled>
+  static Result<Completion> ExecuteImpl(Interpreter& interp, const Chunk& chunk, EnvPtr env);
 };
 
 }  // namespace vm

@@ -1,0 +1,21 @@
+// Explicit instantiation of the profiled dispatch loop (per-line clock
+// compiled in). Isolated in its own translation unit so vm.cc's inlining
+// budget is spent entirely on the production ExecuteImpl<false> loop.
+#include "src/vm/vm.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+
+#include "src/vm/vm_execute.inc"
+
+namespace turnstile {
+namespace vm {
+template Result<Completion> Vm::ExecuteImpl<true>(Interpreter&, const Chunk&, EnvPtr);
+}  // namespace vm
+}  // namespace turnstile

@@ -153,6 +153,120 @@ TEST(MetricsTest, ResetAllForTestZeroesInstruments) {
   EXPECT_EQ(histogram->count(), 0u);
 }
 
+// --- derived quantiles (ISSUE 5 satellite) -----------------------------------
+
+TEST(HistogramQuantileTest, LinearInterpolationWithinBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 10 observations uniform in (0,10], 10 in (10,20].
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(5.0);
+    h.Observe(15.0);
+  }
+  // p50: rank 10 of 20 lands exactly at the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 10.0);
+  // p75: rank 15, 5 of 10 into the (10,20] bucket -> 15.0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
+  // p25: rank 5, halfway into the first bucket, interpolated from 0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.0);
+  // q clamps to [0,1].
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), h.Quantile(1.0));
+}
+
+TEST(HistogramQuantileTest, EmptyAndOverflowCases) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+  h.Observe(100.0);                        // everything in +Inf
+  // No finite upper edge to interpolate towards: clamp to the largest bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(MetricsTest, JsonSnapshotCarriesPercentileEstimates) {
+  Metrics metrics;
+  Histogram* h = metrics.GetHistogram("lat", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  Json snapshot = metrics.ToJson();
+  const Json& entry = snapshot["histograms"]["lat"];
+  ASSERT_TRUE(entry.is_object());
+  EXPECT_TRUE(entry.Has("p50"));
+  EXPECT_TRUE(entry.Has("p90"));
+  EXPECT_TRUE(entry.Has("p99"));
+  EXPECT_GT(entry.GetNumber("p50"), 0.0);
+  EXPECT_GE(entry.GetNumber("p99"), entry.GetNumber("p50"));
+}
+
+TEST(MetricsTest, FloatGaugeInJsonAndPrometheus) {
+  Metrics metrics;
+  metrics.GetFloatGauge("dift.overhead_fraction")->Set(0.125);
+  EXPECT_DOUBLE_EQ(metrics.ToJson()["gauges"].GetNumber("dift.overhead_fraction"), 0.125);
+  std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE dift_overhead_fraction gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("dift_overhead_fraction 0.125\n"), std::string::npos);
+  metrics.ResetAllForTest();
+  EXPECT_DOUBLE_EQ(metrics.GetFloatGauge("dift.overhead_fraction")->value(), 0.0);
+}
+
+// --- Prometheus exposition edge cases (ISSUE 5 satellite) --------------------
+
+TEST(PrometheusTest, MetricNameSanitization) {
+  // Dots and dashes map to '_'; a leading digit gains a '_' prefix.
+  EXPECT_EQ(PrometheusName("flow.node-turn.seconds"), "flow_node_turn_seconds");
+  EXPECT_EQ(PrometheusName("2fast"), "_2fast");
+  EXPECT_EQ(PrometheusName(""), "_");
+  EXPECT_EQ(PrometheusName("ok_name:sub"), "ok_name:sub");
+
+  Metrics metrics;
+  metrics.GetCounter("weird metric/name")->Increment();
+  std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("weird_metric_name 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("weird metric/name"), std::string::npos);
+}
+
+TEST(PrometheusTest, LabelValueEscaping) {
+  EXPECT_EQ(PrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(PrometheusLabelValue("new\nline"), "new\\nline");
+
+  // A labeled series renders with the escaped value and a sanitized family.
+  Metrics metrics;
+  metrics.GetFloatGauge(MetricWithLabel("dift.overhead_fraction", "app", "we\"ird\napp"))
+      ->Set(0.5);
+  std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("dift_overhead_fraction{app=\"we\\\"ird\\napp\"} 0.5\n"),
+            std::string::npos);
+  // The TYPE line carries the bare family name, no label block.
+  EXPECT_NE(text.find("# TYPE dift_overhead_fraction gauge\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeWithInfTotal) {
+  Metrics metrics;
+  Histogram* h = metrics.GetHistogram("lat.seconds", {1.0, 2.0, 5.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(4.0);
+  h->Observe(100.0);
+  std::string text = metrics.ToPrometheusText();
+  // `le` buckets are cumulative and the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"5\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 4\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, LabeledHistogramMergesLeIntoLabelBlock) {
+  Metrics metrics;
+  Histogram* h = metrics.GetHistogram(MetricWithLabel("turn.seconds", "node", "gf"), {1.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+  std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("turn_seconds_bucket{node=\"gf\",le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("turn_seconds_bucket{node=\"gf\",le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("turn_seconds_sum{node=\"gf\"} 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("turn_seconds_count{node=\"gf\"} 2\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace turnstile

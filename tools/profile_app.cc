@@ -1,0 +1,231 @@
+// Corpus profiling driver: runs one corpus app under the span profiler and
+// exports its profile.
+//
+//   profile_app <app> [--messages=N] [--version=original|selective|exhaustive|roundtrip]
+//               [--tier=bytecode|treewalk] [--profile=PATH] [--trace-export=PATH]
+//               [--json[=PATH]]
+//
+//   --trace-export=PATH  Chrome trace-event JSON (open in Perfetto or
+//                        chrome://tracing); carries the turnstileProfile
+//                        summary as an extra top-level key.
+//   --profile=PATH       collapsed-stack text (pipe into flamegraph.pl or
+//                        load in speedscope).
+//   --json[=PATH]        metrics-registry snapshot (the shared bench flag) —
+//                        includes the per-node flow.node_turn_seconds
+//                        histograms with p50/p90/p99 recorded by this run.
+//
+// Without an app name, lists the corpus. The summary printed to stdout shows
+// the monitor/app split, the hottest functions/lines, and per-node latency
+// percentiles.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/corpus/driver.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/support/rng.h"
+
+namespace turnstile {
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "profile_app: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: profile_app <app> [--messages=N] [--version=V] [--tier=T]\n"
+               "                   [--profile=PATH] [--trace-export=PATH] [--json[=PATH]]\n"
+               "corpus apps:\n");
+  for (const CorpusApp& app : Corpus()) {
+    std::fprintf(stderr, "  %s\n", app.name.c_str());
+  }
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string app_name;
+  int messages = 200;
+  AppVersion version = AppVersion::kSelective;
+  std::optional<ExecTier> tier;
+  std::string profile_path;
+  std::string trace_export_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--messages=", 0) == 0) {
+      messages = std::atoi(arg.c_str() + 11);
+      if (messages <= 0) {
+        std::fprintf(stderr, "profile_app: bad --messages value '%s'\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--version=", 0) == 0) {
+      std::string v = arg.substr(10);
+      if (v == "original") {
+        version = AppVersion::kOriginal;
+      } else if (v == "selective") {
+        version = AppVersion::kSelective;
+      } else if (v == "exhaustive") {
+        version = AppVersion::kExhaustive;
+      } else if (v == "roundtrip") {
+        version = AppVersion::kRoundTrip;
+      } else {
+        std::fprintf(stderr, "profile_app: unknown version '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--tier=", 0) == 0) {
+      std::string t = arg.substr(7);
+      if (t == "bytecode") {
+        tier = ExecTier::kBytecode;
+      } else if (t == "treewalk") {
+        tier = ExecTier::kTreeWalk;
+      } else {
+        std::fprintf(stderr, "profile_app: unknown tier '%s'\n", t.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(10);
+    } else if (arg.rfind("--trace-export=", 0) == 0) {
+      trace_export_path = arg.substr(15);
+    } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      // handled by MaybeWriteMetricsSnapshot after the run
+    } else if (!arg.empty() && arg[0] != '-' && app_name.empty()) {
+      app_name = arg;
+    } else {
+      std::fprintf(stderr, "profile_app: unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (app_name.empty()) {
+    return Usage();
+  }
+  const CorpusApp* app = FindCorpusApp(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "profile_app: unknown corpus app '%s'\n", app_name.c_str());
+    return Usage();
+  }
+
+  auto runtime = AppRuntime::Create(*app, version, tier);
+  if (!runtime.ok() && version == AppVersion::kSelective) {
+    // Apps without detected paths carry no usable policy; profile the
+    // original program instead (all-app split by construction).
+    std::fprintf(stderr, "profile_app: selective setup failed (%s); using original version\n",
+                 runtime.status().ToString().c_str());
+    version = AppVersion::kOriginal;
+    runtime = AppRuntime::Create(*app, version, tier);
+  }
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "profile_app: %s setup failed: %s\n", app->name.c_str(),
+                 runtime.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(0xBE11C0DE);
+  for (int seq = 0; seq < 20; ++seq) {  // warm-up outside the profiled window
+    Status status = (*runtime)->DriveMessage(&rng, seq);
+    if (!status.ok()) {
+      std::fprintf(stderr, "profile_app: warm-up failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Enable();
+  for (int seq = 0; seq < messages; ++seq) {
+    Status status = (*runtime)->DriveMessage(&rng, 100 + seq);
+    if (!status.ok()) {
+      std::fprintf(stderr, "profile_app: message %d failed: %s\n", seq,
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // --- exports ---------------------------------------------------------------
+  if (!trace_export_path.empty()) {
+    if (!WriteFile(trace_export_path, profiler.ChromeTraceJson().Dump() + "\n")) {
+      return 1;
+    }
+    std::printf("Chrome trace written to %s (open in https://ui.perfetto.dev)\n",
+                trace_export_path.c_str());
+  }
+  if (!profile_path.empty()) {
+    if (!WriteFile(profile_path, profiler.CollapsedStacks())) {
+      return 1;
+    }
+    std::printf("collapsed stacks written to %s (flamegraph.pl %s > flame.svg)\n",
+                profile_path.c_str(), profile_path.c_str());
+  }
+
+  // --- summary ---------------------------------------------------------------
+  obs::OverheadSplit split = profiler.split();
+  std::printf("\n%s (%s, %d messages): %llu spans (%llu dropped)\n", app->name.c_str(),
+              version == AppVersion::kOriginal     ? "original"
+              : version == AppVersion::kSelective  ? "selective"
+              : version == AppVersion::kExhaustive ? "exhaustive"
+                                                   : "roundtrip",
+              messages, static_cast<unsigned long long>(profiler.spans_recorded()),
+              static_cast<unsigned long long>(profiler.spans_dropped()));
+  std::printf("split: app %.3f ms, monitor %.3f ms -> overhead fraction %.4f\n",
+              split.app_s * 1e3, split.monitor_s * 1e3, split.fraction());
+
+  std::printf("\ntop functions by self time (app/monitor):\n");
+  std::vector<obs::FunctionProfile> functions = profiler.FunctionsSnapshot();
+  size_t shown = 0;
+  for (const obs::FunctionProfile& fn : functions) {
+    if (shown++ >= 10) {
+      break;
+    }
+    std::printf("  %-32s %-7s line %-4d calls %-8llu self %8.3f ms  total %8.3f ms\n",
+                fn.name.c_str(), fn.monitor ? "monitor" : "app", fn.line,
+                static_cast<unsigned long long>(fn.calls), fn.self_s * 1e3, fn.total_s * 1e3);
+  }
+
+  std::printf("\ntop source lines by self time (VM wall %.3f ms):\n",
+              profiler.vm_seconds() * 1e3);
+  std::vector<obs::LineProfile> lines = profiler.LinesSnapshot();
+  std::sort(lines.begin(), lines.end(),
+            [](const obs::LineProfile& a, const obs::LineProfile& b) {
+              return a.self_s > b.self_s;
+            });
+  shown = 0;
+  for (const obs::LineProfile& line : lines) {
+    if (shown++ >= 10) {
+      break;
+    }
+    std::printf("  line %-5d self %8.3f ms  (%llu ticks)\n", line.line, line.self_s * 1e3,
+                static_cast<unsigned long long>(line.ticks));
+  }
+
+  std::printf("\nper-node turn latency (p50/p90/p99 us):\n");
+  const Json snapshot = obs::Metrics::Global().ToJson();
+  for (const auto& [name, entry] : snapshot["histograms"].object_items()) {
+    if (name.rfind("flow.node_turn_seconds{", 0) != 0) {
+      continue;
+    }
+    std::printf("  %-40s %8.2f %8.2f %8.2f  (%llu turns)\n", name.c_str(),
+                entry.GetNumber("p50") * 1e6, entry.GetNumber("p90") * 1e6,
+                entry.GetNumber("p99") * 1e6,
+                static_cast<unsigned long long>(entry.GetNumber("count")));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace turnstile
+
+int main(int argc, char** argv) {
+  int rc = turnstile::Main(argc, argv);
+  turnstile::obs::MaybeWriteMetricsSnapshot(argc, argv);
+  return rc;
+}
