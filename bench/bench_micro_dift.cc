@@ -10,6 +10,7 @@
 
 #include "src/dift/tracker.h"
 #include "src/lang/parser.h"
+#include "src/obs/audit.h"
 
 namespace turnstile {
 namespace {
@@ -177,6 +178,25 @@ void BM_TrackedInvokeLabelled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrackedInvokeLabelled);
+
+// Same op with the audit ledger recording: quantifies the enabled-ledger cost
+// per labelled invoke (flow-check event + memoized detail lookup). The
+// disabled path is covered by BM_TrackedInvokeLabelled itself — audit adds
+// one branch there.
+void BM_TrackedInvokeLabelledAudit(benchmark::State& state) {
+  CallFixture f;
+  auto labelled = f.tracker->Label(Value("employee-x"), "byContent");
+  if (!labelled.ok()) {
+    std::abort();
+  }
+  obs::AuditLedger::Global().Enable(1u << 12);
+  for (auto _ : state) {
+    auto result = f.tracker->Invoke(f.receiver, "combine", {*labelled, Value("b")});
+    benchmark::DoNotOptimize(result.ok());
+  }
+  obs::AuditLedger::Global().Disable();
+}
+BENCHMARK(BM_TrackedInvokeLabelledAudit);
 
 // DeepLabel over an argument object of the given size — the dominant cost of
 // exhaustive instrumentation on dictionary-heavy apps (nlp.js).

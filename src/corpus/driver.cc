@@ -6,6 +6,7 @@
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
 #include "src/lang/resolve.h"
+#include "src/obs/audit.h"
 
 namespace turnstile {
 
@@ -86,6 +87,9 @@ Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, App
                                                        std::optional<ExecTier> tier) {
   auto runtime = std::unique_ptr<AppRuntime>(new AppRuntime());
   runtime->app_ = &app;
+  // Stamp subsequent audit-ledger events with the app under drive (cheap
+  // no-op when the name is unchanged; harmless when the ledger is disabled).
+  obs::AuditLedger::Global().set_app(app.name);
   runtime->interp_ = std::make_unique<Interpreter>();
   if (tier.has_value()) {
     runtime->interp_->set_exec_tier(*tier);

@@ -25,6 +25,7 @@ DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Op
       options_(options) {
   trace_recorder_ = &obs::TraceRecorder::Global();
   profiler_ = &obs::Profiler::Global();
+  audit_ = &obs::AuditLedger::Global();
   obs::Metrics& metrics = obs::Metrics::Global();
   metric_label_calls_ = metrics.GetCounter("dift.label_calls");
   metric_binary_ops_ = metrics.GetCounter("dift.binary_ops");
@@ -453,12 +454,30 @@ Result<Value> DiftTracker::Label(Value target, const std::string& labeller_name)
   if (spec == nullptr) {
     return PolicyError("unknown labeller '" + labeller_name + "'");
   }
+  // Audit needs the target's label set *before* the labeller runs: a $const
+  // labeller firing on an already-labelled value is the declassify/endorse
+  // idiom (see policy.h), and that distinction is exactly prior != empty.
+  LabelSetRef prior = kEmptyLabelSetRef;
+  if (audit_->enabled()) {
+    prior = GetLabelRef(target);
+  }
   LabelSetRef labels = kEmptyLabelSetRef;
   TURNSTILE_ASSIGN_OR_RETURN(result, ApplySpec(spec, std::move(target), &labels,
                                                labeller_name));
   if (trace_recorder_->enabled()) {
     trace_recorder_->Record(obs::SpanKind::kDiftLabel, labeller_name, pool_->Render(labels),
                             interp_->VirtualNow());
+  }
+  if (audit_->enabled() && labels != kEmptyLabelSetRef) {
+    obs::AuditEvent event;
+    event.kind = (spec->kind == LabellerSpec::Kind::kConst && prior != kEmptyLabelSetRef)
+                     ? obs::AuditKind::kDeclassify
+                     : obs::AuditKind::kLabelAttach;
+    event.subject = labeller_name;
+    event.data = prior;
+    event.out = labels;
+    event.labels = pool_->Render(labels);
+    audit_->Record(std::move(event));
   }
   return result;
 }
@@ -473,12 +492,24 @@ Result<Value> DiftTracker::BinaryOp(const std::string& op, const Value& left,
     profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftBinaryOp,
                                           "__dift.binaryOp:" + op, /*monitor=*/true);
   }
-  LabelSetRef labels = pool_->Union(GetLabelRef(left), GetLabelRef(right));
+  LabelSetRef left_ref = GetLabelRef(left);
+  LabelSetRef right_ref = GetLabelRef(right);
+  LabelSetRef labels = pool_->Union(left_ref, right_ref);
   // Cheap stack check first: the unlabelled fast path must not even touch
   // the recorder's cache line.
   if (labels != kEmptyLabelSetRef && trace_recorder_->enabled()) {
     trace_recorder_->Record(obs::SpanKind::kDiftBinaryOp, op, pool_->Render(labels),
                             interp_->VirtualNow());
+  }
+  if (labels != kEmptyLabelSetRef && audit_->enabled()) {
+    obs::AuditEvent event;
+    event.kind = obs::AuditKind::kMerge;
+    event.subject = op;
+    event.data = left_ref;
+    event.receiver = right_ref;
+    event.out = labels;
+    event.labels = pool_->Render(labels);
+    audit_->Record(std::move(event));
   }
   TURNSTILE_ASSIGN_OR_RETURN(completion, interp_->EvalBinary(op, left, right));
   if (completion.IsAbrupt()) {
@@ -562,6 +593,19 @@ const std::string& DiftTracker::CheckDetail(LabelSetRef data, LabelSetRef receiv
   return check_detail_cache_.emplace(key, std::move(detail)).first->second;
 }
 
+void DiftTracker::RecordFlowAudit(const std::string& sink, LabelSetRef data,
+                                  LabelSetRef receiver, bool allowed, std::string rule) {
+  obs::AuditEvent event;
+  event.kind = obs::AuditKind::kFlowCheck;
+  event.allowed = allowed;
+  event.subject = sink;
+  event.data = data;
+  event.receiver = receiver;
+  event.labels = CheckDetail(data, receiver);
+  event.rule = std::move(rule);
+  audit_->Record(std::move(event));
+}
+
 Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
                                 const std::string& sink_name) {
   ++stats_.checks;
@@ -580,16 +624,32 @@ Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
                             interp_->VirtualNow());
   }
   if (data_labels == kEmptyLabelSetRef) {
+    if (audit_->enabled()) {
+      RecordFlowAudit(sink_name, data_labels, receiver_labels, true, "empty-data");
+    }
     return true;
   }
   if (receiver_labels == kEmptyLabelSetRef) {
     if (options_.strict_unlabeled_receivers) {
+      if (audit_->enabled()) {
+        RecordFlowAudit(sink_name, data_labels, receiver_labels, false,
+                        "strict-unlabeled-receiver");
+      }
       RecordViolation(sink_name, data_labels, receiver_labels);
       return false;
     }
+    if (audit_->enabled()) {
+      RecordFlowAudit(sink_name, data_labels, receiver_labels, true, "unlabeled-receiver");
+    }
     return true;
   }
-  bool allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels, *pool_);
+  const std::string* rule = nullptr;
+  bool allowed = policy_->rules().CanFlowSetExplained(
+      data_labels, receiver_labels, *pool_, audit_->enabled() ? &rule : nullptr);
+  if (audit_->enabled()) {
+    RecordFlowAudit(sink_name, data_labels, receiver_labels, allowed,
+                    rule != nullptr ? *rule : "");
+  }
   if (!allowed) {
     RecordViolation(sink_name, data_labels, receiver_labels);
   }
@@ -653,6 +713,14 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
     TURNSTILE_ASSIGN_OR_RETURN(labels, LabelsFromValue(label_value));
     RecordOrigins(labels, *invoke_labeller_name);
     receiver_labels = labels;
+    if (audit_->enabled()) {
+      obs::AuditEvent event;
+      event.kind = obs::AuditKind::kInvokeLabeller;
+      event.subject = *invoke_labeller_name + "@" + func;
+      event.out = receiver_labels;
+      event.labels = pool_->Render(receiver_labels);
+      audit_->Record(std::move(event));
+    }
   } else {
     receiver_labels = pool_->Union(GetLabelRef(target), GetLabelRef(fn_value));
   }
@@ -671,8 +739,20 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   if (data_labels != kEmptyLabelSetRef) {
     if (receiver_labels == kEmptyLabelSetRef) {
       allowed = !(receiver_has_labeller || options_.strict_unlabeled_receivers);
+      if (audit_->enabled()) {
+        RecordFlowAudit(func, data_labels, receiver_labels, allowed,
+                        allowed ? "unlabeled-receiver"
+                                : (receiver_has_labeller ? "labeller-declined-receiver"
+                                                         : "strict-unlabeled-receiver"));
+      }
     } else {
-      allowed = policy_->rules().CanFlowSet(data_labels, receiver_labels, *pool_);
+      const std::string* rule = nullptr;
+      allowed = policy_->rules().CanFlowSetExplained(
+          data_labels, receiver_labels, *pool_, audit_->enabled() ? &rule : nullptr);
+      if (audit_->enabled()) {
+        RecordFlowAudit(func, data_labels, receiver_labels, allowed,
+                        rule != nullptr ? *rule : "");
+      }
     }
   }
   if (!allowed) {
@@ -688,6 +768,18 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   std::vector<Value> call_args;
   call_args.reserve(args.size());
   if (fn_unboxed.AsFunction()->is_io_sink) {
+    if (audit_->enabled()) {
+      // The unwrap point: labelled data is about to leave the managed world.
+      obs::AuditEvent event;
+      event.kind = obs::AuditKind::kSinkWrite;
+      event.subject = func;
+      event.data = data_labels;
+      event.receiver = receiver_labels;
+      if (data_labels != kEmptyLabelSetRef) {
+        event.labels = pool_->Render(data_labels);
+      }
+      audit_->Record(std::move(event));
+    }
     for (Value& arg : args) {
       call_args.push_back(UnboxDeep(arg));
     }

@@ -33,6 +33,7 @@
 #include "src/ifc/policy.h"
 #include "src/interp/interp.h"
 #include "src/lang/atoms.h"
+#include "src/obs/audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -246,6 +247,9 @@ class DiftTracker {
   Result<LabelSetRef> LabelsFromValue(const Value& v);  // fn result -> interned set
   void DeepLabelInto(const Value& v, LabelSetRef* out, int depth) const;
   void RecordViolation(const std::string& sink, LabelSetRef data, LabelSetRef receiver);
+  // Ledgers one kFlowCheck audit event; callers gate on audit_->enabled().
+  void RecordFlowAudit(const std::string& sink, LabelSetRef data, LabelSetRef receiver,
+                       bool allowed, std::string rule);
   // "{a} vs {b}" for check-trace events, built once per handle pair and
   // reused — enabled-tracing runs pay a flat lookup per check instead of
   // re-rendering label names (see obs_trace_test coverage).
@@ -301,6 +305,7 @@ class DiftTracker {
   // Observability handles (resolved once in the constructor).
   obs::TraceRecorder* trace_recorder_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::AuditLedger* audit_ = nullptr;
   obs::Counter* metric_label_calls_ = nullptr;
   obs::Counter* metric_binary_ops_ = nullptr;
   obs::Counter* metric_checks_ = nullptr;

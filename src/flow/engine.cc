@@ -14,6 +14,7 @@ Value ArgAt(const std::vector<Value>& args, size_t i) {
 FlowEngine::FlowEngine(Interpreter* interp) : interp_(interp) {
   trace_recorder_ = &obs::TraceRecorder::Global();
   profiler_ = &obs::Profiler::Global();
+  audit_ = &obs::AuditLedger::Global();
   obs::Metrics& metrics = obs::Metrics::Global();
   metric_routed_ = metrics.GetCounter("flow.messages_routed");
   metric_terminal_ = metrics.GetCounter("flow.terminal_sends");
@@ -124,6 +125,18 @@ ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
           engine->metric_terminal_->Increment(messages.size());
           engine->trace_recorder_->Record(obs::SpanKind::kNodeSend, id, "(terminal)",
                                           in.VirtualNow());
+          if (engine->audit_->enabled()) {
+            // A send with no outgoing wires is a flow output: the message
+            // leaves the flow graph, which the ledger treats as a sink write
+            // (one event per fanned-out message, matching the counter above).
+            for (size_t i = 0; i < messages.size(); ++i) {
+              obs::AuditEvent event;
+              event.kind = obs::AuditKind::kSinkWrite;
+              event.subject = id;
+              event.rule = "terminal";
+              engine->audit_->Record(std::move(event));
+            }
+          }
           return Value::Undefined();
         }
         for (const std::string& target_id : wires) {

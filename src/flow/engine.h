@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/interp/interp.h"
+#include "src/obs/audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/support/json.h"
@@ -87,6 +88,7 @@ class FlowEngine {
   // Observability handles (resolved once in the constructor).
   obs::TraceRecorder* trace_recorder_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::AuditLedger* audit_ = nullptr;
   obs::Counter* metric_routed_ = nullptr;
   obs::Counter* metric_terminal_ = nullptr;
   obs::Counter* metric_injects_ = nullptr;

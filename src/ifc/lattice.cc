@@ -116,38 +116,71 @@ bool RuleGraph::CanFlowLabel(LabelId from, LabelId to) const {
 
 bool RuleGraph::CanFlowSet(LabelSetRef data, LabelSetRef receiver,
                            const LabelSetPool& pool) const {
+  return CanFlowSetExplained(data, receiver, pool, /*rule_out=*/nullptr);
+}
+
+bool RuleGraph::CanFlowSetExplained(LabelSetRef data, LabelSetRef receiver,
+                                    const LabelSetPool& pool,
+                                    const std::string** rule_out) const {
+  static const std::string kEmptyData = "empty-data";
+  static const std::string kEmptyReceiver = "empty-receiver";
+  static const std::string kSubset = "subset";
   if (data == kEmptyLabelSetRef) {
+    if (rule_out != nullptr) {
+      *rule_out = &kEmptyData;
+    }
     return true;
   }
   if (receiver == kEmptyLabelSetRef) {
+    if (rule_out != nullptr) {
+      *rule_out = &kEmptyReceiver;
+    }
     return false;
   }
   // Subset special case (X ⊑ Y iff X ⊆ Y): identity paths need no DAG walk,
   // and on inline handles this is two ALU ops.
   if (pool.IsSubsetOf(data, receiver)) {
+    if (rule_out != nullptr) {
+      *rule_out = &kSubset;
+    }
     return true;
   }
   uint64_t key = (uint64_t{data} << 32) | receiver;
   auto cached = set_cache_.find(key);
   if (cached != set_cache_.end()) {
-    return cached->second;
+    if (rule_out != nullptr) {
+      *rule_out = &cached->second.rule;
+    }
+    return cached->second.allowed;
   }
   bool allowed = true;
+  std::string rule;
   for (LabelId from : pool.Ids(data)) {
     bool ok = false;
     for (LabelId to : pool.Ids(receiver)) {
       if (CanFlowLabel(from, to)) {
+        // Record the granting edge per data label, e.g. "secret -> archive".
+        if (!rule.empty()) {
+          rule += ", ";
+        }
+        rule += space_->NameOf(from) + " -> " + space_->NameOf(to);
         ok = true;
         break;
       }
     }
     if (!ok) {
       allowed = false;
+      rule = "no rule allows '" + space_->NameOf(from) + "'";
       break;
     }
   }
-  set_cache_[key] = allowed;
-  return allowed;
+  SetDecision& decision = set_cache_[key];
+  decision.allowed = allowed;
+  decision.rule = std::move(rule);
+  if (rule_out != nullptr) {
+    *rule_out = &decision.rule;
+  }
+  return decision.allowed;
 }
 
 bool RuleGraph::CanFlowSet(const LabelSet& data, const LabelSet& receiver) const {

@@ -46,6 +46,18 @@ class RuleGraph {
   // so handles stay valid across mutation.
   bool CanFlowSet(LabelSetRef data, LabelSetRef receiver, const LabelSetPool& pool) const;
 
+  // As above, and additionally reports *which rule decided the verdict* for
+  // the audit ledger: `*rule_out` is pointed at a string owned by the graph
+  // (stable until the next AddRule) — "empty-data" / "empty-receiver" for the
+  // trivial cases, "subset" for the X ⊆ Y fast path, one granting edge per
+  // data label ("secret -> archive, id -> id") when the DAG walk allows the
+  // flow, or "no rule allows '<label>'" naming the first data label with no
+  // path into the receiver set when it denies. The explanation is memoized
+  // together with the verdict, so explained and plain queries share one
+  // cache entry. `rule_out` may be null.
+  bool CanFlowSetExplained(LabelSetRef data, LabelSetRef receiver, const LabelSetPool& pool,
+                           const std::string** rule_out) const;
+
   size_t edge_count() const { return edge_total_; }
   size_t cache_size() const { return reach_cache_.size(); }
   size_t set_cache_size() const { return set_cache_.size(); }
@@ -58,8 +70,14 @@ class RuleGraph {
   size_t edge_total_ = 0;
   // (from << 16 | to) -> reachable. Mutable: queries are logically const.
   mutable std::unordered_map<uint32_t, bool> reach_cache_;
-  // (data ref << 32 | receiver ref) -> allowed, for the interned-set overload.
-  mutable std::unordered_map<uint64_t, bool> set_cache_;
+  // Memoized verdict + explanation for the interned-set overload, keyed by
+  // (data ref << 32 | receiver ref). The rule string is built once per pair
+  // at cache miss; plain (unexplained) queries read only `allowed`.
+  struct SetDecision {
+    bool allowed;
+    std::string rule;
+  };
+  mutable std::unordered_map<uint64_t, SetDecision> set_cache_;
 };
 
 }  // namespace turnstile

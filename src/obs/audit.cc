@@ -1,0 +1,249 @@
+#include "src/obs/audit.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/support/json.h"
+
+namespace turnstile {
+namespace obs {
+
+const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kLabelAttach:
+      return "label_attach";
+    case AuditKind::kMerge:
+      return "merge";
+    case AuditKind::kInvokeLabeller:
+      return "invoke_labeller";
+    case AuditKind::kFlowCheck:
+      return "flow_check";
+    case AuditKind::kDeclassify:
+      return "declassify";
+    case AuditKind::kSinkWrite:
+      return "sink_write";
+  }
+  return "?";
+}
+
+std::string AuditEvent::Canonical() const {
+  std::string out_str = "#" + std::to_string(seq) + " " + AuditKindName(kind) + "[" +
+                        subject + "]";
+  out_str += " data=" + std::to_string(data) + " recv=" + std::to_string(receiver) +
+             " out=" + std::to_string(out);
+  if (kind == AuditKind::kFlowCheck) {
+    out_str += allowed ? " allow" : " deny";
+  }
+  if (!labels.empty()) {
+    out_str += " " + labels;
+  }
+  if (!rule.empty()) {
+    out_str += " rule='" + rule + "'";
+  }
+  out_str += " trace=" + std::to_string(trace_id);
+  if (!node.empty()) {
+    out_str += " node=" + node;
+  }
+  if (!app.empty()) {
+    out_str += " app=" + app;
+  }
+  return out_str;
+}
+
+std::string AuditEvent::ToJsonLine() const {
+  Json json = Json::Object();
+  json.Set("seq", Json(static_cast<double>(seq)));
+  json.Set("kind", Json(AuditKindName(kind)));
+  json.Set("subject", Json(subject));
+  json.Set("data", Json(static_cast<double>(data)));
+  json.Set("receiver", Json(static_cast<double>(receiver)));
+  json.Set("out", Json(static_cast<double>(out)));
+  if (kind == AuditKind::kFlowCheck) {
+    json.Set("allowed", Json(allowed));
+  }
+  if (!labels.empty()) {
+    json.Set("labels", Json(labels));
+  }
+  if (!rule.empty()) {
+    json.Set("rule", Json(rule));
+  }
+  json.Set("trace", Json(static_cast<double>(trace_id)));
+  if (!node.empty()) {
+    json.Set("node", Json(node));
+  }
+  if (!app.empty()) {
+    json.Set("app", Json(app));
+  }
+  return json.Dump(/*pretty=*/false);
+}
+
+AuditLedger& AuditLedger::Global() {
+  static AuditLedger* instance = new AuditLedger();  // never destroyed:
+  return *instance;                                  // handles must outlive
+}                                                    // static teardown
+
+AuditLedger::AuditLedger() {
+  recorder_ = &TraceRecorder::Global();
+  Metrics& metrics = Metrics::Global();
+  for (int i = 0; i < kAuditKindCount; ++i) {
+    metric_kind_[i] = metrics.GetCounter(MetricWithLabel(
+        "audit.events_total", "kind", AuditKindName(static_cast<AuditKind>(i))));
+  }
+  metric_flows_allowed_ = metrics.GetCounter("audit.flows_allowed");
+  metric_flows_denied_ = metrics.GetCounter("audit.flows_denied");
+  metric_dropped_ = metrics.GetCounter("audit.dropped_events");
+  metric_app_events_ = metrics.GetCounter(MetricWithLabel("audit.app_events", "app", ""));
+}
+
+void AuditLedger::Enable(size_t capacity) {
+  if (capacity == 0) {
+    capacity = 1;
+  }
+  if (!enabled_) {
+    // Trace/node stamping rides on the recorder's per-message context; if the
+    // user did not enable it themselves, co-enable it and undo on Disable()
+    // (the profiler makes the same arrangement).
+    if (!recorder_->enabled()) {
+      recorder_->Enable();
+      disable_recorder_on_disable_ = true;
+    }
+  }
+  enabled_ = true;
+  capacity_ = capacity;
+  ring_.assign(capacity_, AuditEvent{});
+  head_ = 0;
+  size_ = 0;
+  next_seq_ = 1;
+  dropped_ = 0;
+  spilled_ = 0;
+}
+
+void AuditLedger::Disable() {
+  if (enabled_ && spill_ != nullptr) {
+    FlushSpill();
+  }
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    spill_ = nullptr;
+  }
+  if (enabled_ && disable_recorder_on_disable_) {
+    recorder_->Disable();
+  }
+  disable_recorder_on_disable_ = false;
+  enabled_ = false;
+  capacity_ = 0;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  size_ = 0;
+  next_seq_ = 1;
+  dropped_ = 0;
+  spilled_ = 0;
+}
+
+void AuditLedger::Clear() {
+  head_ = 0;
+  size_ = 0;
+  next_seq_ = 1;
+  dropped_ = 0;
+  spilled_ = 0;
+}
+
+void AuditLedger::set_app(const std::string& app) {
+  if (app == app_) {
+    return;
+  }
+  app_ = app;
+  metric_app_events_ = Metrics::Global().GetCounter(
+      MetricWithLabel("audit.app_events", "app", app_));
+}
+
+bool AuditLedger::SetSpillPath(const std::string& path) {
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    spill_ = nullptr;
+  }
+  spill_ = std::fopen(path.c_str(), "w");
+  if (spill_ == nullptr) {
+    std::fprintf(stderr, "audit: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void AuditLedger::WriteSpillLine(const AuditEvent& event) {
+  std::string line = event.ToJsonLine();
+  std::fwrite(line.data(), 1, line.size(), spill_);
+  std::fputc('\n', spill_);
+  ++spilled_;
+}
+
+void AuditLedger::FlushSpill() {
+  if (spill_ == nullptr || size_ == 0) {
+    return;
+  }
+  size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (size_t i = 0; i < size_; ++i) {
+    WriteSpillLine(ring_[(start + i) % capacity_]);
+  }
+  std::fflush(spill_);
+  head_ = 0;
+  size_ = 0;  // drained: a later flush must not rewrite these events
+}
+
+void AuditLedger::Record(AuditEvent event) {
+  if (!enabled_) {
+    return;
+  }
+  event.seq = next_seq_++;
+  event.trace_id = recorder_->current_trace();
+  event.node = recorder_->OriginOf(event.trace_id);
+  event.app = app_;
+  metric_kind_[static_cast<int>(event.kind)]->Increment();
+  metric_app_events_->Increment();
+  if (event.kind == AuditKind::kFlowCheck) {
+    (event.allowed ? metric_flows_allowed_ : metric_flows_denied_)->Increment();
+  }
+  Push(std::move(event));
+}
+
+void AuditLedger::Push(AuditEvent event) {
+  if (size_ == capacity_) {
+    // Ring full: spill the evicted event (append-only completeness) or count
+    // it as dropped when no spill target is configured.
+    if (spill_ != nullptr) {
+      WriteSpillLine(ring_[head_]);
+    } else {
+      ++dropped_;
+      metric_dropped_->Increment();
+    }
+  } else {
+    ++size_;
+  }
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<AuditEvent> AuditLedger::Snapshot() const {
+  std::vector<AuditEvent> out;
+  out.reserve(size_);
+  size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string AuditLedger::CanonicalLog() const {
+  std::string out;
+  size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (size_t i = 0; i < size_; ++i) {
+    out += ring_[(start + i) % capacity_].Canonical();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace turnstile

@@ -1,0 +1,169 @@
+// Observability: the flow-provenance audit ledger (ISSUE 6).
+//
+// Where the trace recorder (trace.h) keeps a diagnostic ring of *span* events
+// and the profiler (profiler.h) answers "where did the time go", the audit
+// ledger answers the accountability question of IFC: *what did the monitor
+// decide, and why*. It records one structured event for every DIFT-relevant
+// decision — source-label attach, label-set merge on propagation,
+// invoke-labeller fire, flow check (allowed and denied, with the interned
+// label-set handle pair and the rule that decided it), declassification, and
+// sink write — each stamped with the message trace id, the flow node the
+// message entered at, and the application name.
+//
+// Storage is a bounded ring (never unbounded, same rule as the recorder)
+// with an optional *spill*: when a JSONL spill path is set, events evicted
+// from the ring are appended to the file instead of being dropped, and
+// FlushSpill() drains the remaining ring at shutdown — so the file ends up
+// holding the complete ledger in order. Without a spill path, evicted events
+// count as dropped (`audit.dropped_events`).
+//
+// Tier-identical guarantee: every emit site lives in shared native code
+// (DiftTracker, RuleGraph, FlowEngine) that both execution tiers call through
+// the same `__dift.*` / `node.send` funnels, so the bytecode VM and the
+// tree-walker produce byte-identical canonical ledgers for the same program
+// (asserted by vm_differential_test and the corpus round-trip matrix).
+//
+// Cost discipline (the trace.h contract): DISABLED by default; `Record`
+// starts with one branch on a plain bool and returns immediately when
+// disabled. Emit sites gate event *construction* on `enabled()` so the
+// disabled hot path never allocates or formats anything.
+#ifndef TURNSTILE_SRC_OBS_AUDIT_H_
+#define TURNSTILE_SRC_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace turnstile {
+namespace obs {
+
+class Counter;
+class TraceRecorder;
+
+// What kind of DIFT decision an event records.
+enum class AuditKind : uint8_t {
+  kLabelAttach = 0,  // a labeller attached labels to a value
+  kMerge,            // label sets merged during propagation (binaryOp)
+  kInvokeLabeller,   // a call-time ($invoke) labeller fired
+  kFlowCheck,        // a rule-DAG flow query (check / invoke), with verdict
+  kDeclassify,       // a $const labeller re-labelled an already-labelled value
+  kSinkWrite,        // data crossed into an I/O sink (unwrap point / terminal)
+};
+inline constexpr int kAuditKindCount = 6;
+
+const char* AuditKindName(AuditKind kind);
+
+// One ledger entry. Emit sites fill kind / subject / label-set handles /
+// verdict; Record() stamps seq, trace id, node and app. Label-set handles
+// are LabelSetRefs of the emitting tracker's policy pool (0 = empty set);
+// `labels` carries the rendered names so the ledger is readable without the
+// pool. No wall or virtual time is stored: the ledger is an order-of-events
+// record, and keeping time out of it is what makes the two execution tiers'
+// ledgers byte-identical.
+struct AuditEvent {
+  AuditKind kind = AuditKind::kFlowCheck;
+  bool allowed = true;      // kFlowCheck verdict; true for all other kinds
+  uint64_t seq = 0;         // ledger-local monotonic sequence (stamped)
+  uint64_t trace_id = 0;    // message trace active at record time (stamped)
+  uint32_t data = 0;        // LabelSetRef: data/left operand
+  uint32_t receiver = 0;    // LabelSetRef: receiver/right operand
+  uint32_t out = 0;         // LabelSetRef: attached/merged result
+  std::string subject;      // labeller / operator / sink / node name
+  std::string labels;       // rendered label names ("{secret} vs {public}")
+  std::string rule;         // kFlowCheck: the rule that decided the verdict
+  std::string node;         // origin node of the active trace (stamped)
+  std::string app;          // application name (stamped)
+
+  // Deterministic single-line rendering used by the differential oracles:
+  // "#3 flow_check[svc.send] data=2 recv=1 out=0 deny {secret} vs {public}
+  //  rule='no rule allows secret' trace=1 node=inject1 app=camera-motion".
+  std::string Canonical() const;
+  // One JSON object per line (the spill format).
+  std::string ToJsonLine() const;
+};
+
+class AuditLedger {
+ public:
+  // The process-wide ledger every tracker/engine reports into.
+  static AuditLedger& Global();
+
+  // Enables the ledger with a ring of `capacity` events. Co-enables the
+  // trace recorder when it is off (trace/node stamping rides on its message
+  // context, the same arrangement the profiler uses); Disable() restores the
+  // recorder's prior state. Re-enabling clears buffered events.
+  void Enable(size_t capacity = kDefaultCapacity);
+  // Disables recording; flushes and closes the spill file if one is open.
+  void Disable();
+  bool enabled() const { return enabled_; }
+
+  // Drops buffered events and resets the sequence counter; keeps
+  // enabled/capacity/app/spill.
+  void Clear();
+
+  // Application stamp for subsequent events (corpus driver sets this per
+  // app). Also binds the app-labelled counter `audit.app_events{app=...}`.
+  void set_app(const std::string& app);
+  const std::string& app() const { return app_; }
+
+  // Opens `path` for writing as the JSONL spill target. Returns false (and
+  // records no spill) when the file cannot be opened.
+  bool SetSpillPath(const std::string& path);
+  bool has_spill() const { return spill_ != nullptr; }
+  // Appends all buffered events to the spill file (oldest first) and clears
+  // the ring; no-op without a spill file. Called at process exit by the
+  // TURNSTILE_AUDIT env hook, and by Disable().
+  void FlushSpill();
+
+  // Appends one event. One branch when disabled. Stamps seq/trace/node/app
+  // and bumps the `audit.*` counters.
+  void Record(AuditEvent event);
+
+  // Oldest-to-newest snapshot of buffered events.
+  std::vector<AuditEvent> Snapshot() const;
+  // Canonical() of every buffered event, one per line — the differential
+  // oracle's comparison key.
+  std::string CanonicalLog() const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  // Events recorded since Enable()/Clear().
+  uint64_t recorded() const { return next_seq_ - 1; }
+  // Events evicted without a spill target.
+  uint64_t dropped() const { return dropped_; }
+  // Events written to the spill file.
+  uint64_t spilled() const { return spilled_; }
+
+  static constexpr size_t kDefaultCapacity = 8192;
+
+ private:
+  AuditLedger();
+  void Push(AuditEvent event);
+  void WriteSpillLine(const AuditEvent& event);
+
+  bool enabled_ = false;
+  bool disable_recorder_on_disable_ = false;
+  size_t capacity_ = 0;
+  std::vector<AuditEvent> ring_;  // fixed-size once enabled
+  size_t head_ = 0;               // next write slot
+  size_t size_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t dropped_ = 0;
+  uint64_t spilled_ = 0;
+  std::string app_;
+  std::FILE* spill_ = nullptr;
+
+  // Observability handles (resolved once; counters exist even while the
+  // ledger is disabled so exposition is stable).
+  TraceRecorder* recorder_ = nullptr;
+  Counter* metric_kind_[kAuditKindCount] = {};
+  Counter* metric_flows_allowed_ = nullptr;
+  Counter* metric_flows_denied_ = nullptr;
+  Counter* metric_dropped_ = nullptr;
+  Counter* metric_app_events_ = nullptr;  // audit.app_events{app=...}
+};
+
+}  // namespace obs
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_OBS_AUDIT_H_

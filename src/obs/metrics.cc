@@ -142,6 +142,11 @@ double Histogram::Quantile(double q) const {
   if (total == 0) {
     return 0.0;
   }
+  if (total == 1) {
+    // One sample: every quantile is that sample. Bucket interpolation would
+    // otherwise report a fraction of the bucket's lower bound.
+    return sum();
+  }
   q = std::min(std::max(q, 0.0), 1.0);
   double rank = q * static_cast<double>(total);
   for (size_t i = 0; i < bounds_.size(); ++i) {

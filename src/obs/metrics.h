@@ -79,7 +79,8 @@ class Histogram {
   // bucket that crosses rank q*count, assuming uniform spread inside the
   // bucket (the Prometheus `histogram_quantile` rule). The first bucket
   // interpolates from 0; a rank landing in +Inf clamps to the largest finite
-  // bound. Returns 0 when the histogram is empty.
+  // bound. Returns 0 when the histogram is empty and the sample itself when
+  // exactly one value was observed (interpolation degenerates there).
   double Quantile(double q) const;
   void Reset();
 

@@ -7,6 +7,7 @@
 #include <limits>
 #include <map>
 
+#include "src/obs/audit.h"
 #include "src/obs/metrics.h"
 
 namespace turnstile {
@@ -570,6 +571,16 @@ void WriteProfileAtExit() {
   std::fprintf(stderr, "profiler: Chrome trace written to %s\n", g_profile_path->c_str());
 }
 
+// TURNSTILE_AUDIT's spill hook: drain whatever is still buffered in the
+// ledger's ring into the JSONL file after main() returns.
+void WriteAuditAtExit() {
+  AuditLedger& ledger = AuditLedger::Global();
+  if (!ledger.enabled() || !ledger.has_spill()) {
+    return;  // something disabled it programmatically; respect that
+  }
+  ledger.FlushSpill();
+}
+
 }  // namespace
 
 namespace {
@@ -601,6 +612,24 @@ void ApplyEnvObsConfig() {
     Profiler::Global().Enable();
     g_profile_path = new std::string(profile);
     std::atexit(WriteProfileAtExit);
+  }
+  // TURNSTILE_AUDIT=<path|capacity>: a number sizes the ring (ring only, no
+  // spill); anything else is a JSONL spill path written out at process exit.
+  // Same precedence as TURNSTILE_PROFILE: read once here, programmatic
+  // Enable/Disable calls run later and override.
+  const char* audit = std::getenv("TURNSTILE_AUDIT");
+  if (audit != nullptr && audit[0] != '\0' && std::string(audit) != "0") {
+    char* end = nullptr;
+    long capacity = std::strtol(audit, &end, 10);
+    if (end != nullptr && *end == '\0' && capacity >= 1) {
+      AuditLedger::Global().Enable(capacity == 1 ? AuditLedger::kDefaultCapacity
+                                                 : static_cast<size_t>(capacity));
+    } else {
+      AuditLedger::Global().Enable();
+      if (AuditLedger::Global().SetSpillPath(audit)) {
+        std::atexit(WriteAuditAtExit);
+      }
+    }
   }
 }
 

@@ -354,6 +354,11 @@ class ScopedVmActivation {
 //                               values use the default capacity; "0" = off)
 //   TURNSTILE_PROFILE=<path>    enable the profiler and write the Chrome
 //                               trace JSON to <path> at process exit
+//   TURNSTILE_AUDIT=<path|capacity>
+//                               enable the audit ledger (audit.h); a number
+//                               sizes the event ring ("1" = default size,
+//                               "0" = off), any other value is a JSONL spill
+//                               path drained at process exit
 // Programmatic Enable()/Disable() calls and driver flags run later and
 // therefore override the environment.
 void ApplyEnvObsConfig();

@@ -1,0 +1,345 @@
+// The flow-provenance audit ledger: ring/spill/drop semantics, stamping,
+// canonical rendering, env configuration, metrics exposition (including
+// Prometheus label-value escaping of app names), and the tracker/engine emit
+// sites that feed it.
+#include "src/obs/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/dift/tracker.h"
+#include "src/lang/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
+
+namespace turnstile {
+namespace obs {
+namespace {
+
+AuditEvent MakeEvent(AuditKind kind, const std::string& subject) {
+  AuditEvent event;
+  event.kind = kind;
+  event.subject = subject;
+  return event;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Every test drives the process-global ledger; start and finish disabled so
+// tests compose in any order.
+class AuditLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { AuditLedger::Global().Disable(); }
+  void TearDown() override {
+    AuditLedger::Global().set_app("");
+    AuditLedger::Global().Disable();
+  }
+};
+
+TEST_F(AuditLedgerTest, DisabledRecordIsANoOp) {
+  AuditLedger& ledger = AuditLedger::Global();
+  EXPECT_FALSE(ledger.enabled());
+  ledger.Record(MakeEvent(AuditKind::kFlowCheck, "sink"));
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.recorded(), 0u);
+}
+
+TEST_F(AuditLedgerTest, RingKeepsNewestAndCountsDrops) {
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    ledger.Record(MakeEvent(AuditKind::kMerge, "op" + std::to_string(i)));
+  }
+  EXPECT_EQ(ledger.recorded(), 5u);
+  EXPECT_EQ(ledger.dropped(), 2u);
+  std::vector<AuditEvent> events = ledger.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].subject, "op2");
+  EXPECT_EQ(events[2].subject, "op4");
+  // Sequence numbers stamp in arrival order, 1-based.
+  EXPECT_EQ(events[0].seq, 3u);
+  EXPECT_EQ(events[2].seq, 5u);
+}
+
+TEST_F(AuditLedgerTest, ClearResetsSequenceButKeepsEnabled) {
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable(8);
+  ledger.Record(MakeEvent(AuditKind::kLabelAttach, "a"));
+  ledger.Clear();
+  EXPECT_TRUE(ledger.enabled());
+  EXPECT_EQ(ledger.size(), 0u);
+  ledger.Record(MakeEvent(AuditKind::kLabelAttach, "b"));
+  EXPECT_EQ(ledger.Snapshot()[0].seq, 1u);
+}
+
+TEST_F(AuditLedgerTest, EnableCoEnablesRecorderAndDisableRestores) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Disable();
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable();
+  EXPECT_TRUE(recorder.enabled());
+  ledger.Disable();
+  EXPECT_FALSE(recorder.enabled());
+}
+
+TEST_F(AuditLedgerTest, RecordStampsAppAndTrace) {
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable(8);
+  ledger.set_app("camera-motion");
+  ledger.Record(MakeEvent(AuditKind::kSinkWrite, "node1"));
+  std::vector<AuditEvent> events = ledger.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].app, "camera-motion");
+  // No trace was begun, so the stamp is the recorder's idle state.
+  EXPECT_EQ(events[0].trace_id, TraceRecorder::Global().current_trace());
+}
+
+TEST_F(AuditLedgerTest, CanonicalRendersVerdictRuleAndStamps) {
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable(8);
+  ledger.set_app("app-x");
+  AuditEvent deny = MakeEvent(AuditKind::kFlowCheck, "svc.send");
+  deny.allowed = false;
+  deny.data = 2;
+  deny.receiver = 1;
+  deny.labels = "{secret} vs {public}";
+  deny.rule = "no rule allows 'secret'";
+  ledger.Record(std::move(deny));
+  std::string log = ledger.CanonicalLog();
+  EXPECT_NE(log.find("flow_check[svc.send]"), std::string::npos) << log;
+  EXPECT_NE(log.find("data=2 recv=1"), std::string::npos) << log;
+  EXPECT_NE(log.find(" deny "), std::string::npos) << log;
+  EXPECT_NE(log.find("rule='no rule allows 'secret''"), std::string::npos) << log;
+  EXPECT_NE(log.find("app=app-x"), std::string::npos) << log;
+}
+
+TEST_F(AuditLedgerTest, SpillWritesEvictedAndFlushedEventsInOrder) {
+  std::string path = ::testing::TempDir() + "/audit_spill.jsonl";
+  std::remove(path.c_str());
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable(/*capacity=*/2);
+  ASSERT_TRUE(ledger.SetSpillPath(path));
+  for (int i = 0; i < 5; ++i) {
+    ledger.Record(MakeEvent(AuditKind::kMerge, "op" + std::to_string(i)));
+  }
+  // Three events were evicted into the file; two sit in the ring.
+  EXPECT_EQ(ledger.spilled(), 3u);
+  EXPECT_EQ(ledger.dropped(), 0u);
+  ledger.FlushSpill();
+  EXPECT_EQ(ledger.spilled(), 5u);
+  ledger.Disable();  // closes the file
+  std::string content = ReadWholeFile(path);
+  std::vector<size_t> positions;
+  for (int i = 0; i < 5; ++i) {
+    size_t pos = content.find("\"subject\":\"op" + std::to_string(i) + "\"");
+    ASSERT_NE(pos, std::string::npos) << content;
+    positions.push_back(pos);
+  }
+  for (size_t i = 1; i < positions.size(); ++i) {
+    EXPECT_LT(positions[i - 1], positions[i]);  // oldest first
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AuditLedgerTest, CountersTrackKindsVerdictsAndDrops) {
+  Metrics& metrics = Metrics::Global();
+  Counter* flow_counter =
+      metrics.GetCounter(MetricWithLabel("audit.events_total", "kind", "flow_check"));
+  Counter* allowed_counter = metrics.GetCounter("audit.flows_allowed");
+  Counter* denied_counter = metrics.GetCounter("audit.flows_denied");
+  Counter* dropped_counter = metrics.GetCounter("audit.dropped_events");
+  uint64_t flow0 = flow_counter->value();
+  uint64_t allowed0 = allowed_counter->value();
+  uint64_t denied0 = denied_counter->value();
+  uint64_t dropped0 = dropped_counter->value();
+
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable(/*capacity=*/1);
+  AuditEvent allow = MakeEvent(AuditKind::kFlowCheck, "a");
+  allow.allowed = true;
+  ledger.Record(std::move(allow));
+  AuditEvent deny = MakeEvent(AuditKind::kFlowCheck, "b");
+  deny.allowed = false;
+  ledger.Record(std::move(deny));  // evicts the first event -> one drop
+
+  EXPECT_EQ(flow_counter->value(), flow0 + 2);
+  EXPECT_EQ(allowed_counter->value(), allowed0 + 1);
+  EXPECT_EQ(denied_counter->value(), denied0 + 1);
+  EXPECT_EQ(dropped_counter->value(), dropped0 + 1);
+}
+
+TEST_F(AuditLedgerTest, PrometheusExpositionEscapesAppLabelValues) {
+  // App names are operator-controlled strings: quotes and backslashes must
+  // round-trip through the exposition escaping, not corrupt it.
+  AuditLedger& ledger = AuditLedger::Global();
+  ledger.Enable(8);
+  ledger.set_app("weird\"app\\name");
+  ledger.Record(MakeEvent(AuditKind::kSinkWrite, "n"));
+  std::string text = Metrics::Global().ToPrometheusText();
+  EXPECT_NE(text.find("audit_app_events{app=\"weird\\\"app\\\\name\"}"), std::string::npos)
+      << text;
+  // The kind-labelled family is exposed too.
+  EXPECT_NE(text.find("audit_events_total{kind=\"sink_write\"}"), std::string::npos);
+}
+
+TEST_F(AuditLedgerTest, EnvVarEnablesLedgerWithCapacityOrSpillPath) {
+  AuditLedger& ledger = AuditLedger::Global();
+  // Numeric value: ring capacity.
+  ::setenv("TURNSTILE_AUDIT", "64", 1);
+  ReapplyEnvObsConfigForTest();
+  EXPECT_TRUE(ledger.enabled());
+  EXPECT_EQ(ledger.capacity(), 64u);
+  EXPECT_FALSE(ledger.has_spill());
+  ledger.Disable();
+  // Non-numeric value: spill path at default capacity.
+  std::string path = ::testing::TempDir() + "/audit_env.jsonl";
+  ::setenv("TURNSTILE_AUDIT", path.c_str(), 1);
+  ReapplyEnvObsConfigForTest();
+  EXPECT_TRUE(ledger.enabled());
+  EXPECT_EQ(ledger.capacity(), AuditLedger::kDefaultCapacity);
+  EXPECT_TRUE(ledger.has_spill());
+  ledger.Disable();
+  std::remove(path.c_str());
+  // "0" / unset leave it off.
+  ::setenv("TURNSTILE_AUDIT", "0", 1);
+  ReapplyEnvObsConfigForTest();
+  EXPECT_FALSE(ledger.enabled());
+  ::unsetenv("TURNSTILE_AUDIT");
+}
+
+// --- tracker integration: every kind is emitted by the real monitor ----------
+
+constexpr const char* kPolicy = R"json({
+  "labellers": {
+    "secret": { "$const": "secret" },
+    "public": { "$const": "public" },
+    "mailerByRecipient": { "send": {
+      "$invoke": "(obj, args) => (args[0] === \"boss\" ? \"secret\" : \"public\")" } }
+  },
+  "rules": ["public -> secret"]
+})json";
+
+class AuditEmitTest : public AuditLedgerTest {
+ protected:
+  void SetUp() override {
+    AuditLedgerTest::SetUp();
+    AuditLedger::Global().Enable(1u << 12);
+    auto policy = Policy::FromJsonText(kPolicy);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    policy_ = std::shared_ptr<Policy>(std::move(policy).value().release());
+    DiftTracker::Options options;
+    options.mode = DiftTracker::Options::Mode::kReport;
+    tracker_ = std::make_unique<DiftTracker>(&interp_, policy_, options);
+    tracker_->Install();
+  }
+
+  void RunSource(const std::string& source) {
+    auto program = ParseProgram(source);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    Status status = interp_.RunProgram(*program);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_TRUE(interp_.RunEventLoop().ok());
+  }
+
+  Value Lookup(const std::string& name) {
+    Value* slot = interp_.global_env()->Lookup(name);
+    return slot != nullptr ? *slot : Value::Undefined();
+  }
+
+  // Events of `kind` currently buffered.
+  std::vector<AuditEvent> EventsOfKind(AuditKind kind) {
+    std::vector<AuditEvent> out;
+    for (AuditEvent& event : AuditLedger::Global().Snapshot()) {
+      if (event.kind == kind) {
+        out.push_back(std::move(event));
+      }
+    }
+    return out;
+  }
+
+  Interpreter interp_;
+  std::shared_ptr<Policy> policy_;
+  std::unique_ptr<DiftTracker> tracker_;
+};
+
+TEST_F(AuditEmitTest, LabelAttachAndMergeAreLedgered) {
+  RunSource(R"(
+    let a = __dift.label("alpha", "secret");
+    let b = __dift.binaryOp("+", a, "!");
+  )");
+  std::vector<AuditEvent> attaches = EventsOfKind(AuditKind::kLabelAttach);
+  ASSERT_EQ(attaches.size(), 1u);
+  EXPECT_EQ(attaches[0].subject, "secret");
+  EXPECT_EQ(attaches[0].labels, "{secret}");
+  EXPECT_NE(attaches[0].out, kEmptyLabelSetRef);
+  std::vector<AuditEvent> merges = EventsOfKind(AuditKind::kMerge);
+  ASSERT_EQ(merges.size(), 1u);
+  EXPECT_EQ(merges[0].subject, "+");
+  EXPECT_EQ(merges[0].labels, "{secret}");
+}
+
+TEST_F(AuditEmitTest, DeclassifyIsAConstRelabelOfLabelledData) {
+  RunSource(R"(
+    let data = __dift.label({ v: "x" }, "secret");
+    __dift.label(data, "public");
+  )");
+  std::vector<AuditEvent> declassifies = EventsOfKind(AuditKind::kDeclassify);
+  ASSERT_EQ(declassifies.size(), 1u);
+  EXPECT_EQ(declassifies[0].subject, "public");
+  // The prior label set rides in `data` so the ledger shows what was
+  // declassified from.
+  EXPECT_NE(declassifies[0].data, kEmptyLabelSetRef);
+}
+
+TEST_F(AuditEmitTest, FlowChecksCarryVerdictAndRule) {
+  RunSource(R"(
+    let pub = __dift.label({ ch: "board" }, "public");
+    let sec = __dift.label({ ch: "vault" }, "secret");
+    let ok = __dift.check(__dift.label("p", "public"), sec);
+    let bad = __dift.check(__dift.label("s", "secret"), pub);
+  )");
+  EXPECT_TRUE(Lookup("ok").AsBool());
+  EXPECT_FALSE(Lookup("bad").AsBool());
+  std::vector<AuditEvent> checks = EventsOfKind(AuditKind::kFlowCheck);
+  ASSERT_EQ(checks.size(), 2u);
+  EXPECT_TRUE(checks[0].allowed);
+  EXPECT_EQ(checks[0].rule, "public -> secret");
+  EXPECT_FALSE(checks[1].allowed);
+  EXPECT_EQ(checks[1].rule, "no rule allows 'secret'");
+  EXPECT_EQ(checks[1].labels, "{secret} vs {public}");
+  // Denied flow checks agree with the tracker's violation record.
+  EXPECT_EQ(tracker_->violations().size(), 1u);
+}
+
+TEST_F(AuditEmitTest, InvokeLabellerFireAndSinkWriteAreLedgered) {
+  RunSource(R"(
+    let fs = require("fs");
+    let mailer = { send: (to, body) => "ok" };
+    __dift.label(mailer, "mailerByRecipient");
+    let frame = __dift.label("face-frame", "secret");
+    __dift.invoke(mailer, "send", ["boss", frame]);
+    __dift.invoke(fs, "writeFileSync", ["/out.bin", frame]);
+  )");
+  std::vector<AuditEvent> fires = EventsOfKind(AuditKind::kInvokeLabeller);
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].subject, "mailerByRecipient@send");
+  EXPECT_EQ(fires[0].labels, "{secret}");
+  std::vector<AuditEvent> sinks = EventsOfKind(AuditKind::kSinkWrite);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0].subject, "writeFileSync");
+  EXPECT_EQ(sinks[0].labels, "{secret}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turnstile

@@ -49,6 +49,28 @@ TEST(HistogramTest, BucketSemantics) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
+TEST(HistogramTest, QuantileOnEmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, QuantileOnSingleSampleReturnsTheSample) {
+  // With one observation every quantile IS that observation; bucket
+  // interpolation must not report a fraction of the bucket's lower bound.
+  Histogram h({1.0, 2.0, 5.0});
+  h.Observe(1.7);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.7);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 1.7);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1.7);
+  // Also when the lone sample lands in the +Inf bucket.
+  Histogram inf({1.0, 2.0});
+  inf.Observe(100.0);
+  EXPECT_DOUBLE_EQ(inf.Quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(inf.Quantile(0.99), 100.0);
+}
+
 TEST(HistogramTest, DefaultLatencyBoundsAreSorted) {
   std::vector<double> bounds = Histogram::DefaultLatencyBounds();
   ASSERT_FALSE(bounds.empty());
@@ -175,7 +197,10 @@ TEST(HistogramQuantileTest, LinearInterpolationWithinBuckets) {
 TEST(HistogramQuantileTest, EmptyAndOverflowCases) {
   Histogram h({1.0, 2.0});
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram
-  h.Observe(100.0);                        // everything in +Inf
+  h.Observe(100.0);  // everything in +Inf
+  // A single sample is reported exactly, even from the overflow bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 100.0);
+  h.Observe(100.0);
   // No finite upper edge to interpolate towards: clamp to the largest bound.
   EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
 }

@@ -15,6 +15,7 @@
 #include "src/dift/tracker.h"
 #include "src/interp/interp.h"
 #include "src/lang/parser.h"
+#include "src/obs/audit.h"
 
 namespace turnstile {
 namespace {
@@ -31,19 +32,21 @@ struct TierOutcome {
   std::string result;        // display string of the global `result`
   std::string io;            // rendered io_world records (sink writes)
   std::string violations;    // rendered DIFT violation reports
+  std::string audit;         // canonical audit-ledger log (tracker runs)
   bool evals_counted = false;
 
   bool operator==(const TierOutcome& other) const {
     return run_status == other.run_status && loop_status == other.loop_status &&
            result == other.result && io == other.io && violations == other.violations &&
-           evals_counted == other.evals_counted;
+           audit == other.audit && evals_counted == other.evals_counted;
   }
 };
 
 std::ostream& operator<<(std::ostream& os, const TierOutcome& o) {
   return os << "run_status=\"" << o.run_status << "\" loop_status=\"" << o.loop_status
             << "\" result=\"" << o.result << "\" io=\"" << o.io << "\" violations=\""
-            << o.violations << "\" evals_counted=" << o.evals_counted;
+            << o.violations << "\" audit=\"" << o.audit
+            << "\" evals_counted=" << o.evals_counted;
 }
 
 // The basic policy from dift_tracker_test: value-dependent labellers plus
@@ -62,6 +65,12 @@ constexpr const char* kDiftPolicy = R"json({
 
 TierOutcome RunTier(const std::string& source, ExecTier tier, bool with_tracker) {
   TierOutcome outcome;
+  // Fresh ledger (and, via co-enable, fresh trace numbering) per tier run:
+  // the canonical log — every monitor decision in order — must come out
+  // byte-identical from both tiers.
+  obs::AuditLedger& ledger = obs::AuditLedger::Global();
+  ledger.Disable();
+  ledger.Enable(1u << 16);
   Interpreter interp;
   interp.set_exec_tier(tier);
 
@@ -102,6 +111,8 @@ TierOutcome RunTier(const std::string& source, ExecTier tier, bool with_tracker)
     }
     outcome.violations = violations.str();
   }
+  outcome.audit = ledger.CanonicalLog();
+  ledger.Disable();
   outcome.evals_counted = interp.eval_count() > 0;
   return outcome;
 }

@@ -1,0 +1,359 @@
+// Privacy-accounting queries over the flow-provenance audit ledger (ISSUE 6).
+//
+//   audit_query [<app>] [--messages=N] [--tier=bytecode|treewalk]
+//               [--source=LABEL] [--sink=NAME] [--out=PATH] [--check-fig10]
+//
+// Runs corpus apps (all 61 by default) under the selectively-instrumented
+// version with the audit ledger enabled, then answers accounting questions
+// from the recorded events:
+//
+//   default          per-app source→sink *exposure matrix*: for every
+//                    sink-write event, which source labels were on the data
+//                    when it crossed the sink — the "who saw what" table.
+//   --source/--sink  lineage query: why did data labelled LABEL reach sink
+//                    NAME — prints the attach event that introduced the
+//                    label, the merge events that propagated it, and the
+//                    flow check / sink write where it arrived.
+//   --out=PATH       writes the matrix (plus per-app accounting totals and
+//                    the consistency verdict) as JSON.
+//   --check-fig10    cross-checks ledger-derived violations against the
+//                    corpus ground truth that bench_fig10_detection uses:
+//                    (a) per app, the ledger's denied flow-check events must
+//                    agree 1:1 with the tracker's recorded violations;
+//                    (b) any app with runtime violations must have
+//                    ground_truth_paths > 0. Exits non-zero on disagreement.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/corpus/driver.h"
+#include "src/obs/audit.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+
+namespace turnstile {
+namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: audit_query [<app>] [--messages=N] [--tier=bytecode|treewalk]\n"
+               "                   [--source=LABEL] [--sink=NAME] [--out=PATH]\n"
+               "                   [--check-fig10]\n");
+}
+
+// Everything the ledger tells us about one app's run.
+struct AppAudit {
+  std::string app;
+  bool ran = false;
+  std::string skip_reason;
+  int ground_truth_paths = 0;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  uint64_t flows_allowed = 0;
+  uint64_t flows_denied = 0;
+  size_t tracker_violations = 0;
+  // source label -> sink subject -> sink-write count (the exposure matrix).
+  std::map<std::string, std::map<std::string, uint64_t>> exposure;
+  std::vector<obs::AuditEvent> ledger;  // kept for lineage queries
+};
+
+AppAudit RunApp(const CorpusApp& app, int messages, std::optional<ExecTier> tier) {
+  AppAudit out;
+  out.app = app.name;
+  out.ground_truth_paths = app.ground_truth_paths;
+
+  obs::AuditLedger& ledger = obs::AuditLedger::Global();
+  // Fresh enable per app: resets the sequence counter and (via the co-enabled
+  // trace recorder) trace numbering, so runs are reproducible app by app.
+  ledger.Disable();
+  ledger.Enable(1u << 18);
+
+  auto runtime = AppRuntime::Create(app, AppVersion::kSelective, tier);
+  if (!runtime.ok()) {
+    // Apps without detected paths carry no usable policy (profile_app makes
+    // the same call); without a tracker there is no ledger to account.
+    out.skip_reason = runtime.status().ToString();
+    ledger.Disable();
+    return out;
+  }
+  Rng rng(0xBE11C0DE);
+  for (int seq = 0; seq < messages; ++seq) {
+    Status status = (*runtime)->DriveMessage(&rng, seq);
+    if (!status.ok()) {
+      out.skip_reason = "message " + std::to_string(seq) + ": " + status.ToString();
+      ledger.Disable();
+      return out;
+    }
+  }
+  out.ran = true;
+  out.events = ledger.recorded();
+  out.dropped = ledger.dropped();
+  out.tracker_violations = (*runtime)->tracker()->violations().size();
+  out.ledger = ledger.Snapshot();
+
+  const Policy& policy = (*runtime)->tracker()->policy();
+  const LabelSetPool& pool = policy.pool();
+  const LabelSpace& space = policy.space();
+  for (const obs::AuditEvent& event : out.ledger) {
+    if (event.kind == obs::AuditKind::kFlowCheck) {
+      ++(event.allowed ? out.flows_allowed : out.flows_denied);
+    }
+    if (event.kind == obs::AuditKind::kSinkWrite && event.data != kEmptyLabelSetRef) {
+      for (LabelId id : pool.Ids(event.data)) {
+        ++out.exposure[space.NameOf(id)][event.subject];
+      }
+    }
+  }
+  ledger.Disable();
+  return out;
+}
+
+// Lineage: the event chain that carried `source_label` into `sink`. The
+// snapshot carries rendered label names, so the chain is reconstructed from
+// the event strings alone: an event touches the label iff its rendered
+// `labels` field names it.
+int ExplainLineage(const AppAudit& audit, const std::string& source_label,
+                   const std::string& sink) {
+  auto mentions = [&source_label](const obs::AuditEvent& event) {
+    return event.labels.find(source_label) != std::string::npos;
+  };
+  std::printf("\n%s: lineage of '%s' -> '%s'\n", audit.app.c_str(), source_label.c_str(),
+              sink.c_str());
+  bool introduced = false;
+  bool arrived = false;
+  for (const obs::AuditEvent& event : audit.ledger) {
+    switch (event.kind) {
+      case obs::AuditKind::kLabelAttach:
+      case obs::AuditKind::kInvokeLabeller:
+      case obs::AuditKind::kDeclassify:
+        if (mentions(event)) {
+          if (!introduced) {
+            introduced = true;
+            std::printf("  introduced  %s\n", event.Canonical().c_str());
+          }
+        }
+        break;
+      case obs::AuditKind::kMerge:
+        if (mentions(event)) {
+          std::printf("  propagated  %s\n", event.Canonical().c_str());
+        }
+        break;
+      case obs::AuditKind::kFlowCheck:
+        if (event.subject == sink && mentions(event)) {
+          std::printf("  checked     %s\n", event.Canonical().c_str());
+        }
+        break;
+      case obs::AuditKind::kSinkWrite:
+        if (event.subject == sink && mentions(event)) {
+          arrived = true;
+          std::printf("  sink write  %s\n", event.Canonical().c_str());
+        }
+        break;
+    }
+  }
+  if (!introduced) {
+    std::printf("  (no attach event introduced '%s')\n", source_label.c_str());
+  }
+  if (!arrived) {
+    std::printf("  (no sink write carried '%s' into '%s')\n", source_label.c_str(),
+                sink.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string app_filter;
+  std::string source_label;
+  std::string sink_name;
+  std::string out_path;
+  int messages = 5;
+  bool check_fig10 = false;
+  std::optional<ExecTier> tier;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (arg.rfind("--messages=", 0) == 0) {
+      char* end = nullptr;
+      long parsed = std::strtol(arg.c_str() + 11, &end, 10);
+      if (end == arg.c_str() + 11 || *end != '\0' || parsed <= 0 || parsed > 100000) {
+        std::fprintf(stderr, "audit_query: bad --messages value '%s'\n", arg.c_str());
+        return 2;
+      }
+      messages = static_cast<int>(parsed);
+    } else if (arg.rfind("--tier=", 0) == 0) {
+      std::string t = arg.substr(7);
+      if (t == "bytecode") {
+        tier = ExecTier::kBytecode;
+      } else if (t == "treewalk") {
+        tier = ExecTier::kTreeWalk;
+      } else {
+        std::fprintf(stderr, "audit_query: unknown tier '%s'\n", t.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--source=", 0) == 0) {
+      source_label = arg.substr(9);
+    } else if (arg.rfind("--sink=", 0) == 0) {
+      sink_name = arg.substr(7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--check-fig10") {
+      check_fig10 = true;
+    } else if (!arg.empty() && arg[0] != '-' && app_filter.empty()) {
+      app_filter = arg;
+    } else {
+      std::fprintf(stderr, "audit_query: unknown argument '%s'\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  if (source_label.empty() != sink_name.empty()) {
+    std::fprintf(stderr, "audit_query: --source and --sink must be used together\n");
+    return 2;
+  }
+  if (!app_filter.empty() && FindCorpusApp(app_filter) == nullptr) {
+    std::fprintf(stderr, "audit_query: unknown corpus app '%s'\n", app_filter.c_str());
+    return 2;
+  }
+
+  std::vector<AppAudit> audits;
+  for (const CorpusApp& app : Corpus()) {
+    if (!app_filter.empty() && app.name != app_filter) {
+      continue;
+    }
+    audits.push_back(RunApp(app, messages, tier));
+  }
+
+  // --- lineage query ---------------------------------------------------------
+  if (!source_label.empty()) {
+    int rc = 1;
+    for (const AppAudit& audit : audits) {
+      if (!audit.ran) {
+        continue;
+      }
+      if (ExplainLineage(audit, source_label, sink_name) == 0) {
+        rc = 0;
+      }
+    }
+    return rc;
+  }
+
+  // --- exposure matrix + accounting ------------------------------------------
+  uint64_t total_events = 0;
+  uint64_t total_allowed = 0;
+  uint64_t total_denied = 0;
+  int apps_ran = 0;
+  Json apps_json = Json::Object();
+  std::vector<std::string> mismatches;
+  for (const AppAudit& audit : audits) {
+    Json entry = Json::Object();
+    entry.Set("ground_truth_paths", Json(audit.ground_truth_paths));
+    if (!audit.ran) {
+      entry.Set("skipped", Json(audit.skip_reason));
+      apps_json.Set(audit.app, std::move(entry));
+      continue;
+    }
+    ++apps_ran;
+    total_events += audit.events;
+    total_allowed += audit.flows_allowed;
+    total_denied += audit.flows_denied;
+    entry.Set("events", Json(audit.events));
+    entry.Set("dropped", Json(audit.dropped));
+    entry.Set("flows_allowed", Json(audit.flows_allowed));
+    entry.Set("flows_denied", Json(audit.flows_denied));
+    entry.Set("tracker_violations", Json(audit.tracker_violations));
+    Json exposure = Json::Object();
+    for (const auto& [source, sinks] : audit.exposure) {
+      Json row = Json::Object();
+      for (const auto& [sink, count] : sinks) {
+        row.Set(sink, Json(count));
+      }
+      exposure.Set(source, std::move(row));
+    }
+    entry.Set("exposure", std::move(exposure));
+    apps_json.Set(audit.app, std::move(entry));
+
+    // Consistency: the ledger's denied flow checks ARE the tracker's
+    // violations — every RecordViolation site ledgered a deny first.
+    if (audit.flows_denied != audit.tracker_violations) {
+      mismatches.push_back(audit.app + ": ledger denied " +
+                           std::to_string(audit.flows_denied) + " flows but tracker holds " +
+                           std::to_string(audit.tracker_violations) + " violations");
+    }
+    if (audit.flows_denied > 0 && audit.ground_truth_paths == 0) {
+      mismatches.push_back(audit.app + ": ledger-derived violations on an app whose ground "
+                           "truth has no source->sink paths");
+    }
+  }
+
+  // Human-readable matrix.
+  for (const AppAudit& audit : audits) {
+    if (!audit.ran || audit.exposure.empty()) {
+      continue;
+    }
+    std::printf("%s (gt_paths=%d, events=%llu, allow=%llu, deny=%llu):\n", audit.app.c_str(),
+                audit.ground_truth_paths, static_cast<unsigned long long>(audit.events),
+                static_cast<unsigned long long>(audit.flows_allowed),
+                static_cast<unsigned long long>(audit.flows_denied));
+    for (const auto& [source, sinks] : audit.exposure) {
+      for (const auto& [sink, count] : sinks) {
+        std::printf("  %-24s -> %-28s x%llu\n", source.c_str(), sink.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+    }
+  }
+  std::printf("\n%d/%zu apps ran: %llu ledger events, %llu flows allowed, %llu denied\n",
+              apps_ran, audits.size(), static_cast<unsigned long long>(total_events),
+              static_cast<unsigned long long>(total_allowed),
+              static_cast<unsigned long long>(total_denied));
+
+  bool consistent = mismatches.empty();
+  if (check_fig10) {
+    for (const std::string& mismatch : mismatches) {
+      std::fprintf(stderr, "audit_query: MISMATCH %s\n", mismatch.c_str());
+    }
+    std::printf("fig10 cross-check: %s\n", consistent ? "consistent" : "MISMATCH");
+  }
+
+  if (!out_path.empty()) {
+    Json root = Json::Object();
+    root.Set("apps", std::move(apps_json));
+    Json totals = Json::Object();
+    totals.Set("apps_ran", Json(apps_ran));
+    totals.Set("events", Json(total_events));
+    totals.Set("flows_allowed", Json(total_allowed));
+    totals.Set("flows_denied", Json(total_denied));
+    root.Set("totals", std::move(totals));
+    Json consistency = Json::Object();
+    consistency.Set("ok", Json(consistent));
+    Json mismatch_json = Json::Array();
+    for (const std::string& mismatch : mismatches) {
+      mismatch_json.Append(Json(mismatch));
+    }
+    consistency.Set("mismatches", std::move(mismatch_json));
+    root.Set("consistency", std::move(consistency));
+    std::string text = root.Dump(/*pretty=*/true) + "\n";
+    std::FILE* file = std::fopen(out_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "audit_query: cannot open '%s' for writing\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    std::printf("matrix written to %s\n", out_path.c_str());
+  }
+
+  return check_fig10 && !consistent ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace turnstile
+
+int main(int argc, char** argv) { return turnstile::Main(argc, argv); }

@@ -44,14 +44,18 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return true;
 }
 
-int Usage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
                "usage: profile_app <app> [--messages=N] [--version=V] [--tier=T]\n"
                "                   [--profile=PATH] [--trace-export=PATH] [--json[=PATH]]\n"
                "corpus apps:\n");
   for (const CorpusApp& app : Corpus()) {
-    std::fprintf(stderr, "  %s\n", app.name.c_str());
+    std::fprintf(out, "  %s\n", app.name.c_str());
   }
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -64,12 +68,19 @@ int Main(int argc, char** argv) {
   std::string trace_export_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    }
     if (arg.rfind("--messages=", 0) == 0) {
-      messages = std::atoi(arg.c_str() + 11);
-      if (messages <= 0) {
+      // Strict parse: "--messages=12abc" must be rejected, not read as 12.
+      char* end = nullptr;
+      long parsed = std::strtol(arg.c_str() + 11, &end, 10);
+      if (end == arg.c_str() + 11 || *end != '\0' || parsed <= 0 || parsed > 1000000) {
         std::fprintf(stderr, "profile_app: bad --messages value '%s'\n", arg.c_str());
         return 2;
       }
+      messages = static_cast<int>(parsed);
     } else if (arg.rfind("--version=", 0) == 0) {
       std::string v = arg.substr(10);
       if (v == "original") {
@@ -100,7 +111,12 @@ int Main(int argc, char** argv) {
       trace_export_path = arg.substr(15);
     } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
       // handled by MaybeWriteMetricsSnapshot after the run
-    } else if (!arg.empty() && arg[0] != '-' && app_name.empty()) {
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (!app_name.empty()) {
+        std::fprintf(stderr, "profile_app: unexpected extra argument '%s' (app is '%s')\n",
+                     arg.c_str(), app_name.c_str());
+        return Usage();
+      }
       app_name = arg;
     } else {
       std::fprintf(stderr, "profile_app: unknown argument '%s'\n", arg.c_str());
@@ -108,6 +124,7 @@ int Main(int argc, char** argv) {
     }
   }
   if (app_name.empty()) {
+    std::fprintf(stderr, "profile_app: missing app name\n");
     return Usage();
   }
   const CorpusApp* app = FindCorpusApp(app_name);
