@@ -1,0 +1,164 @@
+// Multi-instance scaling bench (ISSUE 7): M app instances on M std::threads,
+// each on its own isolated RuntimeContext, driving K messages apiece. Reports
+// aggregate throughput over the concurrent region plus per-instance p50/p99
+// message-processing latency, read back from each context's own obs
+// histogram — the same instrument the runtime already carries, now sharded.
+//
+//   TURNSTILE_BENCH_INSTANCES   number of concurrent instances (default 4)
+//   TURNSTILE_BENCH_MESSAGES    messages per instance (default 1000)
+//
+// Per-instance p99 and the aggregate totals land in the *global* metrics
+// registry (`multi.*`), so `--json` snapshots carry them.
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/runtime/context.h"
+
+namespace turnstile {
+namespace {
+
+int BenchInstanceCount() {
+  const char* env = std::getenv("TURNSTILE_BENCH_INSTANCES");
+  if (env != nullptr) {
+    int n = std::atoi(env);
+    if (n > 0 && n <= 256) {
+      return n;
+    }
+  }
+  return 4;
+}
+
+// One instance's run: drives `app` on `context`, observing each per-message
+// processing time into the context's private histogram.
+struct Instance {
+  const CorpusApp* app = nullptr;
+  std::unique_ptr<RuntimeContext> context;
+  std::unique_ptr<AppRuntime> runtime;
+  std::vector<double> proc;  // seconds, one per driven message
+  bool ok = true;
+};
+
+void DriveInstance(Instance& inst, int messages) {
+  obs::Histogram* hist = inst.context->metrics().GetHistogram("multi.proc_seconds");
+  Rng rng(0xBE11C0DE);
+  for (int seq = 0; seq < 20; ++seq) {  // warm-up: caches, compiled chunks
+    if (!inst.runtime->DriveMessage(&rng, seq).ok()) {
+      inst.ok = false;
+      return;
+    }
+  }
+  inst.proc.reserve(static_cast<size_t>(messages));
+  for (int seq = 0; seq < messages; ++seq) {
+    Stopwatch watch;
+    if (!inst.runtime->DriveMessage(&rng, 100 + seq).ok()) {
+      inst.ok = false;
+      return;
+    }
+    double seconds = watch.ElapsedSeconds();
+    hist->Observe(seconds);
+    inst.proc.push_back(seconds);
+  }
+}
+
+int Main() {
+  const int instances = BenchInstanceCount();
+  const int messages = BenchMessageCount();
+
+  // Part-2 apps (those carrying a usable policy), round-robined over the
+  // instances: instance i runs the (i mod |apps|)-th managed app.
+  std::vector<const CorpusApp*> apps;
+  for (const CorpusApp& app : Corpus()) {
+    if (app.bucket != CorpusBucket::kTurnstileOnly && app.bucket != CorpusBucket::kBothFind) {
+      continue;
+    }
+    apps.push_back(&app);
+  }
+  if (apps.empty()) {
+    std::fprintf(stderr, "FATAL: no managed corpus apps\n");
+    return 1;
+  }
+
+  std::printf("Multi-instance scaling: %d instances x %d messages, kSelective, "
+              "isolated RuntimeContext per instance\n\n",
+              instances, messages);
+
+  // Build every instance before starting the clock: setup (parse, analysis,
+  // instrumentation, compile) is the per-tenant cold path, not the steady
+  // state this bench measures.
+  std::vector<Instance> fleet(static_cast<size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    Instance& inst = fleet[i];
+    inst.app = apps[static_cast<size_t>(i) % apps.size()];
+    inst.context = RuntimeContext::CreateIsolated();
+    auto runtime =
+        AppRuntime::Create(*inst.app, AppVersion::kSelective, std::nullopt, inst.context.get());
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "FATAL: %s setup failed: %s\n", inst.app->name.c_str(),
+                   runtime.status().ToString().c_str());
+      return 1;
+    }
+    inst.runtime = std::move(runtime).value();
+  }
+
+  Stopwatch wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(fleet.size());
+    for (Instance& inst : fleet) {
+      threads.emplace_back([&inst, messages] { DriveInstance(inst, messages); });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  obs::Metrics& global = obs::Metrics::Global();
+  obs::Histogram* aggregate = global.GetHistogram("multi.proc_seconds");
+  std::printf("%-4s %-18s | %10s %10s %10s\n", "#", "application", "p50 (us)", "p99 (us)",
+              "sum (ms)");
+  std::printf("-----------------------+---------------------------------\n");
+  uint64_t total_messages = 0;
+  for (int i = 0; i < instances; ++i) {
+    Instance& inst = fleet[i];
+    if (!inst.ok) {
+      std::fprintf(stderr, "FATAL: instance %d (%s) failed mid-run\n", i, inst.app->name.c_str());
+      return 1;
+    }
+    const obs::Histogram* hist = inst.context->metrics().GetHistogram("multi.proc_seconds");
+    const double p99 = hist->Quantile(0.99);
+    std::printf("%-4d %-18s | %10.2f %10.2f %10.2f\n", i, inst.app->name.c_str(),
+                hist->Quantile(0.50) * 1e6, p99 * 1e6, hist->sum() * 1e3);
+    global
+        .GetFloatGauge(obs::MetricWithLabel("multi.proc_p99_seconds", "instance",
+                                            std::to_string(i)))
+        ->Set(p99);
+    for (double seconds : inst.proc) {  // merged post-join: no cross-thread registry
+      aggregate->Observe(seconds);
+    }
+    total_messages += static_cast<uint64_t>(inst.proc.size());
+  }
+
+  const double throughput = wall_seconds > 0 ? total_messages / wall_seconds : 0.0;
+  global.GetGauge("multi.instances")->Set(instances);
+  global.GetGauge("multi.messages_total")->Set(static_cast<int64_t>(total_messages));
+  global.GetFloatGauge("multi.wall_seconds")->Set(wall_seconds);
+  global.GetFloatGauge("multi.throughput_msgs_per_s")->Set(throughput);
+  std::printf("\n%llu messages over %.3f s wall -> %.0f msg/s aggregate; "
+              "fleet p50 %.2f us, p99 %.2f us\n",
+              static_cast<unsigned long long>(total_messages), wall_seconds, throughput,
+              aggregate->Quantile(0.50) * 1e6, aggregate->Quantile(0.99) * 1e6);
+  return 0;
+}
+
+}  // namespace
+}  // namespace turnstile
+
+int main(int argc, char** argv) {
+  int rc = turnstile::Main();
+  turnstile::MaybeDumpMetricsSnapshot(argc, argv);
+  return rc;
+}

@@ -7,6 +7,7 @@
 #include "src/lang/printer.h"
 #include "src/lang/resolve.h"
 #include "src/obs/audit.h"
+#include "src/runtime/context.h"
 
 namespace turnstile {
 
@@ -84,13 +85,15 @@ Value MakeHttpResponse(Interpreter& interp) {
 }  // namespace
 
 Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, AppVersion version,
-                                                       std::optional<ExecTier> tier) {
+                                                       std::optional<ExecTier> tier,
+                                                       RuntimeContext* context) {
+  RuntimeContext& ctx = context != nullptr ? *context : RuntimeContext::Default();
   auto runtime = std::unique_ptr<AppRuntime>(new AppRuntime());
   runtime->app_ = &app;
   // Stamp subsequent audit-ledger events with the app under drive (cheap
   // no-op when the name is unchanged; harmless when the ledger is disabled).
-  obs::AuditLedger::Global().set_app(app.name);
-  runtime->interp_ = std::make_unique<Interpreter>();
+  ctx.audit().set_app(app.name);
+  runtime->interp_ = std::make_unique<Interpreter>(ctx);
   if (tier.has_value()) {
     runtime->interp_->set_exec_tier(*tier);
   }

@@ -30,9 +30,12 @@ class AppRuntime {
   // fresh interpreter/flow engine, instantiates the flow, and installs the
   // framework-injected runtime objects bucket-D apps rely on. `tier` pins the
   // execution tier; nullopt keeps the interpreter's default (bytecode, unless
-  // TURNSTILE_EXEC_TIER overrides it).
+  // TURNSTILE_EXEC_TIER overrides it). `context` binds the instance to an
+  // explicit RuntimeContext (null = the process default); it must outlive the
+  // returned runtime.
   static Result<std::unique_ptr<AppRuntime>> Create(const CorpusApp& app, AppVersion version,
-                                                    std::optional<ExecTier> tier = std::nullopt);
+                                                    std::optional<ExecTier> tier = std::nullopt,
+                                                    RuntimeContext* context = nullptr);
 
   // Delivers one generated message through the app's entry point and drains
   // the event loop. Returns an error if the app throws.

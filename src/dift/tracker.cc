@@ -4,6 +4,7 @@
 
 #include "src/lang/parser.h"
 #include "src/lang/resolve.h"
+#include "src/runtime/context.h"
 #include "src/support/logging.h"
 
 namespace turnstile {
@@ -23,10 +24,13 @@ DiftTracker::DiftTracker(Interpreter* interp, std::shared_ptr<Policy> policy, Op
       policy_(std::move(policy)),
       pool_(&policy_->pool()),
       options_(options) {
-  trace_recorder_ = &obs::TraceRecorder::Global();
-  profiler_ = &obs::Profiler::Global();
-  audit_ = &obs::AuditLedger::Global();
-  obs::Metrics& metrics = obs::Metrics::Global();
+  // Observability handles come from the interpreter's RuntimeContext, so a
+  // tracker built on an isolated instance reports into that instance's sinks.
+  RuntimeContext& context = interp->context();
+  trace_recorder_ = &context.trace_recorder();
+  profiler_ = &context.profiler();
+  audit_ = &context.audit();
+  obs::Metrics& metrics = context.metrics();
   metric_label_calls_ = metrics.GetCounter("dift.label_calls");
   metric_binary_ops_ = metrics.GetCounter("dift.binary_ops");
   metric_checks_ = metrics.GetCounter("dift.checks");

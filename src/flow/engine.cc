@@ -1,6 +1,7 @@
 #include "src/flow/engine.h"
 
 #include "src/lang/parser.h"
+#include "src/runtime/context.h"
 #include "src/support/logging.h"
 
 namespace turnstile {
@@ -12,10 +13,13 @@ Value ArgAt(const std::vector<Value>& args, size_t i) {
 }  // namespace
 
 FlowEngine::FlowEngine(Interpreter* interp) : interp_(interp) {
-  trace_recorder_ = &obs::TraceRecorder::Global();
-  profiler_ = &obs::Profiler::Global();
-  audit_ = &obs::AuditLedger::Global();
-  obs::Metrics& metrics = obs::Metrics::Global();
+  // Observability handles come from the interpreter's RuntimeContext, so an
+  // engine built on an isolated instance reports into that instance's sinks.
+  RuntimeContext& context = interp->context();
+  trace_recorder_ = &context.trace_recorder();
+  profiler_ = &context.profiler();
+  audit_ = &context.audit();
+  obs::Metrics& metrics = context.metrics();
   metric_routed_ = metrics.GetCounter("flow.messages_routed");
   metric_terminal_ = metrics.GetCounter("flow.terminal_sends");
   metric_injects_ = metrics.GetCounter("flow.injects");

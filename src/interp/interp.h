@@ -28,6 +28,8 @@
 
 namespace turnstile {
 
+class RuntimeContext;  // src/runtime/context.h — the per-instance environment
+
 namespace vm {
 class Vm;  // src/vm/vm.h — the bytecode dispatch loop
 }  // namespace vm
@@ -99,10 +101,18 @@ struct Completion {
 
 class Interpreter {
  public:
+  // Binds to the process-default RuntimeContext (today's behavior for tools,
+  // benches and single-instance tests).
   Interpreter();
+  // Binds to an explicit context: all observability handles (trace recorder,
+  // profiler, metrics) resolve from it. `context` must outlive the
+  // interpreter and every component constructed on top of it.
+  explicit Interpreter(RuntimeContext& context);
   ~Interpreter();
   Interpreter(const Interpreter&) = delete;
   Interpreter& operator=(const Interpreter&) = delete;
+
+  RuntimeContext& context() const { return *context_; }
 
   // Evaluates the top level of a program in the global scope. An uncaught
   // MiniScript exception or a host error is returned as a Status.
@@ -252,14 +262,21 @@ class Interpreter {
   IoWorld io_world_;
   Rng rng_{0x7457eeull};
 
-  // Observability handles, resolved once (hot paths must not hash names or
-  // call through TU boundaries per task).
+  // The per-instance environment everything below resolves handles from.
+  RuntimeContext* context_ = nullptr;
+
+  // Observability handles, resolved once from context_ (hot paths must not
+  // hash names or call through TU boundaries per task).
   obs::TraceRecorder* trace_recorder_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
   obs::Counter* metric_macrotasks_ = nullptr;
   obs::Counter* metric_microtasks_ = nullptr;
   obs::Counter* metric_listeners_fired_ = nullptr;
   obs::Histogram* metric_turn_seconds_ = nullptr;
+  // Bytecode-tier counters, cached here so the VM flush path (vm_execute.inc,
+  // a friend) bills ops into this instance's registry.
+  obs::Counter* metric_vm_ops_ = nullptr;
+  obs::Histogram* metric_vm_activation_ops_ = nullptr;
 
   std::map<std::pair<double, uint64_t>, Task> macrotasks_;
   std::deque<Task> microtasks_;

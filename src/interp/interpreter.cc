@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/lang/resolve.h"
+#include "src/runtime/context.h"
 #include "src/support/stopwatch.h"
 #include "src/support/strings.h"
 #include "src/vm/vm.h"
@@ -28,7 +29,9 @@ namespace {
 constexpr int kMaxCallDepth = 400;
 }  // namespace
 
-Interpreter::Interpreter() {
+Interpreter::Interpreter() : Interpreter(RuntimeContext::Default()) {}
+
+Interpreter::Interpreter(RuntimeContext& context) : context_(&context) {
   // TURNSTILE_EXEC_TIER=treewalk forces the reference tier (differential
   // testing, CI oracle job); anything else keeps the bytecode default.
   const char* tier = std::getenv("TURNSTILE_EXEC_TIER");
@@ -37,15 +40,18 @@ Interpreter::Interpreter() {
   }
   global_env_ = std::make_shared<Environment>();
   // Honor TURNSTILE_TRACE / TURNSTILE_PROFILE before resolving handles so any
-  // binary that constructs an interpreter picks up env-driven observability.
-  obs::ApplyEnvObsConfig();
-  trace_recorder_ = &obs::TraceRecorder::Global();
-  profiler_ = &obs::Profiler::Global();
-  obs::Metrics& metrics = obs::Metrics::Global();
+  // binary that constructs an interpreter picks up env-driven observability
+  // (a no-op for isolated contexts: env vars bind to the default context).
+  context.ApplyEnvObsConfig();
+  trace_recorder_ = &context.trace_recorder();
+  profiler_ = &context.profiler();
+  obs::Metrics& metrics = context.metrics();
   metric_macrotasks_ = metrics.GetCounter("interp.macrotasks_executed");
   metric_microtasks_ = metrics.GetCounter("interp.microtasks_executed");
   metric_listeners_fired_ = metrics.GetCounter("interp.listeners_fired");
   metric_turn_seconds_ = metrics.GetHistogram("interp.turn_seconds");
+  metric_vm_ops_ = metrics.GetCounter("vm.ops_executed");
+  metric_vm_activation_ops_ = metrics.GetHistogram("vm.activation_ops");
   InstallBuiltins();
   InstallIoModules();
 }

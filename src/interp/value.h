@@ -36,7 +36,7 @@ using EnvPtr = std::shared_ptr<Environment>;
 using NativeFn =
     std::function<Result<Value>(Interpreter&, const Value& this_value, std::vector<Value>& args)>;
 
-// Process-wide heap-mutation epoch. Bumped on every object property
+// Per-thread heap-mutation epoch. Bumped on every object property
 // write/delete, array element mutation, and reference-type *destruction*
 // (destruction rather than allocation: a recycled address must not inherit a
 // stale cache entry keyed by its predecessor's identity pointer, and an
@@ -44,9 +44,12 @@ using NativeFn =
 // destructor covers reuse while letting caches survive pure allocation). The
 // DIFT tracker's deep-label memo is valid only within one epoch; anything
 // that mutates reachable heap shape through a path the tracker cannot
-// observe must call BumpHeapWriteEpoch(). Single-threaded by design, like
-// the interpreter itself — one relaxed increment on the write path.
-inline uint64_t g_heap_write_epoch = 0;
+// observe must call BumpHeapWriteEpoch(). Thread-local: every app instance
+// (interpreter + tracker) is confined to one thread, heap objects never cross
+// instances, and the tracker's memo lives on the same thread as the heap it
+// memoizes — so a plain per-thread increment keeps the write path free of
+// atomics even with many instances running concurrently.
+inline thread_local uint64_t g_heap_write_epoch = 0;
 inline void BumpHeapWriteEpoch() { ++g_heap_write_epoch; }
 inline uint64_t HeapWriteEpoch() { return g_heap_write_epoch; }
 

@@ -1,6 +1,15 @@
 #include "src/lang/atoms.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
 namespace turnstile {
+namespace {
+
+size_t HashName(std::string_view name) { return std::hash<std::string_view>{}(name); }
+
+}  // namespace
 
 AtomTable& AtomTable::Global() {
   static AtomTable* table = new AtomTable();
@@ -8,30 +17,99 @@ AtomTable& AtomTable::Global() {
 }
 
 AtomTable::AtomTable() {
-  // Atom 0 == "".
-  names_.emplace_back();
-  index_.emplace(std::string_view(names_.back()), kAtomEmpty);
+  auto index = std::make_unique<Index>(1024);
+  index_.store(index.get(), std::memory_order_release);
+  retired_.push_back(std::move(index));
+  Intern(std::string_view());  // Atom 0 == "".
+}
+
+AtomTable::~AtomTable() {
+  size_t count = size_.load(std::memory_order_acquire);
+  for (size_t chunk = 0; chunk * kChunkSize < count; ++chunk) {
+    delete[] chunks_[chunk].load(std::memory_order_acquire);
+  }
+}
+
+void AtomTable::IndexInsert(Index& index, size_t hash, Atom atom) {
+  for (size_t i = hash & index.mask;; i = (i + 1) & index.mask) {
+    if (index.slots[i].load(std::memory_order_relaxed) == 0) {
+      // Release so a reader that observes the slot also observes the string
+      // written before publication.
+      index.slots[i].store(atom + 1, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+Atom AtomTable::Find(std::string_view name) const {
+  const Index* index = index_.load(std::memory_order_acquire);
+  const size_t hash = HashName(name);
+  for (size_t i = hash & index->mask;; i = (i + 1) & index->mask) {
+    const uint32_t slot = index->slots[i].load(std::memory_order_acquire);
+    if (slot == 0) {
+      return kAtomInvalid;
+    }
+    const Atom atom = slot - 1;
+    if (SlotAt(atom) == name) {
+      return atom;
+    }
+  }
 }
 
 Atom AtomTable::Intern(std::string_view name) {
-  auto it = index_.find(name);
-  if (it != index_.end()) {
-    return it->second;
+  Atom found = Find(name);
+  if (found != kAtomInvalid) {
+    return found;
   }
-  Atom atom = static_cast<Atom>(names_.size());
-  names_.emplace_back(name);
-  // Key the index by the deque-owned storage: deque push_back never moves
-  // existing elements, so the view stays valid forever.
-  index_.emplace(std::string_view(names_.back()), atom);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Double-check: another writer may have interned it while we waited.
+  found = Find(name);
+  if (found != kAtomInvalid) {
+    return found;
+  }
+
+  const uint32_t count = size_.load(std::memory_order_relaxed);
+  const size_t chunk = count >> kChunkShift;
+  if (chunk >= kMaxChunks) {
+    std::fprintf(stderr, "AtomTable: intern capacity exhausted (%u atoms)\n", count);
+    std::abort();
+  }
+  std::string* storage = chunks_[chunk].load(std::memory_order_relaxed);
+  if (storage == nullptr) {
+    storage = new std::string[kChunkSize];
+    chunks_[chunk].store(storage, std::memory_order_release);
+  }
+  const Atom atom = count;
+  storage[count & (kChunkSize - 1)] = std::string(name);
+
+  // Grow the index before inserting when load would exceed 3/4. Readers keep
+  // probing the old table until the new one is published; the old one is
+  // retired, not freed, so their probes stay valid.
+  Index* index = index_.load(std::memory_order_relaxed);
+  if ((static_cast<size_t>(count) + 1) * 4 > (index->mask + 1) * 3) {
+    auto grown = std::make_unique<Index>((index->mask + 1) * 2);
+    for (Atom a = 0; a < count; ++a) {
+      IndexInsert(*grown, HashName(SlotAt(a)), a);
+    }
+    index = grown.get();
+    index_.store(index, std::memory_order_release);
+    retired_.push_back(std::move(grown));
+  }
+
+  // Publish: index slot first (release; makes the string findable), then
+  // size last — so a reader that observes `atom < size()` is guaranteed both
+  // NameOf and Find see the entry.
+  IndexInsert(*index, HashName(name), atom);
+  size_.store(count + 1, std::memory_order_release);
   return atom;
 }
 
 const std::string& AtomTable::NameOf(Atom atom) const {
   static const std::string kEmpty;
-  if (atom >= names_.size()) {
+  if (atom >= size_.load(std::memory_order_acquire)) {
     return kEmpty;
   }
-  return names_[atom];
+  return SlotAt(atom);
 }
 
 }  // namespace turnstile

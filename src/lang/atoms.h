@@ -1,11 +1,13 @@
 #ifndef TURNSTILE_LANG_ATOMS_H_
 #define TURNSTILE_LANG_ATOMS_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 namespace turnstile {
 
@@ -15,39 +17,82 @@ using Atom = uint32_t;
 
 inline constexpr Atom kAtomEmpty = 0;
 
-// Returned by AtomTable::Find for strings that were never interned.
+// Returned by AtomTable::Find for strings that were never interned. Note the
+// asymmetry with kAtomEmpty: Find("") returns kAtomEmpty (0), a valid atom —
+// callers must compare against kAtomInvalid, never truthiness.
 inline constexpr Atom kAtomInvalid = 0xFFFFFFFFu;
 
 // Process-wide intern table. Identifier and property-name strings are interned
 // once; everywhere downstream (AST annotations, environment bindings, object
 // property maps, DIFT labeller keys) compares 32-bit atoms instead of hashing
 // full strings. The table only grows — like the DIFT label space, entries live
-// for the process lifetime. Not thread-safe; the runtime is single-threaded.
+// for the process lifetime.
+//
+// Concurrency: concurrent-read / seldom-write. Find and NameOf are lock-free
+// (they sit on the property-access and tracked-invoke hot paths of every app
+// instance); Intern takes a writer mutex. Strings live in fixed-size chunks
+// whose slots are never moved once published, so NameOf references stay stable
+// for the table's lifetime exactly as the old deque guaranteed. The lookup
+// index is an open-addressed table published atomically; growth retires (but
+// never frees) the previous index so in-flight readers stay valid.
 class AtomTable {
  public:
   static AtomTable& Global();
+
+  // Tests construct private tables; the runtime shares Global() so atoms mean
+  // the same thing across every RuntimeContext in the process.
+  AtomTable();
+  ~AtomTable();
+  AtomTable(const AtomTable&) = delete;
+  AtomTable& operator=(const AtomTable&) = delete;
 
   Atom Intern(std::string_view name);
 
   // Non-inserting probe: the atom for `name`, or kAtomInvalid if it was never
   // interned. Lets read paths (property Has/Get with dynamic keys) avoid
-  // growing the table.
-  Atom Find(std::string_view name) const {
-    auto it = index_.find(name);
-    return it == index_.end() ? kAtomInvalid : it->second;
-  }
+  // growing the table. Lock-free.
+  Atom Find(std::string_view name) const;
 
   // Returns the canonical string for an atom. The reference is stable for the
-  // process lifetime (storage is a deque, never reallocated element-wise).
+  // table's lifetime (chunked storage, slots never moved). Lock-free.
   const std::string& NameOf(Atom atom) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
-  AtomTable();
+  // 8192 strings per chunk, 4096 chunk slots -> 33.5M atoms before Intern
+  // aborts; far below the kAtomInvalid sentinel so a valid atom can never
+  // collide with it.
+  static constexpr size_t kChunkShift = 13;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+  static constexpr size_t kMaxChunks = size_t{1} << 12;
 
-  std::deque<std::string> names_;
-  std::unordered_map<std::string_view, Atom> index_;
+  // Open-addressed hash index: slot value is atom+1 so 0 means empty.
+  struct Index {
+    explicit Index(size_t capacity)
+        : mask(capacity - 1), slots(new std::atomic<uint32_t>[capacity]) {
+      for (size_t i = 0; i < capacity; ++i) {
+        slots[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    size_t mask;
+    std::unique_ptr<std::atomic<uint32_t>[]> slots;
+  };
+
+  const std::string& SlotAt(Atom atom) const {
+    return chunks_[atom >> kChunkShift].load(std::memory_order_acquire)[atom & (kChunkSize - 1)];
+  }
+
+  // Writer-side only (holds write_mu_): probe `index` for an empty slot and
+  // publish atom there.
+  static void IndexInsert(Index& index, size_t hash, Atom atom);
+
+  std::atomic<std::string*> chunks_[kMaxChunks] = {};
+  std::atomic<uint32_t> size_{0};
+  std::atomic<Index*> index_{nullptr};
+
+  std::mutex write_mu_;
+  std::vector<std::unique_ptr<Index>> retired_;  // old indexes, freed with the table
 };
 
 inline Atom InternAtom(std::string_view name) {

@@ -83,17 +83,17 @@ AuditLedger& AuditLedger::Global() {
   return *instance;                                  // handles must outlive
 }                                                    // static teardown
 
-AuditLedger::AuditLedger() {
-  recorder_ = &TraceRecorder::Global();
-  Metrics& metrics = Metrics::Global();
+AuditLedger::AuditLedger(TraceRecorder* recorder, Metrics* metrics) {
+  recorder_ = recorder != nullptr ? recorder : &TraceRecorder::Global();
+  metrics_ = metrics != nullptr ? metrics : &Metrics::Global();
   for (int i = 0; i < kAuditKindCount; ++i) {
-    metric_kind_[i] = metrics.GetCounter(MetricWithLabel(
+    metric_kind_[i] = metrics_->GetCounter(MetricWithLabel(
         "audit.events_total", "kind", AuditKindName(static_cast<AuditKind>(i))));
   }
-  metric_flows_allowed_ = metrics.GetCounter("audit.flows_allowed");
-  metric_flows_denied_ = metrics.GetCounter("audit.flows_denied");
-  metric_dropped_ = metrics.GetCounter("audit.dropped_events");
-  metric_app_events_ = metrics.GetCounter(MetricWithLabel("audit.app_events", "app", ""));
+  metric_flows_allowed_ = metrics_->GetCounter("audit.flows_allowed");
+  metric_flows_denied_ = metrics_->GetCounter("audit.flows_denied");
+  metric_dropped_ = metrics_->GetCounter("audit.dropped_events");
+  metric_app_events_ = metrics_->GetCounter(MetricWithLabel("audit.app_events", "app", ""));
 }
 
 void AuditLedger::Enable(size_t capacity) {
@@ -155,7 +155,7 @@ void AuditLedger::set_app(const std::string& app) {
     return;
   }
   app_ = app;
-  metric_app_events_ = Metrics::Global().GetCounter(
+  metric_app_events_ = metrics_->GetCounter(
       MetricWithLabel("audit.app_events", "app", app_));
 }
 

@@ -83,10 +83,17 @@ struct AuditEvent {
   std::string ToJsonLine() const;
 };
 
+class Metrics;
+
 class AuditLedger {
  public:
-  // The process-wide ledger every tracker/engine reports into.
+  // The process-wide ledger the default RuntimeContext reports into.
   static AuditLedger& Global();
+
+  // Instantiable for per-context isolation: events stamp trace/node from
+  // `recorder` and counters register in `metrics`. Null arguments bind to the
+  // process-wide singletons (the default-context behavior).
+  explicit AuditLedger(TraceRecorder* recorder = nullptr, Metrics* metrics = nullptr);
 
   // Enables the ledger with a ring of `capacity` events. Co-enables the
   // trace recorder when it is off (trace/node stamping rides on its message
@@ -137,7 +144,6 @@ class AuditLedger {
   static constexpr size_t kDefaultCapacity = 8192;
 
  private:
-  AuditLedger();
   void Push(AuditEvent event);
   void WriteSpillLine(const AuditEvent& event);
 
@@ -156,6 +162,7 @@ class AuditLedger {
   // Observability handles (resolved once; counters exist even while the
   // ledger is disabled so exposition is stable).
   TraceRecorder* recorder_ = nullptr;
+  Metrics* metrics_ = nullptr;
   Counter* metric_kind_[kAuditKindCount] = {};
   Counter* metric_flows_allowed_ = nullptr;
   Counter* metric_flows_denied_ = nullptr;

@@ -1,11 +1,13 @@
 #include "src/obs/profiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <mutex>
 
 #include "src/obs/audit.h"
 #include "src/obs/metrics.h"
@@ -28,6 +30,11 @@ Profiler& Profiler::Global() {
   return *instance;                            // pointers must stay valid
 }
 
+Profiler::Profiler(TraceRecorder* recorder, Metrics* metrics) {
+  recorder_ = recorder != nullptr ? recorder : &TraceRecorder::Global();
+  metrics_ = metrics != nullptr ? metrics : &Metrics::Global();
+}
+
 double Profiler::Now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
 }
@@ -35,9 +42,8 @@ double Profiler::Now() const {
 void Profiler::Enable(size_t span_capacity) {
   Clear();
   if (!enabled_) {
-    TraceRecorder& recorder = TraceRecorder::Global();
-    if (!recorder.enabled()) {
-      recorder.Enable();
+    if (!recorder_->enabled()) {
+      recorder_->Enable();
       disabled_recorder_on_disable_ = true;
     }
   }
@@ -51,7 +57,7 @@ void Profiler::Enable(size_t span_capacity) {
 
 void Profiler::Disable() {
   if (enabled_ && disabled_recorder_on_disable_) {
-    TraceRecorder::Global().Disable();
+    recorder_->Disable();
   }
   enabled_ = false;
   disabled_recorder_on_disable_ = false;
@@ -187,7 +193,7 @@ uint64_t Profiler::BeginSpan(SpanKind kind, std::string name, bool monitor, std:
   }
   ProfileSpan span;
   span.id = next_span_++;
-  span.trace_id = TraceRecorder::Global().current_trace();
+  span.trace_id = recorder_->current_trace();
   span.kind = kind;
   span.monitor = monitor;
   span.open = true;
@@ -242,7 +248,7 @@ void Profiler::EndSpan(uint64_t id) {
         std::string node = span.name.substr(5);
         auto [it, inserted] = node_histograms_.try_emplace(node, nullptr);
         if (inserted) {
-          it->second = Metrics::Global().GetHistogram(
+          it->second = metrics_->GetHistogram(
               MetricWithLabel("flow.node_turn_seconds", "node", node));
         }
         it->second->Observe(span.duration_s());
@@ -584,19 +590,36 @@ void WriteAuditAtExit() {
 }  // namespace
 
 namespace {
-bool g_env_config_applied = false;
+// Once-per-process latch. Interpreters for isolated contexts are constructed
+// on worker threads, so the latch must be race-free: the fast path is one
+// acquire load; losers of the mutex race see the flag set and return without
+// re-reading the environment.
+std::atomic<bool> g_env_config_applied{false};
+std::mutex g_env_config_mu;
+
+void ApplyEnvObsConfigLocked();
 }  // namespace
 
 void ReapplyEnvObsConfigForTest() {
-  g_env_config_applied = false;
-  ApplyEnvObsConfig();
+  std::lock_guard<std::mutex> lock(g_env_config_mu);
+  ApplyEnvObsConfigLocked();
+  g_env_config_applied.store(true, std::memory_order_release);
 }
 
 void ApplyEnvObsConfig() {
-  if (g_env_config_applied) {
+  if (g_env_config_applied.load(std::memory_order_acquire)) {
     return;
   }
-  g_env_config_applied = true;
+  std::lock_guard<std::mutex> lock(g_env_config_mu);
+  if (g_env_config_applied.load(std::memory_order_relaxed)) {
+    return;
+  }
+  ApplyEnvObsConfigLocked();
+  g_env_config_applied.store(true, std::memory_order_release);
+}
+
+namespace {
+void ApplyEnvObsConfigLocked() {
   const char* trace = std::getenv("TURNSTILE_TRACE");
   if (trace != nullptr && trace[0] != '\0' && std::string(trace) != "0") {
     char* end = nullptr;
@@ -632,6 +655,7 @@ void ApplyEnvObsConfig() {
     }
   }
 }
+}  // namespace
 
 }  // namespace obs
 }  // namespace turnstile

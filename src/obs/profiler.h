@@ -30,8 +30,9 @@
 //
 // Cost discipline (same contract as TraceRecorder): DISABLED by default;
 // every hot-path entry point starts with one branch on a plain bool and
-// returns immediately when disabled — no clock reads, no allocation. The
-// interpreter is single-threaded and so is the profiler: no locking.
+// returns immediately when disabled — no clock reads, no allocation. Each
+// profiler instance is confined to its RuntimeContext's thread (app instances
+// are single-threaded): no locking.
 #ifndef TURNSTILE_SRC_OBS_PROFILER_H_
 #define TURNSTILE_SRC_OBS_PROFILER_H_
 
@@ -93,10 +94,17 @@ struct OverheadSplit {
   }
 };
 
+class Metrics;
+
 class Profiler {
  public:
-  // The process-wide profiler all subsystems report into.
+  // The process-wide profiler the default RuntimeContext reports into.
   static Profiler& Global();
+
+  // Instantiable for per-context isolation: spans stamp trace ids from
+  // `recorder`, per-node turn histograms register in `metrics`. Null
+  // arguments bind to the process-wide singletons (default-context behavior).
+  explicit Profiler(TraceRecorder* recorder = nullptr, Metrics* metrics = nullptr);
 
   // Enables profiling, keeping at most `span_capacity` spans (further spans
   // are counted as dropped; aggregates keep accumulating). Also enables the
@@ -197,6 +205,8 @@ class Profiler {
   void CloseMessageRoot(uint64_t trace_id, double end_s);
   uint32_t FunctionIndex(const void* key, const std::string& name, int line);
 
+  TraceRecorder* recorder_ = nullptr;
+  Metrics* metrics_ = nullptr;
   bool enabled_ = false;
   bool disabled_recorder_on_disable_ = false;
   size_t capacity_ = 0;

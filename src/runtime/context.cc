@@ -1,0 +1,45 @@
+#include "src/runtime/context.h"
+
+namespace turnstile {
+
+RuntimeContext& RuntimeContext::Default() {
+  static RuntimeContext* instance = new RuntimeContext();  // never destroyed
+  return *instance;
+}
+
+RuntimeContext::RuntimeContext() {
+  is_default_ = true;
+  atoms_ = &AtomTable::Global();
+  metrics_ = &obs::Metrics::Global();
+  trace_recorder_ = &obs::TraceRecorder::Global();
+  profiler_ = &obs::Profiler::Global();
+  audit_ = &obs::AuditLedger::Global();
+}
+
+RuntimeContext::RuntimeContext(Isolated) {
+  atoms_ = &AtomTable::Global();
+  owned_metrics_ = std::make_unique<obs::Metrics>();
+  owned_trace_recorder_ = std::make_unique<obs::TraceRecorder>();
+  owned_profiler_ =
+      std::make_unique<obs::Profiler>(owned_trace_recorder_.get(), owned_metrics_.get());
+  owned_audit_ =
+      std::make_unique<obs::AuditLedger>(owned_trace_recorder_.get(), owned_metrics_.get());
+  metrics_ = owned_metrics_.get();
+  trace_recorder_ = owned_trace_recorder_.get();
+  profiler_ = owned_profiler_.get();
+  audit_ = owned_audit_.get();
+}
+
+std::unique_ptr<RuntimeContext> RuntimeContext::CreateIsolated() {
+  return std::unique_ptr<RuntimeContext>(new RuntimeContext(Isolated{}));
+}
+
+void RuntimeContext::ApplyEnvObsConfig() {
+  // Environment variables configure the process-default obs stack only; an
+  // isolated context never aliases it, so there is nothing to apply.
+  if (is_default_) {
+    obs::ApplyEnvObsConfig();
+  }
+}
+
+}  // namespace turnstile

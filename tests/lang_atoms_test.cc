@@ -1,0 +1,157 @@
+// AtomTable unit tests (ISSUE 7 satellite): the kAtomInvalid (0xFFFFFFFF) vs
+// kAtomEmpty (0) asymmetry, interning across index growth, reference
+// stability, and the concurrent-read/seldom-write contract (cross-thread
+// intern-then-NameOf under TSAN).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/lang/atoms.h"
+
+namespace turnstile {
+namespace {
+
+TEST(AtomTableTest, EmptyStringIsAtomZeroNotInvalid) {
+  AtomTable table;
+  // The asymmetry hazard: Find("") must return the *valid* atom 0, never the
+  // kAtomInvalid sentinel — callers that treat atoms as truthy would conflate
+  // the two.
+  EXPECT_EQ(table.Find(""), kAtomEmpty);
+  EXPECT_EQ(table.Intern(""), kAtomEmpty);
+  EXPECT_NE(kAtomEmpty, kAtomInvalid);
+  EXPECT_EQ(table.NameOf(kAtomEmpty), "");
+}
+
+TEST(AtomTableTest, FindNeverInternedReturnsInvalid) {
+  AtomTable table;
+  EXPECT_EQ(table.Find("never-interned"), kAtomInvalid);
+  // Probing must not have grown the table.
+  EXPECT_EQ(table.size(), 1u);  // just the empty string
+  // NameOf on the sentinel (or any out-of-range atom) is the empty string,
+  // not a crash — same contract as before the concurrent rewrite.
+  EXPECT_EQ(table.NameOf(kAtomInvalid), "");
+  EXPECT_EQ(table.NameOf(12345), "");
+}
+
+TEST(AtomTableTest, InternIsIdempotentAndFindAgrees) {
+  AtomTable table;
+  Atom a = table.Intern("alpha");
+  Atom b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.Find("alpha"), a);
+  EXPECT_EQ(table.Find("beta"), b);
+  EXPECT_EQ(table.NameOf(a), "alpha");
+  EXPECT_EQ(table.NameOf(b), "beta");
+}
+
+TEST(AtomTableTest, SurvivesIndexGrowthAndKeepsReferencesStable) {
+  AtomTable table;
+  // 40k atoms: crosses the initial 1024-slot index several doublings and
+  // spills into multiple storage chunks (8192 strings each).
+  constexpr int kCount = 40000;
+  std::vector<Atom> atoms;
+  atoms.reserve(kCount);
+  const std::string& first = table.NameOf(table.Intern("atom-0"));
+  for (int i = 1; i < kCount; ++i) {
+    atoms.push_back(table.Intern("atom-" + std::to_string(i)));
+  }
+  // The reference taken before any growth still points at live storage.
+  EXPECT_EQ(first, "atom-0");
+  for (int i = 1; i < kCount; ++i) {
+    EXPECT_EQ(table.Find("atom-" + std::to_string(i)), atoms[i - 1]);
+    if (i % 5000 == 0) {
+      EXPECT_EQ(table.NameOf(atoms[i - 1]), "atom-" + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kCount) + 1);  // + atom 0
+}
+
+TEST(AtomTableTest, CrossThreadInternThenNameOfIsStable) {
+  AtomTable table;
+  // Writers intern disjoint key ranges while readers continuously Find and
+  // NameOf whatever is already published. Under TSAN this is the data-race
+  // proof for the lock-free read paths.
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 4000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        size_t size = table.size();
+        for (Atom a = 0; a < size; a += 97) {
+          const std::string& name = table.NameOf(a);
+          // Every published atom must round-trip through Find.
+          EXPECT_EQ(table.Find(name), a);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        std::string name = "w" + std::to_string(w) + "-" + std::to_string(i);
+        Atom atom = table.Intern(name);
+        // Intern-then-NameOf stability: the returned atom resolves to the
+        // interned spelling immediately on the interning thread.
+        EXPECT_EQ(table.NameOf(atom), name);
+        EXPECT_EQ(table.Find(name), atom);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kWriters) * kPerWriter + 1);
+  // Post-join: every atom interned by every writer is observable everywhere.
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; i += 500) {
+      std::string name = "w" + std::to_string(w) + "-" + std::to_string(i);
+      Atom atom = table.Find(name);
+      ASSERT_NE(atom, kAtomInvalid) << name;
+      EXPECT_EQ(table.NameOf(atom), name);
+    }
+  }
+}
+
+TEST(AtomTableTest, ConcurrentInternOfTheSameKeysConverges) {
+  AtomTable table;
+  // All threads intern the SAME key set: exactly one atom per key must win,
+  // and every thread must agree on the winner.
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 2000;
+  std::vector<std::vector<Atom>> seen(kThreads, std::vector<Atom>(kKeys));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kKeys; ++i) {
+        seen[t][i] = table.Intern("shared-" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kKeys) + 1);
+}
+
+TEST(AtomTableTest, GlobalHelpersShareOneTable) {
+  Atom a = InternAtom("global-helper-key");
+  EXPECT_EQ(AtomTable::Global().Find("global-helper-key"), a);
+  EXPECT_EQ(AtomName(a), "global-helper-key");
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -278,6 +279,64 @@ TEST(PrometheusTest, HistogramBucketsAreCumulativeWithInfTotal) {
   EXPECT_NE(text.find("lat_seconds_bucket{le=\"5\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_count 4\n"), std::string::npos);
+}
+
+TEST(MetricsConcurrencyTest, TwoContextRegistriesPlusSnapshotterStayConsistent) {
+  // The RuntimeContext scenario: two app instances record into their own
+  // registries on their own threads while a third thread snapshots both.
+  // Counts must come out exact per registry, instrument pointers must stay
+  // stable across concurrent registration, and every snapshot taken
+  // mid-flight must be well-formed JSON (no torn output).
+  Metrics registry_a;
+  Metrics registry_b;
+  constexpr uint64_t kIncrements = 50000;
+
+  Counter* a_before = registry_a.GetCounter("work.items");
+  Counter* b_before = registry_b.GetCounter("work.items");
+
+  std::atomic<bool> stop{false};
+  std::thread writer_a([&] {
+    Counter* c = registry_a.GetCounter("work.items");
+    Histogram* h = registry_a.GetHistogram("work.seconds");
+    for (uint64_t i = 0; i < kIncrements; ++i) {
+      c->Increment();
+      h->Observe(1e-6 * static_cast<double>(i % 100));
+      // Keep registering fresh labelled instruments so registration races
+      // with the snapshotter's map walk, not just with atomic updates.
+      if (i % 8192 == 0) {
+        registry_a.GetCounter(MetricWithLabel("work.phase", "n", std::to_string(i)));
+      }
+    }
+  });
+  std::thread writer_b([&] {
+    Counter* c = registry_b.GetCounter("work.items");
+    for (uint64_t i = 0; i < kIncrements; ++i) {
+      c->Increment();
+    }
+  });
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (Metrics* m : {&registry_a, &registry_b}) {
+        std::string dump = m->ToJson().Dump();
+        auto parsed = Json::Parse(dump);
+        ASSERT_TRUE(parsed.ok()) << "torn JSON snapshot: " << dump;
+        EXPECT_FALSE(m->ToPrometheusText().empty());
+      }
+    }
+  });
+  writer_a.join();
+  writer_b.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  // Counter pointer stability: GetCounter after the storm returns the same
+  // instrument it returned before it.
+  EXPECT_EQ(registry_a.GetCounter("work.items"), a_before);
+  EXPECT_EQ(registry_b.GetCounter("work.items"), b_before);
+  // Disjoint and exact: each registry saw only its own writer.
+  EXPECT_EQ(a_before->value(), kIncrements);
+  EXPECT_EQ(b_before->value(), kIncrements);
+  EXPECT_EQ(registry_a.GetHistogram("work.seconds")->count(), kIncrements);
 }
 
 TEST(PrometheusTest, LabeledHistogramMergesLeIntoLabelBlock) {

@@ -200,13 +200,31 @@ int Main(int argc, char** argv) {
       }
     } else if (arg.rfind("--source=", 0) == 0) {
       source_label = arg.substr(9);
+      if (source_label.empty()) {
+        std::fprintf(stderr, "audit_query: --source needs a label name\n");
+        return 2;
+      }
     } else if (arg.rfind("--sink=", 0) == 0) {
       sink_name = arg.substr(7);
+      if (sink_name.empty()) {
+        std::fprintf(stderr, "audit_query: --sink needs a sink name\n");
+        return 2;
+      }
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+      if (out_path.empty()) {
+        std::fprintf(stderr, "audit_query: --out needs a path\n");
+        return 2;
+      }
     } else if (arg == "--check-fig10") {
       check_fig10 = true;
-    } else if (!arg.empty() && arg[0] != '-' && app_filter.empty()) {
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (!app_filter.empty()) {
+        std::fprintf(stderr, "audit_query: unexpected extra argument '%s' (app is '%s')\n",
+                     arg.c_str(), app_filter.c_str());
+        PrintUsage(stderr);
+        return 2;
+      }
       app_filter = arg;
     } else {
       std::fprintf(stderr, "audit_query: unknown argument '%s'\n", arg.c_str());
