@@ -121,6 +121,11 @@ int Main() {
   double aggregate =
       app_total + monitor_total > 0 ? monitor_total / (app_total + monitor_total) : 0.0;
   metrics.GetFloatGauge("dift.overhead_fraction")->Set(aggregate);
+  // The attribution pass runs under the default execution tier, which is the
+  // DIFT-fused bytecode VM; publish that explicitly so tier-to-tier overhead
+  // comparisons (bench_tier_matrix, CI perf smoke) can key on it.
+  metrics.GetFloatGauge(obs::MetricWithLabel("dift.overhead_fraction", "tier", "fused"))
+      ->Set(aggregate);
   std::printf("\n  corpus aggregate: monitor %.1f ms / total %.1f ms -> fraction %.4f "
               "(median per app %.4f)\n",
               monitor_total * 1e3, (app_total + monitor_total) * 1e3, aggregate,

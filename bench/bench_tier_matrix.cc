@@ -1,8 +1,10 @@
 // Execution-tier matrix over the corpus: drives every Part-2 app through the
 // deployment path (kRoundTrip: instrument -> print -> re-parse -> re-resolve
-// -> compile -> run) under both execution tiers and reports per-message
+// -> compile -> run) under all three execution tiers — tree-walk, call-lowered
+// bytecode, and the DIFT-fused bytecode default — and reports per-message
 // processing time per tier. Per-tier timing lands in the metrics registry
-// (`corpus.tier.{treewalk,bytecode}.*`), so `--json` snapshots carry it.
+// (`corpus.tier.{treewalk,bytecode-lowered,bytecode}.*`), so `--json`
+// snapshots carry it.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -44,23 +46,25 @@ int Main() {
   std::printf("Execution-tier matrix: kRoundTrip per-message processing time "
               "(%d messages per run)\n\n",
               messages);
-  std::printf("%-18s | %14s %14s | %8s\n", "application", "treewalk (us)", "bytecode (us)",
-              "speedup");
-  std::printf("-------------------+-------------------------------+---------\n");
+  std::printf("%-18s | %14s %14s %14s | %8s\n", "application", "treewalk (us)",
+              "lowered (us)", "fused (us)", "speedup");
+  std::printf("-------------------+----------------------------------------------+---------\n");
 
-  obs::Histogram* hist[2] = {
+  obs::Histogram* hist[3] = {
       obs::Metrics::Global().GetHistogram("corpus.tier.treewalk.proc_seconds"),
+      obs::Metrics::Global().GetHistogram("corpus.tier.bytecode-lowered.proc_seconds"),
       obs::Metrics::Global().GetHistogram("corpus.tier.bytecode.proc_seconds"),
   };
-  double median_sum[2] = {0.0, 0.0};
+  double median_sum[3] = {0.0, 0.0, 0.0};
   int app_count = 0;
   for (const CorpusApp& app : Corpus()) {
     if (app.bucket != CorpusBucket::kTurnstileOnly && app.bucket != CorpusBucket::kBothFind) {
       continue;
     }
-    constexpr ExecTier kTiers[] = {ExecTier::kTreeWalk, ExecTier::kBytecode};
-    double medians[2] = {0.0, 0.0};
-    for (int t = 0; t < 2; ++t) {
+    constexpr ExecTier kTiers[] = {ExecTier::kTreeWalk, ExecTier::kBytecodeLowered,
+                                   ExecTier::kBytecode};
+    double medians[3] = {0.0, 0.0, 0.0};
+    for (int t = 0; t < 3; ++t) {
       std::vector<double> proc = MeasureTier(app, kTiers[t], messages);
       for (double seconds : proc) {
         hist[t]->Observe(seconds);
@@ -69,26 +73,33 @@ int Main() {
       median_sum[t] += medians[t];
     }
     ++app_count;
-    std::printf("%-18s | %14.2f %14.2f | %7.2fx\n", app.name.c_str(), medians[0] * 1e6,
-                medians[1] * 1e6, medians[1] > 0 ? medians[0] / medians[1] : 0.0);
+    // "speedup" = tree-walk over the fused default, the shipping configuration.
+    std::printf("%-18s | %14.2f %14.2f %14.2f | %7.2fx\n", app.name.c_str(), medians[0] * 1e6,
+                medians[1] * 1e6, medians[2] * 1e6,
+                medians[2] > 0 ? medians[0] / medians[2] : 0.0);
   }
   obs::Metrics::Global()
       .GetGauge("corpus.tier.treewalk.median_proc_ns_total")
       ->Set(static_cast<int64_t>(median_sum[0] * 1e9));
   obs::Metrics::Global()
-      .GetGauge("corpus.tier.bytecode.median_proc_ns_total")
+      .GetGauge("corpus.tier.bytecode-lowered.median_proc_ns_total")
       ->Set(static_cast<int64_t>(median_sum[1] * 1e9));
-  std::printf("\n%d apps; summed medians: treewalk %.2f us, bytecode %.2f us (%.2fx)\n",
-              app_count, median_sum[0] * 1e6, median_sum[1] * 1e6,
-              median_sum[1] > 0 ? median_sum[0] / median_sum[1] : 0.0);
+  obs::Metrics::Global()
+      .GetGauge("corpus.tier.bytecode.median_proc_ns_total")
+      ->Set(static_cast<int64_t>(median_sum[2] * 1e9));
+  std::printf("\n%d apps; summed medians: treewalk %.2f us, lowered %.2f us, fused %.2f us "
+              "(%.2fx treewalk/fused)\n",
+              app_count, median_sum[0] * 1e6, median_sum[1] * 1e6, median_sum[2] * 1e6,
+              median_sum[2] > 0 ? median_sum[0] / median_sum[2] : 0.0);
 
   // Monitor-vs-app attribution per tier: how much of each tier's wall time
   // the DIFT monitor consumes, aggregated over the Part-2 apps.
   int split_messages = std::min(messages, 200);
-  constexpr ExecTier kTiers[] = {ExecTier::kTreeWalk, ExecTier::kBytecode};
-  const char* tier_names[] = {"treewalk", "bytecode"};
+  constexpr ExecTier kTiers[] = {ExecTier::kTreeWalk, ExecTier::kBytecodeLowered,
+                                 ExecTier::kBytecode};
+  const char* tier_names[] = {"treewalk", "bytecode-lowered", "bytecode"};
   std::printf("\nDIFT overhead fraction per tier (%d messages per app):\n", split_messages);
-  for (int t = 0; t < 2; ++t) {
+  for (int t = 0; t < 3; ++t) {
     double app_total = 0.0;
     double monitor_total = 0.0;
     for (const CorpusApp& app : Corpus()) {
@@ -104,7 +115,7 @@ int Main() {
     obs::Metrics::Global()
         .GetFloatGauge(obs::MetricWithLabel("dift.overhead_fraction", "tier", tier_names[t]))
         ->Set(fraction);
-    std::printf("  %-9s monitor %.1f ms / total %.1f ms -> fraction %.4f\n", tier_names[t],
+    std::printf("  %-17s monitor %.1f ms / total %.1f ms -> fraction %.4f\n", tier_names[t],
                 monitor_total * 1e3, (app_total + monitor_total) * 1e3, fraction);
   }
   return 0;

@@ -105,6 +105,7 @@ Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, App
   TURNSTILE_ASSIGN_OR_RETURN(program, ParseProgram(app.source, app.name + ".js"));
 
   if (version == AppVersion::kOriginal) {
+    runtime->program_root_ = program.root;
     TURNSTILE_RETURN_IF_ERROR(runtime->engine_->LoadModule(program));
   } else {
     TURNSTILE_ASSIGN_OR_RETURN(policy, Policy::FromJsonText(app.policy_json));
@@ -126,8 +127,10 @@ Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, App
       std::string printed = PrintProgram(instrumented.program);
       TURNSTILE_ASSIGN_OR_RETURN(reparsed, ParseProgram(printed, app.name + ".printed.js"));
       ResolveProgram(reparsed);
+      runtime->program_root_ = reparsed.root;
       TURNSTILE_RETURN_IF_ERROR(runtime->engine_->LoadModule(reparsed));
     } else {
+      runtime->program_root_ = instrumented.program.root;
       TURNSTILE_RETURN_IF_ERROR(runtime->engine_->LoadModule(instrumented.program));
     }
   }

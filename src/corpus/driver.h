@@ -48,6 +48,10 @@ class AppRuntime {
   Interpreter& interp() { return *interp_; }
   FlowEngine& engine() { return *engine_; }
   DiftTracker* tracker() { return tracker_.get(); }  // null for kOriginal
+  // Root of the program actually loaded (post-instrumentation; for kRoundTrip
+  // the re-parsed tree). Compiled-chunk caches live on its nodes, so tools
+  // can disassemble exactly what this runtime executes.
+  const NodePtr& program_root() const { return program_root_; }
 
  private:
   AppRuntime() = default;
@@ -57,6 +61,7 @@ class AppRuntime {
   std::unique_ptr<FlowEngine> engine_;
   std::shared_ptr<Policy> policy_;
   std::unique_ptr<DiftTracker> tracker_;
+  NodePtr program_root_;
   Json message_template_;
 };
 

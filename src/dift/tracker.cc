@@ -55,6 +55,11 @@ DiftTracker::~DiftTracker() {
     }
     entry.anchor = Value();
   });
+  // Deregister from the fused-ISA dispatch (the interpreter outlives the
+  // tracker everywhere in the codebase — see AppRuntime's member order).
+  if (interp_->dift_hook() == this) {
+    interp_->set_dift_hook(nullptr);
+  }
 }
 
 void DiftTracker::LabelStore::Grow() {
@@ -496,26 +501,41 @@ Result<Value> DiftTracker::BinaryOp(const std::string& op, const Value& left,
     profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftBinaryOp,
                                           "__dift.binaryOp:" + op, /*monitor=*/true);
   }
+  return BinaryOpCore(op, BinaryOpFromString(op), left, right);
+}
+
+Result<Value> DiftTracker::FusedBinary(const std::string& spelling, turnstile::BinaryOp op,
+                                       const Value& left, const Value& right) {
+  ++stats_.binary_ops;
+  obs::ScopedMonitorAccounting monitor_window(profiler_);
+  return BinaryOpCore(spelling, op, left, right);
+}
+
+Result<Value> DiftTracker::BinaryOpCore(const std::string& spelling, turnstile::BinaryOp op,
+                                        const Value& left, const Value& right) {
   LabelSetRef left_ref = GetLabelRef(left);
   LabelSetRef right_ref = GetLabelRef(right);
   LabelSetRef labels = pool_->Union(left_ref, right_ref);
   // Cheap stack check first: the unlabelled fast path must not even touch
   // the recorder's cache line.
   if (labels != kEmptyLabelSetRef && trace_recorder_->enabled()) {
-    trace_recorder_->Record(obs::SpanKind::kDiftBinaryOp, op, pool_->Render(labels),
+    trace_recorder_->Record(obs::SpanKind::kDiftBinaryOp, spelling, pool_->Render(labels),
                             interp_->VirtualNow());
   }
   if (labels != kEmptyLabelSetRef && audit_->enabled()) {
     obs::AuditEvent event;
     event.kind = obs::AuditKind::kMerge;
-    event.subject = op;
+    event.subject = spelling;
     event.data = left_ref;
     event.receiver = right_ref;
     event.out = labels;
     event.labels = pool_->Render(labels);
     audit_->Record(std::move(event));
   }
-  TURNSTILE_ASSIGN_OR_RETURN(completion, interp_->EvalBinary(op, left, right));
+  if (op == turnstile::BinaryOp::kInvalid) {
+    return UnimplementedError("binary operator " + spelling);
+  }
+  TURNSTILE_ASSIGN_OR_RETURN(completion, interp_->EvalBinaryOp(op, left, right));
   if (completion.IsAbrupt()) {
     return RuntimeError("binaryOp threw: " + completion.value.ToDisplayString());
   }
@@ -618,6 +638,19 @@ Result<bool> DiftTracker::Check(const Value& data, const Value& receiver,
     profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftCheck,
                                           "__dift.check:" + sink_name, /*monitor=*/true);
   }
+  return CheckCore(data, receiver, sink_name);
+}
+
+Result<Value> DiftTracker::FusedCheck(const Value& data, const Value& receiver) {
+  ++stats_.checks;
+  obs::ScopedMonitorAccounting monitor_window(profiler_);
+  // "check" is the sink name the `__dift.check` native hardcodes.
+  TURNSTILE_ASSIGN_OR_RETURN(allowed, CheckCore(data, receiver, "check"));
+  return Value(allowed);
+}
+
+Result<bool> DiftTracker::CheckCore(const Value& data, const Value& receiver,
+                                    const std::string& sink_name) {
   LabelSetRef data_labels = DeepLabelRef(data);
   LabelSetRef receiver_labels = GetLabelRef(receiver);
   if (trace_recorder_->enabled()) {
@@ -668,6 +701,18 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
     profile_span = obs::ScopedProfileSpan(profiler_, obs::SpanKind::kDiftInvoke,
                                           "__dift.invoke:" + func, /*monitor=*/true);
   }
+  return InvokeCore(target, func, std::move(args));
+}
+
+Result<Value> DiftTracker::FusedInvoke(const Value& target, const std::string& func,
+                                       std::vector<Value> args) {
+  ++stats_.invokes;
+  obs::ScopedMonitorAccounting monitor_window(profiler_);
+  return InvokeCore(target, func, std::move(args));
+}
+
+Result<Value> DiftTracker::InvokeCore(const Value& target, const std::string& func,
+                                      std::vector<Value> args) {
   if (trace_recorder_->enabled()) {
     trace_recorder_->Record(obs::SpanKind::kDiftInvoke, func, "", interp_->VirtualNow());
   }
@@ -685,21 +730,25 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   bool receiver_has_labeller = false;
   const LabellerSpec* invoke_spec = nullptr;
   const std::string* invoke_labeller_name = nullptr;
-  const void* target_key = target.IdentityKey();
-  Atom func_atom = AtomTable::Global().Find(func);
-  auto it = invoke_labellers_.end();
-  if (target_key != nullptr && func_atom != kAtomInvalid) {
-    it = invoke_labellers_.find({target_key, func_atom});
-  }
-  if (it == invoke_labellers_.end()) {
-    it = invoke_labellers_.find({fn_unboxed.IdentityKey(), kAtomEmpty});
-  }
-  if (it == invoke_labellers_.end() && target_key != nullptr) {
-    it = invoke_labellers_.find({target_key, kAtomEmpty});
-  }
-  if (it != invoke_labellers_.end()) {
-    invoke_spec = it->second.spec;
-    invoke_labeller_name = &it->second.labeller_name;
+  // Policies without $invoke labellers (most of the corpus) skip the atom
+  // lookup and the three map probes entirely.
+  if (!invoke_labellers_.empty()) {
+    const void* target_key = target.IdentityKey();
+    Atom func_atom = AtomTable::Global().Find(func);
+    auto it = invoke_labellers_.end();
+    if (target_key != nullptr && func_atom != kAtomInvalid) {
+      it = invoke_labellers_.find({target_key, func_atom});
+    }
+    if (it == invoke_labellers_.end()) {
+      it = invoke_labellers_.find({fn_unboxed.IdentityKey(), kAtomEmpty});
+    }
+    if (it == invoke_labellers_.end() && target_key != nullptr) {
+      it = invoke_labellers_.find({target_key, kAtomEmpty});
+    }
+    if (it != invoke_labellers_.end()) {
+      invoke_spec = it->second.spec;
+      invoke_labeller_name = &it->second.labeller_name;
+    }
   }
   if (invoke_spec != nullptr) {
     receiver_has_labeller = true;
@@ -770,8 +819,8 @@ Result<Value> DiftTracker::Invoke(const Value& target, const std::string& func,
   // object", §4.4); everything else — in-language callees and utility natives
   // such as Array.push — keeps the boxes so tracking continues.
   std::vector<Value> call_args;
-  call_args.reserve(args.size());
   if (fn_unboxed.AsFunction()->is_io_sink) {
+    call_args.reserve(args.size());
     if (audit_->enabled()) {
       // The unwrap point: labelled data is about to leave the managed world.
       obs::AuditEvent event;
@@ -944,6 +993,9 @@ void DiftTracker::Install() {
       })));
 
   interp_->DefineGlobal("__dift", Value(dift));
+  // Register as the fused-ISA hook: the labelled opcodes (src/vm/bytecode.h)
+  // now call straight into this tracker instead of through the bridge object.
+  interp_->set_dift_hook(this);
 }
 
 }  // namespace turnstile

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/ifc/policy.h"
+#include "src/interp/dift_hook.h"
 #include "src/interp/interp.h"
 #include "src/lang/atoms.h"
 #include "src/obs/audit.h"
@@ -69,7 +70,7 @@ struct TrackerStats {
   uint64_t deep_label_memo_hits = 0;  // DeepLabel answered from the memo
 };
 
-class DiftTracker {
+class DiftTracker : public DiftHook {
  public:
   struct Options {
     // kReport records violations but lets the flow proceed; kEnforce blocks
@@ -92,10 +93,12 @@ class DiftTracker {
   // Breaks tracker-side anchor cycles: clears the proxy traps installed on
   // every anchored object (they point back into this tracker) and releases
   // the anchors, so a destroyed tracker neither dangles from surviving
-  // objects nor keeps closure graphs (which can reach `__dift`) alive.
-  ~DiftTracker();
+  // objects nor keeps closure graphs (which can reach `__dift`) alive. Also
+  // deregisters this tracker as the interpreter's fused-ISA hook.
+  ~DiftTracker() override;
 
-  // Defines the `__dift` global. Call once before running the program.
+  // Defines the `__dift` global and registers this tracker as the
+  // interpreter's fused-ISA hook. Call once before running the program.
   void Install();
 
   // --- the Table 1 API (also exposed to MiniScript) -------------------------
@@ -114,6 +117,16 @@ class DiftTracker {
   // Checked call: verifies args ⊑ receiver, invokes target[func](args) with
   // unwrapped arguments, labels the result with the union of argument labels.
   Result<Value> Invoke(const Value& target, const std::string& func, std::vector<Value> args);
+
+  // --- fused-ISA entry points (DiftHook; called by the labelled opcodes) -----
+  // Same semantics and the same trace/audit/stats effects as the string-API
+  // methods above, minus the per-op heap-named profile span: fused ops bill
+  // into the profiler's monitor bucket through a bare accounting window.
+  Result<Value> FusedBinary(const std::string& spelling, turnstile::BinaryOp op,
+                            const Value& left, const Value& right) override;
+  Result<Value> FusedCheck(const Value& data, const Value& receiver) override;
+  Result<Value> FusedInvoke(const Value& target, const std::string& func,
+                            std::vector<Value> args) override;
 
   // Pure tracking (exhaustive instrumentation): registers `v` in the label
   // map without assigning labels, boxing value types. TrackDeep additionally
@@ -238,6 +251,16 @@ class DiftTracker {
     std::vector<Entry> slots_;
     size_t size_ = 0;
   };
+
+  // Shared op bodies: everything after the per-entry stats bump and profiling
+  // window. Both the string API (native bridge) and the Fused* entry points
+  // funnel here so the two paths cannot drift.
+  Result<Value> BinaryOpCore(const std::string& spelling, turnstile::BinaryOp op,
+                             const Value& left, const Value& right);
+  Result<bool> CheckCore(const Value& data, const Value& receiver,
+                         const std::string& sink_name);
+  Result<Value> InvokeCore(const Value& target, const std::string& func,
+                           std::vector<Value> args);
 
   Result<Value> ApplySpec(const LabellerSpec* spec, Value target, LabelSetRef* out_labels,
                           const std::string& labeller_name);

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,7 @@
 namespace turnstile {
 
 class RuntimeContext;  // src/runtime/context.h — the per-instance environment
+class DiftHook;        // src/interp/dift_hook.h — fused-ISA monitor entry points
 
 namespace vm {
 class Vm;  // src/vm/vm.h — the bytecode dispatch loop
@@ -60,12 +62,22 @@ struct IoWorld {
 };
 
 // Execution tiers. The bytecode tier (default) compiles resolved function
-// bodies to register bytecode (src/vm) and runs them through a flat dispatch
-// loop; the tree-walker is retained unchanged as the reference oracle (and as
-// the escape hatch the VM uses for try/catch and class declarations).
+// bodies to register bytecode (src/vm) with `__dift.*` calls fused onto the
+// labelled opcodes; the tree-walker is retained unchanged as the reference
+// oracle (and as the escape hatch the VM uses for try/catch and class
+// declarations); the bytecode-lowered tier keeps every `__dift.*` hook as an
+// ordinary call, serving as the second differential oracle for the fused ISA.
 // Selected per interpreter via the TURNSTILE_EXEC_TIER environment variable
-// ("treewalk" / "bytecode") or set_exec_tier().
-enum class ExecTier { kBytecode, kTreeWalk };
+// ("bytecode" / "bytecode-lowered" / "treewalk") or set_exec_tier().
+enum class ExecTier { kBytecode, kTreeWalk, kBytecodeLowered };
+
+// Parses a TURNSTILE_EXEC_TIER spelling ("bytecode", "bytecode-lowered",
+// "treewalk"); nullopt for null or unrecognized input. Shared by the
+// interpreter's environment probe and the CLI tools' --tier flags.
+std::optional<ExecTier> ExecTierFromName(const char* name);
+
+// Re-arms the one-time unrecognized-TURNSTILE_EXEC_TIER warning (tests only).
+void ResetExecTierWarningForTest();
 
 // Binary operators pre-decoded from their source spelling. Shared by the
 // tree-walker (which decodes once per evaluation) and the bytecode compiler
@@ -200,6 +212,15 @@ class Interpreter {
   ExecTier exec_tier() const { return exec_tier_; }
   void set_exec_tier(ExecTier tier) { exec_tier_ = tier; }
 
+  // Fused-ISA monitor hook (see src/interp/dift_hook.h). Registered by
+  // DiftTracker::Install(); null means labelled opcodes take their slow path
+  // (the ordinary `__dift` bridge-object call), which is also how programs
+  // without a tracker see the same undeclared-variable errors as the oracle
+  // tiers. The hook must outlive every chunk execution (the tracker
+  // deregisters itself on destruction).
+  DiftHook* dift_hook() const { return dift_hook_; }
+  void set_dift_hook(DiftHook* hook) { dift_hook_ = hook; }
+
   // Throws a host-level error carrying a MiniScript-visible message.
   static Status TypeError(const std::string& message) {
     return RuntimeError("TypeError: " + message);
@@ -285,6 +306,7 @@ class Interpreter {
   uint64_t eval_count_ = 0;
   int call_depth_ = 0;
   ExecTier exec_tier_ = ExecTier::kBytecode;
+  DiftHook* dift_hook_ = nullptr;
   Value pending_throw_;
   bool has_pending_throw_ = false;
 

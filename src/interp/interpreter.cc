@@ -1,5 +1,6 @@
 #include "src/interp/interp.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 
 #include "src/lang/resolve.h"
 #include "src/runtime/context.h"
+#include "src/support/logging.h"
 #include "src/support/stopwatch.h"
 #include "src/support/strings.h"
 #include "src/vm/vm.h"
@@ -27,16 +29,50 @@ namespace turnstile {
 
 namespace {
 constexpr int kMaxCallDepth = 400;
+
+// One warning per process for a bad TURNSTILE_EXEC_TIER: every Interpreter
+// construction re-probes the variable, and a misspelled tier would otherwise
+// spam one line per instance (the corpus harness builds hundreds).
+std::atomic<bool> g_exec_tier_warned{false};
 }  // namespace
+
+std::optional<ExecTier> ExecTierFromName(const char* name) {
+  if (name == nullptr) {
+    return std::nullopt;
+  }
+  if (std::strcmp(name, "bytecode") == 0) {
+    return ExecTier::kBytecode;
+  }
+  if (std::strcmp(name, "bytecode-lowered") == 0) {
+    return ExecTier::kBytecodeLowered;
+  }
+  if (std::strcmp(name, "treewalk") == 0) {
+    return ExecTier::kTreeWalk;
+  }
+  return std::nullopt;
+}
+
+void ResetExecTierWarningForTest() { g_exec_tier_warned.store(false); }
 
 Interpreter::Interpreter() : Interpreter(RuntimeContext::Default()) {}
 
 Interpreter::Interpreter(RuntimeContext& context) : context_(&context) {
-  // TURNSTILE_EXEC_TIER=treewalk forces the reference tier (differential
-  // testing, CI oracle job); anything else keeps the bytecode default.
+  // TURNSTILE_EXEC_TIER selects the execution tier ("treewalk" for the
+  // reference oracle, "bytecode-lowered" for call-lowered DIFT, "bytecode"
+  // for the fused default). Unrecognized spellings keep the default but warn
+  // loudly once — a silently ignored "tree-walk" would invalidate a whole
+  // differential run.
   const char* tier = std::getenv("TURNSTILE_EXEC_TIER");
-  if (tier != nullptr && std::strcmp(tier, "treewalk") == 0) {
-    exec_tier_ = ExecTier::kTreeWalk;
+  if (tier != nullptr) {
+    std::optional<ExecTier> parsed = ExecTierFromName(tier);
+    if (parsed.has_value()) {
+      exec_tier_ = *parsed;
+    } else if (!g_exec_tier_warned.exchange(true)) {
+      TURNSTILE_LOG(Warning)
+          << "unrecognized TURNSTILE_EXEC_TIER value \"" << tier
+          << "\"; accepted values are \"bytecode\", \"bytecode-lowered\", and "
+             "\"treewalk\" — keeping the bytecode default";
+    }
   }
   global_env_ = std::make_shared<Environment>();
   // Honor TURNSTILE_TRACE / TURNSTILE_PROFILE before resolving handles so any
@@ -66,7 +102,7 @@ Status Interpreter::RunProgram(const Program& program) {
     ResolveProgram(program);
   }
   TURNSTILE_ASSIGN_OR_RETURN(completion,
-                             exec_tier_ == ExecTier::kBytecode
+                             exec_tier_ != ExecTier::kTreeWalk
                                  ? vm::Vm::ExecuteProgram(*this, program.root, global_env_)
                                  : EvalStatement(program.root, global_env_));
   if (completion.kind == Completion::Kind::kThrow) {
@@ -323,7 +359,7 @@ Result<Value> Interpreter::CallFunction(const FunctionPtr& fn, const Value& this
     ++arg_index;
   }
   Result<Completion> body_result =
-      exec_tier_ == ExecTier::kBytecode
+      exec_tier_ != ExecTier::kTreeWalk
           ? vm::Vm::ExecuteFunctionBody(*this, *fn, call_env)
           : fn->body->kind == NodeKind::kBlockStmt ? EvalBlock(fn->body, call_env)
                                                    : EvalExpression(fn->body, call_env);

@@ -139,11 +139,15 @@ struct Node {
   int32_t slot = -1;               // slot index (use sites and decl sites)
   uint32_t frame_size = 0;         // on scope-owning nodes: slots to allocate
 
-  // Compiled-bytecode cache (src/vm). Set on function bodies and program
+  // Compiled-bytecode caches (src/vm). Set on function bodies and program
   // roots the first time the bytecode tier executes them; opaque here so the
   // AST layer does not depend on the VM. Invalidated by ResolveProgram —
   // re-resolution can reassign slots, and chunks bake slot coordinates in.
+  // The fused slot holds the DIFT-fused compilation flavor (labelled opcodes
+  // for `__dift.*` call sites); for chunks with nothing to fuse it aliases
+  // `compiled_chunk`, so clean code compiles once.
   std::shared_ptr<void> compiled_chunk;
+  std::shared_ptr<void> compiled_chunk_fused;
 
   std::vector<NodePtr> children;
 

@@ -525,7 +525,10 @@ class Resolver {
 SemaResult ResolveProgram(const Program& program) {
   // Slots may move under re-resolution (the instrumentor rewrites trees in
   // place); any bytecode compiled against the old coordinates is stale.
-  ForEachNode(program.root, [](const NodePtr& node) { node->compiled_chunk.reset(); });
+  ForEachNode(program.root, [](const NodePtr& node) {
+    node->compiled_chunk.reset();
+    node->compiled_chunk_fused.reset();
+  });
   return Resolver(program).Run();
 }
 

@@ -311,6 +311,29 @@ class ScopedAppAccounting {
   Profiler* profiler_ = nullptr;
 };
 
+// RAII monitor-accounting window for the fused DIFT opcodes: bills the op's
+// wall time to the monitor bucket (so dift.overhead_fraction still attributes
+// it) without constructing a heap-named span per operation.
+class ScopedMonitorAccounting {
+ public:
+  explicit ScopedMonitorAccounting(Profiler* profiler) {
+    if (profiler != nullptr && profiler->enabled()) {
+      profiler_ = profiler;
+      profiler_->PushMonitor();
+    }
+  }
+  ~ScopedMonitorAccounting() {
+    if (profiler_ != nullptr) {
+      profiler_->Pop();
+    }
+  }
+  ScopedMonitorAccounting(const ScopedMonitorAccounting&) = delete;
+  ScopedMonitorAccounting& operator=(const ScopedMonitorAccounting&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;
+};
+
 // RAII frame hook used by Interpreter::CallFunction. Default-constructed =
 // inactive; call Begin() behind an enabled() check so the disabled path pays
 // neither argument evaluation nor the constructor's own branch.

@@ -104,6 +104,31 @@ enum class Op : uint8_t {
   kIterNext,         // r[b] = next item; when exhausted pop the frame and pc = a
   kIterPop,          // pop the top iteration frame (break paths)
 
+  // --- fused DIFT (labelled opcode variants; see DESIGN.md §13) --------------
+  // The fused compiler flavor lowers recognized `__dift.*` call shapes onto
+  // these opcodes. When a DiftHook is registered (DiftTracker::Install) the
+  // arms call straight into the tracker — no `__dift` global load, property
+  // fetch, argument Values, or native-call frame. Without a hook they fall
+  // back to the exact call-lowered sequence, so programs that run fused
+  // chunks tracker-free behave identically to the oracle tiers.
+  kDiftGuard,        // hook installed: no-op. Otherwise materialize the slow
+                     //   path's callee pair: r[a+1] = global.bindings[atom d]
+                     //   (unbound -> RuntimeError names[c]), r[a] =
+                     //   GetProperty(r[a+1], atom b). Emitted before operand
+                     //   evaluation, mirroring the lowered evaluation order.
+  kBinaryLabelled,   // r[a] = hook->FusedBinary(names[f], BinaryOp b, r[c], r[d]);
+                     //   slow path: r[a] = InvokeValue(r[e], r[e+1],
+                     //   [names[f], r[c], r[d]], "binaryOp")
+  kCheckSink,        // r[a] = hook->FusedCheck(r[b], r[c]); slow path:
+                     //   r[a] = InvokeValue(r[d], r[d+1], [r[b], r[c]], "check")
+  kCallLabelled,     // r[a] = hook->FusedInvoke(r[b], names[f], args r[c]..r[c+d));
+                     //   slow path: r[a] = InvokeValue(r[e], r[e+1],
+                     //   [r[b], names[f], [args...]], "invoke")
+  kGetPropLabelled,  // as kGetProp, with an inline hit path for plain (non-box)
+                     //   object own properties
+  kSetPropLabelled,  // as kSetProp, with an inline store path for plain
+                     //   trap-free objects (still bumps the heap write epoch)
+
   // --- escape hatches (tree-walker oracle) -----------------------------------
   kEvalNode,         // interp.EvalStatement(nodes[a], cur_env); on break: pop c
                      //   envs (+ the top iteration frame when d != 0) and pc = b;
@@ -150,6 +175,11 @@ using ChunkPtr = std::shared_ptr<const Chunk>;
 
 // Human-readable opcode name, e.g. "LoadSlot".
 const char* OpName(Op op);
+
+// Renders a chunk one line per instruction: index, opcode, raw operands, and
+// a trailing comment resolving atom/name/constant operands plus the source
+// line (disasm.cc; surfaced through `profile_app --disasm`).
+std::string DisassembleChunk(const Chunk& chunk);
 
 }  // namespace vm
 }  // namespace turnstile

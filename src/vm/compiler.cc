@@ -22,7 +22,14 @@ namespace {
 // escape-hatch hand-off — lines up between tiers.
 class Compiler {
  public:
-  explicit Compiler(Chunk* chunk) : chunk_(chunk) {}
+  // `fuse_dift` selects the fused compilation flavor: recognized `__dift.*`
+  // call shapes lower onto the labelled opcodes and plain member accesses use
+  // the kGetPropLabelled/kSetPropLabelled variants. Only privacy-sensitive
+  // chunks (those that mention `__dift` at all — which is "everywhere" under
+  // exhaustive instrumentation) are compiled this way; see
+  // GetOrCompileProgramFused.
+  explicit Compiler(Chunk* chunk, bool fuse_dift = false)
+      : chunk_(chunk), fuse_dift_(fuse_dift) {}
 
   void CompileProgram(const NodePtr& root) {
     // Function-declaration hoisting: same double-definition the tree-walker
@@ -376,7 +383,8 @@ class Compiler {
 
   void EmitGetMember(int dst, int obj, const NodePtr& member) {
     if (member->atom != kAtomEmpty) {
-      Emit(member.get(), Op::kGetProp, dst, obj, static_cast<int32_t>(member->atom));
+      Emit(member.get(), fuse_dift_ ? Op::kGetPropLabelled : Op::kGetProp, dst, obj,
+           static_cast<int32_t>(member->atom));
     } else {
       Emit(member.get(), Op::kGetPropName, dst, obj, NameIdx(member->str));
     }
@@ -473,7 +481,99 @@ class Compiler {
     return true;
   }
 
+  // --- fused DIFT call sites -------------------------------------------------
+
+  // Emits the kDiftGuard prologue for a fused `__dift.<method>` site and
+  // returns the guard register pair base (r[base] = method fn, r[base+1] =
+  // the `__dift` object — populated only when no DiftHook is installed). The
+  // guard runs *before* operand evaluation, exactly where the call lowering
+  // evaluates its callee, so tracker-free programs fail with the same
+  // undeclared-variable error at the same point.
+  int EmitDiftGuard(const NodePtr& object, const NodePtr& callee) {
+    int base = AllocReg();
+    AllocReg();  // base + 1
+    int msg = NameIdx("reference to undeclared variable " + object->str + " at " +
+                      object->loc.ToString());
+    Emit(callee.get(), Op::kDiftGuard, base, AtomOf(callee), msg, AtomOf(object));
+    return base;
+  }
+
+  // Recognizes the instrumentor's `__dift.<method>(...)` call shapes and
+  // lowers them onto the labelled opcodes. Returns false — and the caller
+  // emits the ordinary call lowering — for every shape the fused ISA does not
+  // cover. `__dift.label` stays call-lowered on purpose: labellers run policy
+  // code whose kDiftLabel spans are part of the exported profile contract.
+  bool TryCompileDiftCall(int dst, const NodePtr& node) {
+    const NodePtr& callee = node->children[0];
+    if (callee->kind != NodeKind::kMemberExpr || callee->num != 0) {
+      return false;  // not a member call / optional chaining
+    }
+    const NodePtr& object = callee->children[0];
+    if (object->kind != NodeKind::kIdentifier || object->str != "__dift" ||
+        object->hops != kHopsGlobal) {
+      return false;  // only the global `__dift` binding is fusable
+    }
+    for (size_t i = 1; i < node->children.size(); ++i) {
+      if (node->children[i]->kind == NodeKind::kSpreadElement) {
+        return false;
+      }
+    }
+    const std::string& method = callee->str;
+    if (method == "binaryOp" && node->children.size() == 4 &&
+        node->children[1]->kind == NodeKind::kStringLit) {
+      // Decoded at compile time; kInvalid spellings still fuse — the tracker
+      // reproduces the string API's UnimplementedError from names[f].
+      BinaryOp op = BinaryOpFromString(node->children[1]->str);
+      RegScope scope(this);
+      int guard = EmitDiftGuard(object, callee);
+      int left = AllocReg();
+      CompileExprInto(left, node->children[2]);
+      int right = AllocReg();
+      CompileExprInto(right, node->children[3]);
+      Emit(node.get(), Op::kBinaryLabelled, dst, static_cast<int32_t>(op), left, right,
+           guard, NameIdx(node->children[1]->str));
+      return true;
+    }
+    if (method == "check" && node->children.size() == 3) {
+      RegScope scope(this);
+      int guard = EmitDiftGuard(object, callee);
+      int data = AllocReg();
+      CompileExprInto(data, node->children[1]);
+      int recv = AllocReg();
+      CompileExprInto(recv, node->children[2]);
+      Emit(node.get(), Op::kCheckSink, dst, data, recv, guard);
+      return true;
+    }
+    if (method == "invoke" && node->children.size() == 4 &&
+        node->children[2]->kind == NodeKind::kStringLit &&
+        node->children[3]->kind == NodeKind::kArrayLit) {
+      const NodePtr& args_array = node->children[3];
+      for (const NodePtr& element : args_array->children) {
+        if (element->kind == NodeKind::kSpreadElement) {
+          return false;
+        }
+      }
+      RegScope scope(this);
+      int guard = EmitDiftGuard(object, callee);
+      int target = AllocReg();
+      CompileExprInto(target, node->children[1]);
+      int base = next_reg_;
+      for (const NodePtr& element : args_array->children) {
+        int r = AllocReg();
+        CompileExprInto(r, element);
+      }
+      Emit(node.get(), Op::kCallLabelled, dst, target, base,
+           static_cast<int32_t>(args_array->children.size()), guard,
+           NameIdx(node->children[2]->str));
+      return true;
+    }
+    return false;
+  }
+
   void CompileCall(int dst, const NodePtr& node) {
+    if (fuse_dift_ && TryCompileDiftCall(dst, node)) {
+      return;
+    }
     const NodePtr& callee = node->children[0];
     int name = NameIdx(callee->str);
     RegScope scope(this);
@@ -655,7 +755,8 @@ class Compiler {
 
   void EmitSetMember(int obj, const NodePtr& member, int src) {
     if (member->atom != kAtomEmpty) {
-      Emit(member.get(), Op::kSetProp, obj, static_cast<int32_t>(member->atom), src);
+      Emit(member.get(), fuse_dift_ ? Op::kSetPropLabelled : Op::kSetProp, obj,
+           static_cast<int32_t>(member->atom), src);
     } else {
       Emit(member.get(), Op::kSetPropName, obj, NameIdx(member->str), src);
     }
@@ -988,6 +1089,7 @@ class Compiler {
   }
 
   Chunk* chunk_;
+  bool fuse_dift_ = false;
   int next_reg_ = 0;
   int max_regs_ = 0;
   int env_depth_ = 0;
@@ -999,6 +1101,28 @@ class Compiler {
 obs::Counter* ChunksCompiledCounter() {
   static obs::Counter* counter = obs::Metrics::Global().GetCounter("vm.chunks_compiled");
   return counter;
+}
+
+// Privacy-sensitivity scan for one chunk region: does this node's own code —
+// excluding nested function bodies, which compile to their own chunks —
+// mention `__dift`? The instrumentor only injects `__dift.*` calls into
+// functions its analysis marks sensitive (selective mode) or into everything
+// (exhaustive mode), so "mentions __dift" is exactly "the instrumentor
+// touched this region" and the fused flavor is selected per chunk with no
+// extra plumbing.
+bool MentionsDift(const NodePtr& node) {
+  if (node->kind == NodeKind::kIdentifier && node->str == "__dift") {
+    return true;
+  }
+  for (const NodePtr& child : node->children) {
+    if (child == nullptr || child->IsFunctionLike()) {
+      continue;
+    }
+    if (MentionsDift(child)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -1054,6 +1178,12 @@ const char* OpName(Op op) {
     case Op::kIterNew: return "IterNew";
     case Op::kIterNext: return "IterNext";
     case Op::kIterPop: return "IterPop";
+    case Op::kDiftGuard: return "DiftGuard";
+    case Op::kBinaryLabelled: return "BinaryLabelled";
+    case Op::kCheckSink: return "CheckSink";
+    case Op::kCallLabelled: return "CallLabelled";
+    case Op::kGetPropLabelled: return "GetPropLabelled";
+    case Op::kSetPropLabelled: return "SetPropLabelled";
     case Op::kEvalNode: return "EvalNode";
     case Op::kEvalExpr: return "EvalExpr";
     case Op::kAwait: return "Await";
@@ -1085,6 +1215,40 @@ ChunkPtr GetOrCompileFunctionBody(const NodePtr& body) {
   Compiler(chunk.get()).CompileFunctionBody(body);
   ChunksCompiledCounter()->Increment();
   body->compiled_chunk = chunk;
+  return chunk;
+}
+
+ChunkPtr GetOrCompileProgramFused(const NodePtr& root) {
+  if (root->compiled_chunk_fused != nullptr) {
+    return std::static_pointer_cast<const Chunk>(root->compiled_chunk_fused);
+  }
+  if (!MentionsDift(root)) {
+    // Nothing to fuse: alias the lowered chunk so clean code compiles once
+    // and both tiers share its cache entry.
+    ChunkPtr lowered = GetOrCompileProgram(root);
+    root->compiled_chunk_fused = root->compiled_chunk;
+    return lowered;
+  }
+  auto chunk = std::make_shared<Chunk>();
+  Compiler(chunk.get(), /*fuse_dift=*/true).CompileProgram(root);
+  ChunksCompiledCounter()->Increment();
+  root->compiled_chunk_fused = chunk;
+  return chunk;
+}
+
+ChunkPtr GetOrCompileFunctionBodyFused(const NodePtr& body) {
+  if (body->compiled_chunk_fused != nullptr) {
+    return std::static_pointer_cast<const Chunk>(body->compiled_chunk_fused);
+  }
+  if (!MentionsDift(body)) {
+    ChunkPtr lowered = GetOrCompileFunctionBody(body);
+    body->compiled_chunk_fused = body->compiled_chunk;
+    return lowered;
+  }
+  auto chunk = std::make_shared<Chunk>();
+  Compiler(chunk.get(), /*fuse_dift=*/true).CompileFunctionBody(body);
+  ChunksCompiledCounter()->Increment();
+  body->compiled_chunk_fused = chunk;
   return chunk;
 }
 

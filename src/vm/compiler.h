@@ -29,6 +29,15 @@ ChunkPtr GetOrCompileProgram(const NodePtr& root);
 // tree-walked tier, so the chunk starts with the call environment current.
 ChunkPtr GetOrCompileFunctionBody(const NodePtr& body);
 
+// The DIFT-fused compilation flavor (default bytecode tier): recognized
+// `__dift.*` call shapes lower onto the labelled opcodes and member accesses
+// in sensitive chunks use the kGetPropLabelled/kSetPropLabelled variants.
+// Chunks that never mention `__dift` alias the lowered chunk — one compile,
+// one cache entry, identical code. Cached in Node::compiled_chunk_fused,
+// invalidated by ResolveProgram alongside the lowered cache.
+ChunkPtr GetOrCompileProgramFused(const NodePtr& root);
+ChunkPtr GetOrCompileFunctionBodyFused(const NodePtr& body);
+
 }  // namespace vm
 }  // namespace turnstile
 

@@ -15,13 +15,19 @@ namespace vm {
 
 Result<Completion> Vm::ExecuteProgram(Interpreter& interp, const NodePtr& root,
                                       const EnvPtr& env) {
-  ChunkPtr chunk = GetOrCompileProgram(root);
+  // The default bytecode tier runs the DIFT-fused compilation flavor; the
+  // bytecode-lowered oracle keeps every `__dift.*` hook as an ordinary call.
+  ChunkPtr chunk = interp.exec_tier() == ExecTier::kBytecodeLowered
+                       ? GetOrCompileProgram(root)
+                       : GetOrCompileProgramFused(root);
   return Execute(interp, *chunk, env);
 }
 
 Result<Completion> Vm::ExecuteFunctionBody(Interpreter& interp, const FunctionObject& fn,
                                            const EnvPtr& call_env) {
-  ChunkPtr chunk = GetOrCompileFunctionBody(fn.body);
+  ChunkPtr chunk = interp.exec_tier() == ExecTier::kBytecodeLowered
+                       ? GetOrCompileFunctionBody(fn.body)
+                       : GetOrCompileFunctionBodyFused(fn.body);
   return Execute(interp, *chunk, call_env);
 }
 

@@ -4,6 +4,7 @@
 #ifndef TURNSTILE_SRC_VM_VM_H_
 #define TURNSTILE_SRC_VM_VM_H_
 
+#include "src/interp/dift_hook.h"
 #include "src/interp/environment.h"
 #include "src/interp/interp.h"
 #include "src/interp/value.h"

@@ -91,9 +91,11 @@ TEST(CorpusRoundTripTest, RoundTrippedInstrumentationPreservesBehaviourOnEveryAp
   };
   constexpr Cell kMatrix[] = {
       {AppVersion::kSelective, ExecTier::kTreeWalk, "selective/treewalk"},
-      {AppVersion::kSelective, ExecTier::kBytecode, "selective/bytecode"},
+      {AppVersion::kSelective, ExecTier::kBytecode, "selective/bytecode-fused"},
+      {AppVersion::kSelective, ExecTier::kBytecodeLowered, "selective/bytecode-lowered"},
       {AppVersion::kRoundTrip, ExecTier::kTreeWalk, "roundtrip/treewalk"},
-      {AppVersion::kRoundTrip, ExecTier::kBytecode, "roundtrip/bytecode"},
+      {AppVersion::kRoundTrip, ExecTier::kBytecode, "roundtrip/bytecode-fused"},
+      {AppVersion::kRoundTrip, ExecTier::kBytecodeLowered, "roundtrip/bytecode-lowered"},
   };
   obs::AuditLedger& ledger = obs::AuditLedger::Global();
   for (const CorpusApp& app : Corpus()) {

@@ -1,10 +1,11 @@
-// Differential testing of the two execution tiers: every program runs once
-// under the bytecode VM and once under the tree-walking oracle, and the
-// observable outcomes — run/loop status, final values, simulated I/O records,
-// DIFT violation reports — must be identical. The program corpus replays the
-// sources of interp_eval_test and interp_semantics_test plus DIFT-heavy
-// programs, so a semantic divergence introduced in either tier fails here
-// with the offending program named.
+// Differential testing of the three execution tiers: every program runs under
+// the DIFT-fused bytecode VM (the default), the call-lowered bytecode oracle,
+// and the tree-walking oracle, and the observable outcomes — run/loop status,
+// final values, simulated I/O records, DIFT violation reports, the canonical
+// audit log — must be identical. The program corpus replays the sources of
+// interp_eval_test and interp_semantics_test plus DIFT-heavy programs, so a
+// semantic divergence introduced in any tier fails here with the offending
+// program named.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -58,7 +59,8 @@ constexpr const char* kDiftPolicy = R"json({
     "secret": { "$const": "secret" },
     "public": { "$const": "public" },
     "mailerByRecipient": { "send": {
-      "$invoke": "(obj, args) => (args[0] === \"boss\" ? \"secret\" : \"public\")" } }
+      "$invoke": "(obj, args) => (args[0] === \"boss\" ? \"secret\" : \"public\")" } },
+    "anySink": { "$invoke": "(obj, args) => \"secret\"" }
   },
   "rules": ["employee -> customer", "public -> secret"]
 })json";
@@ -120,9 +122,12 @@ TierOutcome RunTier(const std::string& source, ExecTier tier, bool with_tracker)
 void ExpectTiersAgree(const DiffProgram* programs, size_t count, bool with_tracker) {
   for (size_t i = 0; i < count; ++i) {
     SCOPED_TRACE(programs[i].name);
-    TierOutcome bytecode = RunTier(programs[i].source, ExecTier::kBytecode, with_tracker);
+    TierOutcome fused = RunTier(programs[i].source, ExecTier::kBytecode, with_tracker);
+    TierOutcome lowered =
+        RunTier(programs[i].source, ExecTier::kBytecodeLowered, with_tracker);
     TierOutcome treewalk = RunTier(programs[i].source, ExecTier::kTreeWalk, with_tracker);
-    EXPECT_EQ(bytecode, treewalk);
+    EXPECT_EQ(fused, treewalk);
+    EXPECT_EQ(lowered, treewalk);
   }
 }
 
@@ -457,6 +462,41 @@ constexpr DiffProgram kDiftPrograms[] = {
       }
       let result = acc + "/" + __dift.labelsOf(acc);
     )"},
+    // $const declassification applied to a kBinaryLabelled result: the fused
+    // opcode's output must be a first-class labelled value that later label()
+    // calls can re-label, exactly as the call-lowered binaryOp's output is.
+    {"declassify-through-binary", R"(
+      let secret = __dift.label("s", "secret");
+      let joined = __dift.binaryOp("+", secret, "-tail");
+      let declassified = __dift.label(joined, "public");
+      let result = __dift.labelsOf(declassified) + "/" + declassified;
+    )"},
+    // A wildcard (any-method) $invoke labeller must fire at kCallLabelled
+    // sites: the {target, any} probe happens inside the fused tracker entry,
+    // not in MiniScript glue. First write carries a public-labelled argument
+    // into the secret-labelled sink (blocked); the second is clean.
+    {"wildcard-invoke-labeller", R"(
+      let written = [];
+      let device = { write: (line) => { written.push(line); return written.length; } };
+      __dift.label(device, "anySink");
+      let note = __dift.label("note", "public");
+      __dift.invoke(device, "write", [note]);
+      __dift.invoke(device, "write", ["plain"]);
+      let result = written.length;
+    )"},
+    // Deep-label memo invalidation: the first check memoizes msg's (empty)
+    // deep label set; the labelled store `msg.body = secret` runs through
+    // kSetPropLabelled, which must bump the heap write epoch so the second
+    // check recomputes and sees the secret.
+    {"memo-invalidation-on-labelled-store", R"(
+      let secret = __dift.label("payload", "secret");
+      let sink = __dift.label({ port: 1 }, "public");
+      let msg = { body: "hello" };
+      let before = __dift.check(msg, sink);
+      msg.body = secret;
+      let after = __dift.check(msg, sink);
+      let result = "" + before + "/" + after;
+    )"},
 };
 
 TEST(VmDifferentialTest, EvalProgramsAgreeAcrossTiers) {
@@ -482,7 +522,8 @@ TEST(VmDifferentialTest, SharedProgramRunsUnderBothTiers) {
   auto program = ParseProgram(
       "function twice(x) { return x * 2; } let result = twice(20) + 2;");
   ASSERT_TRUE(program.ok());
-  for (ExecTier tier : {ExecTier::kBytecode, ExecTier::kTreeWalk, ExecTier::kBytecode}) {
+  for (ExecTier tier : {ExecTier::kBytecode, ExecTier::kBytecodeLowered, ExecTier::kTreeWalk,
+                        ExecTier::kBytecode}) {
     Interpreter interp;
     interp.set_exec_tier(tier);
     ASSERT_TRUE(interp.RunProgram(*program).ok());

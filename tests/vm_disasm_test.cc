@@ -1,0 +1,116 @@
+// DisassembleChunk rendering plus the fused-compiler selection contract:
+// function bodies that mention `__dift` compile onto the labelled opcodes,
+// clean ones alias the call-lowered chunk (one compile, pointer-equal cache
+// entries), and the lowered oracle flavor never contains a labelled opcode.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/lang/parser.h"
+#include "src/lang/resolve.h"
+#include "src/vm/bytecode.h"
+#include "src/vm/compiler.h"
+
+namespace turnstile {
+namespace {
+
+constexpr const char* kSource = R"(
+function sensitive(x) {
+  let s = __dift.label(x, "secret");
+  let ok = __dift.check(s, s);
+  let t = __dift.binaryOp("+", s, "!");
+  __dift.invoke(console, "log", [t, ok]);
+  let out = { cache: 0 };
+  out.cache = t;
+  return out.cache;
+}
+function clean(a, b) {
+  let pair = { left: a };
+  pair.right = b;
+  return pair.left + pair.right;
+}
+let result = sensitive("x") + clean(1, 2);
+)";
+
+// children[1] of a kFunctionDecl named `name`.
+NodePtr FunctionBody(const NodePtr& root, const std::string& name) {
+  for (const NodePtr& child : root->children) {
+    if (child->kind == NodeKind::kFunctionDecl && child->str == name) {
+      return child->children[1];
+    }
+  }
+  return nullptr;
+}
+
+class VmDisasmTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = ParseProgram(kSource);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    program_ = std::move(parsed).value();
+    ResolveProgram(program_);
+  }
+
+  Program program_;
+};
+
+TEST_F(VmDisasmTest, SensitiveFunctionCompilesOntoLabelledOpcodes) {
+  NodePtr body = FunctionBody(program_.root, "sensitive");
+  ASSERT_NE(body, nullptr);
+  std::string fused = vm::DisassembleChunk(*vm::GetOrCompileFunctionBodyFused(body));
+
+  EXPECT_NE(fused.find("DiftGuard"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("CheckSink"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("BinaryLabelled"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("CallLabelled"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("GetPropLabelled"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("SetPropLabelled"), std::string::npos) << fused;
+  // `__dift.label` is not a recognized fused shape: it stays a call so the
+  // tracker's labelling span/audit behavior is untouched.
+  EXPECT_NE(fused.find("\"label\""), std::string::npos) << fused;
+}
+
+TEST_F(VmDisasmTest, LoweredOracleNeverUsesLabelledOpcodes) {
+  NodePtr body = FunctionBody(program_.root, "sensitive");
+  ASSERT_NE(body, nullptr);
+  std::string lowered = vm::DisassembleChunk(*vm::GetOrCompileFunctionBody(body));
+
+  EXPECT_EQ(lowered.find("Labelled"), std::string::npos) << lowered;
+  EXPECT_EQ(lowered.find("CheckSink"), std::string::npos) << lowered;
+  EXPECT_EQ(lowered.find("DiftGuard"), std::string::npos) << lowered;
+}
+
+TEST_F(VmDisasmTest, CleanChunksAliasTheLoweredCompile) {
+  NodePtr body = FunctionBody(program_.root, "clean");
+  ASSERT_NE(body, nullptr);
+  vm::ChunkPtr lowered = vm::GetOrCompileFunctionBody(body);
+  vm::ChunkPtr fused = vm::GetOrCompileFunctionBodyFused(body);
+  EXPECT_EQ(fused.get(), lowered.get());
+
+  std::string listing = vm::DisassembleChunk(*fused);
+  EXPECT_EQ(listing.find("Labelled"), std::string::npos) << listing;
+
+  // The top level never mentions __dift either (function bodies are separate
+  // compilation units), so the program chunk aliases too.
+  vm::ChunkPtr program_lowered = vm::GetOrCompileProgram(program_.root);
+  vm::ChunkPtr program_fused = vm::GetOrCompileProgramFused(program_.root);
+  EXPECT_EQ(program_fused.get(), program_lowered.get());
+}
+
+TEST_F(VmDisasmTest, ListingRendersOperandsAndLines) {
+  NodePtr body = FunctionBody(program_.root, "sensitive");
+  ASSERT_NE(body, nullptr);
+  std::string fused = vm::DisassembleChunk(*vm::GetOrCompileFunctionBodyFused(body));
+
+  EXPECT_NE(fused.find("; chunk:"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("; line "), std::string::npos) << fused;
+  EXPECT_NE(fused.find("atom(cache)"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("r0"), std::string::npos) << fused;
+  // Constant-pool rendering ("secret" is a string constant of the chunk).
+  EXPECT_NE(fused.find("const \"secret\""), std::string::npos) << fused;
+}
+
+}  // namespace
+}  // namespace turnstile

@@ -1,6 +1,6 @@
 // Privacy-accounting queries over the flow-provenance audit ledger (ISSUE 6).
 //
-//   audit_query [<app>] [--messages=N] [--tier=bytecode|treewalk]
+//   audit_query [<app>] [--messages=N] [--tier=bytecode|bytecode-lowered|treewalk]
 //               [--source=LABEL] [--sink=NAME] [--out=PATH] [--check-fig10]
 //
 // Runs corpus apps (all 61 by default) under the selectively-instrumented
@@ -40,7 +40,7 @@ namespace {
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: audit_query [<app>] [--messages=N] [--tier=bytecode|treewalk]\n"
+               "usage: audit_query [<app>] [--messages=N] [--tier=bytecode|bytecode-lowered|treewalk]\n"
                "                   [--source=LABEL] [--sink=NAME] [--out=PATH]\n"
                "                   [--check-fig10]\n");
 }
@@ -190,12 +190,12 @@ int Main(int argc, char** argv) {
       messages = static_cast<int>(parsed);
     } else if (arg.rfind("--tier=", 0) == 0) {
       std::string t = arg.substr(7);
-      if (t == "bytecode") {
-        tier = ExecTier::kBytecode;
-      } else if (t == "treewalk") {
-        tier = ExecTier::kTreeWalk;
-      } else {
-        std::fprintf(stderr, "audit_query: unknown tier '%s'\n", t.c_str());
+      tier = ExecTierFromName(t.c_str());
+      if (!tier.has_value()) {
+        std::fprintf(stderr,
+                     "audit_query: unknown tier '%s' (accepted: bytecode, "
+                     "bytecode-lowered, treewalk)\n",
+                     t.c_str());
         return 2;
       }
     } else if (arg.rfind("--source=", 0) == 0) {

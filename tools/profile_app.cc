@@ -2,8 +2,13 @@
 // exports its profile.
 //
 //   profile_app <app> [--messages=N] [--version=original|selective|exhaustive|roundtrip]
-//               [--tier=bytecode|treewalk] [--profile=PATH] [--trace-export=PATH]
-//               [--json[=PATH]]
+//               [--tier=bytecode|bytecode-lowered|treewalk] [--disasm]
+//               [--profile=PATH] [--trace-export=PATH] [--json[=PATH]]
+//
+//   --disasm             print the bytecode listing of the program and every
+//                        function (the fused flavor, or the call-lowered one
+//                        under --tier=bytecode-lowered) and exit without
+//                        driving messages.
 //
 //   --trace-export=PATH  Chrome trace-event JSON (open in Perfetto or
 //                        chrome://tracing); carries the turnstileProfile
@@ -26,9 +31,13 @@
 
 #include "src/corpus/corpus.h"
 #include "src/corpus/driver.h"
+#include "src/interp/interp.h"
+#include "src/lang/ast.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/support/rng.h"
+#include "src/vm/bytecode.h"
+#include "src/vm/compiler.h"
 
 namespace turnstile {
 namespace {
@@ -46,7 +55,7 @@ bool WriteFile(const std::string& path, const std::string& content) {
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: profile_app <app> [--messages=N] [--version=V] [--tier=T]\n"
+               "usage: profile_app <app> [--messages=N] [--version=V] [--tier=T] [--disasm]\n"
                "                   [--profile=PATH] [--trace-export=PATH] [--json[=PATH]]\n"
                "corpus apps:\n");
   for (const CorpusApp& app : Corpus()) {
@@ -64,6 +73,7 @@ int Main(int argc, char** argv) {
   int messages = 200;
   AppVersion version = AppVersion::kSelective;
   std::optional<ExecTier> tier;
+  bool disasm = false;
   std::string profile_path;
   std::string trace_export_path;
   for (int i = 1; i < argc; ++i) {
@@ -97,14 +107,16 @@ int Main(int argc, char** argv) {
       }
     } else if (arg.rfind("--tier=", 0) == 0) {
       std::string t = arg.substr(7);
-      if (t == "bytecode") {
-        tier = ExecTier::kBytecode;
-      } else if (t == "treewalk") {
-        tier = ExecTier::kTreeWalk;
-      } else {
-        std::fprintf(stderr, "profile_app: unknown tier '%s'\n", t.c_str());
+      tier = ExecTierFromName(t.c_str());
+      if (!tier.has_value()) {
+        std::fprintf(stderr,
+                     "profile_app: unknown tier '%s' (accepted: bytecode, "
+                     "bytecode-lowered, treewalk)\n",
+                     t.c_str());
         return 2;
       }
+    } else if (arg == "--disasm") {
+      disasm = true;
     } else if (arg.rfind("--profile=", 0) == 0) {
       profile_path = arg.substr(10);
     } else if (arg.rfind("--trace-export=", 0) == 0) {
@@ -146,6 +158,29 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "profile_app: %s setup failed: %s\n", app->name.c_str(),
                  runtime.status().ToString().c_str());
     return 1;
+  }
+
+  if (disasm) {
+    // Compile-and-print, no execution: show exactly the chunks this runtime's
+    // tier would run (program top level plus every function body).
+    bool lowered = (*runtime)->interp().exec_tier() == ExecTier::kBytecodeLowered;
+    const NodePtr& root = (*runtime)->program_root();
+    vm::ChunkPtr program_chunk =
+        lowered ? vm::GetOrCompileProgram(root) : vm::GetOrCompileProgramFused(root);
+    std::printf("=== %s: program (%s) ===\n%s", app->name.c_str(),
+                lowered ? "call-lowered" : "fused", vm::DisassembleChunk(*program_chunk).c_str());
+    ForEachNode(root, [&](const NodePtr& node) {
+      if (!node->IsFunctionLike()) {
+        return;
+      }
+      const NodePtr& body = node->children[1];
+      vm::ChunkPtr chunk = lowered ? vm::GetOrCompileFunctionBody(body)
+                                   : vm::GetOrCompileFunctionBodyFused(body);
+      std::printf("\n=== function %s (line %d) ===\n%s",
+                  node->str.empty() ? "<anonymous>" : node->str.c_str(), node->loc.line,
+                  vm::DisassembleChunk(*chunk).c_str());
+    });
+    return 0;
   }
 
   Rng rng(0xBE11C0DE);
