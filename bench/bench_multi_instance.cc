@@ -16,19 +16,15 @@
 
 #include "bench/bench_util.h"
 #include "src/runtime/context.h"
+#include "src/support/env.h"
 
 namespace turnstile {
 namespace {
 
+// Strict parse (src/support/env.h): trailing garbage or out-of-range values
+// warn once and keep the default instead of half-parsing.
 int BenchInstanceCount() {
-  const char* env = std::getenv("TURNSTILE_BENCH_INSTANCES");
-  if (env != nullptr) {
-    int n = std::atoi(env);
-    if (n > 0 && n <= 256) {
-      return n;
-    }
-  }
-  return 4;
+  return static_cast<int>(EnvInt("TURNSTILE_BENCH_INSTANCES", 4, 1, 256));
 }
 
 // One instance's run: drives `app` on `context`, observing each per-message

@@ -86,7 +86,8 @@ Value MakeHttpResponse(Interpreter& interp) {
 
 Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, AppVersion version,
                                                        std::optional<ExecTier> tier,
-                                                       RuntimeContext* context) {
+                                                       RuntimeContext* context,
+                                                       std::shared_ptr<Policy> shared_policy) {
   RuntimeContext& ctx = context != nullptr ? *context : RuntimeContext::Default();
   auto runtime = std::unique_ptr<AppRuntime>(new AppRuntime());
   runtime->app_ = &app;
@@ -108,8 +109,12 @@ Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, App
     runtime->program_root_ = program.root;
     TURNSTILE_RETURN_IF_ERROR(runtime->engine_->LoadModule(program));
   } else {
-    TURNSTILE_ASSIGN_OR_RETURN(policy, Policy::FromJsonText(app.policy_json));
-    runtime->policy_ = std::shared_ptr<Policy>(std::move(policy).release());
+    if (shared_policy != nullptr) {
+      runtime->policy_ = std::move(shared_policy);
+    } else {
+      TURNSTILE_ASSIGN_OR_RETURN(policy, Policy::FromJsonText(app.policy_json));
+      runtime->policy_ = std::shared_ptr<Policy>(std::move(policy).release());
+    }
     TURNSTILE_ASSIGN_OR_RETURN(analysis, AnalyzeProgram(program));
     InstrumentMode mode = version == AppVersion::kExhaustive ? InstrumentMode::kExhaustive
                                                              : InstrumentMode::kSelective;
@@ -155,10 +160,23 @@ Result<std::unique_ptr<AppRuntime>> AppRuntime::Create(const CorpusApp& app, App
 }
 
 Status AppRuntime::DriveMessage(Rng* rng, int seq) {
-  Value msg = GenerateMessage(message_template_, rng, seq);
+  return InjectValue(GenerateMessage(message_template_, rng, seq));
+}
+
+Status AppRuntime::InjectValue(Value msg) {
   if (app_->entry_kind == "node") {
-    TURNSTILE_RETURN_IF_ERROR(engine_->InjectInput(app_->entry_ref, msg));
-  } else if (app_->entry_kind == "emitter") {
+    // Mailbox-driven: if this instance is already pumping (the message was
+    // routed in mid-flow by a terminal sink), the post queues and the
+    // outermost pump drains it; otherwise this pumps to quiescence, which is
+    // byte-identical to the historical InjectInput + RunEventLoop sequence.
+    engine_->PostInput(app_->entry_ref, std::move(msg));
+    Status status = engine_->PumpMailbox();
+    if (tracker_ != nullptr) {
+      tracker_->PublishMetrics();
+    }
+    return status;
+  }
+  if (app_->entry_kind == "emitter") {
     auto it = interp_->io_world().emitters.find(app_->entry_ref);
     if (it == interp_->io_world().emitters.end() || it->second.empty()) {
       return NotFoundError(app_->name + ": no emitter tagged " + app_->entry_ref);

@@ -32,14 +32,28 @@ class AppRuntime {
   // execution tier; nullopt keeps the interpreter's default (bytecode, unless
   // TURNSTILE_EXEC_TIER overrides it). `context` binds the instance to an
   // explicit RuntimeContext (null = the process default); it must outlive the
-  // returned runtime.
+  // returned runtime. `shared_policy` supplies an already-parsed policy to
+  // instrument against instead of re-parsing app.policy_json — the fleet
+  // runtime passes one Policy to every same-app instance on a shard so they
+  // share its LabelSetPool and RuleGraph memo caches. Sharing is safe only
+  // among instances driven by the same thread (Policy caches are not
+  // synchronized); ignored for kOriginal, which carries no policy.
   static Result<std::unique_ptr<AppRuntime>> Create(const CorpusApp& app, AppVersion version,
                                                     std::optional<ExecTier> tier = std::nullopt,
-                                                    RuntimeContext* context = nullptr);
+                                                    RuntimeContext* context = nullptr,
+                                                    std::shared_ptr<Policy> shared_policy = nullptr);
 
   // Delivers one generated message through the app's entry point and drains
-  // the event loop. Returns an error if the app throws.
+  // the event loop. Returns an error if the app throws. Equivalent to
+  // GenerateMessage + InjectValue.
   Status DriveMessage(Rng* rng, int seq);
+
+  // Delivers an already-built message value through the app's entry point and
+  // drains the event loop. Node entries go through the flow engine's mailbox
+  // (PostInput + PumpMailbox), so a delivery arriving while this instance is
+  // mid-pump — e.g. routed in by a fleet terminal sink — queues instead of
+  // re-entering the interpreter.
+  Status InjectValue(Value msg);
 
   // Number of statements/expressions evaluated so far — the deterministic
   // work metric.
@@ -48,6 +62,10 @@ class AppRuntime {
   Interpreter& interp() { return *interp_; }
   FlowEngine& engine() { return *engine_; }
   DiftTracker* tracker() { return tracker_.get(); }  // null for kOriginal
+  // The policy this instance was instrumented against (null for kOriginal).
+  // Same-app instances created with a shared_policy return the same pointer.
+  const std::shared_ptr<Policy>& policy() const { return policy_; }
+  const CorpusApp& app() const { return *app_; }
   // Root of the program actually loaded (post-instrumentation; for kRoundTrip
   // the re-parsed tree). Compiled-chunk caches live on its nodes, so tools
   // can disassemble exactly what this runtime executes.

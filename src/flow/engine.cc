@@ -141,6 +141,13 @@ ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
               engine->audit_->Record(std::move(event));
             }
           }
+          if (engine->terminal_sink_) {
+            // Fired after the engine's own terminal accounting so a wired
+            // sink never changes what this instance records about itself.
+            for (const Value& m : messages) {
+              engine->terminal_sink_(id, m);
+            }
+          }
           return Value::Undefined();
         }
         for (const std::string& target_id : wires) {
@@ -269,6 +276,37 @@ Status FlowEngine::InjectInput(const std::string& node_id, Value msg) {
   interp_->EmitEvent(it->second, "input", {std::move(msg)});
   trace_recorder_->SetCurrentTrace(previous);
   return Status::Ok();
+}
+
+void FlowEngine::PostInput(const std::string& node_id, Value msg) {
+  mailbox_.push_back(PendingInput{node_id, std::move(msg)});
+}
+
+Status FlowEngine::PumpMailbox() {
+  if (pumping_) {
+    // Re-entrant call (a node handler or terminal sink posted more input):
+    // the outermost pump is still draining and will pick the new entry up.
+    return Status::Ok();
+  }
+  pumping_ = true;
+  Status status = Status::Ok();
+  while (!mailbox_.empty()) {
+    PendingInput next = std::move(mailbox_.front());
+    mailbox_.pop_front();
+    // Same sequence DriveMessage always ran: inject, then run the event loop
+    // to quiescence before the next input starts.
+    Status inject = InjectInput(next.node_id, std::move(next.msg));
+    if (!inject.ok() && status.ok()) {
+      status = inject;
+      continue;
+    }
+    Status loop = interp_->RunEventLoop();
+    if (!loop.ok() && status.ok()) {
+      status = loop;
+    }
+  }
+  pumping_ = false;
+  return status;
 }
 
 ObjectPtr FlowEngine::FindNode(const std::string& node_id) const {

@@ -21,6 +21,8 @@
 #ifndef TURNSTILE_SRC_FLOW_ENGINE_H_
 #define TURNSTILE_SRC_FLOW_ENGINE_H_
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -59,6 +61,34 @@ class FlowEngine {
   // message across wires and event-loop turns.
   Status InjectInput(const std::string& node_id, Value msg);
 
+  // --- mailbox-driven entry (the fleet runtime's re-entrant path) ------------
+
+  // Appends an input for `node_id` to the engine's own mailbox without
+  // running anything. Unknown node ids are reported when the mailbox is
+  // pumped, not here.
+  void PostInput(const std::string& node_id, Value msg);
+
+  // Drains the mailbox: each queued input is injected (InjectInput) and the
+  // interpreter event loop runs to quiescence before the next input starts —
+  // exactly the sequence DriveMessage always performed, now behind one
+  // re-entrant entry point. A PostInput issued while a pump is already
+  // running (from a node handler, a module callback, or a terminal sink) is
+  // simply appended and drained by the *outermost* pump; the inner call
+  // returns immediately instead of re-entering the event loop.
+  Status PumpMailbox();
+
+  size_t mailbox_depth() const { return mailbox_.size(); }
+
+  // Called for every message sent from a node with no outgoing wires (a flow
+  // output), after the engine records its own terminal accounting (metrics,
+  // trace, audit sink-write). The fleet runtime uses this to route one app's
+  // outputs into another app instance's mailbox. The hook runs on the
+  // engine's own thread mid-event-loop: it must not re-enter this
+  // interpreter; enqueue (PostInput on another engine, or a shard mailbox
+  // post) and return.
+  using TerminalSink = std::function<void(const std::string& node_id, const Value& msg)>;
+  void set_terminal_sink(TerminalSink sink) { terminal_sink_ = std::move(sink); }
+
   // The node instance object (for assertions), or nullptr.
   ObjectPtr FindNode(const std::string& node_id) const;
 
@@ -84,6 +114,15 @@ class FlowEngine {
   std::unordered_map<std::string, std::vector<std::string>> wires_;
   int messages_routed_ = 0;
   int terminal_sends_ = 0;
+
+  // The engine mailbox (PostInput/PumpMailbox) and its re-entrancy latch.
+  struct PendingInput {
+    std::string node_id;
+    Value msg;
+  };
+  std::deque<PendingInput> mailbox_;
+  bool pumping_ = false;
+  TerminalSink terminal_sink_;
 
   // Observability handles (resolved once in the constructor).
   obs::TraceRecorder* trace_recorder_ = nullptr;

@@ -127,6 +127,23 @@ std::vector<uint64_t> Histogram::CumulativeCounts() const {
   return out;
 }
 
+bool Histogram::Merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    return false;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t delta = other.buckets_[i].load(std::memory_order_relaxed);
+    if (delta != 0) {
+      buckets_[i].fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  inf_bucket_.fetch_add(other.inf_bucket_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  return true;
+}
+
 void Histogram::Reset() {
   for (std::atomic<uint64_t>& bucket : buckets_) {
     bucket.store(0, std::memory_order_relaxed);

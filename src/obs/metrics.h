@@ -84,6 +84,15 @@ class Histogram {
   double Quantile(double q) const;
   void Reset();
 
+  // Folds `other`'s observations into this histogram: per-bucket counts, the
+  // +Inf bucket, count and sum all add (relaxed atomics on both sides).
+  // Requires identical bounds — returns false and merges nothing otherwise.
+  // The merge is snapshot-level, not atomic with respect to concurrent
+  // Observe() on `other`: callers merge from quiescent or same-thread
+  // histograms (the fleet runtime merges per-context histograms only after
+  // shard joins or at snapshot time), so hot Observe() paths never lock.
+  bool Merge(const Histogram& other);
+
   // Default latency bounds in seconds: 1us .. 1s, decade-and-a-half steps.
   static std::vector<double> DefaultLatencyBounds();
 

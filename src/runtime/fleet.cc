@@ -1,0 +1,251 @@
+#include "src/runtime/fleet.h"
+
+#include <utility>
+
+#include "src/support/env.h"
+#include "src/support/logging.h"
+
+namespace turnstile {
+
+namespace {
+uint64_t RouteKey(int shard, uint32_t instance) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(shard)) << 32) | instance;
+}
+}  // namespace
+
+// --- serialization -----------------------------------------------------------
+
+Json FleetSerializeMessage(const Value& msg) {
+  Value value = Unbox(msg);
+  if (value.IsBool()) {
+    return Json(value.AsBool());
+  }
+  if (value.IsNumber()) {
+    return Json(value.AsNumber());
+  }
+  if (value.IsString()) {
+    return Json(value.AsString());
+  }
+  if (value.IsArray()) {
+    Json out = Json::Array();
+    for (const Value& element : value.AsArray()->elements) {
+      out.Append(FleetSerializeMessage(element));
+    }
+    return out;
+  }
+  if (value.IsObject()) {
+    Json out = Json::Object();
+    const ObjectPtr& object = value.AsObject();
+    for (Atom key : object->insertion_order) {
+      if (object->Has(key)) {
+        out.Set(AtomName(key), FleetSerializeMessage(object->Get(key)));
+      }
+    }
+    return out;
+  }
+  // undefined, null, functions: nothing transportable — degrade to null,
+  // matching what JSON.stringify would do to the first two.
+  return Json(nullptr);
+}
+
+Value FleetMaterializeMessage(const Json& payload) {
+  switch (payload.type()) {
+    case Json::Type::kBool:
+      return Value(payload.bool_value());
+    case Json::Type::kNumber:
+      return Value(payload.number_value());
+    case Json::Type::kString:
+      return Value(payload.string_value());
+    case Json::Type::kArray: {
+      std::vector<Value> elements;
+      elements.reserve(payload.array_items().size());
+      for (const Json& element : payload.array_items()) {
+        elements.push_back(FleetMaterializeMessage(element));
+      }
+      return Value(MakeArray(std::move(elements)));
+    }
+    case Json::Type::kObject: {
+      ObjectPtr object = MakeObject();
+      for (const auto& [key, value] : payload.object_items()) {
+        object->Set(key, FleetMaterializeMessage(value));
+      }
+      return Value(object);
+    }
+    case Json::Type::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+// --- FleetRuntime ------------------------------------------------------------
+
+int FleetRuntime::ShardsFromEnv(int fallback) {
+  return static_cast<int>(EnvInt("TURNSTILE_FLEET_SHARDS", fallback, 1, 256));
+}
+
+FleetRuntime::FleetRuntime(Options options) : options_(std::move(options)) {
+  if (options_.shards <= 0) {
+    options_.shards = ShardsFromEnv(/*fallback=*/4);
+  }
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(this, i, options_.mailbox_capacity));
+  }
+}
+
+FleetRuntime::~FleetRuntime() { Stop(); }
+
+std::string FleetRuntime::AddApp(const CorpusApp& app, int shard) {
+  int target = shard;
+  if (target < 0 || target >= shard_count()) {
+    target = next_shard_;
+    next_shard_ = (next_shard_ + 1) % shard_count();
+  }
+  int ordinal = per_app_counts_[app.name]++;
+  std::string id = app.name + "#" + std::to_string(ordinal);
+  Shard::InstanceSpec spec;
+  spec.app = &app;
+  spec.id = id;
+  spec.seed = options_.rng_seed;
+  uint32_t instance = shards_[static_cast<size_t>(target)]->AddInstance(std::move(spec));
+  apps_[id] = Placement{target, instance};
+  return id;
+}
+
+Status FleetRuntime::Wire(const std::string& src_id, const std::string& dst_id) {
+  auto src = apps_.find(src_id);
+  auto dst = apps_.find(dst_id);
+  if (src == apps_.end()) {
+    return NotFoundError("fleet: unknown source app '" + src_id + "'");
+  }
+  if (dst == apps_.end()) {
+    return NotFoundError("fleet: unknown destination app '" + dst_id + "'");
+  }
+  if (started_) {
+    return InvalidArgumentError("fleet: Wire() must precede Start()");
+  }
+  routes_[RouteKey(src->second.shard, src->second.instance)] = dst->second;
+  shards_[static_cast<size_t>(src->second.shard)]->WireInstance(src->second.instance);
+  return Status::Ok();
+}
+
+Status FleetRuntime::Start() {
+  started_ = true;
+  // Start every shard; each Start() blocks until that shard's instances are
+  // built (on the shard's own thread), so setup parallelizes across shards.
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->Start();
+  }
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->status().ok()) {
+      return shard->status();
+    }
+  }
+  return Status::Ok();
+}
+
+bool FleetRuntime::Post(const std::string& app_id, int seq, bool record) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end() || stopped_) {
+    return false;
+  }
+  FleetEnvelope env;
+  env.kind = FleetEnvelope::Kind::kGenerate;
+  env.instance = it->second.instance;
+  env.seq = seq;
+  env.record = record;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (!shards_[static_cast<size_t>(it->second.shard)]->Post(std::move(env))) {
+    OnProcessed();  // mailbox closed: the envelope never entered the system
+    return false;
+  }
+  return true;
+}
+
+void FleetRuntime::RouteTerminal(int src_shard, uint32_t src_instance, const Value& msg) {
+  auto it = routes_.find(RouteKey(src_shard, src_instance));
+  if (it == routes_.end()) {
+    return;
+  }
+  FleetEnvelope env;
+  env.kind = FleetEnvelope::Kind::kPayload;
+  env.instance = it->second.instance;
+  env.payload = FleetSerializeMessage(msg);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (!shards_[static_cast<size_t>(it->second.shard)]->Post(std::move(env))) {
+    OnProcessed();
+  }
+}
+
+void FleetRuntime::OnProcessed() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last envelope: wake Drain(). The lock pairs with the waiter's recheck,
+    // closing the decide-then-sleep race.
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void FleetRuntime::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+void FleetRuntime::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->Join();
+  }
+}
+
+uint64_t FleetRuntime::messages_processed() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->processed();
+  }
+  return total;
+}
+
+AppRuntime* FleetRuntime::runtime_of(const std::string& app_id) const {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) {
+    return nullptr;
+  }
+  return shards_[static_cast<size_t>(it->second.shard)]->runtime_of(it->second.instance);
+}
+
+RuntimeContext* FleetRuntime::context_of(const std::string& app_id) const {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) {
+    return nullptr;
+  }
+  return shards_[static_cast<size_t>(it->second.shard)]->context_of(it->second.instance);
+}
+
+std::vector<std::string> FleetRuntime::errors() const {
+  std::vector<std::string> out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    out.insert(out.end(), shard->errors().begin(), shard->errors().end());
+  }
+  return out;
+}
+
+uint64_t FleetRuntime::MergeShardLatency(int shard, obs::Histogram* into) const {
+  if (shard < 0 || shard >= shard_count()) {
+    return 0;
+  }
+  return shards_[static_cast<size_t>(shard)]->MergeLatency(into);
+}
+
+uint64_t FleetRuntime::MergeFleetLatency(obs::Histogram* into) const {
+  uint64_t merged = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    merged += shard->MergeLatency(into);
+  }
+  return merged;
+}
+
+}  // namespace turnstile

@@ -1,0 +1,207 @@
+#include "src/runtime/shard.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/runtime/fleet.h"
+#include "src/support/logging.h"
+
+namespace turnstile {
+
+namespace {
+thread_local Shard* g_current_shard = nullptr;
+}  // namespace
+
+// --- ShardMailbox ------------------------------------------------------------
+
+bool ShardMailbox::Push(FleetEnvelope env, bool bounded) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bounded) {
+    not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+  }
+  if (closed_) {
+    return false;
+  }
+  queue_.push_back(std::move(env));
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ShardMailbox::PopAll(std::vector<FleetEnvelope>* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) {
+    return false;  // closed and drained
+  }
+  while (!queue_.empty()) {
+    batch->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  not_full_.notify_all();
+  return true;
+}
+
+void ShardMailbox::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t ShardMailbox::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+// --- Shard -------------------------------------------------------------------
+
+Shard::Shard(FleetRuntime* fleet, int index, size_t mailbox_capacity)
+    : fleet_(fleet), index_(index), mailbox_(mailbox_capacity) {}
+
+Shard::~Shard() { Join(); }
+
+uint32_t Shard::AddInstance(InstanceSpec spec) {
+  specs_.push_back(std::move(spec));
+  return static_cast<uint32_t>(specs_.size() - 1);
+}
+
+void Shard::WireInstance(uint32_t instance) { specs_[instance].wired = true; }
+
+void Shard::Start() {
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+  std::unique_lock<std::mutex> lock(setup_mu_);
+  setup_cv_.wait(lock, [this] { return setup_done_; });
+}
+
+void Shard::Join() {
+  if (!started_) {
+    return;
+  }
+  mailbox_.Close();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  started_ = false;
+}
+
+bool Shard::Post(FleetEnvelope env) {
+  // Shard-thread-origin posts (terminal routes) bypass the bound so a cycle
+  // of full mailboxes can never block the threads that drain them.
+  return mailbox_.Push(std::move(env), /*bounded=*/g_current_shard == nullptr);
+}
+
+Shard* Shard::Current() { return g_current_shard; }
+
+void Shard::BuildInstances() {
+  const FleetRuntime::Options& options = fleet_->options();
+  instances_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    Instance& inst = instances_[i];
+    inst.spec = specs_[i];
+    inst.rng = Rng(inst.spec.seed);
+    inst.context = RuntimeContext::CreateIsolated();
+    if (options.audit_capacity > 0) {
+      // Enabled before Create, so setup-time events land in the ledger
+      // exactly as a single-threaded enable-then-Create run records them.
+      inst.context->audit().Enable(options.audit_capacity);
+    }
+    std::shared_ptr<Policy> shared;
+    if (options.share_policies && options.version != AppVersion::kOriginal) {
+      auto it = policies_.find(inst.spec.app);
+      if (it != policies_.end()) {
+        shared = it->second;
+      }
+    }
+    auto runtime =
+        AppRuntime::Create(*inst.spec.app, options.version, options.tier, inst.context.get(),
+                           shared);
+    if (!runtime.ok()) {
+      if (status_.ok()) {
+        status_ = runtime.status();
+      }
+      errors_.push_back(inst.spec.id + ": setup: " + runtime.status().ToString());
+      inst.context.reset();
+      continue;
+    }
+    inst.runtime = std::move(runtime).value();
+    if (options.share_policies && shared == nullptr && inst.runtime->policy() != nullptr) {
+      policies_[inst.spec.app] = inst.runtime->policy();
+    }
+    inst.latency = inst.context->metrics().GetHistogram("multi.proc_seconds");
+    if (inst.spec.wired) {
+      FleetRuntime* fleet = fleet_;
+      int shard_index = index_;
+      uint32_t instance_index = static_cast<uint32_t>(i);
+      inst.runtime->engine().set_terminal_sink(
+          [fleet, shard_index, instance_index](const std::string&, const Value& msg) {
+            fleet->RouteTerminal(shard_index, instance_index, msg);
+          });
+    }
+  }
+}
+
+void Shard::Process(const FleetEnvelope& env) {
+  if (env.instance >= instances_.size()) {
+    return;
+  }
+  Instance& inst = instances_[env.instance];
+  if (inst.runtime == nullptr) {
+    return;  // setup failed; envelopes for it drain as no-ops
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Status status = env.kind == FleetEnvelope::Kind::kGenerate
+                      ? inst.runtime->DriveMessage(&inst.rng, env.seq)
+                      : inst.runtime->InjectValue(FleetMaterializeMessage(env.payload));
+  if (env.record) {
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    inst.latency->Observe(elapsed.count());
+  }
+  if (!status.ok()) {
+    errors_.push_back(inst.spec.id + ": " + status.ToString());
+  }
+}
+
+void Shard::Run() {
+  g_current_shard = this;
+  BuildInstances();
+  {
+    std::lock_guard<std::mutex> lock(setup_mu_);
+    setup_done_ = true;
+  }
+  setup_cv_.notify_all();
+
+  std::vector<FleetEnvelope> batch;
+  while (mailbox_.PopAll(&batch)) {
+    for (const FleetEnvelope& env : batch) {
+      Process(env);
+      processed_.fetch_add(1, std::memory_order_relaxed);
+      fleet_->OnProcessed();
+    }
+    batch.clear();
+  }
+  g_current_shard = nullptr;
+}
+
+AppRuntime* Shard::runtime_of(uint32_t instance) const {
+  return instance < instances_.size() ? instances_[instance].runtime.get() : nullptr;
+}
+
+RuntimeContext* Shard::context_of(uint32_t instance) const {
+  return instance < instances_.size() ? instances_[instance].context.get() : nullptr;
+}
+
+uint64_t Shard::MergeLatency(obs::Histogram* into) const {
+  uint64_t merged = 0;
+  for (const Instance& inst : instances_) {
+    if (inst.latency == nullptr) {
+      continue;
+    }
+    if (into->Merge(*inst.latency)) {
+      merged += inst.latency->count();
+    }
+  }
+  return merged;
+}
+
+}  // namespace turnstile

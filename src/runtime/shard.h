@@ -1,0 +1,184 @@
+// One worker shard of the fleet runtime (see fleet.h for the full picture).
+//
+// A shard is a thread that *owns* a set of app instances: each instance is an
+// isolated RuntimeContext + AppRuntime + flow-engine event loop, built on the
+// shard's own thread and never touched from any other thread while the shard
+// runs. Work arrives through an MPSC mailbox of FleetEnvelopes; the shard
+// thread drains it in FIFO order, so deliveries to any single instance are
+// processed in exactly the order they were posted — the property the
+// differential gate (fleet vs single-threaded byte-identity) rests on.
+//
+// Ownership story, per shard:
+//   - instances (context, interpreter, engine, tracker): shard-thread only,
+//   - the per-shard Policy cache: same-app instances on one shard share one
+//     parsed Policy, hence one LabelSetPool and RuleGraph with their memo
+//     caches. The caches are unsynchronized by design — sharing never crosses
+//     the shard boundary,
+//   - the mailbox: the only cross-thread structure (mutex + condvars).
+#ifndef TURNSTILE_SRC_RUNTIME_SHARD_H_
+#define TURNSTILE_SRC_RUNTIME_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/corpus/driver.h"
+#include "src/runtime/context.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace turnstile {
+
+class FleetRuntime;
+
+// One unit of shard work: either "generate workload message #seq from the
+// instance's template and drive it" (the bench / test injection path) or
+// "materialize this serialized payload and drive it" (the cross-shard route
+// path). Envelopes own all their data — no interpreter Value ever crosses a
+// thread boundary; cross-shard payloads travel as plain Json.
+struct FleetEnvelope {
+  enum class Kind { kGenerate, kPayload };
+  Kind kind = Kind::kGenerate;
+  uint32_t instance = 0;  // shard-local instance index
+  int seq = 0;            // kGenerate: workload sequence number
+  bool record = false;    // observe processing latency into multi.proc_seconds
+  Json payload;           // kPayload: the serialized message
+};
+
+// Bounded MPSC mailbox: many producers, one consumer (the shard thread).
+//
+// Backpressure policy: a *bounded* push blocks until the queue drops below
+// capacity — external injectors (benches, tests, ingress adapters) therefore
+// experience end-to-end backpressure instead of unbounded memory growth. A
+// push with bounded=false enqueues unconditionally; shard threads use it for
+// routed messages, because a full A→B mailbox must never block shard A while
+// a full B→A mailbox blocks shard B (the classic router deadlock).
+class ShardMailbox {
+ public:
+  explicit ShardMailbox(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Enqueues. Returns false (dropping the envelope) only when the mailbox is
+  // closed. Blocks while full if `bounded`.
+  bool Push(FleetEnvelope env, bool bounded);
+
+  // Blocks until work arrives or the mailbox closes, then moves *everything*
+  // queued into `batch` (appended). Returns false when closed and empty —
+  // the consumer's termination condition.
+  bool PopAll(std::vector<FleetEnvelope>* batch);
+
+  // Wakes every blocked producer and consumer; subsequent pushes are
+  // rejected. Already-queued envelopes still drain through PopAll.
+  void Close();
+
+  size_t depth() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<FleetEnvelope> queue_;
+  bool closed_ = false;
+};
+
+// A worker shard. Configure (AddInstance/WireInstance) from the fleet thread
+// before Start(); after Start() the only safe cross-thread entry is Post().
+// Accessors over instances (runtime_of, context_of, errors) are valid only
+// while the fleet is quiescent: after Drain() with no concurrent posts, or
+// after Join().
+class Shard {
+ public:
+  struct InstanceSpec {
+    const CorpusApp* app = nullptr;
+    std::string id;     // fleet-wide app id ("name#k"), for error reports
+    uint64_t seed = 0;  // workload rng seed
+    bool wired = false; // terminal sends route onward through the fleet
+  };
+
+  Shard(FleetRuntime* fleet, int index, size_t mailbox_capacity);
+  ~Shard();
+
+  // --- fleet-thread, pre-Start ----------------------------------------------
+  uint32_t AddInstance(InstanceSpec spec);
+  void WireInstance(uint32_t instance);
+
+  // Launches the shard thread, which builds every instance (parse, analyze,
+  // instrument, compile — the per-tenant cold path) before it starts draining
+  // the mailbox. Start() returns once setup finished; a setup failure is
+  // reported in status() and the shard runs with the surviving instances.
+  void Start();
+
+  // Close the mailbox and join the thread. Idempotent.
+  void Join();
+
+  // --- any thread -----------------------------------------------------------
+  // Enqueues an envelope. Bounded (blocking when full) unless the caller is
+  // itself a shard thread — see ShardMailbox for the deadlock rationale.
+  bool Post(FleetEnvelope env);
+
+  // The shard whose thread the caller is running on, or nullptr.
+  static Shard* Current();
+
+  int index() const { return index_; }
+  size_t instance_count() const { return specs_.size(); }
+  size_t mailbox_depth() const { return mailbox_.depth(); }
+  uint64_t processed() const { return processed_.load(std::memory_order_relaxed); }
+
+  // --- quiescent-only -------------------------------------------------------
+  const Status& status() const { return status_; }
+  AppRuntime* runtime_of(uint32_t instance) const;
+  RuntimeContext* context_of(uint32_t instance) const;
+  // Per-message drive errors ("app#3: TypeError ..."), in processing order.
+  const std::vector<std::string>& errors() const { return errors_; }
+  // Folds every instance's private multi.proc_seconds histogram into `into`
+  // (which must carry Histogram::DefaultLatencyBounds). Returns observations
+  // merged.
+  uint64_t MergeLatency(obs::Histogram* into) const;
+
+ private:
+  struct Instance {
+    InstanceSpec spec;
+    std::unique_ptr<RuntimeContext> context;
+    std::unique_ptr<AppRuntime> runtime;
+    Rng rng{0};
+    obs::Histogram* latency = nullptr;  // context-private multi.proc_seconds
+  };
+
+  void Run();
+  void BuildInstances();
+  void Process(const FleetEnvelope& env);
+
+  FleetRuntime* const fleet_;
+  const int index_;
+  ShardMailbox mailbox_;
+
+  std::vector<InstanceSpec> specs_;  // frozen at Start()
+  std::vector<Instance> instances_;  // shard-thread owned after Start()
+  // Per-shard label interning: one parsed Policy per app, shared by every
+  // same-app instance on this shard (and only this shard).
+  std::unordered_map<const CorpusApp*, std::shared_ptr<Policy>> policies_;
+
+  std::thread thread_;
+  bool started_ = false;
+  Status status_ = Status::Ok();
+  std::vector<std::string> errors_;
+  std::atomic<uint64_t> processed_{0};
+
+  std::mutex setup_mu_;
+  std::condition_variable setup_cv_;
+  bool setup_done_ = false;
+};
+
+}  // namespace turnstile
+
+#endif  // TURNSTILE_SRC_RUNTIME_SHARD_H_

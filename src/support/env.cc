@@ -1,0 +1,55 @@
+#include "src/support/env.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/support/logging.h"
+
+namespace turnstile {
+
+namespace {
+// Variable names that have already produced a warning. Guarded by a mutex:
+// env probes happen at startup/setup time, never on a hot path.
+std::mutex g_warned_mu;
+std::set<std::string>& WarnedNames() {
+  static std::set<std::string>* names = new std::set<std::string>();
+  return *names;
+}
+
+void WarnOnce(const char* name, const char* value, long fallback, long min, long max) {
+  std::lock_guard<std::mutex> lock(g_warned_mu);
+  if (!WarnedNames().insert(name).second) {
+    return;
+  }
+  TURNSTILE_LOG(Warning) << "invalid " << name << " value \"" << value
+                         << "\"; expected an integer in [" << min << ", " << max
+                         << "] — keeping the default " << fallback;
+}
+}  // namespace
+
+long EnvInt(const char* name, long fallback, long min, long max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  // Whole-string contract: no leading whitespace either (strtol would skip
+  // it), so the accepted language is exactly an optionally-signed integer.
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (std::isspace(static_cast<unsigned char>(value[0])) || end == value || *end != '\0' ||
+      parsed < min || parsed > max) {
+    WarnOnce(name, value, fallback, min, max);
+    return fallback;
+  }
+  return parsed;
+}
+
+void ResetEnvWarningsForTest() {
+  std::lock_guard<std::mutex> lock(g_warned_mu);
+  WarnedNames().clear();
+}
+
+}  // namespace turnstile

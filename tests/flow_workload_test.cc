@@ -1,0 +1,100 @@
+// Workload synthesis contracts: every $-template placeholder expands
+// deterministically per (rng state, seq) — the property both the benches and
+// the fleet runtime's differential gate rely on — and the streaming
+// completion-time model handles its edge cases (empty stream, saturating
+// rate, idle arrivals, zero rate).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/flow/workload.h"
+#include "src/interp/value.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+
+namespace turnstile {
+namespace {
+
+constexpr const char* kPlaceholders[] = {"$frame", "$word",  "$sentence", "$num", "$id",
+                                         "$email", "$topic", "$seq",      "$json"};
+
+std::string Render(const Json& tmpl, uint64_t seed, int seq) {
+  Rng rng(seed);
+  return UnboxDeep(GenerateMessage(tmpl, &rng, seq)).ToDisplayString();
+}
+
+TEST(FlowWorkloadTest, EveryPlaceholderExpandsDeterministicallyPerRngAndSeq) {
+  for (const char* placeholder : kPlaceholders) {
+    SCOPED_TRACE(placeholder);
+    Json tmpl{std::string(placeholder)};
+    // Same rng seed + same seq -> byte-identical expansion.
+    EXPECT_EQ(Render(tmpl, 977u, 3), Render(tmpl, 977u, 3));
+    // $seq ignores the rng; everything else is a pure function of rng state.
+    std::string different_seed = Render(tmpl, 978u, 3);
+    if (std::string(placeholder) == "$seq") {
+      EXPECT_EQ(Render(tmpl, 977u, 3), different_seed);
+    } else {
+      EXPECT_NE(Render(tmpl, 977u, 3), different_seed);
+    }
+  }
+}
+
+TEST(FlowWorkloadTest, SeqReachesFrameAndSeqPlaceholders) {
+  // $frame embeds the sequence number; $seq *is* the sequence number.
+  EXPECT_NE(Render(Json(std::string("$frame")), 977u, 1),
+            Render(Json(std::string("$frame")), 977u, 2));
+  EXPECT_EQ(Render(Json(std::string("$seq")), 1u, 41), "41");
+  Rng rng(1u);
+  Value seq_value = GenerateMessage(Json(std::string("$seq")), &rng, 7);
+  ASSERT_TRUE(seq_value.IsNumber());
+  EXPECT_EQ(seq_value.AsNumber(), 7.0);
+}
+
+TEST(FlowWorkloadTest, UnknownPlaceholderAndLiteralsCopyVerbatim) {
+  EXPECT_EQ(Render(Json(std::string("$nope")), 977u, 0), "$nope");
+  EXPECT_EQ(Render(Json(std::string("plain")), 977u, 0), "plain");
+  // Dollar placeholders nested in objects/arrays expand in template order, so
+  // a fixed seed renders the whole composite message identically.
+  Json tmpl = Json::Object();
+  tmpl.Set("id", Json(std::string("$id")));
+  Json readings = Json::Array();
+  readings.Append(Json(std::string("$num")));
+  readings.Append(Json(std::string("$num")));
+  tmpl.Set("readings", readings);
+  std::string once = Render(tmpl, 42u, 0);
+  EXPECT_EQ(once, Render(tmpl, 42u, 0));
+  EXPECT_NE(once, Render(tmpl, 43u, 0));
+}
+
+TEST(FlowWorkloadTest, StreamCompletionTimeEmptyStreamIsZero) {
+  EXPECT_EQ(StreamCompletionTime({}, 10.0), 0.0);
+  EXPECT_EQ(StreamCompletionTime({}, 0.0), 0.0);
+}
+
+TEST(FlowWorkloadTest, StreamCompletionTimeSaturatedRateIsSumOfWork) {
+  // Arrivals at 1000 Hz but 0.1 s of work per message: the queue never
+  // drains, so completion is arrival-independent total work.
+  std::vector<double> proc = {0.1, 0.1, 0.1, 0.1};
+  EXPECT_DOUBLE_EQ(StreamCompletionTime(proc, 1000.0), 0.4);
+  // Rate 0 disables pacing entirely (period 0): same serial sum.
+  EXPECT_DOUBLE_EQ(StreamCompletionTime(proc, 0.0), 0.4);
+}
+
+TEST(FlowWorkloadTest, StreamCompletionTimeIdleArrivalsAreWorkConserving) {
+  // 1 Hz arrivals, 0.01 s work: every message starts at its arrival instant,
+  // so completion = last arrival + its own processing.
+  std::vector<double> proc(5, 0.01);
+  EXPECT_DOUBLE_EQ(StreamCompletionTime(proc, 1.0), 4.0 + 0.01);
+  // One slow message delays its successor past that successor's arrival.
+  std::vector<double> bursty = {1.5, 0.01};  // arrivals at t=0 and t=1
+  EXPECT_DOUBLE_EQ(StreamCompletionTime(bursty, 1.0), 1.5 + 0.01);
+}
+
+TEST(FlowWorkloadTest, RelativeRuntimeGuardsZeroOriginal) {
+  EXPECT_DOUBLE_EQ(RelativeRuntime({0.2, 0.2}, {}, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeRuntime({0.2, 0.2}, {0.1, 0.1}, 1000.0), 2.0);
+}
+
+}  // namespace
+}  // namespace turnstile

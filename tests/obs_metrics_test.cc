@@ -339,6 +339,54 @@ TEST(MetricsConcurrencyTest, TwoContextRegistriesPlusSnapshotterStayConsistent) 
   EXPECT_EQ(registry_a.GetHistogram("work.seconds")->count(), kIncrements);
 }
 
+TEST(HistogramTest, MergeFoldsBucketsCountAndSum) {
+  Histogram a({0.001, 0.01, 0.1});
+  Histogram b({0.001, 0.01, 0.1});
+  a.Observe(0.0005);
+  a.Observe(0.05);
+  b.Observe(0.005);
+  b.Observe(0.05);
+  b.Observe(5.0);  // +Inf bucket
+
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0005 + 0.05 + 0.005 + 0.05 + 5.0);
+  // Cumulative per-le counts: <=0.001 holds 1, <=0.01 adds b's 0.005, <=0.1
+  // holds both 0.05s, +Inf catches everything.
+  std::vector<uint64_t> cumulative = a.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 4u);
+  EXPECT_EQ(cumulative[0], 1u);
+  EXPECT_EQ(cumulative[1], 2u);
+  EXPECT_EQ(cumulative[2], 4u);
+  EXPECT_EQ(cumulative[3], 5u);
+  // The source is untouched; quantiles now answer over the merged population.
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_GT(a.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, MergeIsRepeatableAndMergesEmpties) {
+  Histogram into(Histogram::DefaultLatencyBounds());
+  Histogram empty(Histogram::DefaultLatencyBounds());
+  ASSERT_TRUE(into.Merge(empty));
+  EXPECT_EQ(into.count(), 0u);
+
+  Histogram shard(Histogram::DefaultLatencyBounds());
+  shard.Observe(0.002);
+  ASSERT_TRUE(into.Merge(shard));
+  ASSERT_TRUE(into.Merge(shard));  // per-shard merged twice = counted twice
+  EXPECT_EQ(into.count(), 2u);
+  EXPECT_DOUBLE_EQ(into.sum(), 0.004);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBoundsUntouched) {
+  Histogram a({0.001, 0.01});
+  Histogram b({0.001, 0.5});
+  b.Observe(0.2);
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
 TEST(PrometheusTest, LabeledHistogramMergesLeIntoLabelBlock) {
   Metrics metrics;
   Histogram* h = metrics.GetHistogram(MetricWithLabel("turn.seconds", "node", "gf"), {1.0});

@@ -34,6 +34,7 @@
 #include "src/obs/audit.h"
 #include "src/support/json.h"
 #include "src/support/rng.h"
+#include "tools/cli_args.h"
 
 namespace turnstile {
 namespace {
@@ -180,40 +181,30 @@ int Main(int argc, char** argv) {
       PrintUsage(stdout);
       return 0;
     }
-    if (arg.rfind("--messages=", 0) == 0) {
-      char* end = nullptr;
-      long parsed = std::strtol(arg.c_str() + 11, &end, 10);
-      if (end == arg.c_str() + 11 || *end != '\0' || parsed <= 0 || parsed > 100000) {
-        std::fprintf(stderr, "audit_query: bad --messages value '%s'\n", arg.c_str());
+    cli::FlagParse parse;
+    if ((parse = cli::ParseIntFlag(arg, "--messages", "audit_query", 100000, &messages)) !=
+        cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
         return 2;
       }
-      messages = static_cast<int>(parsed);
-    } else if (arg.rfind("--tier=", 0) == 0) {
-      std::string t = arg.substr(7);
-      tier = ExecTierFromName(t.c_str());
-      if (!tier.has_value()) {
-        std::fprintf(stderr,
-                     "audit_query: unknown tier '%s' (accepted: bytecode, "
-                     "bytecode-lowered, treewalk)\n",
-                     t.c_str());
+    } else if ((parse = cli::ParseTierFlag(arg, "audit_query", &tier)) !=
+               cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
         return 2;
       }
-    } else if (arg.rfind("--source=", 0) == 0) {
-      source_label = arg.substr(9);
-      if (source_label.empty()) {
-        std::fprintf(stderr, "audit_query: --source needs a label name\n");
+    } else if ((parse = cli::ParseStringFlag(arg, "--source", "audit_query", "label name",
+                                             &source_label)) != cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
         return 2;
       }
-    } else if (arg.rfind("--sink=", 0) == 0) {
-      sink_name = arg.substr(7);
-      if (sink_name.empty()) {
-        std::fprintf(stderr, "audit_query: --sink needs a sink name\n");
+    } else if ((parse = cli::ParseStringFlag(arg, "--sink", "audit_query", "sink name",
+                                             &sink_name)) != cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
         return 2;
       }
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-      if (out_path.empty()) {
-        std::fprintf(stderr, "audit_query: --out needs a path\n");
+    } else if ((parse = cli::ParseStringFlag(arg, "--out", "audit_query", "path", &out_path)) !=
+               cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
         return 2;
       }
     } else if (arg == "--check-fig10") {

@@ -1,0 +1,72 @@
+#include "tools/cli_args.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace turnstile {
+namespace cli {
+
+namespace {
+// Returns the value part of "<flag>=V", or nullptr when arg is for a
+// different flag. The '=' is required: a bare "--messages" is not a match
+// (the caller's unknown-argument branch reports it).
+const char* FlagValue(const std::string& arg, const char* flag) {
+  size_t flag_len = std::strlen(flag);
+  if (arg.compare(0, flag_len, flag) != 0 || arg.size() < flag_len + 1 ||
+      arg[flag_len] != '=') {
+    return nullptr;
+  }
+  return arg.c_str() + flag_len + 1;
+}
+}  // namespace
+
+FlagParse ParseIntFlag(const std::string& arg, const char* flag, const char* tool, long max,
+                       int* out) {
+  const char* value = FlagValue(arg, flag);
+  if (value == nullptr) {
+    return FlagParse::kNoMatch;
+  }
+  // Strict parse: "--messages=12abc" must be rejected, not read as 12.
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0 || parsed > max) {
+    std::fprintf(stderr, "%s: bad %s value '%s'\n", tool, flag, arg.c_str());
+    return FlagParse::kBad;
+  }
+  *out = static_cast<int>(parsed);
+  return FlagParse::kOk;
+}
+
+FlagParse ParseStringFlag(const std::string& arg, const char* flag, const char* tool,
+                          const char* what, std::string* out) {
+  const char* value = FlagValue(arg, flag);
+  if (value == nullptr) {
+    return FlagParse::kNoMatch;
+  }
+  if (what != nullptr && *value == '\0') {
+    std::fprintf(stderr, "%s: %s needs a %s\n", tool, flag, what);
+    return FlagParse::kBad;
+  }
+  *out = value;
+  return FlagParse::kOk;
+}
+
+FlagParse ParseTierFlag(const std::string& arg, const char* tool, std::optional<ExecTier>* out) {
+  const char* value = FlagValue(arg, "--tier");
+  if (value == nullptr) {
+    return FlagParse::kNoMatch;
+  }
+  *out = ExecTierFromName(value);
+  if (!out->has_value()) {
+    std::fprintf(stderr,
+                 "%s: unknown tier '%s' (accepted: bytecode, "
+                 "bytecode-lowered, treewalk)\n",
+                 tool, value);
+    return FlagParse::kBad;
+  }
+  return FlagParse::kOk;
+}
+
+}  // namespace cli
+}  // namespace turnstile

@@ -1,0 +1,47 @@
+// Shared strict argv parsing for the CLI tools (profile_app, audit_query,
+// bench mains). Every tool historically hand-rolled the same whole-string
+// strtol contract and error wording; this header is that contract, factored
+// once. The wording is load-bearing: the CLI contract tests in
+// tools/CMakeLists.txt grep stderr for these exact messages.
+#ifndef TURNSTILE_TOOLS_CLI_ARGS_H_
+#define TURNSTILE_TOOLS_CLI_ARGS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/interp/interp.h"
+
+namespace turnstile {
+namespace cli {
+
+// Three-way result of matching one argv token against one flag: the token is
+// for a different flag entirely (kNoMatch — keep walking the else-if chain),
+// parsed fine (kOk), or matched the flag but failed validation (kBad — the
+// parser already printed the diagnostic; the caller exits 2).
+enum class FlagParse { kNoMatch, kOk, kBad };
+
+// Strict positive-integer flag: matches "<flag>=N" (e.g. flag = "--messages").
+// The value must be a whole-string decimal integer in [1, max] — an empty
+// value, trailing garbage ("--messages=12abc"), a non-positive value, or one
+// above `max` is rejected with
+//   "<tool>: bad <flag> value '<full-arg>'"
+// on stderr (the historical wording, full token included).
+FlagParse ParseIntFlag(const std::string& arg, const char* flag, const char* tool, long max,
+                       int* out);
+
+// String flag: matches "<flag>=V". When `what` is non-null an empty value is
+// rejected with "<tool>: <flag> needs a <what>" on stderr; when null, empty
+// values are accepted verbatim.
+FlagParse ParseStringFlag(const std::string& arg, const char* flag, const char* tool,
+                          const char* what, std::string* out);
+
+// Execution-tier flag: matches "--tier=T" against ExecTierFromName, rejecting
+// unknown names with
+//   "<tool>: unknown tier '<T>' (accepted: bytecode, bytecode-lowered, treewalk)"
+// on stderr.
+FlagParse ParseTierFlag(const std::string& arg, const char* tool, std::optional<ExecTier>* out);
+
+}  // namespace cli
+}  // namespace turnstile
+
+#endif  // TURNSTILE_TOOLS_CLI_ARGS_H_

@@ -38,6 +38,7 @@
 #include "src/support/rng.h"
 #include "src/vm/bytecode.h"
 #include "src/vm/compiler.h"
+#include "tools/cli_args.h"
 
 namespace turnstile {
 namespace {
@@ -82,15 +83,12 @@ int Main(int argc, char** argv) {
       PrintUsage(stdout);
       return 0;
     }
-    if (arg.rfind("--messages=", 0) == 0) {
-      // Strict parse: "--messages=12abc" must be rejected, not read as 12.
-      char* end = nullptr;
-      long parsed = std::strtol(arg.c_str() + 11, &end, 10);
-      if (end == arg.c_str() + 11 || *end != '\0' || parsed <= 0 || parsed > 1000000) {
-        std::fprintf(stderr, "profile_app: bad --messages value '%s'\n", arg.c_str());
+    cli::FlagParse parse;
+    if ((parse = cli::ParseIntFlag(arg, "--messages", "profile_app", 1000000, &messages)) !=
+        cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
         return 2;
       }
-      messages = static_cast<int>(parsed);
     } else if (arg.rfind("--version=", 0) == 0) {
       std::string v = arg.substr(10);
       if (v == "original") {
@@ -105,22 +103,17 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "profile_app: unknown version '%s'\n", v.c_str());
         return 2;
       }
-    } else if (arg.rfind("--tier=", 0) == 0) {
-      std::string t = arg.substr(7);
-      tier = ExecTierFromName(t.c_str());
-      if (!tier.has_value()) {
-        std::fprintf(stderr,
-                     "profile_app: unknown tier '%s' (accepted: bytecode, "
-                     "bytecode-lowered, treewalk)\n",
-                     t.c_str());
+    } else if ((parse = cli::ParseTierFlag(arg, "profile_app", &tier)) !=
+               cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
         return 2;
       }
     } else if (arg == "--disasm") {
       disasm = true;
-    } else if (arg.rfind("--profile=", 0) == 0) {
-      profile_path = arg.substr(10);
-    } else if (arg.rfind("--trace-export=", 0) == 0) {
-      trace_export_path = arg.substr(15);
+    } else if (cli::ParseStringFlag(arg, "--profile", "profile_app", nullptr, &profile_path) ==
+               cli::FlagParse::kOk) {
+    } else if (cli::ParseStringFlag(arg, "--trace-export", "profile_app", nullptr,
+                                    &trace_export_path) == cli::FlagParse::kOk) {
     } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
       // handled by MaybeWriteMetricsSnapshot after the run
     } else if (!arg.empty() && arg[0] != '-') {
