@@ -3,7 +3,7 @@
 // per-tenant rates through the FleetRuntime mailbox router.
 //
 //   bench_fleet [--instances=N] [--shards=N] [--messages=N] [--warmup=N]
-//               [--json[=PATH]]
+//               [--trace-export=PATH] [--json[=PATH]]
 //
 //   --instances=N   tenant count (default: TURNSTILE_BENCH_INSTANCES, then
 //                   1000). Tenants round-robin over the managed corpus apps
@@ -18,18 +18,31 @@
 //                   TURNSTILE_BENCH_MESSAGES, then 200).
 //   --warmup=N      unrecorded messages per instance before the timed
 //                   window (default 5).
+//   --trace-export=PATH
+//                   enables fleet trace propagation (per-context recorders +
+//                   fleet trace ids), wires instance #0 -> instance #1 so
+//                   messages cross shards, and writes the assembled Chrome
+//                   trace (lane per shard, flow arrows per wire hop) to PATH
+//                   after the run. Perfetto / chrome://tracing loads it.
 //
 // Reports per-shard and aggregate p50/p90/p99 message-processing latency —
 // merged from every instance's context-private `multi.proc_seconds`
 // histogram via obs::Histogram::Merge, after Drain(), so the hot path never
-// locks — plus wall-clock throughput over the timed window. Everything lands
-// in the global registry under `fleet.*` for the --json snapshot
-// (BENCH_fleet.json in CI).
+// locks — plus wall-clock throughput over the timed window, now split into
+// queue-wait (enqueue->dequeue, `fleet.queue_seconds`) vs processing
+// (`multi.proc_seconds`) so mailbox sit-time is no longer conflated with
+// drive time. Everything lands in the global registry under `fleet.*` for
+// the --json snapshot (BENCH_fleet.json in CI).
+//
+// When TURNSTILE_TELEMETRY started the live HTTP server, the fleet attaches
+// to it after Start(): /metrics serves the per-shard health series and
+// /healthz the per-shard liveness while the bench runs.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/profiler.h"
 #include "src/runtime/fleet.h"
 #include "src/support/env.h"
 #include "tools/cli_args.h"
@@ -57,10 +70,15 @@ void PublishQuantiles(obs::Metrics& global, const obs::Histogram& hist,
 }
 
 int Main(int argc, char** argv) {
+  // Fleet instances run on isolated contexts, which never apply process-env
+  // obs config on their own — opt the bench process in explicitly so
+  // TURNSTILE_TELEMETRY=<port|path> works for live soaks (EXPERIMENTS.md).
+  obs::ApplyEnvObsConfig();
   int instances = static_cast<int>(EnvInt("TURNSTILE_BENCH_INSTANCES", 1000, 1, 100000));
   int shards = 0;  // 0 = FleetRuntime resolves TURNSTILE_FLEET_SHARDS
   int base_messages = static_cast<int>(EnvInt("TURNSTILE_BENCH_MESSAGES", 200, 1, 1000000));
   int warmup = 5;
+  std::string trace_export;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     cli::FlagParse parse;
@@ -84,13 +102,18 @@ int Main(int argc, char** argv) {
       if (parse == cli::FlagParse::kBad) {
         return 2;
       }
+    } else if ((parse = cli::ParseStringFlag(arg, "--trace-export", "bench_fleet", "path",
+                                             &trace_export)) != cli::FlagParse::kNoMatch) {
+      if (parse == cli::FlagParse::kBad) {
+        return 2;
+      }
     } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
       // handled by MaybeDumpMetricsSnapshot after the run
     } else {
       std::fprintf(stderr, "bench_fleet: unknown argument '%s'\n", arg.c_str());
       std::fprintf(stderr,
                    "usage: bench_fleet [--instances=N] [--shards=N] [--messages=N]\n"
-                   "                   [--warmup=N] [--json[=PATH]]\n");
+                   "                   [--warmup=N] [--trace-export=PATH] [--json[=PATH]]\n");
       return 2;
     }
   }
@@ -108,6 +131,9 @@ int Main(int argc, char** argv) {
 
   FleetRuntime::Options options;
   options.shards = shards;
+  if (!trace_export.empty()) {
+    options.trace_capacity = 1u << 15;
+  }
   FleetRuntime fleet(options);
 
   std::vector<std::string> ids;
@@ -118,6 +144,15 @@ int Main(int argc, char** argv) {
     ids.push_back(fleet.AddApp(*apps[static_cast<size_t>(i) % apps.size()]));
     quotas.push_back(ClassMessages(static_cast<size_t>(i), base_messages));
     planned += static_cast<uint64_t>(quotas.back());
+  }
+  if (!trace_export.empty() && ids.size() >= 2) {
+    // One cross-instance wire so the exported trace contains wire hops; with
+    // >= 2 instances on >= 2 shards the hop crosses a shard boundary.
+    Status wired = fleet.Wire(ids[0], ids[1]);
+    if (!wired.ok()) {
+      std::fprintf(stderr, "bench_fleet: wire for --trace-export: %s\n",
+                   wired.ToString().c_str());
+    }
   }
 
   std::printf("Fleet: %d instances x ~%d messages (mixed 0.5x/1x/2x rates, %llu total) "
@@ -133,6 +168,12 @@ int Main(int argc, char** argv) {
   }
   std::printf("setup (parse+analyze+instrument+compile, parallel per shard): %.2f s\n",
               setup.ElapsedSeconds());
+
+  if (obs::TelemetryServer::Global().running()) {
+    fleet.AttachTelemetry(&obs::TelemetryServer::Global());
+    std::printf("telemetry: fleet health attached at 127.0.0.1:%d (/metrics, /healthz)\n",
+                obs::TelemetryServer::Global().port());
+  }
 
   // Warm-up outside the timed/recorded window: caches, compiled chunks.
   for (int seq = 0; seq < warmup; ++seq) {
@@ -157,6 +198,27 @@ int Main(int argc, char** argv) {
   }
   fleet.Drain();
   const double wall_seconds = wall.ElapsedSeconds();
+
+  // Quiescent: assemble + export the fleet trace before Stop tears anything
+  // down (and publish to the live server if one is up).
+  if (!trace_export.empty()) {
+    obs::FleetTraceAssembler assembled = fleet.AssembleTrace();
+    std::string json = assembled.ChromeTraceJson().Dump(/*pretty=*/false) + "\n";
+    std::FILE* file = std::fopen(trace_export.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench_fleet: cannot open '%s' for writing\n", trace_export.c_str());
+    } else {
+      std::fwrite(json.data(), 1, json.size(), file);
+      std::fclose(file);
+      std::printf("fleet trace: %zu fleet traces, %llu wire hops -> %s\n",
+                  assembled.fleet_trace_count(),
+                  static_cast<unsigned long long>(assembled.wire_hops()),
+                  trace_export.c_str());
+    }
+    if (obs::TelemetryServer::Global().running()) {
+      fleet.PublishTraces(&obs::TelemetryServer::Global());
+    }
+  }
   fleet.Stop();
 
   std::vector<std::string> errors = fleet.errors();
@@ -167,19 +229,25 @@ int Main(int argc, char** argv) {
   }
 
   obs::Metrics& global = obs::Metrics::Global();
-  std::printf("\n%-6s %10s | %10s %10s %10s %12s\n", "shard", "instances", "p50 (us)",
-              "p90 (us)", "p99 (us)", "messages");
-  std::printf("------------------+------------------------------------------------\n");
+  std::printf("\n%-6s %10s | %10s %10s %10s | %10s %10s | %12s\n", "shard", "instances",
+              "p50 (us)", "p90 (us)", "p99 (us)", "q50 (us)", "q99 (us)", "messages");
+  std::printf("------------------+----------------------------------+-----------------------+"
+              "-------------\n");
   for (int s = 0; s < fleet.shard_count(); ++s) {
     obs::Histogram shard_hist(obs::Histogram::DefaultLatencyBounds());
     fleet.MergeShardLatency(s, &shard_hist);
-    std::printf("%-6d %10zu | %10.2f %10.2f %10.2f %12llu\n", s,
+    const obs::Histogram& queue_hist = fleet.shard(s).queue_latency();
+    std::printf("%-6d %10zu | %10.2f %10.2f %10.2f | %10.2f %10.2f | %12llu\n", s,
                 fleet.shard(s).instance_count(), shard_hist.Quantile(0.50) * 1e6,
                 shard_hist.Quantile(0.90) * 1e6, shard_hist.Quantile(0.99) * 1e6,
+                queue_hist.Quantile(0.50) * 1e6, queue_hist.Quantile(0.99) * 1e6,
                 static_cast<unsigned long long>(shard_hist.count()));
     // MetricWithLabel with an empty family yields just the label block, so
     // the published keys read fleet.proc_p99_seconds{shard="0"} etc.
-    PublishQuantiles(global, shard_hist, obs::MetricWithLabel("", "shard", std::to_string(s)));
+    const std::string scope = obs::MetricWithLabel("", "shard", std::to_string(s));
+    PublishQuantiles(global, shard_hist, scope);
+    global.GetFloatGauge("fleet.queue_p50_seconds" + scope)->Set(queue_hist.Quantile(0.50));
+    global.GetFloatGauge("fleet.queue_p99_seconds" + scope)->Set(queue_hist.Quantile(0.99));
   }
 
   obs::Histogram fleet_hist(obs::Histogram::DefaultLatencyBounds());
@@ -187,19 +255,38 @@ int Main(int argc, char** argv) {
   const uint64_t processed = fleet.messages_processed();
   const double throughput = wall_seconds > 0 ? recorded / wall_seconds : 0.0;
 
+  // The queue-wait vs processing split (satellite of ISSUE 10): merge the
+  // shard-level mailbox histograms into global registry entries so the
+  // --json snapshot carries full bucket data for both sides of the split.
+  obs::Histogram* queue_global = global.GetHistogram("fleet.queue_seconds");
+  obs::Histogram* wait_global = global.GetHistogram("fleet.enqueue_wait_seconds");
+  const uint64_t queued = fleet.MergeQueueLatency(queue_global);
+  const uint64_t stalls = fleet.MergeEnqueueWait(wait_global);
+
   global.GetGauge("fleet.instances")->Set(instances);
   global.GetGauge("fleet.shards")->Set(fleet.shard_count());
   global.GetGauge("fleet.messages_total")->Set(static_cast<int64_t>(recorded));
   global.GetFloatGauge("fleet.wall_seconds")->Set(wall_seconds);
   global.GetFloatGauge("fleet.throughput_msgs_per_s")->Set(throughput);
   PublishQuantiles(global, fleet_hist, "");
+  global.GetFloatGauge("fleet.queue_p50_seconds")->Set(queue_global->Quantile(0.50));
+  global.GetFloatGauge("fleet.queue_p90_seconds")->Set(queue_global->Quantile(0.90));
+  global.GetFloatGauge("fleet.queue_p99_seconds")->Set(queue_global->Quantile(0.99));
+  global.GetFloatGauge("fleet.enqueue_wait_p99_seconds")->Set(wait_global->Quantile(0.99));
+  global.GetGauge("fleet.enqueue_stalls")->Set(static_cast<int64_t>(stalls));
 
   std::printf("\n%llu recorded messages (%llu processed incl. warm-up) over %.3f s wall "
               "-> %.0f msg/s aggregate\n",
               static_cast<unsigned long long>(recorded),
               static_cast<unsigned long long>(processed), wall_seconds, throughput);
-  std::printf("fleet p50 %.2f us, p90 %.2f us, p99 %.2f us\n", fleet_hist.Quantile(0.50) * 1e6,
-              fleet_hist.Quantile(0.90) * 1e6, fleet_hist.Quantile(0.99) * 1e6);
+  std::printf("processing: p50 %.2f us, p90 %.2f us, p99 %.2f us\n",
+              fleet_hist.Quantile(0.50) * 1e6, fleet_hist.Quantile(0.90) * 1e6,
+              fleet_hist.Quantile(0.99) * 1e6);
+  std::printf("queue wait: p50 %.2f us, p90 %.2f us, p99 %.2f us over %llu deliveries "
+              "(%llu backpressure stalls, stall p99 %.2f us)\n",
+              queue_global->Quantile(0.50) * 1e6, queue_global->Quantile(0.90) * 1e6,
+              queue_global->Quantile(0.99) * 1e6, static_cast<unsigned long long>(queued),
+              static_cast<unsigned long long>(stalls), wait_global->Quantile(0.99) * 1e6);
   return 0;
 }
 

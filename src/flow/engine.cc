@@ -144,8 +144,9 @@ ObjectPtr FlowEngine::MakeNodeObject(const std::string& id,
           if (engine->terminal_sink_) {
             // Fired after the engine's own terminal accounting so a wired
             // sink never changes what this instance records about itself.
+            const uint64_t trace_id = engine->trace_recorder_->current_trace();
             for (const Value& m : messages) {
-              engine->terminal_sink_(id, m);
+              engine->terminal_sink_(id, m, trace_id);
             }
           }
           return Value::Undefined();

@@ -85,8 +85,11 @@ class FlowEngine {
   // outputs into another app instance's mailbox. The hook runs on the
   // engine's own thread mid-event-loop: it must not re-enter this
   // interpreter; enqueue (PostInput on another engine, or a shard mailbox
-  // post) and return.
-  using TerminalSink = std::function<void(const std::string& node_id, const Value& msg)>;
+  // post) and return. `trace_id` is the recorder-local trace the send is
+  // attributed to (0 when tracing is disabled) — the fleet runtime folds it
+  // into the outgoing FleetTraceContext so cross-shard hops stitch.
+  using TerminalSink =
+      std::function<void(const std::string& node_id, const Value& msg, uint64_t trace_id)>;
   void set_terminal_sink(TerminalSink sink) { terminal_sink_ = std::move(sink); }
 
   // The node instance object (for assertions), or nullptr.

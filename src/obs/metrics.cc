@@ -129,6 +129,17 @@ std::vector<uint64_t> Histogram::CumulativeCounts() const {
 
 bool Histogram::Merge(const Histogram& other) {
   if (bounds_ != other.bounds_) {
+    // A rejected merge used to vanish silently; make it observable. The
+    // counter lives in the global registry (a Histogram has no back-pointer
+    // to its owning registry), the warning fires once per process.
+    Metrics::Global().GetCounter("obs.merge_rejected")->Increment();
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "obs: histogram merge rejected (bucket bounds differ; %zu vs %zu bounds); "
+                   "counting under obs.merge_rejected\n",
+                   bounds_.size(), other.bounds_.size());
+    }
     return false;
   }
   for (size_t i = 0; i < buckets_.size(); ++i) {

@@ -11,6 +11,7 @@
 
 #include "src/obs/audit.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 
 namespace turnstile {
 namespace obs {
@@ -587,6 +588,14 @@ void WriteAuditAtExit() {
   ledger.FlushSpill();
 }
 
+// TURNSTILE_TELEMETRY's shutdown hook: stop whichever exporter the env var
+// started so the reader thread joins and the snapshot file gets its final
+// line before the process exits.
+void StopTelemetryAtExit() {
+  TelemetryServer::Global().Stop();
+  TelemetrySnapshotWriter::Global().Stop();
+}
+
 }  // namespace
 
 namespace {
@@ -651,6 +660,33 @@ void ApplyEnvObsConfigLocked() {
       AuditLedger::Global().Enable();
       if (AuditLedger::Global().SetSpillPath(audit)) {
         std::atexit(WriteAuditAtExit);
+      }
+    }
+  }
+  // TURNSTILE_TELEMETRY=<port|path>: a number in [1,65535] starts the HTTP
+  // server on 127.0.0.1:<port>; anything else is a JSONL path for the
+  // periodic snapshot writer. Same once-at-startup precedence as
+  // TURNSTILE_PROFILE: read once here, programmatic Start/Stop overrides.
+  const char* telemetry = std::getenv("TURNSTILE_TELEMETRY");
+  if (telemetry != nullptr && telemetry[0] != '\0' && std::string(telemetry) != "0") {
+    char* end = nullptr;
+    long port = std::strtol(telemetry, &end, 10);
+    if (end != nullptr && *end == '\0' && port >= 1 && port <= 65535) {
+      Status status = TelemetryServer::Global().Start(static_cast<int>(port));
+      if (status.ok()) {
+        std::fprintf(stderr, "telemetry: serving /metrics /healthz /traces on 127.0.0.1:%d\n",
+                     TelemetryServer::Global().port());
+        std::atexit(StopTelemetryAtExit);
+      } else {
+        std::fprintf(stderr, "telemetry: %s\n", status.message().c_str());
+      }
+    } else {
+      Status status = TelemetrySnapshotWriter::Global().Start(telemetry);
+      if (status.ok()) {
+        std::fprintf(stderr, "telemetry: appending metric snapshots to %s\n", telemetry);
+        std::atexit(StopTelemetryAtExit);
+      } else {
+        std::fprintf(stderr, "telemetry: %s\n", status.message().c_str());
       }
     }
   }

@@ -1,0 +1,319 @@
+#include "src/obs/telemetry.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace turnstile {
+namespace obs {
+
+namespace {
+
+// Writes the whole buffer, swallowing SIGPIPE (a client that hung up
+// mid-response is its problem, not ours).
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+// --- TelemetryServer ---------------------------------------------------------
+
+TelemetryServer& TelemetryServer::Global() {
+  static TelemetryServer* instance = new TelemetryServer();
+  return *instance;
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("telemetry: server already running on port " +
+                                   std::to_string(port_.load()));
+  }
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError("telemetry: port out of range: " + std::to_string(port));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("telemetry: socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only, by design
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = InternalError(std::string("telemetry: bind 127.0.0.1:") +
+                                  std::to_string(port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status = InternalError(std::string("telemetry: listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_.store(static_cast<int>(ntohs(bound.sin_port)), std::memory_order_release);
+  } else {
+    port_.store(port, std::memory_order_release);
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() on a listening socket wakes the blocked accept() (EINVAL on
+  // Linux); the fd itself is closed only after the join, so the reader can
+  // never race a recycled descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_.store(0, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetryServer::SetMetricsProvider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(provider_mu_);
+  metrics_provider_ = std::move(provider);
+}
+
+void TelemetryServer::SetHealthProvider(std::function<Json()> provider) {
+  std::lock_guard<std::mutex> lock(provider_mu_);
+  health_provider_ = std::move(provider);
+}
+
+void TelemetryServer::ClearProviders() {
+  std::lock_guard<std::mutex> lock(provider_mu_);
+  metrics_provider_ = nullptr;
+  health_provider_ = nullptr;
+}
+
+void TelemetryServer::PublishTrace(uint64_t fleet_trace_id, std::string trace_json) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  traces_[fleet_trace_id] = std::move(trace_json);
+}
+
+void TelemetryServer::PublishFullTrace(std::string trace_json) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  full_trace_ = std::move(trace_json);
+}
+
+void TelemetryServer::Serve() {
+  while (true) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      break;  // listener gone: nothing left to serve
+    }
+    HandleClient(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::HandleClient(int client_fd) {
+  // One blocking read is enough for the request line of every client we
+  // care about (curl, the tests); HTTP/1.0, no keep-alive, no body.
+  char buffer[2048];
+  ssize_t n = ::recv(client_fd, buffer, sizeof(buffer) - 1, 0);
+  if (n <= 0) {
+    return;
+  }
+  buffer[n] = '\0';
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string request(buffer);
+  std::string path;
+  if (request.rfind("GET ", 0) == 0) {
+    size_t end = request.find(' ', 4);
+    size_t line_end = request.find('\r', 4);
+    if (end == std::string::npos || (line_end != std::string::npos && end > line_end)) {
+      end = line_end;
+    }
+    if (end != std::string::npos) {
+      path = request.substr(4, end - 4);
+    }
+  }
+  if (path.empty()) {
+    SendAll(client_fd, HttpResponse("400 Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+
+  if (path == "/metrics") {
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      body = metrics_provider_ ? metrics_provider_() : Metrics::Global().ToPrometheusText();
+    }
+    SendAll(client_fd, HttpResponse("200 OK", "text/plain; version=0.0.4", body));
+    return;
+  }
+  if (path == "/healthz") {
+    Json body = Json::Object();
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      if (health_provider_) {
+        body = health_provider_();
+      } else {
+        body.Set("ok", Json(true));
+        body.Set("source", Json("default"));
+      }
+    }
+    bool ok = body.GetBool("ok", true);
+    SendAll(client_fd, HttpResponse(ok ? "200 OK" : "503 Service Unavailable",
+                                    "application/json", body.Dump(/*pretty=*/false) + "\n"));
+    return;
+  }
+  if (path == "/traces") {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    if (full_trace_.empty()) {
+      SendAll(client_fd,
+              HttpResponse("404 Not Found", "text/plain", "no assembled fleet trace yet\n"));
+    } else {
+      SendAll(client_fd, HttpResponse("200 OK", "application/json", full_trace_));
+    }
+    return;
+  }
+  if (path.rfind("/traces/", 0) == 0) {
+    const std::string id_text = path.substr(8);
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(id_text.c_str(), &end, 10);
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    auto it = (end != nullptr && *end == '\0' && !id_text.empty())
+                  ? traces_.find(static_cast<uint64_t>(id))
+                  : traces_.end();
+    if (it == traces_.end()) {
+      SendAll(client_fd, HttpResponse("404 Not Found", "text/plain",
+                                      "unknown fleet trace '" + id_text + "'\n"));
+    } else {
+      SendAll(client_fd, HttpResponse("200 OK", "application/json", it->second));
+    }
+    return;
+  }
+  SendAll(client_fd,
+          HttpResponse("404 Not Found", "text/plain",
+                       "unknown path (try /metrics, /healthz, /traces/<id>)\n"));
+}
+
+// --- TelemetrySnapshotWriter -------------------------------------------------
+
+TelemetrySnapshotWriter& TelemetrySnapshotWriter::Global() {
+  static TelemetrySnapshotWriter* instance = new TelemetrySnapshotWriter();
+  return *instance;
+}
+
+TelemetrySnapshotWriter::~TelemetrySnapshotWriter() { Stop(); }
+
+Status TelemetrySnapshotWriter::Start(const std::string& path, int interval_ms,
+                                      Metrics* metrics) {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("telemetry: snapshot writer already running on '" + path_ +
+                                   "'");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return InternalError("telemetry: cannot open '" + path + "' for append");
+  }
+  path_ = path;
+  interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
+  metrics_ = metrics != nullptr ? metrics : &Metrics::Global();
+  file_ = file;
+  written_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void TelemetrySnapshotWriter::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  WriteSnapshot();  // final line: short runs still record one snapshot
+  std::fclose(file_);
+  file_ = nullptr;
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetrySnapshotWriter::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_), [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    WriteSnapshot();
+    lock.lock();
+  }
+}
+
+void TelemetrySnapshotWriter::WriteSnapshot() {
+  Json line = Json::Object();
+  line.Set("seq", Json(written_.load(std::memory_order_relaxed)));
+  line.Set("interval_ms", Json(interval_ms_));
+  line.Set("metrics", metrics_->ToJson());
+  std::string text = line.Dump(/*pretty=*/false) + "\n";
+  std::fwrite(text.data(), 1, text.size(), file_);
+  std::fflush(file_);
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace turnstile

@@ -78,8 +78,17 @@ class TraceRecorder {
   // Oldest-to-newest snapshot of buffered events (all traces interleaved).
   std::vector<TraceEvent> Snapshot() const;
   // Buffered events of one trace, oldest first.
+  //
+  // Wrap-around contract: the ring evicts oldest-first across ALL traces, so
+  // after `dropped() > 0` a trace's early events (including its kInject) may
+  // be gone while its tail survives — EventsForTrace returns whatever is
+  // still buffered, possibly empty, never an error. OriginOf is NOT subject
+  // to eviction: origins live in a side map keyed by trace id that only
+  // Clear()/Disable() reset, so a fully-evicted trace still answers its
+  // origin node. Covered by obs_trace_test RingWrapAround tests.
   std::vector<TraceEvent> EventsForTrace(uint64_t trace_id) const;
-  // Origin node of a trace ("" when unknown/evicted).
+  // Origin node of a trace ("" only when the id was never started, or after
+  // Clear()/Disable(); survives ring eviction — see EventsForTrace).
   std::string OriginOf(uint64_t trace_id) const;
 
   size_t size() const { return size_; }

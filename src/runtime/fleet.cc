@@ -154,6 +154,11 @@ bool FleetRuntime::Post(const std::string& app_id, int seq, bool record) {
   env.instance = it->second.instance;
   env.seq = seq;
   env.record = record;
+  if (options_.trace_capacity > 0) {
+    // Injection root: mint the fleet-wide id the message keeps across every
+    // wire hop. hop 0, no parent — this IS the origin span.
+    env.trace.fleet_trace_id = next_fleet_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (!shards_[static_cast<size_t>(it->second.shard)]->Post(std::move(env))) {
     OnProcessed();  // mailbox closed: the envelope never entered the system
@@ -162,7 +167,8 @@ bool FleetRuntime::Post(const std::string& app_id, int seq, bool record) {
   return true;
 }
 
-void FleetRuntime::RouteTerminal(int src_shard, uint32_t src_instance, const Value& msg) {
+void FleetRuntime::RouteTerminal(int src_shard, uint32_t src_instance, const Value& msg,
+                                 const FleetTraceContext& trace) {
   auto it = routes_.find(RouteKey(src_shard, src_instance));
   if (it == routes_.end()) {
     return;
@@ -171,6 +177,7 @@ void FleetRuntime::RouteTerminal(int src_shard, uint32_t src_instance, const Val
   env.kind = FleetEnvelope::Kind::kPayload;
   env.instance = it->second.instance;
   env.payload = FleetSerializeMessage(msg);
+  env.trace = trace;  // rides the envelope, never the payload or the ledger
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (!shards_[static_cast<size_t>(it->second.shard)]->Post(std::move(env))) {
     OnProcessed();
@@ -196,6 +203,12 @@ void FleetRuntime::Stop() {
     return;
   }
   stopped_ = true;
+  if (telemetry_ != nullptr) {
+    // Detach before teardown: ClearProviders blocks until any in-flight
+    // provider call (which reads shard instruments) has returned.
+    telemetry_->ClearProviders();
+    telemetry_ = nullptr;
+  }
   for (std::unique_ptr<Shard>& shard : shards_) {
     shard->Join();
   }
@@ -246,6 +259,147 @@ uint64_t FleetRuntime::MergeFleetLatency(obs::Histogram* into) const {
     merged += shard->MergeLatency(into);
   }
   return merged;
+}
+
+uint64_t FleetRuntime::MergeQueueLatency(obs::Histogram* into) const {
+  uint64_t merged = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (into->Merge(shard->queue_latency())) {
+      merged += shard->queue_latency().count();
+    }
+  }
+  return merged;
+}
+
+uint64_t FleetRuntime::MergeEnqueueWait(obs::Histogram* into) const {
+  uint64_t merged = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (into->Merge(shard->enqueue_wait())) {
+      merged += shard->enqueue_wait().count();
+    }
+  }
+  return merged;
+}
+
+obs::FleetTraceAssembler FleetRuntime::AssembleTrace() const {
+  obs::FleetTraceAssembler assembler;
+  for (int s = 0; s < shard_count(); ++s) {
+    const Shard& sh = *shards_[static_cast<size_t>(s)];
+    const std::string lane = "shard" + std::to_string(s);
+    for (uint32_t i = 0; i < sh.instance_count(); ++i) {
+      RuntimeContext* context = sh.context_of(i);
+      if (context == nullptr || !context->trace_recorder().enabled()) {
+        continue;
+      }
+      std::vector<obs::FleetSpanBinding> bindings;
+      for (const ShardTraceBinding& binding : sh.trace_bindings()) {
+        if (binding.instance != i) {
+          continue;
+        }
+        bindings.push_back(obs::FleetSpanBinding{binding.local_trace_id,
+                                                 binding.trace.fleet_trace_id,
+                                                 binding.trace.parent_span, binding.trace.hop});
+      }
+      assembler.AddContext(s, lane, sh.instance_id(i), context->trace_recorder().Snapshot(),
+                           std::move(bindings));
+    }
+  }
+  return assembler;
+}
+
+void FleetRuntime::AttachTelemetry(obs::TelemetryServer* server) {
+  telemetry_ = server;
+  server->SetMetricsProvider([this] { return TelemetryMetricsText(); });
+  server->SetHealthProvider([this] { return TelemetryHealthJson(); });
+}
+
+std::string FleetRuntime::TelemetryMetricsText() const {
+  // A throwaway registry per scrape: shard atomics are sampled into labeled
+  // series and the per-shard queue histograms merge into fleet-wide ones.
+  // Everything read here is lock-free (gauges, counters, histogram buckets)
+  // or takes only the mailbox mutex (depth) — never instance state.
+  obs::Metrics scrape;
+  obs::Histogram* queue = scrape.GetHistogram("fleet.queue_seconds");
+  obs::Histogram* wait = scrape.GetHistogram("fleet.enqueue_wait_seconds");
+  for (int s = 0; s < shard_count(); ++s) {
+    const Shard& sh = *shards_[static_cast<size_t>(s)];
+    const std::string label = std::to_string(s);
+    obs::Metrics& own = sh.shard_context()->metrics();
+    scrape.GetGauge(obs::MetricWithLabel("shard.mailbox_depth", "shard", label))
+        ->Set(static_cast<int64_t>(sh.mailbox_depth()));
+    scrape.GetGauge(obs::MetricWithLabel("shard.in_flight", "shard", label))
+        ->Set(sh.in_flight());
+    scrape.GetGauge(obs::MetricWithLabel("shard.alive", "shard", label))
+        ->Set(sh.alive() ? 1 : 0);
+    scrape.GetCounter(obs::MetricWithLabel("shard.processed", "shard", label))
+        ->Increment(sh.processed());
+    scrape.GetCounter(obs::MetricWithLabel("shard.wire_in", "shard", label))
+        ->Increment(own.GetCounter("shard.wire_in")->value());
+    scrape.GetCounter(obs::MetricWithLabel("shard.wire_out", "shard", label))
+        ->Increment(own.GetCounter("shard.wire_out")->value());
+    queue->Merge(sh.queue_latency());
+    wait->Merge(sh.enqueue_wait());
+  }
+  scrape.GetGauge("fleet.in_flight")
+      ->Set(static_cast<int64_t>(in_flight_.load(std::memory_order_relaxed)));
+  scrape.GetGauge("fleet.shards")->Set(shard_count());
+  scrape.GetGauge("fleet.apps")->Set(static_cast<int64_t>(apps_.size()));
+  scrape.GetCounter("fleet.messages_processed")->Increment(messages_processed());
+  return obs::Metrics::Global().ToPrometheusText() + scrape.ToPrometheusText();
+}
+
+Json FleetRuntime::TelemetryHealthJson() const {
+  Json shards = Json::Array();
+  bool all_alive = true;
+  for (int s = 0; s < shard_count(); ++s) {
+    const Shard& sh = *shards_[static_cast<size_t>(s)];
+    const bool alive = sh.alive();
+    all_alive = all_alive && alive;
+    Json entry = Json::Object();
+    entry.Set("shard", Json(s));
+    entry.Set("alive", Json(alive));
+    entry.Set("mailbox_depth", Json(sh.mailbox_depth()));
+    entry.Set("in_flight", Json(sh.in_flight()));
+    entry.Set("processed", Json(sh.processed()));
+    shards.Append(std::move(entry));
+  }
+  Json out = Json::Object();
+  out.Set("ok", Json(all_alive));
+  out.Set("shards", std::move(shards));
+  out.Set("in_flight", Json(in_flight_.load(std::memory_order_relaxed)));
+  out.Set("apps", Json(apps_.size()));
+  return out;
+}
+
+void FleetRuntime::PublishTraces(obs::TelemetryServer* server, size_t max_traces) const {
+  obs::FleetTraceAssembler assembler = AssembleTrace();
+  server->PublishFullTrace(assembler.ChromeTraceJson().Dump(/*pretty=*/false) + "\n");
+  size_t published = 0;
+  for (uint64_t id : assembler.FleetTraceIds()) {
+    if (published >= max_traces) {
+      break;
+    }
+    Json hops = Json::Array();
+    for (const obs::FleetTraceAssembler::Hop& hop : assembler.HopsOf(id)) {
+      Json entry = Json::Object();
+      entry.Set("hop", Json(static_cast<int>(hop.hop)));
+      entry.Set("shard", Json(hop.shard));
+      entry.Set("source", Json(hop.source));
+      entry.Set("local_trace", Json(hop.local_trace_id));
+      entry.Set("parent_span", Json(hop.parent_span));
+      Json events = Json::Array();
+      for (const obs::TraceEvent& event : hop.events) {
+        events.Append(Json(event.ToString()));
+      }
+      entry.Set("events", std::move(events));
+      hops.Append(std::move(entry));
+    }
+    Json trace = Json::Object();
+    trace.Set("fleet_trace", Json(id));
+    trace.Set("hops", std::move(hops));
+    server->PublishTrace(id, trace.Dump(/*pretty=*/false) + "\n");
+    ++published;
+  }
 }
 
 }  // namespace turnstile

@@ -41,6 +41,8 @@
 
 #include "src/corpus/corpus.h"
 #include "src/corpus/driver.h"
+#include "src/obs/fleet_trace.h"
+#include "src/obs/telemetry.h"
 #include "src/runtime/shard.h"
 #include "src/support/status.h"
 
@@ -78,6 +80,13 @@ class FleetRuntime {
     // Share one parsed Policy among same-app instances on a shard (the
     // per-shard label interning story). Off = every instance parses its own.
     bool share_policies = true;
+    // >0 enables each context's trace recorder with a ring of this many
+    // events AND fleet trace-id minting at Post(): every injected message
+    // gets a fleet-wide trace id carried across wire hops, and
+    // AssembleTrace() can stitch the per-context rings after a drain. 0
+    // (default) leaves tracing exactly as before — the disabled path adds no
+    // work beyond the envelope's extra fields.
+    size_t trace_capacity = 0;
   };
 
   FleetRuntime() : FleetRuntime(Options()) {}
@@ -130,11 +139,37 @@ class FleetRuntime {
   // Histogram::DefaultLatencyBounds(). Returns observations merged.
   uint64_t MergeShardLatency(int shard, obs::Histogram* into) const;
   uint64_t MergeFleetLatency(obs::Histogram* into) const;
+  // Same shape for the shard-level queue telemetry: enqueue->dequeue latency
+  // and bounded-push backpressure stalls, merged across every shard.
+  uint64_t MergeQueueLatency(obs::Histogram* into) const;
+  uint64_t MergeEnqueueWait(obs::Histogram* into) const;
+
+  // Quiescent-only: joins every instance's trace ring with the shards'
+  // fleet-trace bindings (requires Options::trace_capacity > 0 to have
+  // anything to join). See obs/fleet_trace.h.
+  obs::FleetTraceAssembler AssembleTrace() const;
+
+  // --- live telemetry ---------------------------------------------------------
+  // Wires this fleet into a TelemetryServer: /metrics additionally serves
+  // the per-shard health series + fleet-wide queue histograms (all read from
+  // lock-free instruments — safe while shards run), /healthz reports
+  // per-shard liveness, mailbox depth and in-flight counts. Stop() detaches
+  // (ClearProviders), which blocks until any in-flight request is done.
+  void AttachTelemetry(obs::TelemetryServer* server);
+  // The provider bodies, exposed for tests and one-shot snapshots.
+  std::string TelemetryMetricsText() const;
+  Json TelemetryHealthJson() const;
+  // Quiescent-only: assembles the fleet trace and publishes it to `server` —
+  // the full Chrome export at /traces plus per-fleet-trace hop JSON at
+  // /traces/<id> for the first `max_traces` ids.
+  void PublishTraces(obs::TelemetryServer* server, size_t max_traces = 32) const;
 
   // --- shard-internal ---------------------------------------------------------
   // Called by a shard thread for each wired terminal send: serializes and
-  // posts into the destination instance's shard (unbounded — shard origin).
-  void RouteTerminal(int src_shard, uint32_t src_instance, const Value& msg);
+  // posts into the destination instance's shard (unbounded — shard origin),
+  // stamping the outgoing hop's fleet trace context onto the envelope.
+  void RouteTerminal(int src_shard, uint32_t src_instance, const Value& msg,
+                     const FleetTraceContext& trace);
   // Called by a shard thread after each processed envelope (drain ticks).
   void OnProcessed();
 
@@ -159,6 +194,8 @@ class FleetRuntime {
   bool stopped_ = false;
 
   std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> next_fleet_trace_{1};  // minted when trace_capacity > 0
+  obs::TelemetryServer* telemetry_ = nullptr;  // attached server, detached in Stop
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
 };

@@ -19,6 +19,7 @@
 #define TURNSTILE_SRC_RUNTIME_SHARD_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,6 +33,7 @@
 
 #include "src/corpus/corpus.h"
 #include "src/corpus/driver.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/context.h"
 #include "src/support/json.h"
 #include "src/support/rng.h"
@@ -40,6 +42,22 @@
 namespace turnstile {
 
 class FleetRuntime;
+
+// The fleet-wide trace identity a message carries across shard (and thus
+// serialization) boundaries. Local TraceRecorder ids restart at 1 per
+// context, so without this a message crossing Wire(a, b) loses its causal
+// story at the Json boundary; with it, the receiving shard binds whatever
+// local trace the delivery starts to {fleet id, source span, hop+1} and a
+// post-drain FleetTraceAssembler stitches the chain back together.
+//
+// The context rides the *envelope only* — it is never recorded into the
+// AuditLedger, so the fleet-vs-single-threaded CanonicalLog() byte-identity
+// gate is untouched.
+struct FleetTraceContext {
+  uint64_t fleet_trace_id = 0;  // minted once at FleetRuntime::Post; 0 = untraced
+  uint64_t parent_span = 0;     // source shard's local trace id (0 = injection root)
+  uint32_t hop = 0;             // wire crossings so far (0 = the injected hop)
+};
 
 // One unit of shard work: either "generate workload message #seq from the
 // instance's template and drive it" (the bench / test injection path) or
@@ -53,6 +71,10 @@ struct FleetEnvelope {
   int seq = 0;            // kGenerate: workload sequence number
   bool record = false;    // observe processing latency into multi.proc_seconds
   Json payload;           // kPayload: the serialized message
+  FleetTraceContext trace;
+  // Stamped by ShardMailbox::Push at admission; the shard thread observes
+  // enqueue->dequeue latency into shard.queue_seconds from it.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 // Bounded MPSC mailbox: many producers, one consumer (the shard thread).
@@ -82,6 +104,12 @@ class ShardMailbox {
 
   size_t depth() const;
 
+  // Health telemetry hookup (call before any Push): `depth` tracks the queue
+  // length after every push/drain, `wait` observes how long each *bounded*
+  // push blocked on a full queue (the backpressure stall signal). Both are
+  // lock-free instruments, updated under the mailbox mutex.
+  void BindStats(obs::Gauge* depth, obs::Histogram* wait);
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -89,6 +117,18 @@ class ShardMailbox {
   std::condition_variable not_empty_;
   std::deque<FleetEnvelope> queue_;
   bool closed_ = false;
+  obs::Gauge* depth_gauge_ = nullptr;       // optional, see BindStats
+  obs::Histogram* wait_hist_ = nullptr;     // optional, see BindStats
+};
+
+// The shard's record of where one local trace sits in a fleet trace: local
+// trace `local_trace_id` of instance `instance` was started while processing
+// an envelope carrying `trace`. Appended by the shard thread during
+// Process(); read quiescently by FleetRuntime::AssembleTrace().
+struct ShardTraceBinding {
+  uint32_t instance = 0;
+  uint64_t local_trace_id = 0;
+  FleetTraceContext trace;
 };
 
 // A worker shard. Configure (AddInstance/WireInstance) from the fleet thread
@@ -133,13 +173,32 @@ class Shard {
   size_t instance_count() const { return specs_.size(); }
   size_t mailbox_depth() const { return mailbox_.depth(); }
   uint64_t processed() const { return processed_.load(std::memory_order_relaxed); }
+  // True between the shard thread finishing setup and the drain loop exiting
+  // — the /healthz liveness bit.
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  // Envelopes posted to this shard and not yet processed (atomic).
+  int64_t in_flight() const { return in_flight_gauge_->value(); }
+
+  // The shard's own health registry (shard.mailbox_depth, shard.in_flight,
+  // shard.enqueue_wait_seconds, shard.queue_seconds, shard.wire_in,
+  // shard.wire_out). Every instrument inside is a lock-free atomic, safe to
+  // read from the telemetry thread while the shard runs — unlike the
+  // per-instance contexts, which are quiescent-only.
+  RuntimeContext* shard_context() const { return shard_context_.get(); }
+  // Shard-level queue telemetry, readable while running (atomics).
+  const obs::Histogram& queue_latency() const { return *queue_hist_; }
+  const obs::Histogram& enqueue_wait() const { return *wait_hist_; }
 
   // --- quiescent-only -------------------------------------------------------
   const Status& status() const { return status_; }
   AppRuntime* runtime_of(uint32_t instance) const;
   RuntimeContext* context_of(uint32_t instance) const;
+  // The fleet-wide app id of an instance ("name#k"; "" out of range).
+  const std::string& instance_id(uint32_t instance) const;
   // Per-message drive errors ("app#3: TypeError ..."), in processing order.
   const std::vector<std::string>& errors() const { return errors_; }
+  // Local-trace -> fleet-trace bindings accumulated by Process().
+  const std::vector<ShardTraceBinding>& trace_bindings() const { return trace_bindings_; }
   // Folds every instance's private multi.proc_seconds histogram into `into`
   // (which must carry Histogram::DefaultLatencyBounds). Returns observations
   // merged.
@@ -162,6 +221,16 @@ class Shard {
   const int index_;
   ShardMailbox mailbox_;
 
+  // Health telemetry: its own isolated context so shard-level series never
+  // collide with instance registries, instruments cached at construction.
+  std::unique_ptr<RuntimeContext> shard_context_;
+  obs::Gauge* depth_gauge_ = nullptr;      // shard.mailbox_depth
+  obs::Gauge* in_flight_gauge_ = nullptr;  // shard.in_flight
+  obs::Histogram* wait_hist_ = nullptr;    // shard.enqueue_wait_seconds
+  obs::Histogram* queue_hist_ = nullptr;   // shard.queue_seconds
+  obs::Counter* wire_in_ = nullptr;        // routed envelopes received
+  obs::Counter* wire_out_ = nullptr;       // terminal sends routed onward
+
   std::vector<InstanceSpec> specs_;  // frozen at Start()
   std::vector<Instance> instances_;  // shard-thread owned after Start()
   // Per-shard label interning: one parsed Policy per app, shared by every
@@ -173,6 +242,11 @@ class Shard {
   Status status_ = Status::Ok();
   std::vector<std::string> errors_;
   std::atomic<uint64_t> processed_{0};
+  std::atomic<bool> alive_{false};
+
+  // Trace stitching state, shard-thread only while running.
+  FleetTraceContext current_env_trace_;
+  std::vector<ShardTraceBinding> trace_bindings_;
 
   std::mutex setup_mu_;
   std::condition_variable setup_cv_;

@@ -209,7 +209,7 @@ std::pair<const CorpusApp*, const CorpusApp*> PickWiredPair(
     }
     std::vector<Json> captured;
     (*runtime)->engine().set_terminal_sink(
-        [&captured](const std::string&, const Value& msg) {
+        [&captured](const std::string&, const Value& msg, uint64_t) {
           captured.push_back(FleetSerializeMessage(msg));
         });
     Rng rng(kSeed);

@@ -387,6 +387,27 @@ TEST(HistogramTest, MergeRejectsMismatchedBoundsUntouched) {
   EXPECT_DOUBLE_EQ(a.sum(), 0.0);
 }
 
+TEST(HistogramTest, MergeRejectionIsCountedNotSilent) {
+  // A rejected merge must leave a visible trail: every bounds mismatch bumps
+  // the global obs.merge_rejected counter (delta-based so the test is immune
+  // to other tests in this binary having tripped it first).
+  Counter* rejected = Metrics::Global().GetCounter("obs.merge_rejected");
+  const uint64_t before = rejected->value();
+
+  Histogram target(Histogram::DefaultLatencyBounds());
+  Histogram differs({1.0, 2.0});
+  differs.Observe(1.5);
+  EXPECT_FALSE(target.Merge(differs));
+  EXPECT_FALSE(target.Merge(differs));
+  EXPECT_EQ(rejected->value(), before + 2);
+
+  // A compatible merge leaves the rejection counter alone.
+  Histogram same(Histogram::DefaultLatencyBounds());
+  same.Observe(0.002);
+  EXPECT_TRUE(target.Merge(same));
+  EXPECT_EQ(rejected->value(), before + 2);
+}
+
 TEST(PrometheusTest, LabeledHistogramMergesLeIntoLabelBlock) {
   Metrics metrics;
   Histogram* h = metrics.GetHistogram(MetricWithLabel("turn.seconds", "node", "gf"), {1.0});

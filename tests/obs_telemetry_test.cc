@@ -1,0 +1,171 @@
+// The live metrics plane (ISSUE 10): TelemetryServer routing and lifecycle,
+// provider swapping, published fleet traces, and the JSONL snapshot writer.
+#include "src/obs/telemetry.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/support/json.h"
+
+namespace turnstile {
+namespace obs {
+namespace {
+
+// Minimal blocking HTTP/1.0 GET against 127.0.0.1:<port>; returns the whole
+// response (status line + headers + body) or "" on connect failure. The
+// server closes the connection after one response, so read-until-EOF is the
+// framing.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(TelemetryServerTest, ServesDefaultMetricsProvider) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start(0).ok());  // ephemeral port
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  Metrics::Global().GetCounter("telemetry.test_counter")->Increment(7);
+  std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  // Prometheus names are sanitized (dots -> underscores).
+  EXPECT_NE(response.find("telemetry_test_counter 7"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 1u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(TelemetryServerTest, CustomProvidersAndUnhealthy503) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Default health: 200 with ok=true.
+  std::string healthy = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(healthy.find("200 OK"), std::string::npos);
+  EXPECT_NE(BodyOf(healthy).find("\"ok\""), std::string::npos);
+
+  server.SetMetricsProvider([] { return std::string("custom_metric 1\n"); });
+  server.SetHealthProvider([] {
+    Json health = Json::Object();
+    health.Set("ok", Json(false));
+    health.Set("reason", Json("shard 2 dead"));
+    return health;
+  });
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("custom_metric 1"), std::string::npos);
+  std::string sick = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(sick.find("503"), std::string::npos);
+  EXPECT_NE(BodyOf(sick).find("shard 2 dead"), std::string::npos);
+
+  // Detach: the defaults come back.
+  server.ClearProviders();
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetryServerTest, PublishedTracesAreServedById) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Nothing published yet: both routes 404.
+  EXPECT_NE(HttpGet(server.port(), "/traces").find("404"), std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/traces/3").find("404"), std::string::npos);
+
+  server.PublishFullTrace("{\"traceEvents\":[]}");
+  server.PublishTrace(3, "{\"fleet_trace\":3}");
+  EXPECT_NE(BodyOf(HttpGet(server.port(), "/traces")).find("traceEvents"), std::string::npos);
+  EXPECT_NE(BodyOf(HttpGet(server.port(), "/traces/3")).find("\"fleet_trace\":3"),
+            std::string::npos);
+  // Unknown id and malformed id are 404s, not crashes.
+  EXPECT_NE(HttpGet(server.port(), "/traces/99").find("404"), std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/traces/3x").find("404"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetryServerTest, UnknownPathIs404AndLifecycleIsStrict) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(HttpGet(server.port(), "/no-such-route").find("404"), std::string::npos);
+  // Double start fails while running; Stop is idempotent.
+  EXPECT_FALSE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();
+  EXPECT_EQ(server.port(), 0);
+  // Restart after Stop works.
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetrySnapshotWriterTest, AppendsParsableJsonlSnapshots) {
+  std::string path = ::testing::TempDir() + "/telemetry_snapshots.jsonl";
+  std::remove(path.c_str());
+
+  Metrics metrics;
+  metrics.GetCounter("writer.test_counter")->Increment(5);
+  TelemetrySnapshotWriter writer;
+  // Long interval: the Stop()-time final snapshot is the one under test.
+  ASSERT_TRUE(writer.Start(path, /*interval_ms=*/60000, &metrics).ok());
+  ASSERT_TRUE(writer.running());
+  EXPECT_FALSE(writer.Start(path).ok());  // already running
+  writer.Stop();
+  EXPECT_FALSE(writer.running());
+  EXPECT_GE(writer.snapshots_written(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ++lines;
+    auto parsed = Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_TRUE(parsed.value().Has("seq"));
+    EXPECT_TRUE(parsed.value().Has("metrics"));
+    EXPECT_NE(line.find("writer.test_counter"), std::string::npos);
+  }
+  EXPECT_GE(lines, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turnstile

@@ -68,6 +68,45 @@ TEST_F(TraceTest, RingBufferEvictsOldest) {
   }
 }
 
+TEST_F(TraceTest, RingWrapAroundDropsEventsButKeepsOrigins) {
+  // The ring evicts oldest-first across ALL traces, so a long-lived trace can
+  // lose its head (including its kInject) while newer traces stay complete.
+  // EventsForTrace answers with whatever survives — partial is not an error.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(4);
+  uint64_t old_trace = recorder.StartTrace("old-origin");
+  recorder.Record(SpanKind::kNodeEnter, "old-node");
+  uint64_t new_trace = recorder.StartTrace("new-origin");
+  recorder.Record(SpanKind::kNodeEnter, "new-a");
+  recorder.Record(SpanKind::kNodeEnter, "new-b");
+  // Ring now holds the 4 most recent events; old_trace's kInject (event #1)
+  // was evicted, its kNodeEnter survives.
+  EXPECT_EQ(recorder.dropped(), 1u);
+  std::vector<TraceEvent> old_events = recorder.EventsForTrace(old_trace);
+  ASSERT_EQ(old_events.size(), 1u);
+  EXPECT_EQ(old_events[0].kind, SpanKind::kNodeEnter);
+  // The origin map lives beside the ring, so attribution survives eviction.
+  EXPECT_EQ(recorder.OriginOf(old_trace), "old-origin");
+  // The newer trace is still complete: kInject + two node spans.
+  EXPECT_EQ(recorder.EventsForTrace(new_trace).size(), 3u);
+}
+
+TEST_F(TraceTest, RingWrapAroundFullyEvictedTraceKeepsOriginOnly) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable(2);
+  uint64_t gone = recorder.StartTrace("evicted-origin");
+  recorder.Record(SpanKind::kNodeEnter, "gone-node");
+  recorder.StartTrace("later");
+  recorder.Record(SpanKind::kNodeEnter, "later-node");
+  // Both of `gone`'s events rolled off: empty answer, not an error, and the
+  // origin is still queryable until Clear()/Disable().
+  EXPECT_TRUE(recorder.EventsForTrace(gone).empty());
+  EXPECT_EQ(recorder.OriginOf(gone), "evicted-origin");
+  EXPECT_EQ(recorder.dropped(), 2u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.OriginOf(gone), "");
+}
+
 TEST_F(TraceTest, ScopedTraceRestoresPrevious) {
   TraceRecorder& recorder = TraceRecorder::Global();
   recorder.Enable(16);

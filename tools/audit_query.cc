@@ -22,6 +22,12 @@
 //                    agree 1:1 with the tracker's recorded violations;
 //                    (b) any app with runtime violations must have
 //                    ground_truth_paths > 0. Exits non-zero on disagreement.
+//   --fleet-lineage  cross-APP lineage: wires a terminal-emitting corpus app
+//                    into a second app on a different fleet shard, runs the
+//                    pair with fleet trace propagation on, and prints the
+//                    assembled source -> wire -> sink chain (per-hop audit
+//                    events stitched by fleet trace id). Exits non-zero when
+//                    no message crossed the wire.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -32,6 +38,7 @@
 #include "src/corpus/corpus.h"
 #include "src/corpus/driver.h"
 #include "src/obs/audit.h"
+#include "src/runtime/fleet.h"
 #include "src/support/json.h"
 #include "src/support/rng.h"
 #include "tools/cli_args.h"
@@ -43,7 +50,7 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: audit_query [<app>] [--messages=N] [--tier=bytecode|bytecode-lowered|treewalk]\n"
                "                   [--source=LABEL] [--sink=NAME] [--out=PATH]\n"
-               "                   [--check-fig10]\n");
+               "                   [--check-fig10] [--fleet-lineage]\n");
 }
 
 // Everything the ledger tells us about one app's run.
@@ -167,6 +174,117 @@ int ExplainLineage(const AppAudit& audit, const std::string& source_label,
   return 0;
 }
 
+// Cross-app lineage over the fleet (ISSUE 10): wire A (a terminal-emitting
+// app, pinned to shard 0) into B (pinned to shard 1), run with fleet trace
+// propagation enabled, and print the stitched source -> wire -> sink chain —
+// each hop's audit events selected by the local trace id its fleet binding
+// names. Returns 0 iff at least one fleet trace crossed the wire.
+int FleetLineage(int messages, std::optional<ExecTier> tier) {
+  // Probe for a source worth wiring: its drive must produce terminal sends
+  // (flow outputs) — otherwise nothing ever crosses.
+  const CorpusApp* source = nullptr;
+  for (const CorpusApp& app : Corpus()) {
+    auto context = RuntimeContext::CreateIsolated();
+    auto runtime = AppRuntime::Create(app, AppVersion::kSelective, tier, context.get());
+    if (!runtime.ok()) {
+      continue;
+    }
+    int terminal = 0;
+    (*runtime)->engine().set_terminal_sink(
+        [&terminal](const std::string&, const Value&, uint64_t) { ++terminal; });
+    Rng rng(0xBE11C0DE);
+    bool ok = true;
+    for (int seq = 0; seq < messages && ok; ++seq) {
+      ok = (*runtime)->DriveMessage(&rng, seq).ok();
+    }
+    if (ok && terminal > 0) {
+      source = &app;
+      break;
+    }
+  }
+  if (source == nullptr) {
+    std::fprintf(stderr, "audit_query: no corpus app emits terminal sends\n");
+    return 1;
+  }
+  const CorpusApp* destination = nullptr;
+  for (const CorpusApp& app : Corpus()) {
+    if (&app != source && !app.entry_kind.empty()) {
+      destination = &app;
+      break;
+    }
+  }
+  if (destination == nullptr) {
+    std::fprintf(stderr, "audit_query: no destination app with an entry point\n");
+    return 1;
+  }
+
+  FleetRuntime::Options options;
+  options.shards = 2;
+  options.version = AppVersion::kSelective;
+  options.tier = tier;
+  options.audit_capacity = 1u << 18;
+  options.trace_capacity = 1u << 15;
+  FleetRuntime fleet(options);
+  const std::string src_id = fleet.AddApp(*source, /*shard=*/0);
+  const std::string dst_id = fleet.AddApp(*destination, /*shard=*/1);
+  Status status = fleet.Wire(src_id, dst_id);
+  if (status.ok()) {
+    status = fleet.Start();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "audit_query: fleet setup: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (int seq = 0; seq < messages; ++seq) {
+    fleet.Post(src_id, seq);
+  }
+  fleet.Drain();
+
+  obs::FleetTraceAssembler assembled = fleet.AssembleTrace();
+  int rc = 1;
+  for (uint64_t id : assembled.FleetTraceIds()) {
+    std::vector<obs::FleetTraceAssembler::Hop> hops = assembled.HopsOf(id);
+    if (hops.size() < 2) {
+      continue;  // never crossed the wire
+    }
+    std::printf("fleet trace %llu: %s -> %s (%zu hops)\n",
+                static_cast<unsigned long long>(id), src_id.c_str(), dst_id.c_str(),
+                hops.size());
+    for (const obs::FleetTraceAssembler::Hop& hop : hops) {
+      if (hop.hop > 0) {
+        std::printf("  [wire hop %u] serialized Json crossing -> %s (parent span %llu)\n",
+                    hop.hop, hop.lane.c_str(),
+                    static_cast<unsigned long long>(hop.parent_span));
+      }
+      std::printf("  [hop %u] %s @%s (local trace %llu)\n", hop.hop, hop.source.c_str(),
+                  hop.lane.c_str(), static_cast<unsigned long long>(hop.local_trace_id));
+      RuntimeContext* context = fleet.context_of(hop.source);
+      if (context == nullptr) {
+        continue;
+      }
+      int printed = 0;
+      for (const obs::AuditEvent& event : context->audit().Snapshot()) {
+        if (event.trace_id != hop.local_trace_id) {
+          continue;
+        }
+        if (++printed > 8) {
+          std::printf("    ...\n");
+          break;
+        }
+        std::printf("    %s\n", event.Canonical().c_str());
+      }
+    }
+    rc = 0;
+    break;
+  }
+  fleet.Stop();
+  if (rc != 0) {
+    std::fprintf(stderr, "audit_query: no fleet trace crossed the %s -> %s wire\n",
+                 src_id.c_str(), dst_id.c_str());
+  }
+  return rc;
+}
+
 int Main(int argc, char** argv) {
   std::string app_filter;
   std::string source_label;
@@ -174,6 +292,7 @@ int Main(int argc, char** argv) {
   std::string out_path;
   int messages = 5;
   bool check_fig10 = false;
+  bool fleet_lineage = false;
   std::optional<ExecTier> tier;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -209,6 +328,8 @@ int Main(int argc, char** argv) {
       }
     } else if (arg == "--check-fig10") {
       check_fig10 = true;
+    } else if (arg == "--fleet-lineage") {
+      fleet_lineage = true;
     } else if (!arg.empty() && arg[0] != '-') {
       if (!app_filter.empty()) {
         std::fprintf(stderr, "audit_query: unexpected extra argument '%s' (app is '%s')\n",
@@ -230,6 +351,9 @@ int Main(int argc, char** argv) {
   if (!app_filter.empty() && FindCorpusApp(app_filter) == nullptr) {
     std::fprintf(stderr, "audit_query: unknown corpus app '%s'\n", app_filter.c_str());
     return 2;
+  }
+  if (fleet_lineage) {
+    return FleetLineage(messages, tier);
   }
 
   std::vector<AppAudit> audits;

@@ -3,9 +3,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 
 namespace turnstile {
 namespace cli {
+
+namespace {
+
+// flag -> occurrences seen so far (CLI parsing is single-threaded; tools
+// parse argv once from main).
+std::map<std::string, int>& RepeatCounts() {
+  static std::map<std::string, int>* counts = new std::map<std::string, int>();
+  return *counts;
+}
+
+}  // namespace
+
+void NoteFlagMatchForRepeatWarning(const char* tool, const char* flag) {
+  int seen = ++RepeatCounts()[flag];
+  if (seen == 2) {
+    std::fprintf(stderr, "%s: %s repeated; last value wins\n", tool, flag);
+  }
+}
+
+void ResetRepeatedFlagWarningsForTest() { RepeatCounts().clear(); }
 
 namespace {
 // Returns the value part of "<flag>=V", or nullptr when arg is for a
@@ -27,6 +48,7 @@ FlagParse ParseIntFlag(const std::string& arg, const char* flag, const char* too
   if (value == nullptr) {
     return FlagParse::kNoMatch;
   }
+  NoteFlagMatchForRepeatWarning(tool, flag);
   // Strict parse: "--messages=12abc" must be rejected, not read as 12.
   char* end = nullptr;
   long parsed = std::strtol(value, &end, 10);
@@ -44,6 +66,7 @@ FlagParse ParseStringFlag(const std::string& arg, const char* flag, const char* 
   if (value == nullptr) {
     return FlagParse::kNoMatch;
   }
+  NoteFlagMatchForRepeatWarning(tool, flag);
   if (what != nullptr && *value == '\0') {
     std::fprintf(stderr, "%s: %s needs a %s\n", tool, flag, what);
     return FlagParse::kBad;
@@ -57,6 +80,7 @@ FlagParse ParseTierFlag(const std::string& arg, const char* tool, std::optional<
   if (value == nullptr) {
     return FlagParse::kNoMatch;
   }
+  NoteFlagMatchForRepeatWarning(tool, "--tier");
   *out = ExecTierFromName(value);
   if (!out->has_value()) {
     std::fprintf(stderr,

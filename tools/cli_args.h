@@ -41,6 +41,15 @@ FlagParse ParseStringFlag(const std::string& arg, const char* flag, const char* 
 // on stderr.
 FlagParse ParseTierFlag(const std::string& arg, const char* tool, std::optional<ExecTier>* out);
 
+// Repeated-flag detection. Every Parse*Flag above notes each successful flag
+// match; a flag seen a second time in one process warns once on stderr —
+//   "<tool>: <flag> repeated; last value wins"
+// — making the historical (and kept) last-wins behavior visible instead of
+// silent. Subsequent repeats of the same flag stay quiet.
+void NoteFlagMatchForRepeatWarning(const char* tool, const char* flag);
+// Clears the per-process repeat bookkeeping (tests parse many argvs).
+void ResetRepeatedFlagWarningsForTest();
+
 }  // namespace cli
 }  // namespace turnstile
 
